@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Aprof_core Aprof_util Aprof_vm Aprof_workloads Exp_common Format List Option Sys

@@ -1,0 +1,1 @@
+bench/exp_breakdown.ml: Aprof_core Aprof_plot Aprof_trace Aprof_vm Exp_common Format List Printf

@@ -1,0 +1,1 @@
+bench/exp_characterize.ml: Aprof_core Aprof_plot Aprof_workloads Exp_common Float Format List

@@ -1,0 +1,1 @@
+bench/exp_comm.ml: Aprof_core Aprof_trace Aprof_vm Exp_common Format List

@@ -1,0 +1,1 @@
+bench/exp_common.ml: Aprof_core Aprof_plot Aprof_trace Aprof_vm Aprof_workloads Format List Printf

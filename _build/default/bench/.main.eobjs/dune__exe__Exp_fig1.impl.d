@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Aprof_core Aprof_trace Aprof_workloads Exp_common Format Option

@@ -1,0 +1,1 @@
+bench/exp_mysql.ml: Aprof_core Aprof_plot Aprof_vm Aprof_workloads Exp_common Float Format List Printf

@@ -1,0 +1,1 @@
+bench/exp_patterns.ml: Aprof_core Aprof_vm Aprof_workloads Exp_common Format List

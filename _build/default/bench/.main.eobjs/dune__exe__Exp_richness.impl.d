@@ -1,0 +1,1 @@
+bench/exp_richness.ml: Aprof_core Exp_common Format List

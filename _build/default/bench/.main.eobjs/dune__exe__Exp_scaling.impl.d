@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Aprof_tools Aprof_vm Exp_common Exp_table1 Format List Printf

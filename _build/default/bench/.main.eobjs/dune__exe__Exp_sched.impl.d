@@ -1,0 +1,1 @@
+bench/exp_sched.ml: Aprof_core Aprof_util Aprof_vm Exp_common Float Format List

@@ -1,0 +1,1 @@
+bench/exp_sort.ml: Aprof_core Aprof_plot Aprof_util Aprof_vm Aprof_workloads Exp_common Format List

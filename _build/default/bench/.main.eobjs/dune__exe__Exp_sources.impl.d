@@ -1,0 +1,1 @@
+bench/exp_sources.ml: Aprof_core Exp_common List

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Aprof_tools Aprof_util Aprof_vm Aprof_workloads Exp_common Format List

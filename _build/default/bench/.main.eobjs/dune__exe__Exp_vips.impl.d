@@ -1,0 +1,1 @@
+bench/exp_vips.ml: Aprof_core Aprof_plot Aprof_vm Aprof_workloads Exp_common Format List

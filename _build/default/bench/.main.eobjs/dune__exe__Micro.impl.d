@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Aprof_core Aprof_tools Aprof_util Aprof_vm Aprof_workloads Bechamel Benchmark Exp_common Format Hashtbl Instance List Measure Option Staged Test Time Toolkit

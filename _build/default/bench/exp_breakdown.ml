@@ -1,0 +1,42 @@
+(* Figure 13: routine-by-routine thread vs external input on MySQL and
+   vips — the per-routine percentage of induced first-reads, partitioned
+   by source, sorted by decreasing total. *)
+
+module Metrics = Aprof_core.Metrics
+
+let total_first_reads (d : Aprof_core.Profile.routine_data) =
+  d.Aprof_core.Profile.first_read_ops
+  + d.Aprof_core.Profile.induced_thread_ops
+  + d.Aprof_core.Profile.induced_external_ops
+
+let breakdown ppf run =
+  let rows =
+    Metrics.routine_breakdown run.Exp_common.profile
+    |> List.filter_map (fun (rid, t, e) ->
+           let name =
+             Aprof_trace.Routine_table.name
+               run.Exp_common.result.Aprof_vm.Interp.routines rid
+           in
+           let d =
+             List.assoc rid
+               (Aprof_core.Profile.merge_threads run.Exp_common.profile)
+           in
+           if total_first_reads d = 0 then None
+           else Some (name, [ ("thread", t); ("external", e) ]))
+  in
+  Format.fprintf ppf "%s@."
+    (Aprof_plot.Ascii_plot.histogram
+       ~title:
+         (Printf.sprintf "  %% induced first-reads per routine (%s)"
+            run.Exp_common.name)
+       ~rows)
+
+let run ppf =
+  Exp_common.section ppf "fig13: routine-by-routine thread and external input";
+  let mysql = Exp_common.run_named ~threads:8 ~scale:300 "mysqlslap" in
+  breakdown ppf mysql;
+  let vips = Exp_common.run_named ~threads:4 ~scale:100 "vips" in
+  breakdown ppf vips;
+  Format.fprintf ppf
+    "  (paper: MySQL's induced first-reads are mostly external — network and \
+     I/O — while vips is dominated by thread input)@."

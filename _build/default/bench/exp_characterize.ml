@@ -1,0 +1,40 @@
+(* Figure 15: whole-benchmark characterization of induced first-reads:
+   one stacked 100% bar per benchmark, sorted by decreasing thread
+   share.  The paper's headline: the OMP2012 kernels cluster at thread
+   input >= 69%. *)
+
+module Workload = Aprof_workloads.Workload
+
+let run ppf =
+  Exp_common.section ppf "fig15: characterization of induced first-reads";
+  let names =
+    Exp_common.omp_suite () @ Exp_common.parsec_suite ()
+    @ [ "mysqlslap"; "producer_consumer"; "stream_reader" ]
+  in
+  let rows =
+    List.filter_map
+      (fun name ->
+        let r = Exp_common.run_named name in
+        match Aprof_core.Metrics.suite_characterization r.Exp_common.profile with
+        | None -> None
+        | Some (t, e) -> Some (name, t, e))
+      names
+    |> List.sort (fun (_, t1, _) (_, t2, _) -> compare t2 t1)
+  in
+  Format.fprintf ppf "%s@."
+    (Aprof_plot.Ascii_plot.histogram
+       ~title:"  induced first-reads: thread vs external (100% bars)"
+       ~rows:
+         (List.map
+            (fun (n, t, e) -> (n, [ ("thread", t); ("external", e) ]))
+            rows));
+  let omp = Exp_common.omp_suite () in
+  let omp_min_thread =
+    List.fold_left
+      (fun acc (n, t, _) -> if List.mem n omp then Float.min acc t else acc)
+      100. rows
+  in
+  Format.fprintf ppf
+    "  minimum thread share across OMP kernels: %.0f%% (paper: all OMP2012 \
+     benchmarks have thread input > 69%%)@."
+    omp_min_thread

@@ -1,0 +1,88 @@
+(* Shared machinery for the experiment drivers: run a workload under the
+   VM, profile its trace, and extract plot/table data. *)
+
+module Workload = Aprof_workloads.Workload
+module Registry = Aprof_workloads.Registry
+module Profile = Aprof_core.Profile
+module Metrics = Aprof_core.Metrics
+module Drms = Aprof_core.Drms_profiler
+module Interp = Aprof_vm.Interp
+module Plot = Aprof_plot.Ascii_plot
+
+type run = {
+  result : Interp.result;
+  profile : Profile.t;
+  name : string;
+}
+
+(* Suite experiments default to the seeded random-preemptive scheduler:
+   deterministic per seed, but with realistic interleaving variety (the
+   round-robin scheduler repeats the same interleaving every iteration,
+   which suppresses the scheduling-dependent drms variability the paper
+   observes on real machines). *)
+let default_scheduler =
+  Aprof_vm.Scheduler.Random_preemptive { min_slice = 8; max_slice = 96 }
+
+let run_spec ?(threads = Registry.default_threads)
+    ?(scale = Registry.default_scale) ?(seed = Registry.default_seed)
+    ?(scheduler = default_scheduler) (spec : Workload.spec) =
+  let result = Workload.run_spec ~scheduler spec ~threads ~scale ~seed in
+  let p = Drms.create () in
+  Drms.run p result.Interp.trace;
+  { result; profile = Drms.finish p; name = spec.Workload.name }
+
+let run_named ?threads ?scale ?seed ?scheduler name =
+  match Registry.find name with
+  | Some spec -> run_spec ?threads ?scale ?seed ?scheduler spec
+  | None -> failwith (Printf.sprintf "unknown workload %s" name)
+
+let routine_id run name =
+  match Aprof_trace.Routine_table.find run.result.Interp.routines name with
+  | Some id -> id
+  | None -> failwith (Printf.sprintf "routine %s missing from %s" name run.name)
+
+let merged run rname =
+  match List.assoc_opt (routine_id run rname) (Profile.merge_threads run.profile) with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "no profile for %s in %s" rname run.name)
+
+let cost_points ~metric d =
+  Aprof_core.Fit.points_of_profile ~metric ~cost:`Max d
+  |> List.map (fun (n, c) -> (float_of_int n, c))
+
+let section ppf title =
+  Format.fprintf ppf "@.=== %s ===@." title
+
+let fit_note ppf ~label points =
+  let int_points = List.map (fun (x, y) -> (int_of_float x, y)) points in
+  match Aprof_core.Fit.best_fit int_points with
+  | Some { Aprof_core.Fit.model; r_squared; _ } ->
+    Format.fprintf ppf "  best fit for %s: %s (R^2 = %.4f)@." label
+      (Aprof_core.Fit.model_name model)
+      r_squared
+  | None -> Format.fprintf ppf "  best fit for %s: (not enough points)@." label
+
+let curve_table ppf ~title curves =
+  Format.fprintf ppf "%s@." title;
+  Format.fprintf ppf "  %-16s" "benchmark";
+  List.iter
+    (fun f -> Format.fprintf ppf " %7s" (Printf.sprintf "%g%%" (100. *. f)))
+    Metrics.standard_fractions;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (name, curve) ->
+      Format.fprintf ppf "  %-16s" name;
+      List.iter (fun (_, y) -> Format.fprintf ppf " %7.2f" y) curve;
+      Format.fprintf ppf "@.")
+    curves
+
+(* The benchmark sets used by the paper's figures. *)
+let fig11_set_a = [ "fluidanimate"; "mysqlslap"; "smithwa"; "dedup"; "nab" ]
+let fig11_set_b = [ "bodytrack"; "swaptions"; "vips"; "x264" ]
+let fig14_set = [ "swaptions"; "bodytrack"; "smithwa"; "kdtree"; "dedup"; "x264" ]
+
+let parsec_suite () =
+  List.map (fun s -> s.Workload.name) (Registry.by_suite Workload.Parsec)
+
+let omp_suite () =
+  List.map (fun s -> s.Workload.name) (Registry.by_suite Workload.Omp)

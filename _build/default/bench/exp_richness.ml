@@ -1,0 +1,30 @@
+(* Figure 11: routine profile richness — for each benchmark, the tail
+   curve "x% of routines have (|drms|-|rms|)/|rms| >= y". *)
+
+let run ppf =
+  Exp_common.section ppf "fig11: routine profile richness of drms w.r.t. rms";
+  let curves =
+    List.map
+      (fun name ->
+        let r = Exp_common.run_named name in
+        (name, Aprof_core.Metrics.richness_curve r.Exp_common.profile))
+      (Exp_common.fig11_set_a @ Exp_common.fig11_set_b)
+  in
+  Exp_common.curve_table ppf
+    ~title:"  profile richness at top x% of routines (y = richness value)"
+    curves;
+  Format.fprintf ppf
+    "  (paper: a small fraction of routines reaches very high richness — \
+     dedup up to ~10^6 — and almost none is negative)@.";
+  let negatives =
+    List.concat_map
+      (fun name ->
+        let r = Exp_common.run_named name in
+        Aprof_core.Profile.merge_threads r.Exp_common.profile
+        |> List.filter_map (fun (_, d) ->
+               let rich = Aprof_core.Metrics.profile_richness d in
+               if rich < 0. then Some rich else None))
+      Exp_common.fig11_set_a
+  in
+  Format.fprintf ppf "  routines with negative richness across set A: %d@."
+    (List.length negatives)

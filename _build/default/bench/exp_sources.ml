@@ -1,0 +1,16 @@
+(* Figure 14: thread and external input over total first-reads, as
+   per-routine tail curves. *)
+
+let run ppf =
+  Exp_common.section ppf "fig14: thread and external input on a routine basis";
+  let runs = List.map (fun n -> (n, Exp_common.run_named n)) Exp_common.fig14_set in
+  Exp_common.curve_table ppf ~title:"  %% thread input at top x% of routines"
+    (List.map
+       (fun (n, r) ->
+         (n, Aprof_core.Metrics.thread_input_curve r.Exp_common.profile))
+       runs);
+  Exp_common.curve_table ppf ~title:"  %% external input at top x% of routines"
+    (List.map
+       (fun (n, r) ->
+         (n, Aprof_core.Metrics.external_input_curve r.Exp_common.profile))
+       runs)

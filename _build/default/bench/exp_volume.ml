@@ -1,0 +1,24 @@
+(* Figure 12: dynamic input volume — per-routine tail curves of
+   1 - (sum rms)/(sum drms), scaled to [0,100]. *)
+
+let run ppf =
+  Exp_common.section ppf "fig12: dynamic input volume of drms w.r.t. rms";
+  let names = Exp_common.fig11_set_a @ Exp_common.fig11_set_b in
+  let curves =
+    List.map
+      (fun name ->
+        let r = Exp_common.run_named name in
+        (name, Aprof_core.Metrics.input_volume_curve r.Exp_common.profile))
+      names
+  in
+  Exp_common.curve_table ppf
+    ~title:"  input volume x 100 at top x% of routines" curves;
+  Format.fprintf ppf
+    "  (paper: curves fall steeply from 100 to 0, reaching the floor around \
+     x = 8%%: few routines encapsulate all thread/IO input)@.";
+  List.iter
+    (fun name ->
+      let r = Exp_common.run_named name in
+      Format.fprintf ppf "  whole-run input volume %-14s = %.3f@." name
+        (Aprof_core.Metrics.dynamic_input_volume r.Exp_common.profile))
+    names

@@ -1,0 +1,357 @@
+(* The aprof command-line front end.
+
+   Subcommands:
+     list                      registered workloads
+     run <workload>            profile a workload, print routine profiles
+     plot <workload> <routine> cost plots of one routine (rms and drms)
+     tools <workload>          run every analysis tool, print summaries
+     overhead <workload>       Table 1-style measurement on one workload
+     trace <workload>          dump the raw event trace
+     fit <workload> <routine>  estimate the empirical cost function *)
+
+open Cmdliner
+
+let scheduler_of_string = function
+  | "rr" -> Ok (Aprof_vm.Scheduler.Round_robin { slice = 64 })
+  | "serialized" -> Ok Aprof_vm.Scheduler.Serialized
+  | "random" ->
+    Ok (Aprof_vm.Scheduler.Random_preemptive { min_slice = 8; max_slice = 96 })
+  | s -> Error (Printf.sprintf "unknown scheduler %S (rr|serialized|random)" s)
+
+(* ----- common options ------------------------------------------------ *)
+
+let workload_arg =
+  let doc = "Workload name (see $(b,aprof list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let routine_arg p =
+  let doc = "Routine name within the workload." in
+  Arg.(required & pos p (some string) None & info [] ~docv:"ROUTINE" ~doc)
+
+let threads_term =
+  let doc = "Number of worker threads." in
+  Arg.(value & opt int 4 & info [ "j"; "threads" ] ~docv:"N" ~doc)
+
+let scale_term =
+  let doc = "Workload scale (input size)." in
+  Arg.(value & opt int 400 & info [ "s"; "scale" ] ~docv:"N" ~doc)
+
+let seed_term =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let scheduler_term =
+  let doc = "Scheduler: $(b,rr), $(b,serialized) or $(b,random)." in
+  let parse s =
+    match scheduler_of_string s with Ok v -> Ok v | Error m -> Error (`Msg m)
+  in
+  let sched_conv =
+    Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<scheduler>")
+  in
+  Arg.(
+    value
+    & opt sched_conv (Aprof_vm.Scheduler.Round_robin { slice = 64 })
+    & info [ "scheduler" ] ~docv:"POLICY" ~doc)
+
+let find_spec name =
+  match Aprof_workloads.Registry.find name with
+  | Some spec -> spec
+  | None ->
+    Printf.eprintf "unknown workload %S; try `aprof list'\n" name;
+    exit 2
+
+let execute name threads scale seed scheduler =
+  let spec = find_spec name in
+  Aprof_workloads.Workload.run_spec ~scheduler spec ~threads ~scale ~seed
+
+let profile_of result =
+  let p = Aprof_core.Drms_profiler.create () in
+  Aprof_core.Drms_profiler.run p result.Aprof_vm.Interp.trace;
+  Aprof_core.Drms_profiler.finish p
+
+(* ----- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-20s %-8s %s\n" s.Aprof_workloads.Workload.name
+          (Aprof_workloads.Workload.suite_name s.Aprof_workloads.Workload.suite)
+          s.Aprof_workloads.Workload.description)
+      Aprof_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List registered workloads")
+    Term.(const run $ const ())
+
+(* ----- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let run name threads scale seed scheduler output =
+    let result = execute name threads scale seed scheduler in
+    let profile = profile_of result in
+    let tbl = result.Aprof_vm.Interp.routines in
+    (match output with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Aprof_core.Profile_io.save oc
+            ~routine_name:(Aprof_trace.Routine_table.name tbl)
+            profile);
+      Printf.printf "profile written to %s\n" path
+    | None ->
+      Format.printf "%a@."
+        (Aprof_core.Profile.pp (Aprof_trace.Routine_table.name tbl))
+        profile);
+    Format.printf "dynamic input volume: %.3f@."
+      (Aprof_core.Metrics.dynamic_input_volume profile);
+    match Aprof_core.Metrics.suite_characterization profile with
+    | Some (t, e) ->
+      Format.printf "induced first-reads: %.1f%% thread, %.1f%% external@." t e
+    | None -> Format.printf "no induced first-reads observed@."
+  in
+  let output_term =
+    let doc = "Write the profile as CSV to $(docv) instead of printing it." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Profile a workload with the drms profiler")
+    Term.(
+      const run $ workload_arg $ threads_term $ scale_term $ seed_term
+      $ scheduler_term $ output_term)
+
+let report_cmd =
+  let run path =
+    match In_channel.with_open_text path Aprof_core.Profile_io.load with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      exit 2
+    | Ok (profile, names) ->
+      let name id =
+        match List.assoc_opt id names with
+        | Some n -> n
+        | None -> Printf.sprintf "routine_%d" id
+      in
+      Format.printf "%a@." (Aprof_core.Profile.pp name) profile;
+      Format.printf "dynamic input volume: %.3f@."
+        (Aprof_core.Metrics.dynamic_input_volume profile)
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Profile CSV written by $(b,aprof run -o).")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Render a previously saved profile")
+    Term.(const run $ path_arg)
+
+(* ----- plot ----------------------------------------------------------- *)
+
+let plot_cmd =
+  let run name routine threads scale seed scheduler =
+    let result = execute name threads scale seed scheduler in
+    let profile = profile_of result in
+    let tbl = result.Aprof_vm.Interp.routines in
+    match Aprof_trace.Routine_table.find tbl routine with
+    | None ->
+      Printf.eprintf "routine %S not found; routines: " routine;
+      Aprof_trace.Routine_table.iter (fun _ n -> Printf.eprintf "%s " n) tbl;
+      prerr_newline ();
+      exit 2
+    | Some rid -> (
+      match List.assoc_opt rid (Aprof_core.Profile.merge_threads profile) with
+      | None ->
+        Printf.eprintf "no completed activations of %S\n" routine;
+        exit 2
+      | Some d ->
+        let plot metric pts =
+          let chart =
+            Aprof_plot.Ascii_plot.create
+              ~title:(Printf.sprintf "Cost plot (%s) vs %s" routine metric)
+              ~x_label:metric ~y_label:"cost (executed BB)" ()
+          in
+          Aprof_plot.Ascii_plot.add_series chart ~name:"worst-case cost"
+            ~marker:'*'
+            (List.map (fun (n, c) -> (float_of_int n, c)) pts);
+          print_string (Aprof_plot.Ascii_plot.render_string chart)
+        in
+        plot "RMS" (Aprof_core.Fit.points_of_profile ~metric:`Rms ~cost:`Max d);
+        plot "DRMS" (Aprof_core.Fit.points_of_profile ~metric:`Drms ~cost:`Max d))
+  in
+  Cmd.v
+    (Cmd.info "plot" ~doc:"Draw rms and drms cost plots for one routine")
+    Term.(
+      const run $ workload_arg $ routine_arg 1 $ threads_term $ scale_term
+      $ seed_term $ scheduler_term)
+
+(* ----- fit ------------------------------------------------------------ *)
+
+let fit_cmd =
+  let run name routine threads scale seed scheduler =
+    let result = execute name threads scale seed scheduler in
+    let profile = profile_of result in
+    let tbl = result.Aprof_vm.Interp.routines in
+    match Aprof_trace.Routine_table.find tbl routine with
+    | None ->
+      Printf.eprintf "routine %S not found\n" routine;
+      exit 2
+    | Some rid -> (
+      match List.assoc_opt rid (Aprof_core.Profile.merge_threads profile) with
+      | None ->
+        Printf.eprintf "no completed activations of %S\n" routine;
+        exit 2
+      | Some d ->
+        let points =
+          Aprof_core.Fit.points_of_profile ~metric:`Drms ~cost:`Max d
+        in
+        Printf.printf "%d performance points\n" (List.length points);
+        List.iter
+          (fun r ->
+            Printf.printf "  %-12s R^2 = %.4f  (cost ~ %.3g + %.3g * g(n))\n"
+              (Aprof_core.Fit.model_name r.Aprof_core.Fit.model)
+              r.Aprof_core.Fit.r_squared r.Aprof_core.Fit.a r.Aprof_core.Fit.b)
+          (Aprof_core.Fit.fit_models points);
+        (match Aprof_core.Fit.power_law points with
+        | Some (c, k, r2) ->
+          Printf.printf "  power law: cost ~ %.3g * n^%.2f (R^2 = %.4f)\n" c k r2
+        | None -> ()))
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:"Estimate the empirical cost function of a routine from its drms points")
+    Term.(
+      const run $ workload_arg $ routine_arg 1 $ threads_term $ scale_term
+      $ seed_term $ scheduler_term)
+
+(* ----- tools ----------------------------------------------------------- *)
+
+let tools_cmd =
+  let run name threads scale seed scheduler =
+    let result = execute name threads scale seed scheduler in
+    List.iter
+      (fun f ->
+        let tool = f.Aprof_tools.Tool.create () in
+        Aprof_tools.Tool.replay tool result.Aprof_vm.Interp.trace;
+        Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ()))
+      (Aprof_tools.Harness.standard_factories ())
+  in
+  Cmd.v
+    (Cmd.info "tools" ~doc:"Run every analysis tool over one workload's trace")
+    Term.(
+      const run $ workload_arg $ threads_term $ scale_term $ seed_term
+      $ scheduler_term)
+
+(* ----- overhead -------------------------------------------------------- *)
+
+let overhead_cmd =
+  let run name threads scale seed scheduler =
+    let result = execute name threads scale seed scheduler in
+    let measurements =
+      Aprof_tools.Harness.measure ~trace:result.Aprof_vm.Interp.trace
+        ~program_words:result.Aprof_vm.Interp.memory_high_water
+        (Aprof_tools.Harness.standard_factories ())
+    in
+    List.iter
+      (fun m -> Format.printf "%a@." Aprof_tools.Harness.pp_measurement m)
+      measurements
+  in
+  Cmd.v
+    (Cmd.info "overhead"
+       ~doc:"Measure slowdown and space of every tool on one workload")
+    Term.(
+      const run $ workload_arg $ threads_term $ scale_term $ seed_term
+      $ scheduler_term)
+
+(* ----- comm ------------------------------------------------------------ *)
+
+let comm_cmd =
+  let run name threads scale seed scheduler =
+    let result = execute name threads scale seed scheduler in
+    let c = Aprof_core.Comm_profiler.create () in
+    Aprof_core.Comm_profiler.run c result.Aprof_vm.Interp.trace;
+    let tbl = result.Aprof_vm.Interp.routines in
+    Format.printf "%a@."
+      (Aprof_core.Comm_profiler.pp
+         ~routine_name:(Aprof_trace.Routine_table.name tbl))
+      (Aprof_core.Comm_profiler.report c)
+  in
+  Cmd.v
+    (Cmd.info "comm"
+       ~doc:
+         "Characterize shared-memory communication: which threads and           routines feed values to which")
+    Term.(
+      const run $ workload_arg $ threads_term $ scale_term $ seed_term
+      $ scheduler_term)
+
+(* ----- contexts --------------------------------------------------------- *)
+
+let contexts_cmd =
+  let run name threads scale seed scheduler top =
+    let result = execute name threads scale seed scheduler in
+    let p = Aprof_core.Drms_profiler.create ~track_contexts:true () in
+    Aprof_core.Drms_profiler.run p result.Aprof_vm.Interp.trace;
+    ignore (Aprof_core.Drms_profiler.finish p);
+    match Aprof_core.Drms_profiler.context_results p with
+    | None -> assert false
+    | Some (tree, cprofile) ->
+      let tbl = result.Aprof_vm.Interp.routines in
+      let rows =
+        Aprof_core.Profile.merge_threads cprofile
+        |> List.filter (fun (n, _) -> n <> Aprof_core.Cct.root)
+        |> List.sort (fun (_, a) (_, b) ->
+               compare b.Aprof_core.Profile.total_cost
+                 a.Aprof_core.Profile.total_cost)
+      in
+      let rows = List.filteri (fun i _ -> i < top) rows in
+      Format.printf "%-12s %-12s %-10s %s@." "activations" "sum drms"
+        "cost" "calling context";
+      List.iter
+        (fun (node, (d : Aprof_core.Profile.routine_data)) ->
+          Format.printf "%-12d %-12.0f %-10.0f %a@."
+            d.Aprof_core.Profile.activations d.Aprof_core.Profile.sum_drms
+            d.Aprof_core.Profile.total_cost
+            (Aprof_core.Cct.pp_path (Aprof_trace.Routine_table.name tbl) tree)
+            node)
+        rows
+  in
+  let top_term =
+    let doc = "Show the $(docv) most expensive contexts." in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "contexts"
+       ~doc:"Context-sensitive drms profile: input sizes per call path")
+    Term.(
+      const run $ workload_arg $ threads_term $ scale_term $ seed_term
+      $ scheduler_term $ top_term)
+
+(* ----- trace ----------------------------------------------------------- *)
+
+let trace_cmd =
+  let run name threads scale seed scheduler limit =
+    let result = execute name threads scale seed scheduler in
+    let trace = result.Aprof_vm.Interp.trace in
+    let n = Aprof_util.Vec.length trace in
+    let shown = match limit with Some l -> min l n | None -> n in
+    for i = 0 to shown - 1 do
+      print_endline (Aprof_trace.Event.to_line (Aprof_util.Vec.get trace i))
+    done;
+    if shown < n then Printf.eprintf "... (%d more events)\n" (n - shown)
+  in
+  let limit_term =
+    let doc = "Print at most $(docv) events." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump a workload's event trace (one event per line)")
+    Term.(
+      const run $ workload_arg $ threads_term $ scale_term $ seed_term
+      $ scheduler_term $ limit_term)
+
+(* ----- main ------------------------------------------------------------ *)
+
+let () =
+  let doc = "input-sensitive profiling with dynamic workloads (aprof-drms)" in
+  let info = Cmd.info "aprof" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; report_cmd; plot_cmd; fit_cmd; tools_cmd;
+            overhead_cmd; comm_cmd; contexts_cmd; trace_cmd ]))

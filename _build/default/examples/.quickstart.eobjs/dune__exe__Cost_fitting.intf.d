@@ -1,0 +1,1 @@
+examples/cost_fitting.mli:

@@ -1,0 +1,1 @@
+examples/mysql_scaling.ml: Aprof_core Aprof_trace Aprof_vm Aprof_workloads List Option Printf

@@ -1,0 +1,1 @@
+examples/mysql_scaling.mli:

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Aprof_core Aprof_trace Aprof_vm Aprof_workloads List Option Printf

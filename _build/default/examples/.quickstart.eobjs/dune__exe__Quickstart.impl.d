@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aprof_core Aprof_trace Aprof_util Aprof_vm List Option Printf

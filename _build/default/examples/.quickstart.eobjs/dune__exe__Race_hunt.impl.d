@@ -1,0 +1,1 @@
+examples/race_hunt.ml: Aprof_tools Aprof_util Aprof_vm Format List Printf

@@ -1,0 +1,1 @@
+examples/vips_pipeline.ml: Aprof_core Aprof_plot Aprof_trace Aprof_vm Aprof_workloads List Option Printf

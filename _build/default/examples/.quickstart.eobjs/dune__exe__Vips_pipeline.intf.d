@@ -1,0 +1,1 @@
+examples/vips_pipeline.mli:

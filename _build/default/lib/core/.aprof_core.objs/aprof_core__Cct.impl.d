@@ -1,0 +1,1 @@
+lib/core/cct.ml: Aprof_util Format Hashtbl List Printf String

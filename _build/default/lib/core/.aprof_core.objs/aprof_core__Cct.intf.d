@@ -1,0 +1,1 @@
+lib/core/cct.mli: Format

@@ -1,0 +1,1 @@
+lib/core/comm_profiler.ml: Aprof_shadow Aprof_trace Aprof_util Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/comm_profiler.mli: Aprof_trace Format

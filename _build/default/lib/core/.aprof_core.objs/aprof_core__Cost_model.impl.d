@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Aprof_trace Aprof_util Float Hashtbl

@@ -1,0 +1,1 @@
+lib/core/cost_model.mli: Aprof_trace Aprof_util

@@ -1,0 +1,1 @@
+lib/core/drms_profiler.ml: Aprof_shadow Aprof_trace Aprof_util Array Cct Cost_model Hashtbl Profile

@@ -1,0 +1,1 @@
+lib/core/drms_profiler.mli: Aprof_trace Cct Profile

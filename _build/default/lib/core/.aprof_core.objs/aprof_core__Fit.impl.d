@@ -1,0 +1,1 @@
+lib/core/fit.ml: Float List Profile

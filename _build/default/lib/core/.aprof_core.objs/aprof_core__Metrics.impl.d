@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Aprof_util List Profile

@@ -1,0 +1,1 @@
+lib/core/naive_drms.ml: Aprof_trace Aprof_util Cost_model Hashtbl List Profile

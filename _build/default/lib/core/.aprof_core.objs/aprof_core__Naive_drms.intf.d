@@ -1,0 +1,1 @@
+lib/core/naive_drms.mli: Aprof_trace Profile

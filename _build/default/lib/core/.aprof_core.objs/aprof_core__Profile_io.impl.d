@@ -1,0 +1,1 @@
+lib/core/profile_io.ml: Buffer Hashtbl In_channel List Printf Profile String

@@ -1,0 +1,1 @@
+lib/core/rms_profiler.ml: Aprof_shadow Aprof_trace Aprof_util Cost_model Hashtbl Profile

@@ -1,0 +1,1 @@
+lib/core/rms_profiler.mli: Aprof_trace Profile

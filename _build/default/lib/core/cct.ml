@@ -1,0 +1,59 @@
+type node = int
+
+type t = {
+  by_edge : (int * int, node) Hashtbl.t; (* (parent, routine) -> node *)
+  parents : int Aprof_util.Vec.t; (* -1 for the root *)
+  routines : int Aprof_util.Vec.t; (* -1 for the root *)
+}
+
+let root = 0
+
+let create () =
+  let t =
+    {
+      by_edge = Hashtbl.create 256;
+      parents = Aprof_util.Vec.create ();
+      routines = Aprof_util.Vec.create ();
+    }
+  in
+  Aprof_util.Vec.push t.parents (-1);
+  Aprof_util.Vec.push t.routines (-1);
+  t
+
+let check t n =
+  if n < 0 || n >= Aprof_util.Vec.length t.parents then
+    invalid_arg (Printf.sprintf "Cct: unknown node %d" n)
+
+let child t parent routine =
+  check t parent;
+  match Hashtbl.find_opt t.by_edge (parent, routine) with
+  | Some n -> n
+  | None ->
+    let n = Aprof_util.Vec.length t.parents in
+    Hashtbl.add t.by_edge (parent, routine) n;
+    Aprof_util.Vec.push t.parents parent;
+    Aprof_util.Vec.push t.routines routine;
+    n
+
+let parent t n =
+  check t n;
+  if n = root then None else Some (Aprof_util.Vec.get t.parents n)
+
+let routine t n =
+  check t n;
+  if n = root then invalid_arg "Cct.routine: root has no routine";
+  Aprof_util.Vec.get t.routines n
+
+let path t n =
+  check t n;
+  let rec up n acc =
+    if n = root then acc
+    else up (Aprof_util.Vec.get t.parents n) (Aprof_util.Vec.get t.routines n :: acc)
+  in
+  up n []
+
+let size t = Aprof_util.Vec.length t.parents
+
+let pp_path name t ppf n =
+  Format.fprintf ppf "%s"
+    (String.concat " -> " (List.map name (path t n)))

@@ -1,0 +1,36 @@
+(** Calling context trees: interned (parent, routine) paths.
+
+    Context-sensitive input profiles separate activations of one routine
+    by *how it was reached* — e.g. a buffer-copy helper called from the
+    I/O path (external-dominated, large drms) versus from initialization
+    (tiny constant input).  Node 0 is the synthetic root shared by all
+    threads; every other node is created on demand by {!child}. *)
+
+type t
+
+type node = int
+
+val root : node
+
+val create : unit -> t
+
+(** [child t parent routine] is the node for [routine] called from
+    context [parent], interning it on first use. *)
+val child : t -> node -> int -> node
+
+(** [parent t n] — [None] for {!root}.
+    @raise Invalid_argument on an unknown node. *)
+val parent : t -> node -> node option
+
+(** [routine t n] is the routine labelling [n].
+    @raise Invalid_argument on {!root} or an unknown node. *)
+val routine : t -> node -> int
+
+(** [path t n] is the routine path from just below the root down to [n]. *)
+val path : t -> node -> int list
+
+(** [size t] is the number of nodes, including the root. *)
+val size : t -> int
+
+(** [pp_path routine_name ppf n] renders ["a -> b -> c"]. *)
+val pp_path : (int -> string) -> t -> Format.formatter -> node -> unit

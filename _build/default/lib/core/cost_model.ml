@@ -1,0 +1,40 @@
+module Event = Aprof_trace.Event
+
+let cost_increment = function
+  | Event.Block { units; _ } -> units
+  | Event.Read _ | Event.Write _ | Event.Call _ -> 1
+  | Event.Return _ | Event.User_to_kernel _ | Event.Kernel_to_user _
+  | Event.Acquire _ | Event.Release _ | Event.Alloc _ | Event.Free _
+  | Event.Thread_start _ | Event.Thread_exit _ | Event.Switch_thread _ ->
+    0
+
+module Counter = struct
+  type t = (int, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let counter t tid =
+    match Hashtbl.find_opt t tid with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.add t tid c;
+      c
+
+  let on_event t e =
+    let inc = cost_increment e in
+    if inc > 0 then begin
+      let c = counter t (Event.tid e) in
+      c := !c + inc
+    end
+
+  let cost t tid = match Hashtbl.find_opt t tid with Some c -> !c | None -> 0
+
+  let total t = Hashtbl.fold (fun _ c acc -> acc + !c) t 0
+end
+
+let simulated_time_ns rng ~ns_per_block ~jitter cost =
+  let base = float_of_int cost *. ns_per_block in
+  let noise = Aprof_util.Rng.gaussian rng ~mu:1.0 ~sigma:jitter in
+  let overhead = 120. in
+  Float.max (0.1 *. base) ((base *. noise) +. overhead)

@@ -1,0 +1,323 @@
+module Event = Aprof_trace.Event
+module Shadow = Aprof_shadow.Shadow_memory
+module Vec = Aprof_util.Vec
+
+type induction_mode = [ `Both | `External_only | `Thread_only | `None ]
+
+type frame = {
+  rtn : int;
+  mutable ts : int; (* invocation timestamp (renumbering rewrites it) *)
+  mutable drms : int; (* partial drms (Invariant 2 suffix-sum scheme) *)
+  mutable rms : int; (* partial rms, maintained with the same scheme *)
+  cost_at_entry : int;
+  ops : Profile.ops_handle; (* first-read op counters of (rtn, tid) *)
+  context : Cct.node; (* calling-context node, Cct.root when untracked *)
+}
+
+type thread_state = {
+  tid : int;
+  ts_local : Shadow.t; (* ts_t[l]: latest access (read or write) by t *)
+  stack : frame Vec.t;
+}
+
+type t = {
+  overflow_limit : int;
+  mode : induction_mode;
+  ancestor_search : [ `Binary | `Linear ];
+  mutable count : int;
+  (* The paper's single global [wts] is split by writer kind so that the
+     restricted induction modes (Figure 6b) can test against kernel writes
+     only.  The full-mode test uses their pointwise max, which equals the
+     single-shadow value: write stamps are non-decreasing, so the latest
+     writer holds the largest stamp. *)
+  wts_thread : Shadow.t;
+  wts_kernel : Shadow.t;
+  threads : (int, thread_state) Hashtbl.t;
+  costs : Cost_model.Counter.t;
+  profile : Profile.t;
+  contexts : (Cct.t * Profile.t) option;
+  mutable renumberings : int;
+  mutable finished : bool;
+}
+
+let create ?(overflow_limit = max_int - 1) ?(mode = `Both)
+    ?(track_contexts = false) ?(ancestor_search = `Binary) () =
+  if overflow_limit < 8 then
+    invalid_arg "Drms_profiler.create: overflow_limit too small";
+  {
+    overflow_limit;
+    mode;
+    ancestor_search;
+    count = 0;
+    wts_thread = Shadow.create ();
+    wts_kernel = Shadow.create ();
+    threads = Hashtbl.create 8;
+    costs = Cost_model.Counter.create ();
+    profile = Profile.create ();
+    contexts =
+      (if track_contexts then Some (Cct.create (), Profile.create ()) else None);
+    renumberings = 0;
+    finished = false;
+  }
+
+let thread_state t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some st -> st
+  | None ->
+    let st = { tid; ts_local = Shadow.create (); stack = Vec.create () } in
+    Hashtbl.add t.threads tid st;
+    st
+
+(* --- Counter-overflow renumbering ------------------------------------
+
+   Gather every live timestamp (global [wts], each thread's [ts_t], every
+   shadow-stack [ts] field), rank them, and rewrite each as its rank.
+   Ranks start at 1 so that 0 keeps meaning "never accessed"; the relative
+   order of all timestamps — hence every comparison the algorithm ever
+   performs — is preserved, and [count] restarts from the highest rank. *)
+let renumber t =
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let note v = if v <> 0 then Hashtbl.replace live v () in
+  Shadow.iter_set (fun _ v -> note v) t.wts_thread;
+  Shadow.iter_set (fun _ v -> note v) t.wts_kernel;
+  Hashtbl.iter
+    (fun _ st ->
+      Shadow.iter_set (fun _ v -> note v) st.ts_local;
+      Vec.iter (fun fr -> note fr.ts) st.stack)
+    t.threads;
+  let sorted = Hashtbl.fold (fun v () acc -> v :: acc) live [] in
+  let sorted = Array.of_list sorted in
+  Array.sort compare sorted;
+  let rank : (int, int) Hashtbl.t = Hashtbl.create (Array.length sorted) in
+  Array.iteri (fun i v -> Hashtbl.add rank v (i + 1)) sorted;
+  let remap v = if v = 0 then 0 else Hashtbl.find rank v in
+  Shadow.map_in_place remap t.wts_thread;
+  Shadow.map_in_place remap t.wts_kernel;
+  Hashtbl.iter
+    (fun _ st ->
+      Shadow.map_in_place remap st.ts_local;
+      Vec.iter (fun fr -> fr.ts <- remap fr.ts) st.stack)
+    t.threads;
+  t.count <- Array.length sorted;
+  t.renumberings <- t.renumberings + 1
+
+let tick t =
+  if t.count >= t.overflow_limit then renumber t;
+  t.count <- t.count + 1
+
+(* Deepest ancestor whose invocation timestamp is <= [ts]: stack [ts]
+   fields increase with depth, so binary search gives O(log depth).  The
+   linear walk exists only for the ablation benchmark. *)
+let deepest_ancestor search stack ts =
+  match search with
+  | `Binary ->
+    let n = Vec.length stack in
+    let lo = ref 0 and hi = ref (n - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if (Vec.get stack mid).ts <= ts then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    !best
+  | `Linear ->
+    let rec down i =
+      if i < 0 then -1
+      else if (Vec.get stack i).ts <= ts then i
+      else down (i - 1)
+    in
+    down (Vec.length stack - 1)
+
+let getcost t tid = Cost_model.Counter.cost t.costs tid
+
+let on_call t tid rtn =
+  tick t;
+  let st = thread_state t tid in
+  let context =
+    match t.contexts with
+    | None -> Cct.root
+    | Some (tree, _) ->
+      let parent =
+        if Vec.is_empty st.stack then Cct.root else (Vec.top st.stack).context
+      in
+      Cct.child tree parent rtn
+  in
+  Vec.push st.stack
+    {
+      rtn;
+      ts = t.count;
+      drms = 0;
+      rms = 0;
+      cost_at_entry = getcost t tid;
+      ops = Profile.ops_handle t.profile ~tid ~routine:rtn;
+      context;
+    }
+
+let collect t st fr ~drms ~rms ~cost =
+  Profile.record_activation t.profile ~tid:st.tid ~routine:fr.rtn ~rms ~drms
+    ~cost;
+  match t.contexts with
+  | None -> ()
+  | Some (_, cprofile) ->
+    Profile.record_activation cprofile ~tid:st.tid ~routine:fr.context ~rms
+      ~drms ~cost
+
+let on_return t tid =
+  let st = thread_state t tid in
+  if Vec.is_empty st.stack then
+    invalid_arg "Drms_profiler: return with empty shadow stack";
+  let fr = Vec.pop st.stack in
+  (* At the top of the stack, partial drms = full drms (Invariant 2). *)
+  collect t st fr ~drms:fr.drms ~rms:fr.rms ~cost:(getcost t tid - fr.cost_at_entry);
+  if not (Vec.is_empty st.stack) then begin
+    let parent = Vec.top st.stack in
+    parent.drms <- parent.drms + fr.drms;
+    parent.rms <- parent.rms + fr.rms
+  end
+
+(* The rms side of a read: the latest-access scheme of aprof (lines 4-10
+   of Figure 8), operating on the [sel] partial counters. *)
+let first_access_update search stack ~ts_l ~get ~set =
+  let top = Vec.top stack in
+  if ts_l < top.ts then begin
+    set top (get top + 1);
+    if ts_l <> 0 then begin
+      let i = deepest_ancestor search stack ts_l in
+      if i >= 0 then begin
+        let anc = Vec.get stack i in
+        set anc (get anc - 1)
+      end
+    end
+  end
+
+let on_read t tid addr =
+  let st = thread_state t tid in
+  if not (Vec.is_empty st.stack) then begin
+    let ts_l = Shadow.get st.ts_local addr in
+    let wt = Shadow.get t.wts_thread addr in
+    let wk = Shadow.get t.wts_kernel addr in
+    (* The write timestamp the current mode tests against (line 1 of
+       Figure 8).  In full mode this is max(wt, wk) = the single-shadow
+       [wts] of the paper. *)
+    let w =
+      match t.mode with
+      | `Both -> max wt wk
+      | `External_only -> wk
+      | `Thread_only -> wt
+      | `None -> 0
+    in
+    let top = Vec.top st.stack in
+    if ts_l < w then begin
+      (* Induced first-read.  Attribute to the latest writer: a kernel
+         stamp strictly above the thread stamp means the kernel wrote
+         last (a thread writing after a kernelToUser in the same tick
+         window reuses the same count, so ties resolve to the thread). *)
+      top.drms <- top.drms + 1;
+      if wk > wt then Profile.bump_induced_external top.ops
+      else Profile.bump_induced_thread top.ops
+    end
+    else begin
+      if ts_l < top.ts then Profile.bump_plain top.ops;
+      first_access_update t.ancestor_search st.stack ~ts_l
+        ~get:(fun fr -> fr.drms)
+        ~set:(fun fr v -> fr.drms <- v)
+    end;
+    (* rms side: always the plain first-access rule, blind to writes. *)
+    first_access_update t.ancestor_search st.stack ~ts_l
+      ~get:(fun fr -> fr.rms)
+      ~set:(fun fr v -> fr.rms <- v)
+  end;
+  Shadow.set st.ts_local addr t.count
+
+let on_write t tid addr =
+  let st = thread_state t tid in
+  Shadow.set st.ts_local addr t.count;
+  Shadow.set t.wts_thread addr t.count
+
+let on_kernel_to_user t addr len =
+  (* Figure 9: bump the counter once, then stamp the buffer with a global
+     write timestamp larger than any thread-local one. *)
+  tick t;
+  Shadow.set_range t.wts_kernel ~addr ~len t.count
+
+let on_user_to_kernel t tid addr len =
+  (* The kernel reads the buffer on the thread's behalf: treat each
+     location as a read by the thread, as if the call were a subroutine. *)
+  for a = addr to addr + len - 1 do
+    on_read t tid a
+  done
+
+let on_event t e =
+  if t.finished then invalid_arg "Drms_profiler: event after finish";
+  Cost_model.Counter.on_event t.costs e;
+  match e with
+  | Event.Call { tid; routine } -> on_call t tid routine
+  | Event.Return { tid } -> on_return t tid
+  | Event.Read { tid; addr } -> on_read t tid addr
+  | Event.Write { tid; addr } -> on_write t tid addr
+  | Event.Switch_thread _ -> tick t
+  | Event.Kernel_to_user { addr; len; _ } -> on_kernel_to_user t addr len
+  | Event.User_to_kernel { tid; addr; len } -> on_user_to_kernel t tid addr len
+  | Event.Free { addr; len; _ } ->
+    (* A freed block may be recycled by the allocator: drop every stamp
+       so reads of a later allocation at the same addresses are plain
+       first-reads again, not stale re-reads. *)
+    Shadow.set_range t.wts_thread ~addr ~len 0;
+    Shadow.set_range t.wts_kernel ~addr ~len 0;
+    Hashtbl.iter (fun _ st -> Shadow.set_range st.ts_local ~addr ~len 0) t.threads
+  | Event.Block _ | Event.Acquire _ | Event.Release _ | Event.Alloc _
+  | Event.Thread_start _ | Event.Thread_exit _ ->
+    ()
+
+let run t trace = Vec.iter (on_event t) trace
+
+let profile t = t.profile
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    (* Collect pending activations: by Invariant 2 the drms of frame i is
+       the suffix sum of partial values; walk each stack top-down. *)
+    Hashtbl.iter
+      (fun tid st ->
+        let drms_suffix = ref 0 and rms_suffix = ref 0 in
+        for i = Vec.length st.stack - 1 downto 0 do
+          let fr = Vec.get st.stack i in
+          drms_suffix := !drms_suffix + fr.drms;
+          rms_suffix := !rms_suffix + fr.rms;
+          collect t st fr ~drms:!drms_suffix ~rms:!rms_suffix
+            ~cost:(getcost t tid - fr.cost_at_entry)
+        done;
+        Vec.clear st.stack)
+      t.threads
+  end;
+  t.profile
+
+let renumber_count t = t.renumberings
+
+let context_results t = t.contexts
+
+let space_words t =
+  let frame_words = 5 in
+  let acc = ref (Shadow.space_words t.wts_thread + Shadow.space_words t.wts_kernel) in
+  Hashtbl.iter
+    (fun _ st ->
+      acc := !acc + Shadow.space_words st.ts_local
+             + (frame_words * Vec.length st.stack))
+    t.threads;
+  !acc
+
+let current_drms t ~tid =
+  match Hashtbl.find_opt t.threads tid with
+  | None -> []
+  | Some st ->
+    let n = Vec.length st.stack in
+    let suffix = ref 0 in
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      suffix := !suffix + (Vec.get st.stack i).drms;
+      out := !suffix :: !out
+    done;
+    !out

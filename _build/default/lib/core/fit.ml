@@ -1,0 +1,106 @@
+type model = Constant | Logarithmic | Linear | Linearithmic | Quadratic | Cubic
+
+let model_name = function
+  | Constant -> "O(1)"
+  | Logarithmic -> "O(log n)"
+  | Linear -> "O(n)"
+  | Linearithmic -> "O(n log n)"
+  | Quadratic -> "O(n^2)"
+  | Cubic -> "O(n^3)"
+
+let growth model n =
+  match model with
+  | Constant -> 0.
+  | Logarithmic -> log (Float.max n 1.)
+  | Linear -> n
+  | Linearithmic -> n *. log (Float.max n 1.)
+  | Quadratic -> n *. n
+  | Cubic -> n *. n *. n
+
+let eval_model model ~a ~b n = a +. (b *. growth model n)
+
+type fit_result = { model : model; a : float; b : float; r_squared : float }
+
+let all_models = [ Constant; Logarithmic; Linear; Linearithmic; Quadratic; Cubic ]
+
+(* Simple linear regression of y against x, returning (intercept, slope). *)
+let linreg xs ys =
+  let n = float_of_int (List.length xs) in
+  let sx = List.fold_left ( +. ) 0. xs in
+  let sy = List.fold_left ( +. ) 0. ys in
+  let sxx = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+  let sxy = List.fold_left2 (fun acc x y -> acc +. (x *. y)) 0. xs ys in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then None
+  else begin
+    let b = ((n *. sxy) -. (sx *. sy)) /. denom in
+    let a = (sy -. (b *. sx)) /. n in
+    Some (a, b)
+  end
+
+let r_squared ys predicted =
+  let n = float_of_int (List.length ys) in
+  let mean = List.fold_left ( +. ) 0. ys /. n in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.)) 0. ys in
+  let ss_res =
+    List.fold_left2 (fun acc y p -> acc +. ((y -. p) ** 2.)) 0. ys predicted
+  in
+  if ss_tot < 1e-12 then if ss_res < 1e-12 then 1. else 0.
+  else Float.max 0. (1. -. (ss_res /. ss_tot))
+
+let distinct_inputs points =
+  List.sort_uniq compare (List.map fst points) |> List.length
+
+let fit_one model points =
+  let xs = List.map (fun (n, _) -> growth model (float_of_int n)) points in
+  let ys = List.map snd points in
+  match model with
+  | Constant ->
+    let n = float_of_int (List.length ys) in
+    let a = List.fold_left ( +. ) 0. ys /. n in
+    let predicted = List.map (fun _ -> a) ys in
+    Some { model; a; b = 0.; r_squared = r_squared ys predicted }
+  | Logarithmic | Linear | Linearithmic | Quadratic | Cubic -> (
+    match linreg xs ys with
+    | None -> None
+    | Some (a, b) ->
+      let predicted = List.map (fun x -> a +. (b *. x)) xs in
+      Some { model; a; b; r_squared = r_squared ys predicted })
+
+let fit_models points =
+  if distinct_inputs points < 3 then []
+  else
+    List.filter_map (fun m -> fit_one m points) all_models
+    |> List.sort (fun r1 r2 -> compare r2.r_squared r1.r_squared)
+
+let best_fit points =
+  match fit_models points with [] -> None | r :: _ -> Some r
+
+let power_law points =
+  let usable = List.filter (fun (n, y) -> n > 0 && y > 0.) points in
+  if distinct_inputs usable < 3 then None
+  else begin
+    let xs = List.map (fun (n, _) -> log (float_of_int n)) usable in
+    let ys = List.map (fun (_, y) -> log y) usable in
+    match linreg xs ys with
+    | None -> None
+    | Some (a, k) ->
+      let predicted = List.map (fun x -> a +. (k *. x)) xs in
+      Some (exp a, k, r_squared ys predicted)
+  end
+
+let points_of_profile ~metric ~cost (d : Profile.routine_data) =
+  let points =
+    match metric with
+    | `Drms -> d.Profile.drms_points
+    | `Rms -> d.Profile.rms_points
+  in
+  List.map
+    (fun (p : Profile.point) ->
+      let c =
+        match cost with
+        | `Max -> float_of_int p.Profile.max_cost
+        | `Mean -> p.Profile.sum_cost /. float_of_int p.Profile.calls
+      in
+      (p.Profile.input, c))
+    points

@@ -1,0 +1,49 @@
+(** Empirical cost function estimation.
+
+    Given the performance points of a routine profile (input size vs.
+    worst-case cost), fit the observations against standard complexity
+    models by least squares and select the best-explaining model — the
+    step that turns the paper's cost plots into an asymptotic guess.
+
+    Two estimators are provided: [fit_models] over a fixed model family
+    (constant, log n, n, n log n, n^2, n^3), and [power_law], a log-log
+    linear regression reporting an empirical exponent (the approach of
+    Goldsmith et al., which the paper cites as [8]). *)
+
+type model = Constant | Logarithmic | Linear | Linearithmic | Quadratic | Cubic
+
+val model_name : model -> string
+
+(** [eval_model m ~a ~b n] is [a + b * g(n)] where [g] is the model's
+    growth term. *)
+val eval_model : model -> a:float -> b:float -> float -> float
+
+type fit_result = {
+  model : model;
+  a : float;  (** intercept *)
+  b : float;  (** slope on the growth term *)
+  r_squared : float;  (** coefficient of determination, in [0, 1] *)
+}
+
+(** [fit_models points] fits every model and returns the results sorted
+    by decreasing [r_squared]; empty if fewer than 3 distinct points.
+    Points are (input size, cost) pairs; non-positive input sizes are
+    dropped for logarithmic models. *)
+val fit_models : (int * float) list -> fit_result list
+
+(** [best_fit points] is the head of [fit_models], if any. *)
+val best_fit : (int * float) list -> fit_result option
+
+(** [power_law points] is [(c, k, r2)] such that cost ≈ c * n^k, from a
+    least-squares line through the log-log points; [None] with fewer than
+    3 distinct positive points. *)
+val power_law : (int * float) list -> (float * float * float) option
+
+(** [points_of_profile ~metric ~cost data] extracts (input, cost) pairs
+    from a routine profile, using the worst-case ([`Max]) or mean
+    ([`Mean]) cost per input size — the paper plots worst-case. *)
+val points_of_profile :
+  metric:[ `Drms | `Rms ] ->
+  cost:[ `Max | `Mean ] ->
+  Profile.routine_data ->
+  (int * float) list

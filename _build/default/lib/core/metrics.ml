@@ -1,0 +1,111 @@
+let distinct_points ~metric (d : Profile.routine_data) =
+  match metric with
+  | `Drms -> List.length d.Profile.drms_points
+  | `Rms -> List.length d.Profile.rms_points
+
+let profile_richness (d : Profile.routine_data) =
+  let n_rms = distinct_points ~metric:`Rms d in
+  let n_drms = distinct_points ~metric:`Drms d in
+  if n_rms = 0 then 0.
+  else float_of_int (n_drms - n_rms) /. float_of_int n_rms
+
+let volume ~sum_rms ~sum_drms =
+  if sum_drms <= 0. then 0. else 1. -. (sum_rms /. sum_drms)
+
+let dynamic_input_volume profile =
+  let sum_rms = ref 0. and sum_drms = ref 0. in
+  List.iter
+    (fun key ->
+      match Profile.data profile key with
+      | None -> ()
+      | Some d ->
+        sum_rms := !sum_rms +. d.Profile.sum_rms;
+        sum_drms := !sum_drms +. d.Profile.sum_drms)
+    (Profile.keys profile);
+  volume ~sum_rms:!sum_rms ~sum_drms:!sum_drms
+
+let routine_input_volume (d : Profile.routine_data) =
+  volume ~sum_rms:d.Profile.sum_rms ~sum_drms:d.Profile.sum_drms
+
+let total_first_reads (d : Profile.routine_data) =
+  d.Profile.first_read_ops + d.Profile.induced_thread_ops
+  + d.Profile.induced_external_ops
+
+let thread_input (d : Profile.routine_data) =
+  let total = total_first_reads d in
+  if total = 0 then 0.
+  else float_of_int d.Profile.induced_thread_ops /. float_of_int total
+
+let external_input (d : Profile.routine_data) =
+  let total = total_first_reads d in
+  if total = 0 then 0.
+  else float_of_int d.Profile.induced_external_ops /. float_of_int total
+
+let induced_breakdown (d : Profile.routine_data) =
+  let induced = d.Profile.induced_thread_ops + d.Profile.induced_external_ops in
+  if induced = 0 then None
+  else begin
+    let t = float_of_int d.Profile.induced_thread_ops /. float_of_int induced in
+    Some (t, 1. -. t)
+  end
+
+type curve = (float * float) list
+
+let standard_fractions = [ 0.005; 0.01; 0.02; 0.04; 0.08; 0.16; 0.32; 0.64; 1.0 ]
+
+let curve_of_values values =
+  match values with
+  | [] -> List.map (fun f -> (f, 0.)) standard_fractions
+  | _ :: _ ->
+    List.map
+      (fun f -> (f, Aprof_util.Stats.value_at_top_fraction ~fraction:f values))
+      standard_fractions
+
+let per_routine_values f profile =
+  Profile.merge_threads profile |> List.map (fun (_, d) -> f d)
+
+let richness_curve profile =
+  let values =
+    Profile.merge_threads profile
+    |> List.filter_map (fun (_, d) ->
+           if distinct_points ~metric:`Rms d = 0 then None
+           else Some (profile_richness d))
+  in
+  curve_of_values values
+
+let input_volume_curve profile =
+  curve_of_values
+    (per_routine_values (fun d -> 100. *. routine_input_volume d) profile)
+
+let thread_input_curve profile =
+  curve_of_values (per_routine_values (fun d -> 100. *. thread_input d) profile)
+
+let external_input_curve profile =
+  curve_of_values
+    (per_routine_values (fun d -> 100. *. external_input d) profile)
+
+let routine_breakdown profile =
+  Profile.merge_threads profile
+  |> List.filter_map (fun (r, d) ->
+         let total = total_first_reads d in
+         if total = 0 then None
+         else begin
+           let t = 100. *. thread_input d in
+           let e = 100. *. external_input d in
+           Some (r, t, e)
+         end)
+  |> List.sort (fun (_, t1, e1) (_, t2, e2) -> compare (t2 +. e2) (t1 +. e1))
+
+let suite_characterization profile =
+  let thread = ref 0 and external_ = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      thread := !thread + d.Profile.induced_thread_ops;
+      external_ := !external_ + d.Profile.induced_external_ops)
+    (Profile.merge_threads profile);
+  let total = !thread + !external_ in
+  if total = 0 then None
+  else begin
+    let t = 100. *. float_of_int !thread /. float_of_int total in
+    Some (t, 100. -. t)
+  end

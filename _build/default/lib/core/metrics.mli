@@ -1,0 +1,64 @@
+(** The evaluation metrics of Section 4.1 and the curve/histogram
+    extraction behind Figures 11-15.
+
+    All per-routine metrics operate on thread-merged profiles
+    ({!Profile.merge_threads}): the paper defines [|rms_r|] and [|drms_r|]
+    as the numbers of distinct input sizes collected for routine [r] "by
+    all threads". *)
+
+(** Profile richness of one routine: (|drms_r| - |rms_r|) / |rms_r|.
+    Positive when the drms collects more distinct input-size points. *)
+val profile_richness : Profile.routine_data -> float
+
+(** Dynamic input volume of a whole profile:
+    1 - (Σ rms) / (Σ drms) over all routine activations, in [0, 1).
+    0 when no dynamic input was observed. *)
+val dynamic_input_volume : Profile.t -> float
+
+(** Dynamic input volume restricted to one routine's activations. *)
+val routine_input_volume : Profile.routine_data -> float
+
+(** Fraction of a routine's (possibly induced) first-read operations that
+    were induced by other threads, in [0,1]; 0 when no first-reads. *)
+val thread_input : Profile.routine_data -> float
+
+(** Same, for first-reads induced by the kernel (external input). *)
+val external_input : Profile.routine_data -> float
+
+(** Share of a routine's *induced* first-reads attributable to threads
+    (the complement is external); [None] when nothing was induced. *)
+val induced_breakdown : Profile.routine_data -> (float * float) option
+
+(** A tail-distribution curve: [(x, y)] means "a fraction [x] of routines
+    has metric value at least [y]".  The abscissas are the paper's
+    0.5%..64% log-spaced grid plus 100%. *)
+type curve = (float * float) list
+
+val standard_fractions : float list
+
+(** [richness_curve profile] — Figure 11.  Routines with [|rms_r| = 0]
+    (never completing any activation) are skipped. *)
+val richness_curve : Profile.t -> curve
+
+(** [input_volume_curve profile] — Figure 12 (values scaled to [0,100]). *)
+val input_volume_curve : Profile.t -> curve
+
+(** [thread_input_curve] / [external_input_curve] — Figure 14 (values
+    scaled to [0,100]). *)
+val thread_input_curve : Profile.t -> curve
+
+val external_input_curve : Profile.t -> curve
+
+(** Per-routine induced-first-read breakdown, routines sorted by
+    decreasing total induced percentage — Figure 13.  Each row is
+    (routine id, % of first-reads induced by threads, % induced
+    externally). *)
+val routine_breakdown : Profile.t -> (int * float * float) list
+
+(** Whole-benchmark characterization — one bar of Figure 15:
+    (thread %, external %) of all induced first-reads; [None] when the
+    benchmark induced nothing. *)
+val suite_characterization : Profile.t -> (float * float) option
+
+(** [distinct_points ~metric data] is |drms_r| or |rms_r|. *)
+val distinct_points : metric:[ `Drms | `Rms ] -> Profile.routine_data -> int

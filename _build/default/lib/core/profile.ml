@@ -1,0 +1,228 @@
+type key = { tid : int; routine : int }
+
+type point = {
+  input : int;
+  calls : int;
+  max_cost : int;
+  min_cost : int;
+  sum_cost : float;
+  sum_cost_sq : float;
+}
+
+type routine_data = {
+  drms_points : point list;
+  rms_points : point list;
+  activations : int;
+  sum_rms : float;
+  sum_drms : float;
+  total_cost : float;
+  first_read_ops : int;
+  induced_thread_ops : int;
+  induced_external_ops : int;
+}
+
+(* Internal mutable accumulator; converted to [routine_data] on demand. *)
+type cell = {
+  drms_tbl : (int, point ref) Hashtbl.t;
+  rms_tbl : (int, point ref) Hashtbl.t;
+  mutable acts : int;
+  mutable s_rms : float;
+  mutable s_drms : float;
+  mutable s_cost : float;
+  mutable plain : int;
+  mutable ind_thread : int;
+  mutable ind_external : int;
+}
+
+type t = (key, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let fresh_cell () =
+  {
+    drms_tbl = Hashtbl.create 8;
+    rms_tbl = Hashtbl.create 8;
+    acts = 0;
+    s_rms = 0.;
+    s_drms = 0.;
+    s_cost = 0.;
+    plain = 0;
+    ind_thread = 0;
+    ind_external = 0;
+  }
+
+let cell t key =
+  match Hashtbl.find_opt t key with
+  | Some c -> c
+  | None ->
+    let c = fresh_cell () in
+    Hashtbl.add t key c;
+    c
+
+let add_point tbl ~input ~cost =
+  let fcost = float_of_int cost in
+  match Hashtbl.find_opt tbl input with
+  | None ->
+    Hashtbl.add tbl input
+      (ref
+         {
+           input;
+           calls = 1;
+           max_cost = cost;
+           min_cost = cost;
+           sum_cost = fcost;
+           sum_cost_sq = fcost *. fcost;
+         })
+  | Some p ->
+    let v = !p in
+    p :=
+      {
+        v with
+        calls = v.calls + 1;
+        max_cost = max v.max_cost cost;
+        min_cost = min v.min_cost cost;
+        sum_cost = v.sum_cost +. fcost;
+        sum_cost_sq = v.sum_cost_sq +. (fcost *. fcost);
+      }
+
+let record_activation t ~tid ~routine ~rms ~drms ~cost =
+  let c = cell t { tid; routine } in
+  c.acts <- c.acts + 1;
+  c.s_rms <- c.s_rms +. float_of_int rms;
+  c.s_drms <- c.s_drms +. float_of_int drms;
+  c.s_cost <- c.s_cost +. float_of_int cost;
+  add_point c.drms_tbl ~input:drms ~cost;
+  add_point c.rms_tbl ~input:rms ~cost
+
+let record_ops t ~tid ~routine ~plain ~induced_thread ~induced_external =
+  let c = cell t { tid; routine } in
+  c.plain <- c.plain + plain;
+  c.ind_thread <- c.ind_thread + induced_thread;
+  c.ind_external <- c.ind_external + induced_external
+
+type ops_handle = cell
+
+let ops_handle t ~tid ~routine = cell t { tid; routine }
+let bump_plain c = c.plain <- c.plain + 1
+let bump_induced_thread c = c.ind_thread <- c.ind_thread + 1
+let bump_induced_external c = c.ind_external <- c.ind_external + 1
+
+let points_of_tbl tbl =
+  Hashtbl.fold (fun _ p acc -> !p :: acc) tbl []
+  |> List.sort (fun a b -> compare a.input b.input)
+
+let data_of_cell c =
+  {
+    drms_points = points_of_tbl c.drms_tbl;
+    rms_points = points_of_tbl c.rms_tbl;
+    activations = c.acts;
+    sum_rms = c.s_rms;
+    sum_drms = c.s_drms;
+    total_cost = c.s_cost;
+    first_read_ops = c.plain;
+    induced_thread_ops = c.ind_thread;
+    induced_external_ops = c.ind_external;
+  }
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+let data t key = Option.map data_of_cell (Hashtbl.find_opt t key)
+
+let routines t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k.routine ()) t;
+  Hashtbl.fold (fun r () acc -> r :: acc) seen []
+  |> List.sort compare
+
+let merge_cells target src =
+  let merge_tbl dst src_tbl =
+    Hashtbl.iter
+      (fun input p ->
+        let v = !p in
+        match Hashtbl.find_opt dst input with
+        | None -> Hashtbl.add dst input (ref v)
+        | Some q ->
+          let w = !q in
+          q :=
+            {
+              w with
+              calls = w.calls + v.calls;
+              max_cost = max w.max_cost v.max_cost;
+              min_cost = min w.min_cost v.min_cost;
+              sum_cost = w.sum_cost +. v.sum_cost;
+              sum_cost_sq = w.sum_cost_sq +. v.sum_cost_sq;
+            })
+      src_tbl
+  in
+  merge_tbl target.drms_tbl src.drms_tbl;
+  merge_tbl target.rms_tbl src.rms_tbl;
+  target.acts <- target.acts + src.acts;
+  target.s_rms <- target.s_rms +. src.s_rms;
+  target.s_drms <- target.s_drms +. src.s_drms;
+  target.s_cost <- target.s_cost +. src.s_cost;
+  target.plain <- target.plain + src.plain;
+  target.ind_thread <- target.ind_thread + src.ind_thread;
+  target.ind_external <- target.ind_external + src.ind_external
+
+let merge_threads t =
+  let merged : (int, cell) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun k src ->
+      let dst =
+        match Hashtbl.find_opt merged k.routine with
+        | Some c -> c
+        | None ->
+          let c = fresh_cell () in
+          Hashtbl.add merged k.routine c;
+          c
+      in
+      merge_cells dst src)
+    t;
+  Hashtbl.fold (fun r c acc -> (r, data_of_cell c) :: acc) merged []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let total_activations t = Hashtbl.fold (fun _ c acc -> acc + c.acts) t 0
+
+let restore_point t ~tid ~routine ~metric (p : point) =
+  let c = cell t { tid; routine } in
+  let tbl = match metric with `Drms -> c.drms_tbl | `Rms -> c.rms_tbl in
+  match Hashtbl.find_opt tbl p.input with
+  | None -> Hashtbl.add tbl p.input (ref p)
+  | Some q ->
+    let w = !q in
+    q :=
+      {
+        w with
+        calls = w.calls + p.calls;
+        max_cost = max w.max_cost p.max_cost;
+        min_cost = min w.min_cost p.min_cost;
+        sum_cost = w.sum_cost +. p.sum_cost;
+        sum_cost_sq = w.sum_cost_sq +. p.sum_cost_sq;
+      }
+
+let restore_aggregates t ~tid ~routine ~activations ~sum_rms ~sum_drms
+    ~total_cost =
+  let c = cell t { tid; routine } in
+  c.acts <- activations;
+  c.s_rms <- sum_rms;
+  c.s_drms <- sum_drms;
+  c.s_cost <- total_cost
+
+let pp name ppf t =
+  let entries =
+    keys t
+    |> List.sort (fun a b -> compare (a.routine, a.tid) (b.routine, b.tid))
+  in
+  List.iter
+    (fun k ->
+      match data t k with
+      | None -> ()
+      | Some d ->
+        Format.fprintf ppf "@[<v 2>%s (thread %d): %d activations@," (name k.routine)
+          k.tid d.activations;
+        Format.fprintf ppf "drms points:";
+        List.iter
+          (fun p -> Format.fprintf ppf "@, input=%d calls=%d max_cost=%d" p.input p.calls p.max_cost)
+          d.drms_points;
+        Format.fprintf ppf "@]@.")
+    entries

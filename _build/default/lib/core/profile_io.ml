@@ -1,0 +1,137 @@
+let metric_name = function `Drms -> "drms" | `Rms -> "rms"
+
+let save_buf buf ?routine_name (t : Profile.t) =
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let keys =
+    Profile.keys t
+    |> List.sort (fun a b ->
+           compare
+             (a.Profile.routine, a.Profile.tid)
+             (b.Profile.routine, b.Profile.tid))
+  in
+  (match routine_name with
+  | None -> ()
+  | Some name ->
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun k ->
+        let r = k.Profile.routine in
+        if not (Hashtbl.mem seen r) then begin
+          Hashtbl.add seen r ();
+          add "routine,%d,%s" r (name r)
+        end)
+      keys);
+  List.iter
+    (fun k ->
+      match Profile.data t k with
+      | None -> ()
+      | Some d ->
+        let tid = k.Profile.tid and routine = k.Profile.routine in
+        add "agg,%d,%d,%d,%.17g,%.17g,%.17g" tid routine d.Profile.activations
+          d.Profile.sum_rms d.Profile.sum_drms d.Profile.total_cost;
+        add "ops,%d,%d,%d,%d,%d" tid routine d.Profile.first_read_ops
+          d.Profile.induced_thread_ops d.Profile.induced_external_ops;
+        List.iter
+          (fun (metric, points) ->
+            List.iter
+              (fun (p : Profile.point) ->
+                add "point,%d,%d,%s,%d,%d,%d,%d,%.17g,%.17g" tid routine
+                  (metric_name metric) p.Profile.input p.Profile.calls
+                  p.Profile.max_cost p.Profile.min_cost p.Profile.sum_cost
+                  p.Profile.sum_cost_sq)
+              points)
+          [ (`Drms, d.Profile.drms_points); (`Rms, d.Profile.rms_points) ])
+    keys
+
+let to_string ?routine_name t =
+  let buf = Buffer.create 4096 in
+  save_buf buf ?routine_name t;
+  Buffer.contents buf
+
+let save oc ?routine_name t = output_string oc (to_string ?routine_name t)
+
+let parse_line lineno profile names line =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+  in
+  match String.split_on_char ',' (String.trim line) with
+  | [ "" ] -> Ok ()
+  | "routine" :: id :: rest -> (
+    match int_of_string_opt id with
+    | Some id ->
+      (* names may themselves contain commas *)
+      names := (id, String.concat "," rest) :: !names;
+      Ok ()
+    | None -> fail "bad routine id")
+  | [ "agg"; tid; routine; acts; sr; sd; tc ] -> (
+    match
+      ( int_of_string_opt tid,
+        int_of_string_opt routine,
+        int_of_string_opt acts,
+        float_of_string_opt sr,
+        float_of_string_opt sd,
+        float_of_string_opt tc )
+    with
+    | Some tid, Some routine, Some acts, Some sr, Some sd, Some tc ->
+      Profile.restore_aggregates profile ~tid ~routine ~activations:acts
+        ~sum_rms:sr ~sum_drms:sd ~total_cost:tc;
+      Ok ()
+    | _ -> fail "bad agg record")
+  | [ "ops"; tid; routine; plain; ith; iex ] -> (
+    match
+      ( int_of_string_opt tid,
+        int_of_string_opt routine,
+        int_of_string_opt plain,
+        int_of_string_opt ith,
+        int_of_string_opt iex )
+    with
+    | Some tid, Some routine, Some plain, Some ith, Some iex ->
+      Profile.record_ops profile ~tid ~routine ~plain ~induced_thread:ith
+        ~induced_external:iex;
+      Ok ()
+    | _ -> fail "bad ops record")
+  | [ "point"; tid; routine; metric; input; calls; mx; mn; sum; sumsq ] -> (
+    match
+      ( int_of_string_opt tid,
+        int_of_string_opt routine,
+        (match metric with
+        | "drms" -> Some `Drms
+        | "rms" -> Some `Rms
+        | _ -> None),
+        int_of_string_opt input,
+        int_of_string_opt calls,
+        int_of_string_opt mx,
+        int_of_string_opt mn,
+        float_of_string_opt sum,
+        float_of_string_opt sumsq )
+    with
+    | ( Some tid,
+        Some routine,
+        Some metric,
+        Some input,
+        Some calls,
+        Some max_cost,
+        Some min_cost,
+        Some sum_cost,
+        Some sum_cost_sq ) ->
+      Profile.restore_point profile ~tid ~routine ~metric
+        { Profile.input; calls; max_cost; min_cost; sum_cost; sum_cost_sq };
+      Ok ()
+    | _ -> fail "bad point record")
+  | kind :: _ -> fail "unknown record kind %S" kind
+  | [] -> Ok ()
+
+let of_string s =
+  let profile = Profile.create () in
+  let names = ref [] in
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno = function
+    | [] -> Ok (profile, List.rev !names)
+    | line :: rest -> (
+      match parse_line lineno profile names line with
+      | Ok () -> go (lineno + 1) rest
+      | Error e -> Error e)
+  in
+  go 1 lines
+
+let load ic = of_string (In_channel.input_all ic)

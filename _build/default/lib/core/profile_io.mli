@@ -1,0 +1,29 @@
+(** Saving and loading profiles.
+
+    The format is plain CSV with two record kinds, one line each:
+
+    - [point,<tid>,<routine>,<metric>,<input>,<calls>,<max>,<min>,<sum>,<sumsq>]
+      — one performance point ([metric] is [drms] or [rms]);
+    - [ops,<tid>,<routine>,<plain>,<induced_thread>,<induced_external>]
+      — the first-read operation counters.
+
+    A [routine,<id>,<name>] line per interned routine makes dumps
+    self-describing.  Loading rebuilds an equivalent {!Profile.t} (point
+    aggregates are reconstructed exactly; per-activation history is not
+    retained by profiles in the first place). *)
+
+(** [save oc ?routine_name profile] writes the profile as CSV.
+    [routine_name] adds the name table when available. *)
+val save :
+  out_channel -> ?routine_name:(int -> string) -> Profile.t -> unit
+
+(** [load ic] parses a dump; returns the profile and the routine name
+    table found in it (empty list when the dump had none).
+    Returns [Error] with a line number on malformed input. *)
+val load :
+  in_channel -> (Profile.t * (int * string) list, string) result
+
+(** [to_string] / [of_string] — same, via strings (for tests). *)
+val to_string : ?routine_name:(int -> string) -> Profile.t -> string
+
+val of_string : string -> (Profile.t * (int * string) list, string) result

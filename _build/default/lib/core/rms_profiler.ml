@@ -1,0 +1,148 @@
+module Event = Aprof_trace.Event
+module Shadow = Aprof_shadow.Shadow_memory
+module Vec = Aprof_util.Vec
+
+type frame = {
+  rtn : int;
+  ts : int;
+  mutable rms : int;
+  cost_at_entry : int;
+  ops : Profile.ops_handle;
+}
+
+type thread_state = {
+  tid : int;
+  ts_local : Shadow.t;
+  stack : frame Vec.t;
+}
+
+type t = {
+  mutable count : int;
+  threads : (int, thread_state) Hashtbl.t;
+  costs : Cost_model.Counter.t;
+  profile : Profile.t;
+  mutable finished : bool;
+}
+
+let create () =
+  {
+    count = 0;
+    threads = Hashtbl.create 8;
+    costs = Cost_model.Counter.create ();
+    profile = Profile.create ();
+    finished = false;
+  }
+
+let thread_state t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some st -> st
+  | None ->
+    let st = { tid; ts_local = Shadow.create (); stack = Vec.create () } in
+    Hashtbl.add t.threads tid st;
+    st
+
+let getcost t tid = Cost_model.Counter.cost t.costs tid
+
+let deepest_ancestor stack ts =
+  let lo = ref 0 and hi = ref (Vec.length stack - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if (Vec.get stack mid).ts <= ts then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let on_read t tid addr =
+  let st = thread_state t tid in
+  if not (Vec.is_empty st.stack) then begin
+    let ts_l = Shadow.get st.ts_local addr in
+    let top = Vec.top st.stack in
+    if ts_l < top.ts then begin
+      top.rms <- top.rms + 1;
+      Profile.bump_plain top.ops;
+      if ts_l <> 0 then begin
+        let i = deepest_ancestor st.stack ts_l in
+        if i >= 0 then begin
+          let anc = Vec.get st.stack i in
+          anc.rms <- anc.rms - 1
+        end
+      end
+    end
+  end;
+  Shadow.set st.ts_local addr t.count
+
+let on_event t e =
+  if t.finished then invalid_arg "Rms_profiler: event after finish";
+  Cost_model.Counter.on_event t.costs e;
+  match e with
+  | Event.Call { tid; routine } ->
+    t.count <- t.count + 1;
+    let st = thread_state t tid in
+    Vec.push st.stack
+      {
+        rtn = routine;
+        ts = t.count;
+        rms = 0;
+        cost_at_entry = getcost t tid;
+        ops = Profile.ops_handle t.profile ~tid ~routine;
+      }
+  | Event.Return { tid } ->
+    let st = thread_state t tid in
+    if Vec.is_empty st.stack then
+      invalid_arg "Rms_profiler: return with empty shadow stack";
+    let fr = Vec.pop st.stack in
+    Profile.record_activation t.profile ~tid ~routine:fr.rtn ~rms:fr.rms
+      ~drms:fr.rms ~cost:(getcost t tid - fr.cost_at_entry);
+    if not (Vec.is_empty st.stack) then begin
+      let parent = Vec.top st.stack in
+      parent.rms <- parent.rms + fr.rms
+    end
+  | Event.Read { tid; addr } -> on_read t tid addr
+  | Event.Write { tid; addr } ->
+    let st = thread_state t tid in
+    Shadow.set st.ts_local addr t.count
+  | Event.User_to_kernel { tid; addr; len } ->
+    for a = addr to addr + len - 1 do
+      on_read t tid a
+    done
+  | Event.Switch_thread _ -> t.count <- t.count + 1
+  | Event.Free { addr; len; _ } ->
+    Hashtbl.iter (fun _ st -> Shadow.set_range st.ts_local ~addr ~len 0) t.threads
+  | Event.Kernel_to_user _ | Event.Block _ | Event.Acquire _ | Event.Release _
+  | Event.Alloc _ | Event.Thread_start _ | Event.Thread_exit _ ->
+    ()
+
+let run t trace = Vec.iter (on_event t) trace
+
+let profile t = t.profile
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    Hashtbl.iter
+      (fun tid st ->
+        let suffix = ref 0 in
+        for i = Vec.length st.stack - 1 downto 0 do
+          let fr = Vec.get st.stack i in
+          suffix := !suffix + fr.rms;
+          Profile.record_activation t.profile ~tid ~routine:fr.rtn
+            ~rms:!suffix ~drms:!suffix
+            ~cost:(getcost t tid - fr.cost_at_entry)
+        done;
+        Vec.clear st.stack)
+      t.threads
+  end;
+  t.profile
+
+let space_words t =
+  let frame_words = 4 in
+  let acc = ref 0 in
+  Hashtbl.iter
+    (fun _ st ->
+      acc := !acc + Shadow.space_words st.ts_local
+             + (frame_words * Vec.length st.stack))
+    t.threads;
+  !acc

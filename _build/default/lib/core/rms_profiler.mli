@@ -1,0 +1,25 @@
+(** The baseline input-sensitive profiler of Coppa et al., PLDI 2012 —
+    the paper's [aprof] comparator.
+
+    Computes the plain read memory size (rms, Definition 1) with the
+    latest-access algorithm: per-thread shadow memories and shadow stacks,
+    but *no* global write-timestamp shadow, hence no induced first-reads.
+    Kept separate from {!Drms_profiler} so the Table 1 comparison measures
+    the true marginal cost of recognizing induced first-reads (the paper
+    reports ~29% run-time overhead and the extra global shadow memory). *)
+
+type t
+
+val create : unit -> t
+val on_event : t -> Aprof_trace.Event.t -> unit
+val run : t -> Aprof_trace.Trace.t -> unit
+
+(** [finish t] collects pending activations and returns the profile.  In
+    the resulting profile drms fields are copies of the rms values (this
+    profiler cannot see dynamic input). *)
+val finish : t -> Profile.t
+
+val profile : t -> Profile.t
+
+(** [space_words t] for the Table 1 space comparison. *)
+val space_words : t -> int

@@ -1,0 +1,1 @@
+lib/plot/ascii_plot.ml: Array Buffer Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/plot/ascii_plot.mli: Format

@@ -1,0 +1,111 @@
+type series = { name : string; marker : char; points : (float * float) list }
+
+type t = {
+  width : int;
+  height : int;
+  title : string;
+  x_label : string;
+  y_label : string;
+  mutable series : series list;
+}
+
+let create ?(width = 64) ?(height = 20) ~title ~x_label ~y_label () =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.create: grid too small";
+  { width; height; title; x_label; y_label; series = [] }
+
+let add_series t ~name ~marker points =
+  t.series <- t.series @ [ { name; marker; points } ]
+
+let bounds t =
+  let all = List.concat_map (fun s -> s.points) t.series in
+  match all with
+  | [] -> (0., 1., 0., 1.)
+  | (x0, y0) :: rest ->
+    List.fold_left
+      (fun (xmin, xmax, ymin, ymax) (x, y) ->
+        (Float.min xmin x, Float.max xmax x, Float.min ymin y, Float.max ymax y))
+      (x0, x0, y0, y0) rest
+
+let render ppf t =
+  let xmin, xmax, ymin, ymax = bounds t in
+  let xspan = if xmax -. xmin < 1e-12 then 1. else xmax -. xmin in
+  let yspan = if ymax -. ymin < 1e-12 then 1. else ymax -. ymin in
+  let grid = Array.make_matrix t.height t.width ' ' in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          let cx =
+            int_of_float ((x -. xmin) /. xspan *. float_of_int (t.width - 1))
+          in
+          let cy =
+            int_of_float ((y -. ymin) /. yspan *. float_of_int (t.height - 1))
+          in
+          let cx = max 0 (min (t.width - 1) cx) in
+          let cy = max 0 (min (t.height - 1) cy) in
+          grid.(t.height - 1 - cy).(cx) <- s.marker)
+        s.points)
+    t.series;
+  Format.fprintf ppf "%s@." t.title;
+  let legend =
+    String.concat "  "
+      (List.map (fun s -> Printf.sprintf "%c=%s" s.marker s.name) t.series)
+  in
+  if legend <> "" then Format.fprintf ppf "[%s]@." legend;
+  Format.fprintf ppf "%9.3g +%s@." ymax (String.make t.width '-');
+  Array.iteri
+    (fun i row ->
+      if i = 0 then () (* top border printed above *)
+      else Format.fprintf ppf "%9s |%s@." "" (String.init t.width (fun j -> row.(j))))
+    grid;
+  Format.fprintf ppf "%9.3g +%s@." ymin (String.make t.width '-');
+  Format.fprintf ppf "%9s  %.3g%s%.3g@." "" xmin
+    (String.make (max 1 (t.width - 12)) ' ')
+    xmax;
+  Format.fprintf ppf "%9s  x: %s, y: %s@." "" t.x_label t.y_label
+
+let render_string t = Format.asprintf "%a" render t
+
+let csv ~header rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (List.map (Printf.sprintf "%g") row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let histogram ~title ~rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let bar_width = 50 in
+  let markers = [| '#'; '.'; '~'; '+' |] in
+  List.iter
+    (fun (label, segments) ->
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. segments in
+      let bar = Buffer.create bar_width in
+      List.iteri
+        (fun i (_, v) ->
+          let cells =
+            if total <= 0. then 0
+            else int_of_float (v /. total *. float_of_int bar_width +. 0.5)
+          in
+          Buffer.add_string bar
+            (String.make (min cells (bar_width - Buffer.length bar))
+               markers.(i mod Array.length markers)))
+        segments;
+      let seg_text =
+        String.concat " "
+          (List.mapi
+             (fun i (name, v) ->
+               Printf.sprintf "%c %s=%.1f" markers.(i mod Array.length markers) name v)
+             segments)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s |%-*s| %s\n" label bar_width (Buffer.contents bar)
+           seg_text))
+    rows;
+  Buffer.contents buf

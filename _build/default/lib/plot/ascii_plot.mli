@@ -1,0 +1,37 @@
+(** Terminal scatter/line plots and CSV output for the experiment
+    drivers: the worst-case cost plots (Figures 4-6, 10) and the tail
+    curves (Figures 11-14) render as fixed-size character grids. *)
+
+type t
+
+(** [create ~title ~x_label ~y_label ()] — an empty plot.
+    [width]/[height] are the grid size in characters (defaults 64x20). *)
+val create :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  unit ->
+  t
+
+(** [add_series t ~name ~marker points] — a scatter series drawn with
+    [marker]. *)
+val add_series : t -> name:string -> marker:char -> (float * float) list -> unit
+
+(** [render t] draws all series on one grid with axis ranges covering
+    every point. *)
+val render : Format.formatter -> t -> unit
+
+(** [render_string t] is [render] into a string. *)
+val render_string : t -> string
+
+(** [csv ~header rows] formats comma-separated data (floats printed with
+    [%g]). *)
+val csv : header:string list -> float list list -> string
+
+(** [histogram ~title ~rows] renders labelled horizontal stacked bars;
+    each row is (label, segments) with segments (name, value) shown
+    proportionally on a 50-char bar. *)
+val histogram :
+  title:string -> rows:(string * (string * float) list) list -> string

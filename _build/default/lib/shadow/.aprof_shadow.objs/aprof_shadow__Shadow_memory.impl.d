@@ -1,0 +1,1 @@
+lib/shadow/shadow_memory.ml: Array Printf

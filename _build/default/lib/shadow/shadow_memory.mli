@@ -1,0 +1,45 @@
+(** Shadow memory: one integer word per simulated memory cell.
+
+    Implemented, as in the paper's aprof-drms (Section 4.1), with
+    three-level lookup tables so that only chunks related to cells
+    actually accessed need to be materialized.  Unset cells read as [0],
+    the "never accessed" timestamp.
+
+    The default geometry (10-bit leaves, 10-bit mid tables) shadows a
+    1M-cell space with a single top table; the top table grows on demand
+    for larger spaces. *)
+
+type t
+
+(** [create ()] is an empty shadow memory; every cell reads as [0].
+    [leaf_bits] and [mid_bits] control the chunk geometry (for tests).
+    @raise Invalid_argument if either is not in [4, 20]. *)
+val create : ?leaf_bits:int -> ?mid_bits:int -> unit -> t
+
+(** [get t addr] is the word shadowing [addr] ([0] if never set).
+    @raise Invalid_argument on a negative address. *)
+val get : t -> int -> int
+
+(** [set t addr v] stores [v] at [addr], materializing chunks as needed. *)
+val set : t -> int -> int -> unit
+
+(** [set_range t ~addr ~len v] stores [v] on [addr .. addr+len-1]. *)
+val set_range : t -> addr:int -> len:int -> int -> unit
+
+(** [iter_set f t] applies [f addr v] to every cell holding a non-zero
+    word, in increasing address order. *)
+val iter_set : (int -> int -> unit) -> t -> unit
+
+(** [map_in_place f t] replaces every materialized word [v] by [f v]
+    (including zeros, so [f] must map [0] to [0] to preserve the
+    "never accessed" reading).
+    @raise Invalid_argument if [f 0 <> 0]. *)
+val map_in_place : (int -> int) -> t -> unit
+
+(** [space_words t] is the number of machine words held by the lookup
+    tables and materialized chunks — the space-accounting figure used by
+    Table 1's overhead comparison. *)
+val space_words : t -> int
+
+(** [clear t] resets every cell to [0] and releases all chunks. *)
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/tools/aprof_adapters.ml: Aprof_core List Printf Tool

@@ -1,0 +1,1 @@
+lib/tools/aprof_adapters.mli: Tool

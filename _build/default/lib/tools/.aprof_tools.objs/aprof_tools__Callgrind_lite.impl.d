@@ -1,0 +1,1 @@
+lib/tools/callgrind_lite.ml: Aprof_core Aprof_trace Aprof_util Hashtbl List Printf Tool

@@ -1,0 +1,1 @@
+lib/tools/callgrind_lite.mli: Aprof_trace Tool

@@ -1,0 +1,1 @@
+lib/tools/harness.ml: Aprof_adapters Aprof_trace Aprof_util Callgrind_lite Float Format Helgrind_lite List Memcheck_lite Nulgrind Sys Tool

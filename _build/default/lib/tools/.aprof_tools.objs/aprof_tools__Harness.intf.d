@@ -1,0 +1,1 @@
+lib/tools/harness.mli: Aprof_trace Format Tool

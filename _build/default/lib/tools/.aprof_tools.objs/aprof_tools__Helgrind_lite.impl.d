@@ -1,0 +1,1 @@
+lib/tools/helgrind_lite.ml: Aprof_trace Format Hashtbl List Printf Tool Vclock

@@ -1,0 +1,1 @@
+lib/tools/helgrind_lite.mli: Aprof_trace Format Tool

@@ -1,0 +1,1 @@
+lib/tools/memcheck_lite.ml: Aprof_shadow Aprof_trace Format Hashtbl List Printf Tool

@@ -1,0 +1,1 @@
+lib/tools/memcheck_lite.mli: Aprof_trace Format Tool

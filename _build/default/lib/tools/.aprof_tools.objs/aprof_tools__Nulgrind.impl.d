@@ -1,0 +1,1 @@
+lib/tools/nulgrind.ml: Printf Tool

@@ -1,0 +1,1 @@
+lib/tools/nulgrind.mli: Aprof_trace Tool

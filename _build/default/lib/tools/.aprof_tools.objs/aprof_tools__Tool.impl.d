@@ -1,0 +1,1 @@
+lib/tools/tool.ml: Aprof_trace Aprof_util

@@ -1,0 +1,1 @@
+lib/tools/tool.mli: Aprof_trace

@@ -1,0 +1,1 @@
+lib/tools/vclock.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/tools/vclock.mli: Format

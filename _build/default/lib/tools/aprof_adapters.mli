@@ -1,0 +1,8 @@
+(** {!Tool} adapters for the input-sensitive profilers of [aprof_core],
+    so they line up next to the comparator tools in the Table 1 harness. *)
+
+(** The rms-only baseline profiler (the paper's [aprof] column). *)
+val aprof_rms : Tool.factory
+
+(** The full drms profiler (the paper's [aprof-drms] column). *)
+val aprof_drms : Tool.factory

@@ -1,0 +1,142 @@
+module Event = Aprof_trace.Event
+module Vec = Aprof_util.Vec
+
+type routine_costs = {
+  routine : int;
+  calls : int;
+  exclusive : int;
+  inclusive : int;
+}
+
+type edge_costs = {
+  caller : int;
+  callee : int;
+  count : int;
+  edge_inclusive : int;
+}
+
+type frame = {
+  rtn : int;
+  caller : int;
+  mutable own : int; (* cost charged while this frame was on top *)
+  mutable children : int; (* inclusive cost of completed children *)
+}
+
+type racc = { mutable calls : int; mutable excl : int; mutable incl : int }
+type eacc = { mutable cnt : int; mutable einc : int }
+
+type t = {
+  stacks : (int, frame Vec.t) Hashtbl.t;
+  by_routine : (int, racc) Hashtbl.t;
+  by_edge : (int * int, eacc) Hashtbl.t;
+}
+
+let create () =
+  {
+    stacks = Hashtbl.create 8;
+    by_routine = Hashtbl.create 64;
+    by_edge = Hashtbl.create 64;
+  }
+
+let stack t tid =
+  match Hashtbl.find_opt t.stacks tid with
+  | Some s -> s
+  | None ->
+    let s = Vec.create () in
+    Hashtbl.add t.stacks tid s;
+    s
+
+let charge t tid units =
+  let s = stack t tid in
+  if not (Vec.is_empty s) then begin
+    let top = Vec.top s in
+    top.own <- top.own + units
+  end
+
+let racc t rtn =
+  match Hashtbl.find_opt t.by_routine rtn with
+  | Some r -> r
+  | None ->
+    let r = { calls = 0; excl = 0; incl = 0 } in
+    Hashtbl.add t.by_routine rtn r;
+    r
+
+let eacc t key =
+  match Hashtbl.find_opt t.by_edge key with
+  | Some e -> e
+  | None ->
+    let e = { cnt = 0; einc = 0 } in
+    Hashtbl.add t.by_edge key e;
+    e
+
+let on_event t e =
+  let cost = Aprof_core.Cost_model.cost_increment e in
+  (match e with
+  | Event.Call { tid; routine } ->
+    let s = stack t tid in
+    let caller = if Vec.is_empty s then -1 else (Vec.top s).rtn in
+    Vec.push s { rtn = routine; caller; own = 0; children = 0 };
+    (racc t routine).calls <- (racc t routine).calls + 1
+  | Event.Return { tid } ->
+    let s = stack t tid in
+    if Vec.is_empty s then invalid_arg "Callgrind_lite: return without call";
+    let fr = Vec.pop s in
+    let inclusive = fr.own + fr.children in
+    let r = racc t fr.rtn in
+    r.excl <- r.excl + fr.own;
+    r.incl <- r.incl + inclusive;
+    let edge = eacc t (fr.caller, fr.rtn) in
+    edge.cnt <- edge.cnt + 1;
+    edge.einc <- edge.einc + inclusive;
+    if not (Vec.is_empty s) then begin
+      let parent = Vec.top s in
+      parent.children <- parent.children + inclusive
+    end
+  | Event.Read { tid; _ }
+  | Event.Write { tid; _ }
+  | Event.Block { tid; _ } ->
+    charge t tid cost
+  | Event.User_to_kernel _ | Event.Kernel_to_user _ | Event.Acquire _
+  | Event.Release _ | Event.Alloc _ | Event.Free _ | Event.Thread_start _
+  | Event.Thread_exit _ | Event.Switch_thread _ ->
+    ());
+  (* The Call event's own dispatch cost belongs to the callee. *)
+  match e with
+  | Event.Call { tid; _ } -> charge t tid cost
+  | _ -> ()
+
+let routine_costs t =
+  Hashtbl.fold
+    (fun routine r acc ->
+      { routine; calls = r.calls; exclusive = r.excl; inclusive = r.incl } :: acc)
+    t.by_routine []
+  |> List.sort (fun a b -> compare b.inclusive a.inclusive)
+
+let edges t =
+  Hashtbl.fold
+    (fun (caller, callee) e acc ->
+      { caller; callee; count = e.cnt; edge_inclusive = e.einc } :: acc)
+    t.by_edge []
+  |> List.sort (fun a b -> compare b.edge_inclusive a.edge_inclusive)
+
+let space_words t =
+  let stack_words =
+    Hashtbl.fold (fun _ s acc -> acc + (4 * Vec.length s)) t.stacks 0
+  in
+  stack_words + (4 * Hashtbl.length t.by_routine)
+  + (4 * Hashtbl.length t.by_edge)
+
+let tool () =
+  let t = create () in
+  {
+    Tool.name = "callgrind";
+    on_event = on_event t;
+    space_words = (fun () -> space_words t);
+    summary =
+      (fun () ->
+        Printf.sprintf "callgrind: %d routines, %d edges"
+          (Hashtbl.length t.by_routine)
+          (Hashtbl.length t.by_edge));
+  }
+
+let factory = { Tool.tool_name = "callgrind"; create = tool }

@@ -1,0 +1,32 @@
+(** A callgrind-style call-graph profiler: exclusive and inclusive
+    basic-block costs per routine and per call-graph edge, from the same
+    event stream as the other tools.  Costs follow {!Aprof_core.Cost_model}. *)
+
+type routine_costs = {
+  routine : int;
+  calls : int;
+  exclusive : int;  (** cost in the routine's own frames *)
+  inclusive : int;  (** cost including completed descendants *)
+}
+
+type edge_costs = {
+  caller : int;  (** -1 for calls from the thread's toplevel *)
+  callee : int;
+  count : int;
+  edge_inclusive : int;
+}
+
+type t
+
+val create : unit -> t
+val on_event : t -> Aprof_trace.Event.t -> unit
+
+(** [routine_costs t] sorted by decreasing inclusive cost.  Pending
+    activations contribute on [Return] only; call once the trace ended. *)
+val routine_costs : t -> routine_costs list
+
+(** [edges t] sorted by decreasing inclusive cost. *)
+val edges : t -> edge_costs list
+
+val tool : unit -> Tool.t
+val factory : Tool.factory

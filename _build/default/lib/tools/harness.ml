@@ -1,0 +1,99 @@
+module Vec = Aprof_util.Vec
+
+type measurement = {
+  tool : string;
+  time_s : float;
+  slowdown_native : float;
+  slowdown_nulgrind : float;
+  space_words : int;
+  space_overhead : float;
+  summary : string;
+}
+
+let standard_factories () =
+  [
+    Nulgrind.factory;
+    Memcheck_lite.factory;
+    Callgrind_lite.factory;
+    Helgrind_lite.factory;
+    Aprof_adapters.aprof_rms;
+    Aprof_adapters.aprof_drms;
+  ]
+
+(* Mean CPU seconds of [f] per call, repeating until [min_time] total. *)
+let time_of ~min_time f =
+  let runs = ref 0 in
+  let start = Sys.time () in
+  let elapsed () = Sys.time () -. start in
+  while !runs = 0 || elapsed () < min_time do
+    f ();
+    incr runs
+  done;
+  elapsed () /. float_of_int !runs
+
+(* A handler-free replay standing in for native execution: forces the
+   trace walk without analysis work.  The accumulator escapes through a
+   ref so the loop cannot be optimized away. *)
+let native_replay trace =
+  let acc = ref 0 in
+  Vec.iter (fun ev -> acc := !acc + Aprof_trace.Event.tid ev) trace;
+  ignore !acc
+
+let measure ?(min_time = 0.05) ~trace ~program_words factories =
+  let native_time = time_of ~min_time (fun () -> native_replay trace) in
+  let nulgrind_time =
+    time_of ~min_time (fun () ->
+        let t = Nulgrind.tool () in
+        Tool.replay t trace)
+  in
+  let program_words = max program_words 1 in
+  List.map
+    (fun f ->
+      (* Time fresh instances end to end... *)
+      let time_s =
+        time_of ~min_time (fun () ->
+            let t = f.Tool.create () in
+            Tool.replay t trace)
+      in
+      (* ...and keep one instance for space and summary. *)
+      let t = f.Tool.create () in
+      Tool.replay t trace;
+      let space_words = t.Tool.space_words () in
+      {
+        tool = t.Tool.name;
+        time_s;
+        slowdown_native = time_s /. Float.max native_time 1e-9;
+        slowdown_nulgrind = time_s /. Float.max nulgrind_time 1e-9;
+        space_words;
+        space_overhead =
+          float_of_int (program_words + space_words)
+          /. float_of_int program_words;
+        summary = t.Tool.summary ();
+      })
+    factories
+
+let geometric_rows per_benchmark =
+  match per_benchmark with
+  | [] -> []
+  | first :: _ ->
+    List.map
+      (fun (m0 : measurement) ->
+        let same =
+          List.filter_map
+            (fun ms ->
+              List.find_opt (fun (m : measurement) -> m.tool = m0.tool) ms)
+            per_benchmark
+        in
+        let geo f = Aprof_util.Stats.geometric_mean (List.map f same) in
+        ( m0.tool,
+          geo (fun m -> m.slowdown_native),
+          geo (fun m -> m.slowdown_nulgrind),
+          geo (fun m -> m.space_overhead) ))
+      first
+
+let pp_measurement ppf m =
+  Format.fprintf ppf
+    "%-10s time=%.4fs slowdown(native)=%.1fx slowdown(nulgrind)=%.1fx \
+     space=%d words (%.2fx)"
+    m.tool m.time_s m.slowdown_native m.slowdown_nulgrind m.space_words
+    m.space_overhead

@@ -1,0 +1,49 @@
+(** The slowdown/space measurement harness behind Table 1 and Figure 16.
+
+    Every tool replays the *same* materialized trace; time is CPU seconds
+    over enough repetitions to dominate timer noise, and slowdown is
+    reported against two baselines:
+
+    - [vs_native]: replaying the trace with an empty handler — our
+      equivalent of native execution (the program "runs" when its trace
+      is enumerated; tools add analysis work on top);
+    - [vs_nulgrind]: against the null tool, the paper's shared
+      instrumentation baseline.
+
+    Space overhead is (program footprint + tool footprint) / program
+    footprint, with the program footprint given by the simulated memory
+    high-water mark — the analogue of comparing a tool's resident size
+    against the native process. *)
+
+type measurement = {
+  tool : string;
+  time_s : float;  (** mean CPU seconds per replay *)
+  slowdown_native : float;
+  slowdown_nulgrind : float;
+  space_words : int;
+  space_overhead : float;
+  summary : string;
+}
+
+(** [standard_factories ()] is the Table 1 tool set, in column order:
+    nulgrind, memcheck, callgrind, helgrind, aprof, aprof-drms. *)
+val standard_factories : unit -> Tool.factory list
+
+(** [measure ~trace ~program_words factories] replays [trace] through a
+    fresh instance of each factory.
+    @param min_time keep repeating until this much CPU time was sampled
+    per tool (default 0.05 s). *)
+val measure :
+  ?min_time:float ->
+  trace:Aprof_trace.Trace.t ->
+  program_words:int ->
+  Tool.factory list ->
+  measurement list
+
+(** [geometric_rows per_benchmark] aggregates measurements of the same
+    tool across benchmarks by geometric mean (Table 1's aggregation):
+    rows are (tool, slowdown_native, slowdown_nulgrind, space_overhead). *)
+val geometric_rows :
+  measurement list list -> (string * float * float * float) list
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,188 @@
+module Event = Aprof_trace.Event
+
+type race = {
+  addr : int;
+  kind : [ `Write_write | `Read_write | `Write_read ];
+  prev_tid : int;
+  tid : int;
+}
+
+let kind_name = function
+  | `Write_write -> "write-write"
+  | `Read_write -> "read-write"
+  | `Write_read -> "write-read"
+
+let pp_race ppf r =
+  Format.fprintf ppf "%s race on %#x between threads %d and %d"
+    (kind_name r.kind) r.addr r.prev_tid r.tid
+
+type cell = {
+  mutable wtid : int; (* last writer, -1 if none *)
+  mutable wclk : int; (* last writer's clock at the write *)
+  reads : Vclock.t; (* per-thread clock of the latest read *)
+  mutable lockset : int list; (* Eraser candidate set: locks held on every
+                                 access so far; [-1] means "virgin" *)
+}
+
+type t = {
+  thread_clocks : (int, Vclock.t) Hashtbl.t;
+  sync_clocks : (int, Vclock.t) Hashtbl.t;
+  cells : (int, cell) Hashtbl.t;
+  held : (int, int list ref) Hashtbl.t; (* locks currently held per thread *)
+  mutable lockset_empty : int; (* cells whose candidate set drained *)
+  mutable race_list : race list;
+  seen : (int * [ `Write_write | `Read_write | `Write_read ], unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    thread_clocks = Hashtbl.create 8;
+    sync_clocks = Hashtbl.create 32;
+    cells = Hashtbl.create 4096;
+    held = Hashtbl.create 8;
+    lockset_empty = 0;
+    race_list = [];
+    seen = Hashtbl.create 64;
+  }
+
+let thread_clock t tid =
+  match Hashtbl.find_opt t.thread_clocks tid with
+  | Some c -> c
+  | None ->
+    let c = Vclock.create () in
+    ignore (Vclock.tick c tid);
+    Hashtbl.add t.thread_clocks tid c;
+    c
+
+let sync_clock t id =
+  match Hashtbl.find_opt t.sync_clocks id with
+  | Some c -> c
+  | None ->
+    let c = Vclock.create () in
+    Hashtbl.add t.sync_clocks id c;
+    c
+
+let cell t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> c
+  | None ->
+    let c = { wtid = -1; wclk = 0; reads = Vclock.create (); lockset = [ -1 ] } in
+    Hashtbl.add t.cells addr c;
+    c
+
+let held_locks t tid =
+  match Hashtbl.find_opt t.held tid with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.held tid l;
+    l
+
+(* Eraser refinement: a cell's candidate lockset shrinks to the locks
+   held on every access.  [-1] marks a virgin cell whose set is still
+   "all locks". *)
+let refine_lockset t tid c =
+  let held = !(held_locks t tid) in
+  let before = c.lockset in
+  (match before with
+  | [ -1 ] -> c.lockset <- held
+  | locks -> c.lockset <- List.filter (fun l -> List.mem l held) locks);
+  if c.lockset = [] && before <> [] then t.lockset_empty <- t.lockset_empty + 1
+
+let report t addr kind prev_tid tid =
+  let key = (addr, kind) in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.add t.seen key ();
+    t.race_list <- { addr; kind; prev_tid; tid } :: t.race_list
+  end
+
+let on_write t tid addr =
+  let c = cell t addr in
+  refine_lockset t tid c;
+  let clk = thread_clock t tid in
+  (* write-write: previous write must happen-before this one. *)
+  if c.wtid >= 0 && c.wtid <> tid && c.wclk > Vclock.get clk c.wtid then
+    report t addr `Write_write c.wtid tid;
+  (* read-write: every previous read must happen-before this write. *)
+  if not (Vclock.leq c.reads clk) then begin
+    (* find one offending reader for the report *)
+    let offender = ref tid in
+    for rtid = 0 to Vclock.size c.reads - 1 do
+      if rtid <> tid && Vclock.get c.reads rtid > Vclock.get clk rtid then
+        offender := rtid
+    done;
+    report t addr `Read_write !offender tid
+  end;
+  c.wtid <- tid;
+  c.wclk <- Vclock.get clk tid;
+  (* writes subsume reads: restart read tracking *)
+  for rtid = 0 to Vclock.size c.reads - 1 do
+    Vclock.set c.reads rtid 0
+  done
+
+let on_read t tid addr =
+  let c = cell t addr in
+  refine_lockset t tid c;
+  let clk = thread_clock t tid in
+  if c.wtid >= 0 && c.wtid <> tid && c.wclk > Vclock.get clk c.wtid then
+    report t addr `Write_read c.wtid tid;
+  Vclock.set c.reads tid (Vclock.get clk tid)
+
+let on_event t = function
+  | Event.Read { tid; addr } -> on_read t tid addr
+  | Event.Write { tid; addr } -> on_write t tid addr
+  | Event.Kernel_to_user { tid; addr; len } ->
+    for a = addr to addr + len - 1 do
+      on_write t tid a
+    done
+  | Event.User_to_kernel { tid; addr; len } ->
+    for a = addr to addr + len - 1 do
+      on_read t tid a
+    done
+  | Event.Release { tid; lock } ->
+    let clk = thread_clock t tid in
+    Vclock.join (sync_clock t lock) clk;
+    ignore (Vclock.tick clk tid);
+    let held = held_locks t tid in
+    held := List.filter (fun l -> l <> lock) !held
+  | Event.Acquire { tid; lock } ->
+    Vclock.join (thread_clock t tid) (sync_clock t lock);
+    let held = held_locks t tid in
+    if not (List.mem lock !held) then held := lock :: !held
+  | Event.Thread_start { tid } -> ignore (thread_clock t tid)
+  | Event.Call _ | Event.Return _ | Event.Block _ | Event.Alloc _
+  | Event.Free _ | Event.Thread_exit _ | Event.Switch_thread _ ->
+    ()
+
+let races t = List.rev t.race_list
+
+let space_words t =
+  let vc_words tbl =
+    Hashtbl.fold (fun _ c acc -> acc + Vclock.size c) tbl 0
+  in
+  (* Per-cell footprint, counting what the OCaml heap actually holds:
+     hash bucket (3 words), cell record (1 header + 4 fields), read
+     vector (header + components + wrapper), and 3 words per lockset
+     link. *)
+  let cell_words =
+    Hashtbl.fold
+      (fun _ c acc ->
+        acc + 3 + 5 + (2 + Vclock.size c.reads) + (3 * List.length c.lockset))
+      t.cells 0
+  in
+  vc_words t.thread_clocks + vc_words t.sync_clocks + cell_words
+
+let tool () =
+  let t = create () in
+  {
+    Tool.name = "helgrind";
+    on_event = on_event t;
+    space_words = (fun () -> space_words t);
+    summary =
+      (fun () ->
+        Printf.sprintf "helgrind: %d races on %d cells (%d drained locksets)"
+          (List.length (races t))
+          (Hashtbl.length t.cells) t.lockset_empty);
+  }
+
+let factory = { Tool.tool_name = "helgrind"; create = tool }

@@ -1,0 +1,32 @@
+(** A happens-before data race detector in the style of helgrind /
+    FastTrack: vector clocks per thread and per synchronization object,
+    a last-write epoch and a read clock per memory cell.
+
+    Synchronization events ([Acquire]/[Release] from semaphores,
+    barriers, spawn/join edges) transfer clocks through the sync
+    object's vector clock with accumulate-join semantics, which is
+    conservative (may miss races through over-synchronization) but never
+    reports a false race on these traces.
+
+    Kernel transfers are attributed to the issuing thread, as Valgrind
+    does for syscall buffers. *)
+
+type race = {
+  addr : int;
+  kind : [ `Write_write | `Read_write | `Write_read ];
+  prev_tid : int;
+  tid : int;
+}
+
+val pp_race : Format.formatter -> race -> unit
+
+type t
+
+val create : unit -> t
+val on_event : t -> Aprof_trace.Event.t -> unit
+
+(** [races t] in detection order, deduplicated per (address, kind). *)
+val races : t -> race list
+
+val tool : unit -> Tool.t
+val factory : Tool.factory

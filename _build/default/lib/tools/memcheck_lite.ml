@@ -1,0 +1,117 @@
+module Event = Aprof_trace.Event
+module Shadow = Aprof_shadow.Shadow_memory
+
+type error =
+  | Invalid_read of { tid : int; addr : int }
+  | Invalid_write of { tid : int; addr : int }
+  | Uninitialized_read of { tid : int; addr : int }
+  | Invalid_free of { tid : int; addr : int }
+  | Leak of { addr : int; len : int }
+
+let pp_error ppf = function
+  | Invalid_read { tid; addr } ->
+    Format.fprintf ppf "invalid read of %#x by thread %d" addr tid
+  | Invalid_write { tid; addr } ->
+    Format.fprintf ppf "invalid write of %#x by thread %d" addr tid
+  | Uninitialized_read { tid; addr } ->
+    Format.fprintf ppf "read of uninitialized %#x by thread %d" addr tid
+  | Invalid_free { tid; addr } ->
+    Format.fprintf ppf "invalid free of %#x by thread %d" addr tid
+  | Leak { addr; len } ->
+    Format.fprintf ppf "leak: %d cells at %#x still allocated" len addr
+
+(* Per-cell shadow state, one word per cell:
+   0 = untracked, 1 = addressable, 2 = addressable + defined. *)
+let s_untracked = 0
+let s_alloc = 1
+let s_defined = 2
+
+type t = {
+  heap_base : int;
+  shadow : Shadow.t;
+  blocks : (int, int) Hashtbl.t; (* base -> length of live allocations *)
+  mutable errs : error list;
+  seen : (error, unit) Hashtbl.t; (* dedup identical reports *)
+}
+
+let create ?(heap_base = 0x1000) () =
+  {
+    heap_base;
+    shadow = Shadow.create ();
+    blocks = Hashtbl.create 64;
+    errs = [];
+    seen = Hashtbl.create 64;
+  }
+
+let report t err =
+  if not (Hashtbl.mem t.seen err) then begin
+    Hashtbl.add t.seen err ();
+    t.errs <- err :: t.errs
+  end
+
+(* Below the heap base, memory is considered static and pre-initialized. *)
+let is_static t addr = addr < t.heap_base
+
+let check_read t tid addr =
+  if not (is_static t addr) then begin
+    match Shadow.get t.shadow addr with
+    | s when s = s_defined -> ()
+    | s when s = s_alloc -> report t (Uninitialized_read { tid; addr })
+    | _ -> report t (Invalid_read { tid; addr })
+  end
+
+let check_write t tid addr =
+  if not (is_static t addr) then begin
+    if Shadow.get t.shadow addr = s_untracked then
+      report t (Invalid_write { tid; addr })
+    else Shadow.set t.shadow addr s_defined
+  end
+
+let on_event t = function
+  | Event.Read { tid; addr } -> check_read t tid addr
+  | Event.Write { tid; addr } -> check_write t tid addr
+  | Event.Alloc { addr; len; _ } ->
+    Hashtbl.replace t.blocks addr len;
+    Shadow.set_range t.shadow ~addr ~len s_alloc
+  | Event.Free { tid; addr; len = _ } -> (
+    match Hashtbl.find_opt t.blocks addr with
+    | None -> report t (Invalid_free { tid; addr })
+    | Some len ->
+      Hashtbl.remove t.blocks addr;
+      Shadow.set_range t.shadow ~addr ~len s_untracked)
+  | Event.Kernel_to_user { addr; len; _ } ->
+    (* The kernel defined the buffer; flag writes landing outside live
+       allocations like ordinary stores. *)
+    for a = addr to addr + len - 1 do
+      check_write t 0 a
+    done
+  | Event.User_to_kernel { tid; addr; len } ->
+    for a = addr to addr + len - 1 do
+      check_read t tid a
+    done
+  | Event.Call _ | Event.Return _ | Event.Block _ | Event.Acquire _
+  | Event.Release _ | Event.Thread_start _ | Event.Thread_exit _
+  | Event.Switch_thread _ ->
+    ()
+
+let errors t = List.rev t.errs
+
+let leaks t =
+  Hashtbl.fold (fun addr len acc -> Leak { addr; len } :: acc) t.blocks []
+  |> List.sort compare
+
+let tool () =
+  let t = create () in
+  {
+    Tool.name = "memcheck";
+    on_event = on_event t;
+    space_words =
+      (fun () -> Shadow.space_words t.shadow + (2 * Hashtbl.length t.blocks));
+    summary =
+      (fun () ->
+        Printf.sprintf "memcheck: %d errors, %d leaked blocks"
+          (List.length (errors t))
+          (List.length (leaks t)));
+  }
+
+let factory = { Tool.tool_name = "memcheck"; create = tool }

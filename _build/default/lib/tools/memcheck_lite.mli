@@ -1,0 +1,39 @@
+(** A memcheck-style memory error detector over the trace vocabulary:
+    shadow addressability (A) and definedness (V) state per cell.
+
+    Detected errors:
+    - invalid read/write: access to a cell outside any live allocation
+      (including use-after-free);
+    - uninitialized read: load of an addressable but never-written cell;
+    - invalid free / double free;
+    - leaked blocks still live when [report] is taken.
+
+    Cells below the heap base that were never allocated are treated as
+    statically addressable and defined (globals/stack), so hand-built
+    traces with absolute addresses do not drown the report. *)
+
+type t
+
+type error =
+  | Invalid_read of { tid : int; addr : int }
+  | Invalid_write of { tid : int; addr : int }
+  | Uninitialized_read of { tid : int; addr : int }
+  | Invalid_free of { tid : int; addr : int }
+  | Leak of { addr : int; len : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [create ()] — [heap_base] marks where tracked allocations start
+    (default 0x1000, the VM allocator's base). *)
+val create : ?heap_base:int -> unit -> t
+
+val on_event : t -> Aprof_trace.Event.t -> unit
+
+(** [errors t] in detection order, deduplicated per (kind, address). *)
+val errors : t -> error list
+
+(** [leaks t] — live blocks (call after the trace ends). *)
+val leaks : t -> error list
+
+val tool : unit -> Tool.t
+val factory : Tool.factory

@@ -1,0 +1,18 @@
+type t = { mutable events : int }
+
+let create () = { events = 0 }
+
+let on_event t _ = t.events <- t.events + 1
+
+let events t = t.events
+
+let tool () =
+  let t = create () in
+  {
+    Tool.name = "nulgrind";
+    on_event = on_event t;
+    space_words = (fun () -> 1);
+    summary = (fun () -> Printf.sprintf "nulgrind: %d events replayed" t.events);
+  }
+
+let factory = { Tool.tool_name = "nulgrind"; create = tool }

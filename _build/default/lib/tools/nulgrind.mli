@@ -1,0 +1,14 @@
+(** The null tool: consumes events, collecting nothing useful — the
+    instrumentation-only baseline all slowdowns are normalized against,
+    exactly the role [nulgrind] plays in Table 1. *)
+
+type t
+
+val create : unit -> t
+val on_event : t -> Aprof_trace.Event.t -> unit
+
+(** [events t] is the number of events consumed. *)
+val events : t -> int
+
+val tool : unit -> Tool.t
+val factory : Tool.factory

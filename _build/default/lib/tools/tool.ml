@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  on_event : Aprof_trace.Event.t -> unit;
+  space_words : unit -> int;
+  summary : unit -> string;
+}
+
+type factory = { tool_name : string; create : unit -> t }
+
+let replay tool trace = Aprof_util.Vec.iter tool.on_event trace

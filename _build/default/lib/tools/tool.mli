@@ -1,0 +1,18 @@
+(** The common face of every trace-analysis tool, mirroring how the
+    Valgrind tools of Table 1 share one instrumentation substrate: each
+    tool consumes the same event stream and exposes its memory footprint
+    for the space-overhead comparison. *)
+
+type t = {
+  name : string;
+  on_event : Aprof_trace.Event.t -> unit;
+  space_words : unit -> int;
+      (** current footprint of the tool's own data structures, in words *)
+  summary : unit -> string;  (** one-paragraph human-readable result *)
+}
+
+(** A tool factory: fresh state per run. *)
+type factory = { tool_name : string; create : unit -> t }
+
+(** [replay tool trace] feeds every event. *)
+val replay : t -> Aprof_trace.Trace.t -> unit

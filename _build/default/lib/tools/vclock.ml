@@ -1,0 +1,43 @@
+type t = { mutable comps : int array }
+
+let create () = { comps = [||] }
+
+(* Grow to exactly [tid + 1] components.  No capacity doubling: clocks
+   join each other in both directions, and doubling on either side of an
+   asymmetric join makes the two lengths leapfrog exponentially. *)
+let ensure t tid =
+  let n = Array.length t.comps in
+  if tid >= n then begin
+    let comps = Array.make (max (tid + 1) 4) 0 in
+    Array.blit t.comps 0 comps 0 n;
+    t.comps <- comps
+  end
+
+let get t tid = if tid < Array.length t.comps then t.comps.(tid) else 0
+
+let set t tid v =
+  ensure t tid;
+  t.comps.(tid) <- v
+
+let tick t tid =
+  ensure t tid;
+  t.comps.(tid) <- t.comps.(tid) + 1;
+  t.comps.(tid)
+
+let join dst src =
+  ensure dst (Array.length src.comps - 1);
+  Array.iteri (fun i v -> if v > dst.comps.(i) then dst.comps.(i) <- v) src.comps
+
+let copy t = { comps = Array.copy t.comps }
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > get b i then ok := false) a.comps;
+  !ok
+
+let size t = Array.length t.comps
+
+let pp ppf t =
+  Format.fprintf ppf "<%s>"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int t.comps)))

@@ -1,0 +1,29 @@
+(** Vector clocks over dense thread ids, the happens-before machinery of
+    the race detector. *)
+
+type t
+
+(** [create ()] is the zero clock. *)
+val create : unit -> t
+
+(** [get c tid] is the component for [tid] (0 if never touched). *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** [tick c tid] increments [tid]'s component and returns its new value. *)
+val tick : t -> int -> int
+
+(** [join dst src] sets [dst] to the pointwise maximum. *)
+val join : t -> t -> unit
+
+val copy : t -> t
+
+(** [leq a b] is the pointwise order: every component of [a] is <= the
+    corresponding component of [b]. *)
+val leq : t -> t -> bool
+
+(** [size c] is the number of allocated components (space accounting). *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/trace/routine_table.mli: Event

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Aprof_util Array Event Format Hashtbl In_channel List Option Printf String

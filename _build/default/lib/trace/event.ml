@@ -1,0 +1,144 @@
+type tid = int
+type addr = int
+type routine = int
+
+type t =
+  | Call of { tid : tid; routine : routine }
+  | Return of { tid : tid }
+  | Read of { tid : tid; addr : addr }
+  | Write of { tid : tid; addr : addr }
+  | Block of { tid : tid; units : int }
+  | User_to_kernel of { tid : tid; addr : addr; len : int }
+  | Kernel_to_user of { tid : tid; addr : addr; len : int }
+  | Acquire of { tid : tid; lock : int }
+  | Release of { tid : tid; lock : int }
+  | Alloc of { tid : tid; addr : addr; len : int }
+  | Free of { tid : tid; addr : addr; len : int }
+  | Thread_start of { tid : tid }
+  | Thread_exit of { tid : tid }
+  | Switch_thread of { tid : tid }
+
+let tid = function
+  | Call { tid; _ }
+  | Return { tid }
+  | Read { tid; _ }
+  | Write { tid; _ }
+  | Block { tid; _ }
+  | User_to_kernel { tid; _ }
+  | Kernel_to_user { tid; _ }
+  | Acquire { tid; _ }
+  | Release { tid; _ }
+  | Alloc { tid; _ }
+  | Free { tid; _ }
+  | Thread_start { tid }
+  | Thread_exit { tid }
+  | Switch_thread { tid } ->
+    tid
+
+let is_switch = function
+  | Switch_thread _ -> true
+  | Call _ | Return _ | Read _ | Write _ | Block _ | User_to_kernel _
+  | Kernel_to_user _ | Acquire _ | Release _ | Alloc _ | Free _
+  | Thread_start _ | Thread_exit _ ->
+    false
+
+let pp ppf = function
+  | Call { tid; routine } -> Format.fprintf ppf "call(t%d, r%d)" tid routine
+  | Return { tid } -> Format.fprintf ppf "return(t%d)" tid
+  | Read { tid; addr } -> Format.fprintf ppf "read(t%d, %#x)" tid addr
+  | Write { tid; addr } -> Format.fprintf ppf "write(t%d, %#x)" tid addr
+  | Block { tid; units } -> Format.fprintf ppf "block(t%d, %d)" tid units
+  | User_to_kernel { tid; addr; len } ->
+    Format.fprintf ppf "userToKernel(t%d, %#x, %d)" tid addr len
+  | Kernel_to_user { tid; addr; len } ->
+    Format.fprintf ppf "kernelToUser(t%d, %#x, %d)" tid addr len
+  | Acquire { tid; lock } -> Format.fprintf ppf "acquire(t%d, l%d)" tid lock
+  | Release { tid; lock } -> Format.fprintf ppf "release(t%d, l%d)" tid lock
+  | Alloc { tid; addr; len } ->
+    Format.fprintf ppf "alloc(t%d, %#x, %d)" tid addr len
+  | Free { tid; addr; len } ->
+    Format.fprintf ppf "free(t%d, %#x, %d)" tid addr len
+  | Thread_start { tid } -> Format.fprintf ppf "threadStart(t%d)" tid
+  | Thread_exit { tid } -> Format.fprintf ppf "threadExit(t%d)" tid
+  | Switch_thread { tid } -> Format.fprintf ppf "switchThread(t%d)" tid
+
+let to_string e = Format.asprintf "%a" pp e
+
+let to_line = function
+  | Call { tid; routine } -> Printf.sprintf "C %d %d" tid routine
+  | Return { tid } -> Printf.sprintf "R %d" tid
+  | Read { tid; addr } -> Printf.sprintf "L %d %d" tid addr
+  | Write { tid; addr } -> Printf.sprintf "S %d %d" tid addr
+  | Block { tid; units } -> Printf.sprintf "B %d %d" tid units
+  | User_to_kernel { tid; addr; len } -> Printf.sprintf "U %d %d %d" tid addr len
+  | Kernel_to_user { tid; addr; len } -> Printf.sprintf "K %d %d %d" tid addr len
+  | Acquire { tid; lock } -> Printf.sprintf "A %d %d" tid lock
+  | Release { tid; lock } -> Printf.sprintf "E %d %d" tid lock
+  | Alloc { tid; addr; len } -> Printf.sprintf "M %d %d %d" tid addr len
+  | Free { tid; addr; len } -> Printf.sprintf "F %d %d %d" tid addr len
+  | Thread_start { tid } -> Printf.sprintf "T %d" tid
+  | Thread_exit { tid } -> Printf.sprintf "X %d" tid
+  | Switch_thread { tid } -> Printf.sprintf "W %d" tid
+
+let of_line line =
+  let fail () = Error (Printf.sprintf "Event.of_line: malformed %S" line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "C"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some tid, Some routine -> Ok (Call { tid; routine })
+    | _ -> fail ())
+  | [ "R"; a ] -> (
+    match int_of_string_opt a with
+    | Some tid -> Ok (Return { tid })
+    | None -> fail ())
+  | [ "L"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some tid, Some addr -> Ok (Read { tid; addr })
+    | _ -> fail ())
+  | [ "S"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some tid, Some addr -> Ok (Write { tid; addr })
+    | _ -> fail ())
+  | [ "B"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some tid, Some units -> Ok (Block { tid; units })
+    | _ -> fail ())
+  | [ "U"; a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some tid, Some addr, Some len -> Ok (User_to_kernel { tid; addr; len })
+    | _ -> fail ())
+  | [ "K"; a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some tid, Some addr, Some len -> Ok (Kernel_to_user { tid; addr; len })
+    | _ -> fail ())
+  | [ "A"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some tid, Some lock -> Ok (Acquire { tid; lock })
+    | _ -> fail ())
+  | [ "E"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some tid, Some lock -> Ok (Release { tid; lock })
+    | _ -> fail ())
+  | [ "M"; a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some tid, Some addr, Some len -> Ok (Alloc { tid; addr; len })
+    | _ -> fail ())
+  | [ "F"; a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some tid, Some addr, Some len -> Ok (Free { tid; addr; len })
+    | _ -> fail ())
+  | [ "T"; a ] -> (
+    match int_of_string_opt a with
+    | Some tid -> Ok (Thread_start { tid })
+    | None -> fail ())
+  | [ "X"; a ] -> (
+    match int_of_string_opt a with
+    | Some tid -> Ok (Thread_exit { tid })
+    | None -> fail ())
+  | [ "W"; a ] -> (
+    match int_of_string_opt a with
+    | Some tid -> Ok (Switch_thread { tid })
+    | None -> fail ())
+  | _ -> fail ()
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,59 @@
+(** Instrumentation events.
+
+    This is the vocabulary of Section 3 of the paper: routine activations
+    and completions, memory accesses, kernel-mediated I/O
+    ([User_to_kernel]/[Kernel_to_user]), and thread switches — extended
+    with the events needed by the comparator tools of Section 4
+    (basic-block costs for callgrind/aprof, lock operations for helgrind,
+    heap events for memcheck). *)
+
+type tid = int
+type addr = int
+type routine = int
+
+type t =
+  | Call of { tid : tid; routine : routine }
+      (** Thread [tid] activates [routine]. *)
+  | Return of { tid : tid }
+      (** Thread [tid] completes its topmost pending activation. *)
+  | Read of { tid : tid; addr : addr }  (** Load of one memory cell. *)
+  | Write of { tid : tid; addr : addr }  (** Store to one memory cell. *)
+  | Block of { tid : tid; units : int }
+      (** [units] basic blocks executed by [tid]; the cost metric. *)
+  | User_to_kernel of { tid : tid; addr : addr; len : int }
+      (** The kernel reads [len] cells starting at [addr] on behalf of
+          [tid] (e.g. [write], [sendto]). *)
+  | Kernel_to_user of { tid : tid; addr : addr; len : int }
+      (** The kernel writes [len] cells starting at [addr] on behalf of
+          [tid] (e.g. [read], [recvfrom]); the data is external input. *)
+  | Acquire of { tid : tid; lock : int }
+      (** [tid] acquires lock/semaphore [lock] (or passes a wait). *)
+  | Release of { tid : tid; lock : int }
+      (** [tid] releases lock/semaphore [lock] (or posts a signal). *)
+  | Alloc of { tid : tid; addr : addr; len : int }
+      (** Heap allocation of [len] cells at [addr]. *)
+  | Free of { tid : tid; addr : addr; len : int }
+      (** Heap release of the block at [addr]. *)
+  | Thread_start of { tid : tid }
+  | Thread_exit of { tid : tid }
+  | Switch_thread of { tid : tid }
+      (** Control switches to thread [tid].  Inserted by the trace merge
+          (or the VM scheduler) between events of different threads. *)
+
+(** [tid e] is the thread associated with [e]; for [Switch_thread] it is
+    the incoming thread. *)
+val tid : t -> tid
+
+(** [is_switch e] holds for [Switch_thread]. *)
+val is_switch : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [to_line e] serializes [e] on one line; [of_line] parses it back.
+    [of_line] returns [Error msg] on malformed input. *)
+val to_line : t -> string
+
+val of_line : string -> (t, string) result
+
+val equal : t -> t -> bool

@@ -1,0 +1,27 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  names : string Aprof_util.Vec.t;
+}
+
+let create () =
+  { by_name = Hashtbl.create 64; names = Aprof_util.Vec.create () }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+    let id = Aprof_util.Vec.length t.names in
+    Hashtbl.add t.by_name name id;
+    Aprof_util.Vec.push t.names name;
+    id
+
+let name t id =
+  if id < 0 || id >= Aprof_util.Vec.length t.names then
+    invalid_arg (Printf.sprintf "Routine_table.name: unknown id %d" id);
+  Aprof_util.Vec.get t.names id
+
+let find t n = Hashtbl.find_opt t.by_name n
+
+let size t = Aprof_util.Vec.length t.names
+
+let iter f t = Aprof_util.Vec.iteri f t.names

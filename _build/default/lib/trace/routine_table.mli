@@ -1,0 +1,25 @@
+(** Interning table mapping routine names to dense integer ids.
+
+    The profilers and tools identify routines by [Event.routine] ids; this
+    table owns the id <-> name bijection for one traced program. *)
+
+type t
+
+val create : unit -> t
+
+(** [intern t name] returns the id of [name], allocating a fresh one on
+    first use.  Ids are dense, starting at 0, in order of first interning. *)
+val intern : t -> string -> Event.routine
+
+(** [name t id] is the name bound to [id].
+    @raise Invalid_argument on an unknown id. *)
+val name : t -> Event.routine -> string
+
+(** [find t name] is the id of [name] if already interned. *)
+val find : t -> string -> Event.routine option
+
+(** [size t] is the number of interned routines. *)
+val size : t -> int
+
+(** [iter f t] applies [f id name] to every binding in id order. *)
+val iter : (Event.routine -> string -> unit) -> t -> unit

@@ -1,0 +1,43 @@
+(** Small statistics helpers used by the metrics and benchmark harness. *)
+
+(** [mean xs] is the arithmetic mean. @raise Invalid_argument on []. *)
+val mean : float list -> float
+
+(** [geometric_mean xs] is the geometric mean of strictly positive values
+    (the aggregation used by Table 1 of the paper).
+    @raise Invalid_argument on [] or non-positive inputs. *)
+val geometric_mean : float list -> float
+
+(** [variance xs] is the population variance. @raise Invalid_argument on []. *)
+val variance : float list -> float
+
+val stddev : float list -> float
+
+(** [percentile p xs] is the [p]-th percentile ([0. <= p <= 100.]) computed
+    with linear interpolation on the sorted sample.
+    @raise Invalid_argument on []. *)
+val percentile : float -> float list -> float
+
+(** [tail_fraction ~at_least xs] is the fraction of samples [>= at_least],
+    in [0,1].  Used for the "x% of routines have metric >= y" curves
+    (Figures 11, 12 and 14). *)
+val tail_fraction : at_least:float -> float list -> float
+
+(** [value_at_top_fraction ~fraction xs] is the largest [y] such that at
+    least [fraction] of the samples are [>= y]; i.e. the y-coordinate at
+    abscissa [fraction] in the paper's tail curves.
+    @raise Invalid_argument on [] or a fraction outside (0,1]. *)
+val value_at_top_fraction : fraction:float -> float list -> float
+
+(** Streaming min/max/sum/count accumulator. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+end

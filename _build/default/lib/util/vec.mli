@@ -1,0 +1,58 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray]).
+
+    A [Vec.t] is a mutable sequence supporting amortized O(1) push at the
+    end, O(1) random access, and in-place truncation.  Elements beyond
+    [length] are retained internally but never observable. *)
+
+type 'a t
+
+(** [create ()] is an empty vector. *)
+val create : unit -> 'a t
+
+(** [make n x] is a vector of length [n] whose cells all hold [x]. *)
+val make : int -> 'a -> 'a t
+
+(** [length v] is the number of elements currently in [v]. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [get v i] is the [i]-th element.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set v i x] replaces the [i]-th element with [x].
+    @raise Invalid_argument if [i] is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] at the end of [v]. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [top v] is the last element without removing it.
+    @raise Invalid_argument on an empty vector. *)
+val top : 'a t -> 'a
+
+(** [truncate v n] shrinks [v] to length [n] (no-op if already shorter). *)
+val truncate : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t
+val of_array : 'a array -> 'a t
+
+(** [map f v] is a fresh vector holding [f x] for each element [x]. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [exists p v] tests whether some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [sort cmp v] sorts [v] in place. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/vm/device.ml: Aprof_util Array

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Aprof_trace Aprof_util Array Device Hashtbl List Option Printf Program Queue Scheduler String

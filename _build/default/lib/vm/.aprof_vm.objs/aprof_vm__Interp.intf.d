@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Aprof_trace Device Program Scheduler

@@ -1,0 +1,1 @@
+lib/vm/scheduler.ml: Aprof_util Printf

@@ -1,0 +1,1 @@
+lib/vm/scheduler.mli: Aprof_util

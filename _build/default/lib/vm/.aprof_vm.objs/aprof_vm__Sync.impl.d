@@ -1,0 +1,1 @@
+lib/vm/sync.ml: Array Program

@@ -1,0 +1,1 @@
+lib/vm/sync.mli: Program

@@ -1,0 +1,60 @@
+type kind =
+  | File of { data : int Aprof_util.Vec.t; mutable pos : int }
+  | Stream of { gen : int -> int; mutable pos : int }
+  | Sink
+
+type t = { kind : kind; mutable written : int }
+
+let file data =
+  { kind = File { data = Aprof_util.Vec.of_array data; pos = 0 }; written = 0 }
+
+let stream gen = { kind = Stream { gen; pos = 0 }; written = 0 }
+
+let sink () = { kind = Sink; written = 0 }
+
+let read t n =
+  if n < 0 then invalid_arg "Device.read: negative count";
+  match t.kind with
+  | File f ->
+    let avail = Aprof_util.Vec.length f.data - f.pos in
+    let got = min n (max avail 0) in
+    let out = Array.init got (fun i -> Aprof_util.Vec.get f.data (f.pos + i)) in
+    f.pos <- f.pos + got;
+    out
+  | Stream s ->
+    let out = Array.init n (fun i -> s.gen (s.pos + i)) in
+    s.pos <- s.pos + n;
+    out
+  | Sink -> [||]
+
+let read_at t ~pos n =
+  if n < 0 || pos < 0 then invalid_arg "Device.read_at: negative argument";
+  match t.kind with
+  | File f ->
+    let avail = Aprof_util.Vec.length f.data - pos in
+    let got = min n (max avail 0) in
+    Array.init got (fun i -> Aprof_util.Vec.get f.data (pos + i))
+  | Stream s -> Array.init n (fun i -> s.gen (pos + i))
+  | Sink -> [||]
+
+let size t =
+  match t.kind with
+  | File f -> Aprof_util.Vec.length f.data
+  | Stream _ -> max_int
+  | Sink -> 0
+
+let write t values =
+  t.written <- t.written + Array.length values;
+  (match t.kind with
+  | File f -> Array.iter (fun v -> Aprof_util.Vec.push f.data v) values
+  | Stream _ | Sink -> ());
+  Array.length values
+
+let written t = t.written
+
+let reset t =
+  t.written <- 0;
+  match t.kind with
+  | File f -> f.pos <- 0
+  | Stream s -> s.pos <- 0
+  | Sink -> ()

@@ -1,0 +1,42 @@
+(** Simulated external devices: the data sources and sinks behind the
+    kernel's system calls.
+
+    A [File] holds finite data with a cursor (disk reads hit end of
+    file); a [Stream] produces unbounded generated data (network input);
+    a [Sink] swallows output, counting it. *)
+
+type t
+
+(** [file data] is a read/write disk file positioned at 0.  Reads consume
+    [data] sequentially; writes append (visible in [written]). *)
+val file : int array -> t
+
+(** [stream gen] is an endless input stream whose [i]-th value is
+    [gen i] (e.g. seeded random network traffic). *)
+val stream : (int -> int) -> t
+
+(** [sink ()] accepts and counts any output, provides no input. *)
+val sink : unit -> t
+
+(** [read d n] removes and returns up to [n] next input values ([[||]] at
+    end of data). *)
+val read : t -> int -> int array
+
+(** [read_at d ~pos n] positioned read: up to [n] values starting at
+    absolute offset [pos], leaving the cursor untouched.  Streams
+    generate, sinks return [[||]]. *)
+val read_at : t -> pos:int -> int -> int array
+
+(** [size d] is the number of stored values ([max_int] for streams, [0]
+    for sinks). *)
+val size : t -> int
+
+(** [write d values] sends [values] to the device, returning the number
+    accepted (all of them, for every device kind). *)
+val write : t -> int array -> int
+
+(** [written d] is the total number of values written so far. *)
+val written : t -> int
+
+(** [reset d] rewinds cursors (files restart at position 0). *)
+val reset : t -> unit

@@ -1,0 +1,43 @@
+(** The interpreter: executes a multi-threaded DSL program and emits the
+    totally ordered instrumentation trace.
+
+    This is the repository's stand-in for Valgrind's dynamic binary
+    instrumentation: the profilers and tools of the paper consume the
+    event stream this module produces.  A run is a pure function of the
+    program, the scheduler policy and the seed. *)
+
+type config = {
+  scheduler : Scheduler.policy;
+  seed : int;
+  devices : (string * Device.t) list;
+      (** named devices available to [sys_open] *)
+  max_events : int;  (** abort runaway programs (default 50M) *)
+  reuse_freed_memory : bool;
+      (** when true the allocator recycles freed blocks (first fit),
+          exercising the profilers' address-recycling path; default
+          false gives a pure bump allocator with fresh addresses *)
+}
+
+val default_config : config
+
+type result = {
+  trace : Aprof_trace.Trace.t;
+  routines : Aprof_trace.Routine_table.t;
+  threads_spawned : int;
+  memory_high_water : int;  (** peak allocated simulated cells *)
+}
+
+(** Raised on deadlock, unbalanced call/return, unknown device, negative
+    allocation, join on an unknown thread, or event-budget exhaustion. *)
+exception Run_error of string
+
+(** [run config threads] executes the initial [threads] (thread ids 0, 1,
+    ... in list order) to completion and returns the recorded trace.
+    @raise Run_error as described above. *)
+val run : config -> unit Program.t list -> result
+
+(** [run_to_sink config threads ~sink] is [run] streaming each event to
+    [sink] instead of materializing the trace; returns the same metadata
+    with an empty trace. *)
+val run_to_sink :
+  config -> unit Program.t list -> sink:(Aprof_trace.Event.t -> unit) -> result

@@ -1,0 +1,105 @@
+type addr = int
+type value = int
+type sem = int
+type barrier = int
+type fd = int
+
+type prog =
+  | Halt
+  | Read of addr * (value -> prog)
+  | Write of addr * value * (unit -> prog)
+  | Compute of int * (unit -> prog)
+  | Enter of string * (unit -> prog)
+  | Leave of (unit -> prog)
+  | Alloc of int * (addr -> prog)
+  | Dealloc of addr * int * (unit -> prog)
+  | Sem_create of int * (sem -> prog)
+  | Sem_wait of sem * (unit -> prog)
+  | Sem_trywait of sem * (bool -> prog)
+  | Sem_post of sem * (unit -> prog)
+  | Barrier_create of int * (barrier -> prog)
+  | Barrier_wait of barrier * (unit -> prog)
+  | Spawn of prog * (int -> prog)
+  | Join of int * (unit -> prog)
+  | Self of (int -> prog)
+  | Yield of (unit -> prog)
+  | Sys_open of string * (fd -> prog)
+  | Sys_read of fd * addr * int * (int -> prog)
+  | Sys_pread of fd * addr * int * int * (int -> prog)
+  | Sys_write of fd * addr * int * (int -> prog)
+  | Sys_close of fd * (unit -> prog)
+  | Random_int of int * (int -> prog)
+
+(* Continuation-passing representation: a computation is a function from
+   its continuation to the stepped program. *)
+type 'a t = ('a -> prog) -> prog
+
+let return x k = k x
+let bind m f k = m (fun x -> f x k)
+let ( let* ) = bind
+let ( >>= ) = bind
+let map f m k = m (fun x -> k (f x))
+
+let to_prog (m : unit t) = m (fun () -> Halt)
+
+let read a k = Read (a, k)
+let write a v k = Write (a, v, k)
+let alloc n k = Alloc (n, k)
+let dealloc a n k = Dealloc (a, n, k)
+let compute n k = Compute (n, k)
+
+let call name (body : 'a t) : 'a t =
+ fun k -> Enter (name, fun () -> body (fun x -> Leave (fun () -> k x)))
+
+let yield k = Yield k
+let self k = Self k
+let spawn (body : unit t) k = Spawn (to_prog body, k)
+let join tid k = Join (tid, k)
+let random_int bound k = Random_int (bound, k)
+
+let sem_create n k = Sem_create (n, k)
+let sem_wait s k = Sem_wait (s, k)
+let sem_trywait s k = Sem_trywait (s, k)
+let sem_post s k = Sem_post (s, k)
+let barrier_create n k = Barrier_create (n, k)
+let barrier_wait b k = Barrier_wait (b, k)
+
+let sys_open name k = Sys_open (name, k)
+let sys_read fd buf len k = Sys_read (fd, buf, len, k)
+let sys_pread fd buf len ~pos k = Sys_pread (fd, buf, len, pos, k)
+let sys_write fd buf len k = Sys_write (fd, buf, len, k)
+let sys_close fd k = Sys_close (fd, k)
+
+let rec for_ lo hi f =
+  if lo > hi then return ()
+  else
+    let* () = f lo in
+    for_ (lo + 1) hi f
+
+let rec iter_list f = function
+  | [] -> return ()
+  | x :: xs ->
+    let* () = f x in
+    iter_list f xs
+
+let rec fold_range lo hi acc f =
+  if lo > hi then return acc
+  else
+    let* acc = f lo acc in
+    fold_range (lo + 1) hi acc f
+
+let rec while_ cond body =
+  let* c = cond () in
+  if c then
+    let* () = body in
+    while_ cond body
+  else return ()
+
+let when_ c m = if c then m else return ()
+
+let unsafe_of_prog p _k = p
+
+let sem_id s = s
+let barrier_id b = b
+let unsafe_sem_of_id i = i
+let unsafe_barrier_of_id i = i

@@ -1,0 +1,171 @@
+(** The simulated-program DSL.
+
+    Programs are written against this monadic interface and executed by
+    {!Interp}, which plays the role Valgrind plays in the paper: every
+    read, write, call, return, basic block, synchronization operation and
+    system call becomes a trace event.  One DSL step = one scheduling
+    point, so thread interleavings are controlled entirely by the
+    scheduler policy and seed.
+
+    Values stored in simulated memory are plain integers.  All OCaml-level
+    computation between steps is free (it models register arithmetic
+    within a basic block); use {!compute} to account basic blocks. *)
+
+type addr = int
+type value = int
+type sem
+type barrier
+type fd = int
+
+(** The stepped representation consumed by the interpreter.  Build values
+    of this type only through the combinators below. *)
+type prog =
+  | Halt
+  | Read of addr * (value -> prog)
+  | Write of addr * value * (unit -> prog)
+  | Compute of int * (unit -> prog)
+  | Enter of string * (unit -> prog)
+  | Leave of (unit -> prog)
+  | Alloc of int * (addr -> prog)
+  | Dealloc of addr * int * (unit -> prog)
+  | Sem_create of int * (sem -> prog)
+  | Sem_wait of sem * (unit -> prog)
+  | Sem_trywait of sem * (bool -> prog)
+  | Sem_post of sem * (unit -> prog)
+  | Barrier_create of int * (barrier -> prog)
+  | Barrier_wait of barrier * (unit -> prog)
+  | Spawn of prog * (int -> prog)
+  | Join of int * (unit -> prog)
+  | Self of (int -> prog)
+  | Yield of (unit -> prog)
+  | Sys_open of string * (fd -> prog)
+  | Sys_read of fd * addr * int * (int -> prog)
+  | Sys_pread of fd * addr * int * int * (int -> prog)
+  | Sys_write of fd * addr * int * (int -> prog)
+  | Sys_close of fd * (unit -> prog)
+  | Random_int of int * (int -> prog)
+
+type 'a t
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [to_prog m] closes a thread body into the stepped form. *)
+val to_prog : unit t -> prog
+
+(** {1 Memory} *)
+
+(** [read a] loads the value at address [a] (emits a [Read] event). *)
+val read : addr -> value t
+
+(** [write a v] stores [v] at [a] (emits a [Write] event). *)
+val write : addr -> value -> unit t
+
+(** [alloc n] reserves [n] fresh cells and returns the base address. *)
+val alloc : int -> addr t
+
+(** [dealloc a n] releases the block of [n] cells at [a]. *)
+val dealloc : addr -> int -> unit t
+
+(** {1 Control} *)
+
+(** [compute n] executes [n] basic blocks worth of local work. *)
+val compute : int -> unit t
+
+(** [call name body] runs [body] as an activation of routine [name]:
+    emits the [Call]/[Return] pair around it. *)
+val call : string -> 'a t -> 'a t
+
+(** [yield] relinquishes the processor without doing work. *)
+val yield : unit t
+
+(** [self] is the executing thread's id. *)
+val self : int t
+
+(** [spawn body] starts a new thread running [body], returning its id. *)
+val spawn : unit t -> int t
+
+(** [join tid] blocks until thread [tid] exits. *)
+val join : int -> unit t
+
+(** [random_int bound] draws from the VM's seeded generator: deterministic
+    per run, uniform in [0, bound). *)
+val random_int : int -> int t
+
+(** {1 Synchronization}
+
+    Semaphore and barrier internals live in the interpreter, not in
+    simulated memory, matching the paper's convention of not charging
+    memory accesses of semaphore operations to the profiled metric;
+    waits/posts still emit [Acquire]/[Release] events so the race
+    detector sees the happens-before edges. *)
+
+val sem_create : int -> sem t
+val sem_wait : sem -> unit t
+
+(** [sem_trywait s] is [true] (and decrements) when the semaphore was
+    positive; [false] without blocking otherwise. *)
+val sem_trywait : sem -> bool t
+val sem_post : sem -> unit t
+val barrier_create : int -> barrier t
+val barrier_wait : barrier -> unit t
+
+(** {1 System calls}
+
+    The simulated kernel copies data between devices and simulated
+    memory, emitting [Kernel_to_user] / [User_to_kernel] range events
+    (Figure 9's event mapping). *)
+
+(** [sys_open name] is a descriptor on the device registered as [name].
+    The interpreter fails the run on an unknown device. *)
+val sys_open : string -> fd t
+
+(** [sys_read fd buf len] asks the kernel to fill [buf..buf+len-1] from
+    the device; returns the number of cells actually transferred (0 at
+    end of data). *)
+val sys_read : fd -> addr -> int -> int t
+
+(** [sys_pread fd buf len ~pos] positioned read (the paper's [pread64]):
+    fills [buf] from absolute device offset [pos] without moving the
+    shared cursor, so concurrent readers do not interfere. *)
+val sys_pread : fd -> addr -> int -> pos:int -> int t
+
+(** [sys_write fd buf len] sends [buf..buf+len-1] to the device; returns
+    the number of cells transferred. *)
+val sys_write : fd -> addr -> int -> int t
+
+val sys_close : fd -> unit t
+
+(** {1 Structured helpers} *)
+
+(** [for_ lo hi f] runs [f i] for [i = lo..hi] (no iterations if
+    [hi < lo]). *)
+val for_ : int -> int -> (int -> unit t) -> unit t
+
+(** [iter_list f xs] sequences [f] over [xs]. *)
+val iter_list : ('a -> unit t) -> 'a list -> unit t
+
+(** [fold_range lo hi acc f] threads [acc] through [f lo], ..., [f hi]. *)
+val fold_range : int -> int -> 'acc -> (int -> 'acc -> 'acc t) -> 'acc t
+
+(** [while_ cond body] evaluates [cond] and runs [body] until [cond] is
+    false. *)
+val while_ : (unit -> bool t) -> unit t -> unit t
+
+(** [when_ c m] runs [m] only if [c]. *)
+val when_ : bool -> unit t -> unit t
+
+(** [unsafe_of_prog p] wraps a raw stepped program, discarding the
+    continuation: only for tests that need to feed the interpreter
+    ill-formed programs the combinators cannot produce. *)
+val unsafe_of_prog : prog -> unit t
+
+(** Internal identifiers, used by the interpreter. *)
+val sem_id : sem -> int
+
+val barrier_id : barrier -> int
+val unsafe_sem_of_id : int -> sem
+val unsafe_barrier_of_id : int -> barrier

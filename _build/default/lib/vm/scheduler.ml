@@ -1,0 +1,35 @@
+type policy =
+  | Round_robin of { slice : int }
+  | Random_preemptive of { min_slice : int; max_slice : int }
+  | Serialized
+
+type t = { policy : policy; rng : Aprof_util.Rng.t }
+
+let create policy rng =
+  (match policy with
+  | Round_robin { slice } ->
+    if slice <= 0 then invalid_arg "Scheduler: slice must be positive"
+  | Random_preemptive { min_slice; max_slice } ->
+    if min_slice <= 0 || max_slice < min_slice then
+      invalid_arg "Scheduler: bad slice range"
+  | Serialized -> ());
+  { policy; rng }
+
+let slice t =
+  match t.policy with
+  | Round_robin { slice } -> slice
+  | Random_preemptive { min_slice; max_slice } ->
+    Aprof_util.Rng.int_in t.rng min_slice max_slice
+  | Serialized -> max_int
+
+let pick t n_ready =
+  if n_ready <= 0 then invalid_arg "Scheduler.pick: no runnable thread";
+  match t.policy with
+  | Round_robin _ | Serialized -> 0
+  | Random_preemptive _ -> Aprof_util.Rng.int t.rng n_ready
+
+let policy_name = function
+  | Round_robin { slice } -> Printf.sprintf "round-robin(%d)" slice
+  | Random_preemptive { min_slice; max_slice } ->
+    Printf.sprintf "random(%d-%d)" min_slice max_slice
+  | Serialized -> "serialized"

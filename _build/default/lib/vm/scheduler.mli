@@ -1,0 +1,26 @@
+(** Thread-scheduling policies for the interpreter.
+
+    [Round_robin] rotates through runnable threads with a fixed event
+    budget per turn.  [Random_preemptive] picks the next thread and its
+    slice length at random (seeded) — used by the scheduler-sensitivity
+    experiment.  [Serialized] runs each thread until it blocks or exits,
+    mimicking Valgrind's big-lock serialization. *)
+
+type policy =
+  | Round_robin of { slice : int }
+  | Random_preemptive of { min_slice : int; max_slice : int }
+  | Serialized
+
+type t
+
+(** [create policy rng] is a fresh scheduler state. *)
+val create : policy -> Aprof_util.Rng.t -> t
+
+(** [slice t] is the event budget for the next turn. *)
+val slice : t -> int
+
+(** [pick t ready] chooses the index (in [0, length ready)) of the next
+    thread to run.  @raise Invalid_argument on an empty ready set. *)
+val pick : t -> int -> int
+
+val policy_name : policy -> string

@@ -1,0 +1,1 @@
+lib/workloads/blocks.ml: Aprof_vm List

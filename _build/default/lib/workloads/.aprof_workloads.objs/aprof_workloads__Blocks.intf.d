@@ -1,0 +1,1 @@
+lib/workloads/blocks.mli: Aprof_vm Program

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Aprof_trace Aprof_util List

@@ -1,0 +1,1 @@
+lib/workloads/micro.mli: Aprof_trace

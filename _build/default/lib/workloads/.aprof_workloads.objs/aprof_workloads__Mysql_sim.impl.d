@@ -1,0 +1,1 @@
+lib/workloads/mysql_sim.ml: Aprof_util Aprof_vm Array Blocks List Workload

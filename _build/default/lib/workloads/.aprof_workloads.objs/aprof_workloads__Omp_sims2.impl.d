@@ -1,0 +1,1 @@
+lib/workloads/omp_sims2.ml: Aprof_util Aprof_vm Array Blocks List Workload

@@ -1,0 +1,1 @@
+lib/workloads/omp_sims2.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/parsec_sims.ml: Aprof_util Aprof_vm Array Blocks List Workload

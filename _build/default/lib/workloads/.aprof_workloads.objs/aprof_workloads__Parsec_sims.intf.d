@@ -1,0 +1,1 @@
+lib/workloads/parsec_sims.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/patterns.ml: Aprof_vm Workload

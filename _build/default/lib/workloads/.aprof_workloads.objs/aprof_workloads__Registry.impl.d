@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Dedup_sim List Mysql_sim Omp_sims Omp_sims2 Parsec_sims Patterns Sorting Vips_sim Workload

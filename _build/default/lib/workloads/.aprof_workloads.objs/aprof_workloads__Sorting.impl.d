@@ -1,0 +1,1 @@
+lib/workloads/sorting.ml: Aprof_vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/sorting.mli: Aprof_vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/vips_sim.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Aprof_vm

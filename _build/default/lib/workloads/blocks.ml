@@ -1,0 +1,67 @@
+open Aprof_vm.Program
+
+let read_sum a n =
+  fold_range 0 (n - 1) 0 (fun i acc ->
+      let* v = read (a + i) in
+      return (acc + v))
+
+let write_fill a n f = for_ 0 (n - 1) (fun i -> write (a + i) (f i))
+
+let copy ~src ~dst n =
+  for_ 0 (n - 1) (fun i ->
+      let* v = read (src + i) in
+      write (dst + i) v)
+
+let spawn_all bodies =
+  let rec go acc = function
+    | [] -> return (List.rev acc)
+    | body :: rest ->
+      let* tid = spawn body in
+      go (tid :: acc) rest
+  in
+  go [] bodies
+
+let join_all tids = iter_list join tids
+
+let run_workers n body =
+  let* tids = spawn_all (List.init n body) in
+  join_all tids
+
+let band i ~of_ ~total =
+  let base = total / of_ and extra = total mod of_ in
+  let lo = (i * base) + min i extra in
+  let hi = lo + base + (if i < extra then 1 else 0) in
+  (lo, hi)
+
+module Spin_barrier = struct
+  type t = {
+    arrivals : addr;
+    lock : Aprof_vm.Sync.Mutex.t;
+    bar : barrier;
+  }
+
+  let create ~parties =
+    let* arrivals = alloc 1 in
+    let* () = write arrivals 0 in
+    let* lock = Aprof_vm.Sync.Mutex.create () in
+    let* bar = barrier_create parties in
+    return { arrivals; lock; bar }
+
+  let wait t =
+    call "omp_barrier"
+      (let* () =
+         Aprof_vm.Sync.Mutex.with_lock t.lock
+           (let* c = read t.arrivals in
+            write t.arrivals (c + 1))
+       in
+       let* () =
+         for_ 1 2 (fun _ ->
+             let* () =
+               Aprof_vm.Sync.Mutex.with_lock t.lock
+                 (let* _c = read t.arrivals in
+                  return ())
+             in
+             yield)
+       in
+       barrier_wait t.bar)
+end

@@ -1,0 +1,42 @@
+(** Shared building blocks for the benchmark miniatures. *)
+
+open Aprof_vm
+
+(** [read_sum a n] loads cells [a .. a+n-1] and returns their sum. *)
+val read_sum : Program.addr -> int -> int Program.t
+
+(** [write_fill a n f] stores [f i] into cell [a+i] for [i < n]. *)
+val write_fill : Program.addr -> int -> (int -> int) -> unit Program.t
+
+(** [copy ~src ~dst n] loads each of [n] cells from [src] and stores it
+    at [dst]. *)
+val copy : src:Program.addr -> dst:Program.addr -> int -> unit Program.t
+
+(** [spawn_all bodies] spawns one thread per body and returns the tids. *)
+val spawn_all : unit Program.t list -> int list Program.t
+
+(** [join_all tids] joins every thread. *)
+val join_all : int list -> unit Program.t
+
+(** [run_workers n body] spawns [n] threads running [body i] for worker
+    index [i] and joins them all. *)
+val run_workers : int -> (int -> unit Program.t) -> unit Program.t
+
+(** [band i ~of_:t ~total:n] is the half-open [(lo, hi)] row range of
+    worker [i] when [n] items are split across [t] workers as evenly as
+    possible. *)
+val band : int -> of_:int -> total:int -> int * int
+
+(** A spinning barrier, as OpenMP runtimes implement it: arrivals bump a
+    shared counter which every thread then polls a few times (interleaved
+    with yields) before blocking.  The polls re-read a cell other threads
+    keep rewriting, so each wait contributes a scheduling-dependent number
+    of induced first-reads — the mechanism behind the drms variability
+    (and hence profile richness) the paper observes on barrier-parallel
+    codes.  Appears in profiles as routine [omp_barrier]. *)
+module Spin_barrier : sig
+  type t
+
+  val create : parties:int -> t Aprof_vm.Program.t
+  val wait : t -> unit Aprof_vm.Program.t
+end

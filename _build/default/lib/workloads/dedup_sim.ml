@@ -1,0 +1,203 @@
+open Aprof_vm.Program
+module Sync = Aprof_vm.Sync
+module Device = Aprof_vm.Device
+module Rng = Aprof_util.Rng
+
+let n_bufs = 10
+let max_chunk = 64
+let min_chunk = 16
+let table_buckets = 97
+
+(* Content-dependent chunk length, as dedup's rolling fingerprint would
+   produce: deterministic per chunk index but widely spread. *)
+let chunk_len idx =
+  min_chunk + (idx * 2654435761 land 0xFFF) mod (max_chunk - min_chunk + 1)
+
+let enc ~dup ~buf ~len = (((if dup then 1 else 0) * 16) + buf) * 65536 + len
+
+let dec msg =
+  let len = msg mod 65536 in
+  let buf = msg / 65536 mod 16 in
+  let dup = msg / 65536 / 16 = 1 in
+  (dup, buf, len)
+
+type shared = {
+  free_slots : Sync.Channel.t; (* buffer indices ready for refill *)
+  chunks : Sync.Channel.t; (* filled buffers awaiting hashing *)
+  out_ch : Sync.Channel.t; (* hashed chunks awaiting writing *)
+  bufs : addr array;
+  out_bufs : addr array; (* compressed output, written by workers *)
+  table : addr; (* shared dedup hash table *)
+  table_lock : Sync.Mutex.t;
+  ring : addr; (* recent-chunk ring: workers publish, the writer scans *)
+  progress : addr;
+}
+
+let ring_cells = 16
+
+let reader sh ~archive_cells =
+  call "reader_thread"
+    (let* fd = sys_open "archive" in
+     let rec go idx consumed =
+       if consumed >= archive_cells then return ()
+       else begin
+         let len = min (chunk_len idx) (archive_cells - consumed) in
+         let* slot = Sync.Channel.recv sh.free_slots in
+         let* got = sys_read fd sh.bufs.(slot) len in
+         if got = 0 then return ()
+         else
+           let* () =
+             Sync.Channel.send sh.chunks (enc ~dup:false ~buf:slot ~len:got)
+           in
+           go (idx + 1) (consumed + got)
+       end
+     in
+     go 0 0)
+
+let chunk_worker sh =
+  call "chunk_worker"
+    (let rec serve () =
+       let* msg = Sync.Channel.recv sh.chunks in
+       if msg < 0 then return ()
+       else begin
+         let _, buf, len = dec msg in
+         let* h =
+           call "compute_hash"
+             (let* sum = Blocks.read_sum sh.bufs.(buf) len in
+              let* () = compute (len / 4) in
+              return ((sum * 31) + len))
+         in
+         let* dup =
+           call "dedup_lookup"
+             (Sync.Mutex.with_lock sh.table_lock
+                (let bucket = sh.table + (abs h mod table_buckets) in
+                 let* existing = read bucket in
+                 if existing = 0 then
+                   let* () = write bucket (abs h + 1) in
+                   return false
+                 else begin
+                   let* () = compute 1 in
+                   return (existing = abs h + 1)
+                 end))
+         in
+         let* () =
+           Sync.Mutex.with_lock sh.table_lock
+             (write (sh.ring + (abs h mod ring_cells)) (abs h land 0xff))
+         in
+         let* () =
+           when_ (not dup)
+             (call "compress_chunk"
+                (for_ 0 (len - 1) (fun c ->
+                     let* v = read (sh.bufs.(buf) + c) in
+                     let* () = compute 1 in
+                     write (sh.out_bufs.(buf) + c) ((v * 7) land 0xff))))
+         in
+         let* () = Sync.Channel.send sh.out_ch (enc ~dup ~buf ~len) in
+         serve ()
+       end
+     in
+     serve ())
+
+let writer sh =
+  call "writer_thread"
+    (let* fd = sys_open "store" in
+     let* idx_fd = sys_open "index" in
+     let* meta = alloc 4 in
+     let flush_one msg =
+       let dup, buf, len = dec msg in
+       if dup then compute 1
+       else
+         let* _sum = Blocks.read_sum sh.out_bufs.(buf) len in
+         let* _ = sys_write fd sh.out_bufs.(buf) len in
+         return ()
+     in
+     let rec serve seq =
+       let* msg = Sync.Channel.recv sh.out_ch in
+       if msg < 0 then return ()
+       else
+         let* () =
+           call "write_chunk"
+             ((* the recent-chunk ring the workers keep publishing to *)
+              let* _r =
+                Sync.Mutex.with_lock sh.table_lock
+                  (Blocks.read_sum sh.ring ring_cells)
+              in
+              let* () = flush_one msg in
+              (* consult the on-disk container index: the number of
+                 lookups depends on the chunk, and every pread refreshes
+                 the same 4 staging cells, so the drms of a call spreads
+                 far beyond its rms — dedup's profile-richness engine *)
+              let polls = 1 + (seq * 2654435761 land 63) in
+              let* () =
+                for_ 1 polls (fun _ ->
+                    let* _ = sys_pread idx_fd meta 4 ~pos:(seq mod 60 * 4) in
+                    let* _m = Blocks.read_sum meta 4 in
+                    return ())
+              in
+              let* p = read sh.progress in
+              write sh.progress (p + 1))
+         in
+         let _, buf, _ = dec msg in
+         let* () = Sync.Channel.send sh.free_slots buf in
+         serve (seq + 1)
+     in
+     serve 0)
+
+let pipeline ~workers ~archive_cells ~seed =
+  let workers = max 1 workers in
+  let rng = Rng.create seed in
+  (* Repetitive content so real duplicates occur. *)
+  let archive = Array.init archive_cells (fun _ -> Rng.int rng 64) in
+  let main =
+    call "dedup_main"
+      (let* free_slots = Sync.Channel.create n_bufs in
+       let* chunks = Sync.Channel.create n_bufs in
+       let* out_ch = Sync.Channel.create n_bufs in
+       let* table = alloc table_buckets in
+       let* () = Blocks.write_fill table table_buckets (fun _ -> 0) in
+       let* table_lock = Sync.Mutex.create () in
+       let* ring = alloc ring_cells in
+       let* () = Blocks.write_fill ring ring_cells (fun _ -> 0) in
+       let* progress = alloc 1 in
+       let* () = write progress 0 in
+       let rec alloc_bufs k acc =
+         if k = 0 then return (Array.of_list (List.rev acc))
+         else
+           let* a = alloc max_chunk in
+           alloc_bufs (k - 1) (a :: acc)
+       in
+       let* bufs = alloc_bufs n_bufs [] in
+       let* out_bufs = alloc_bufs n_bufs [] in
+       let sh =
+         { free_slots; chunks; out_ch; bufs; out_bufs; table; table_lock;
+           ring; progress }
+       in
+       let* () = for_ 0 (n_bufs - 1) (fun i -> Sync.Channel.send free_slots i) in
+       let* rtid = spawn (reader sh ~archive_cells) in
+       let* wtids = Blocks.spawn_all (List.init workers (fun _ -> chunk_worker sh)) in
+       let* otid = spawn (writer sh) in
+       let* () = join rtid in
+       let* () = for_ 1 workers (fun _ -> Sync.Channel.send sh.chunks (-1)) in
+       let* () = Blocks.join_all wtids in
+       let* () = Sync.Channel.send sh.out_ch (-1) in
+       join otid)
+  in
+  {
+    Workload.programs = [ main ];
+    devices =
+      [
+        ("archive", Device.file archive);
+        ("store", Device.sink ());
+        ("index", Device.file (Array.init 256 (fun i -> (i * 41) land 0xff)));
+      ];
+  }
+
+let spec =
+  {
+    Workload.name = "dedup";
+    suite = Workload.Parsec;
+    description = "pipelined deduplicating compressor with variable chunks";
+    make =
+      (fun ~threads ~scale ~seed ->
+        pipeline ~workers:threads ~archive_cells:(scale * 40) ~seed);
+  }

@@ -1,0 +1,14 @@
+(** A miniature of PARSEC's dedup: a pipelined compressor with
+    content-variable chunk sizes.
+
+    reader -> chunk workers -> writer, connected by channels over a small
+    pool of shared staging buffers: the reader fills buffers from disk
+    (external input), workers hash chunks out of the shared buffers and
+    probe a shared deduplication table (thread input), and the writer
+    flushes unique chunks.  Chunk lengths vary per chunk, which is what
+    gives dedup the extreme drms profile richness of Figure 11. *)
+
+val pipeline :
+  workers:int -> archive_cells:int -> seed:int -> Workload.t
+
+val spec : Workload.spec

@@ -1,0 +1,24 @@
+(** The hand-built micro traces of Figure 1, used as exact test vectors.
+
+    Each returns the merged trace plus the routine table, so the expected
+    rms/drms values of the paper can be asserted against any profiler. *)
+
+(** Figure 1a: routine [f] in thread 0 reads [x] twice; thread 1's [g]
+    overwrites [x] between the reads.  Expected: rms(f) = 1, drms(f) = 2. *)
+val fig1a : unit -> Aprof_trace.Trace.t * Aprof_trace.Routine_table.t
+
+(** Figure 1b: [f] reads [x], thread 1's [g] overwrites it, [f]'s child
+    [h] reads it (induced), then [f] reads it again (not induced).
+    Expected: rms(f) = rms(h) = 1, drms(f) = 2, drms(h) = 1. *)
+val fig1b : unit -> Aprof_trace.Trace.t * Aprof_trace.Routine_table.t
+
+(** A single-threaded trace with a two-level call where the child re-reads
+    a location the parent already read — exercises the ancestor-decrement
+    path (lines 6-8 of Figure 8). *)
+val ancestor_decrement : unit -> Aprof_trace.Trace.t * Aprof_trace.Routine_table.t
+
+(** Buffered external input: one thread fills a one-cell buffer through
+    [kernelToUser] [n] times, reading it after each fill inside routine
+    [consume].  Expected: drms(consume per call) = 1, rms of later calls
+    = 0... summed at the caller [main]: drms(main) = n, rms(main) = 1. *)
+val external_refill : n:int -> Aprof_trace.Trace.t * Aprof_trace.Routine_table.t

@@ -1,0 +1,142 @@
+open Aprof_vm.Program
+module Device = Aprof_vm.Device
+module Rng = Aprof_util.Rng
+
+let page_rows = 8
+let row_cells = 4
+let page_cells = page_rows * row_cells
+
+(* Table data as stored on the simulated disk: row i is
+   [id; a; b; checksum]. *)
+let table_device ~rows ~seed =
+  let rng = Rng.create seed in
+  let data =
+    Array.init (rows * row_cells) (fun cell ->
+        let i = cell / row_cells in
+        match cell mod row_cells with
+        | 0 -> i
+        | 1 -> Rng.int rng 1000
+        | 2 -> Rng.int rng 100
+        | _ -> (i * 131) land 0xffff)
+  in
+  Device.file data
+
+(* One connection's session state: a buffer-pool frame, a row accumulator
+   and the descriptors of the shared status area. *)
+type session = {
+  fd : fd;
+  frame : addr; (* the reused buffer-pool page frame *)
+  acc : addr; (* running aggregate cells *)
+  out_fd : fd;
+  status : addr; (* shared server status counters *)
+  status_lock : Aprof_vm.Sync.Mutex.t;
+}
+
+let status_cells = 4
+
+(* SELECT SUM(a) FROM t LIMIT row_limit: scan pages through the frame. *)
+let mysql_select s ~row_limit =
+  call "mysql_select"
+    (let n_pages = (row_limit + page_rows - 1) / page_rows in
+     let* total =
+       fold_range 0 (n_pages - 1) 0 (fun p acc ->
+           let pos = p * page_cells in
+           let* got = sys_pread s.fd s.frame page_cells ~pos in
+           let rows_here = min (got / row_cells) (row_limit - (p * page_rows)) in
+           let* page_sum =
+             fold_range 0 (rows_here - 1) 0 (fun r acc ->
+                 let* a = read (s.frame + (r * row_cells) + 1) in
+                 let* b = read (s.frame + (r * row_cells) + 2) in
+                 let* () = compute 1 in
+                 return (acc + a + (b land 1)))
+           in
+           return (acc + page_sum))
+     in
+     let* () = write s.acc total in
+     write (s.acc + 1) row_limit)
+
+let parse_query =
+  call "parse_query" (compute 12)
+
+let update_status s =
+  call "update_status"
+    (Aprof_vm.Sync.Mutex.with_lock s.status_lock
+       (let* q = read s.status in
+        let* () = write s.status (q + 1) in
+        let* r = read (s.status + 1) in
+        write (s.status + 1) (r + 1)))
+
+let send_result s =
+  call "send_result"
+    (let* _ = sys_write s.out_fd s.acc 2 in
+     return ())
+
+let handle_query s ~row_limit =
+  call "handle_query"
+    (let* () = parse_query in
+     let* () = mysql_select s ~row_limit in
+     let* () = update_status s in
+     send_result s)
+
+let make_session ~status ~status_lock ~table ~client =
+  let* fd = sys_open table in
+  let* frame = alloc page_cells in
+  let* acc = alloc 4 in
+  let* out_fd = sys_open client in
+  return { fd; frame; acc; out_fd; status; status_lock }
+
+let select_sweep ~row_counts ~seed =
+  let max_rows = List.fold_left max 1 row_counts in
+  let main =
+    call "mysqld"
+      (let* status = alloc status_cells in
+       let* () = Blocks.write_fill status status_cells (fun _ -> 0) in
+       let* status_lock = Aprof_vm.Sync.Mutex.create () in
+       let* s = make_session ~status ~status_lock ~table:"table.ibd" ~client:"client" in
+       iter_list (fun rows -> handle_query s ~row_limit:rows) row_counts)
+  in
+  {
+    Workload.programs = [ main ];
+    devices =
+      [
+        ("table.ibd", table_device ~rows:max_rows ~seed);
+        ("client", Device.sink ());
+      ];
+  }
+
+let mysqlslap ~clients ~queries ~rows ~seed =
+  let main =
+    call "mysqld"
+      (let* status = alloc status_cells in
+       let* () = Blocks.write_fill status status_cells (fun _ -> 0) in
+       let* status_lock = Aprof_vm.Sync.Mutex.create () in
+       Blocks.run_workers clients (fun _c ->
+           call "client_session"
+             (let* s =
+                make_session ~status ~status_lock ~table:"table.ibd"
+                  ~client:"client"
+              in
+              for_ 1 queries (fun _ ->
+                  let* limit = random_int rows in
+                  handle_query s ~row_limit:(1 + limit)))))
+  in
+  {
+    Workload.programs = [ main ];
+    devices =
+      [
+        ("table.ibd", table_device ~rows ~seed);
+        ("client", Device.sink ());
+      ];
+  }
+
+let spec =
+  {
+    Workload.name = "mysqlslap";
+    suite = Workload.App;
+    description =
+      "miniature MySQL under mysqlslap-style concurrent scan load";
+    make =
+      (fun ~threads ~scale ~seed ->
+        mysqlslap ~clients:threads ~queries:(max 1 (scale / 10)) ~rows:scale
+          ~seed);
+  }

@@ -1,0 +1,30 @@
+(** A miniature MySQL: heap-file storage scanned through a small buffer
+    pool — the Figure 4 case study.
+
+    Rows live on a simulated disk device ([table.ibd]); [mysql_select]
+    scans them page by page through one reused buffer-pool frame filled
+    by positioned kernel reads.  Exactly as the paper observes, the rms
+    of [mysql_select] plateaus near the frame size while the drms tracks
+    the number of tuples actually loaded, so only the drms cost plot is
+    linear.
+
+    Two entry points:
+    - [select_sweep] — one session issuing one full-table scan per table
+      size in [row_counts] (the Figure 4 experiment);
+    - [mysqlslap] — the load-emulation client: [clients] concurrent
+      sessions, each submitting [queries] scans with random row limits,
+      sharing global status counters (thread input) on top of the
+      buffer-pool refills (external input). *)
+
+val page_rows : int
+val row_cells : int
+
+(** [select_sweep ~row_counts ~seed] — scans over tables with the given
+    row counts. *)
+val select_sweep : row_counts:int list -> seed:int -> Workload.t
+
+(** [mysqlslap ~clients ~queries ~rows ~seed] — concurrent scan load on
+    one [rows]-row table. *)
+val mysqlslap : clients:int -> queries:int -> rows:int -> seed:int -> Workload.t
+
+val spec : Workload.spec

@@ -1,0 +1,437 @@
+open Aprof_vm.Program
+module Device = Aprof_vm.Device
+module Sync = Aprof_vm.Sync
+module Rng = Aprof_util.Rng
+
+(* Parameter file loaded once at startup: the small external-input
+   component every kernel shares. *)
+let params_device ~seed n =
+  let rng = Rng.create seed in
+  Device.file (Array.init n (fun _ -> 1 + Rng.int rng 9))
+
+let load_params n =
+  call "load_params"
+    (let* fd = sys_open "params" in
+     let* buf = alloc n in
+     let* _ = sys_read fd buf n in
+     let* s = Blocks.read_sum buf n in
+     return (1 + (s mod 7)))
+
+(* ------------------------------------------------------------------ *)
+(* nab: molecular dynamics where every atom's force term samples
+   positions across the whole array (written by all workers). *)
+
+let nab ~workers ~atoms ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "nab_main"
+      (let* _scale = load_params 8 in
+       let* pos = alloc atoms in
+       let* force = alloc atoms in
+       let* () = Blocks.write_fill pos atoms (fun i -> i * 11) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "nab_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:atoms in
+              for_ 1 steps (fun s ->
+                  let* () =
+                    call "compute_energy"
+                      (for_ lo (hi - 1) (fun i ->
+                           let* xi = read (pos + i) in
+                           (* sample a few distant interaction partners *)
+                           let* f =
+                             fold_range 1 3 0 (fun k acc ->
+                                 let j = (i + (k * s * 31)) mod atoms in
+                                 let* xj = read (pos + j) in
+                                 let* () = compute 2 in
+                                 return (acc + abs (xi - xj)))
+                           in
+                           write (force + i) f))
+                  in
+                  let* () = Blocks.Spin_barrier.wait bar in
+                  let* () =
+                    call "integrate"
+                      (for_ lo (hi - 1) (fun i ->
+                           let* xi = read (pos + i) in
+                           let* fi = read (force + i) in
+                           let* () = compute 1 in
+                           write (pos + i) ((xi + (fi mod 17)) land 0xffff)))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:1 8) ] }
+
+(* md: neighbour-list variant — forces read only adjacent atoms. *)
+let md ~workers ~atoms ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "md_main"
+      (let* _scale = load_params 6 in
+       let* pos = alloc atoms in
+       let* vel = alloc atoms in
+       let* () = Blocks.write_fill pos atoms (fun i -> i * 5) in
+       let* () = Blocks.write_fill vel atoms (fun _ -> 0) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "md_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:atoms in
+              for_ 1 steps (fun _ ->
+                  let* () =
+                    call "md_forces"
+                      (for_ lo (hi - 1) (fun i ->
+                           let* xi = read (pos + i) in
+                           let* xl = if i > 0 then read (pos + i - 1) else return 0 in
+                           let* xr =
+                             if i < atoms - 1 then read (pos + i + 1) else return 0
+                           in
+                           let* vi = read (vel + i) in
+                           let* () = compute 3 in
+                           write (vel + i) ((vi + xl + xr - (2 * xi)) mod 1000)))
+                  in
+                  let* () = Blocks.Spin_barrier.wait bar in
+                  let* () =
+                    call "md_update"
+                      (for_ lo (hi - 1) (fun i ->
+                           let* xi = read (pos + i) in
+                           let* vi = read (vel + i) in
+                           write (pos + i) ((xi + vi) land 0xffff)))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:2 6) ] }
+
+(* ------------------------------------------------------------------ *)
+(* smithwa: wavefront DP.  The score matrix is processed in blocks; a
+   block needs its left and top border cells, produced by other
+   workers' blocks in earlier waves. *)
+
+let smithwa ~workers ~seq_len ~seed =
+  let workers = max 1 workers in
+  let block = 8 in
+  let nb = (seq_len + block - 1) / block in
+  let rng = Rng.create seed in
+  let seq_a = Array.init seq_len (fun _ -> Rng.int rng 4) in
+  let seq_b = Array.init seq_len (fun _ -> Rng.int rng 4) in
+  let main =
+    call "smithwa_main"
+      (let* _scale = load_params 4 in
+       let* a = alloc seq_len in
+       let* b = alloc seq_len in
+       let* () = Blocks.write_fill a seq_len (fun i -> seq_a.(i)) in
+       let* () = Blocks.write_fill b seq_len (fun i -> seq_b.(i)) in
+       (* score matrix: one row of border cells per block row suffices
+          for the recurrence shape: keep a full (nb*block)^... use one
+          row vector + one column vector of carried borders. *)
+       let* row_border = alloc seq_len in
+       let* col_border = alloc seq_len in
+       let* () = Blocks.write_fill row_border seq_len (fun _ -> 0) in
+       let* () = Blocks.write_fill col_border seq_len (fun _ -> 0) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "smithwa_worker"
+             (* waves of anti-diagonals: in wave d, blocks (i, d-i). *)
+             (for_ 0 (2 * (nb - 1)) (fun d ->
+                  let* () =
+                    call "align_block"
+                      (fold_range 0 (nb - 1) () (fun bi () ->
+                           let bj = d - bi in
+                           if bj < 0 || bj >= nb || bi mod workers <> w then
+                             return ()
+                           else begin
+                             let ilo = bi * block and jlo = bj * block in
+                             let ihi = min (ilo + block) seq_len in
+                             let jhi = min (jlo + block) seq_len in
+                             for_ ilo (ihi - 1) (fun i ->
+                                 let* ai = read (a + i) in
+                                 let* carry = read (row_border + i) in
+                                 let* best =
+                                   fold_range jlo (jhi - 1) carry (fun j acc ->
+                                       let* bj_ = read (b + j) in
+                                       let* top = read (col_border + j) in
+                                       let* () = compute 2 in
+                                       let score =
+                                         if ai = bj_ then acc + 2
+                                         else max (max (acc - 1) (top - 1)) 0
+                                       in
+                                       let* () = write (col_border + j) score in
+                                       return score)
+                                 in
+                                 write (row_border + i) best)
+                           end))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:3 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* kdtree: the main thread builds a binary space partition over shared
+   points (writing node records); workers then run range queries that
+   traverse nodes and points. *)
+
+let kdtree ~workers ~points ~queries ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "kdtree_main"
+      (let* _scale = load_params 4 in
+       let* pts = alloc points in
+       let* () = Blocks.write_fill pts points (fun i -> (i * 2654435761) land 0xfff) in
+       (* implicit heap layout: node k splits on stored pivot *)
+       let n_nodes = max 1 (points / 4) in
+       let* nodes = alloc n_nodes in
+       let* () =
+         call "build_tree"
+           (for_ 0 (n_nodes - 1) (fun k ->
+                let* p = read (pts + (k * 4 mod points)) in
+                let* q = read (pts + ((k * 4) + 2) mod points) in
+                let* () = compute 2 in
+                write (nodes + k) ((p + q) / 2)))
+       in
+       Blocks.run_workers workers (fun w ->
+           call "query_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:queries in
+              for_ lo (hi - 1) (fun q ->
+                  call "range_query"
+                    (let key = (q * 73) land 0xfff in
+                     let rec descend k acc depth =
+                       if k >= n_nodes || depth > 10 then return acc
+                       else
+                         let* pivot = read (nodes + k) in
+                         let* () = compute 1 in
+                         let child = (2 * k) + (if key < pivot then 1 else 2) in
+                         descend child (acc + 1) (depth + 1)
+                     in
+                     let* visited = descend 0 0 0 in
+                     let* () = compute visited in
+                     let* _ = read (pts + (key mod points)) in
+                     return ())))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:4 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* botsalgn: a task pool of pairwise alignments distributed through a
+   channel; sequences are shared, written by the main thread. *)
+
+let botsalgn ~workers ~sequences ~seed:_ =
+  let workers = max 1 workers in
+  let seq_cells = 12 in
+  let main =
+    call "botsalgn_main"
+      (let* _scale = load_params 4 in
+       let total = sequences * seq_cells in
+       let* seqs = alloc total in
+       let* () = Blocks.write_fill seqs total (fun i -> (i * 7) land 3) in
+       let* tasks = Sync.Channel.create 8 in
+       let* results = alloc (sequences * sequences) in
+       let* tids =
+         Blocks.spawn_all
+           (List.init workers (fun _ ->
+                call "align_worker"
+                  (let rec serve () =
+                     let* t = Sync.Channel.recv tasks in
+                     if t < 0 then return ()
+                     else begin
+                       let i = t / sequences and j = t mod sequences in
+                       let* () =
+                         call "pairwise_align"
+                           (let* si = Blocks.read_sum (seqs + (i * seq_cells)) seq_cells in
+                            let* sj = Blocks.read_sum (seqs + (j * seq_cells)) seq_cells in
+                            let* () = compute seq_cells in
+                            write (results + t) (abs (si - sj)))
+                       in
+                       serve ()
+                     end
+                   in
+                   serve ())))
+       in
+       let* () =
+         for_ 0 (sequences - 1) (fun i ->
+             for_ (i + 1) (sequences - 1) (fun j ->
+                 Sync.Channel.send tasks ((i * sequences) + j)))
+       in
+       let* () = for_ 1 workers (fun _ -> Sync.Channel.send tasks (-1)) in
+       Blocks.join_all tids)
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:5 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* imagick: 2-D convolution sweeps with halo rows exchanged between
+   neighbouring workers' bands. *)
+
+let imagick ~workers ~rows ~cols ~sweeps ~seed =
+  let workers = max 1 workers in
+  let rng = Rng.create seed in
+  let img = Array.init (rows * cols) (fun _ -> Rng.int rng 256) in
+  let main =
+    call "imagick_main"
+      (let* _scale = load_params 4 in
+       let* fd = sys_open "input.miff" in
+       let* pix_a = alloc (rows * cols) in
+       let* pix_b = alloc (rows * cols) in
+       let* _ = sys_read fd pix_a (rows * cols) in
+       let* () = Blocks.write_fill pix_b (rows * cols) (fun _ -> 0) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "magick_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:rows in
+              for_ 1 sweeps (fun sw ->
+                  let src = if sw land 1 = 1 then pix_a else pix_b in
+                  let dst = if sw land 1 = 1 then pix_b else pix_a in
+                  let* () =
+                    call "convolve_rows"
+                      (for_ lo (hi - 1) (fun r ->
+                           for_ 0 (cols - 1) (fun c ->
+                               let at base rr cc = base + (rr * cols) + cc in
+                               let* v = read (at src r c) in
+                               let* up = if r > 0 then read (at src (r - 1) c) else return v in
+                               let* dn =
+                                 if r < rows - 1 then read (at src (r + 1) c) else return v
+                               in
+                               let* () = compute 2 in
+                               write (at dst r c) ((up + (2 * v) + dn) / 4))))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("input.miff", Device.file img); ("params", params_device ~seed:6 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* swim: 1-D shallow-water stencil over three coupled fields. *)
+
+let swim ~workers ~cells ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "swim_main"
+      (let* _scale = load_params 4 in
+       let* u = alloc cells in
+       let* v = alloc cells in
+       let* p = alloc cells in
+       let* () = Blocks.write_fill u cells (fun i -> i land 0xff) in
+       let* () = Blocks.write_fill v cells (fun i -> (i * 3) land 0xff) in
+       let* () = Blocks.write_fill p cells (fun _ -> 100) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "swim_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:cells in
+              for_ 1 steps (fun _ ->
+                  let* () =
+                    call "calc_uvp"
+                      (for_ lo (hi - 1) (fun i ->
+                           let left = if i = 0 then cells - 1 else i - 1 in
+                           let right = (i + 1) mod cells in
+                           let* ui = read (u + i) in
+                           let* vl = read (v + left) in
+                           let* vr = read (v + right) in
+                           let* pi = read (p + i) in
+                           let* () = compute 3 in
+                           let* () = write (u + i) ((ui + vl - vr) land 0xffff) in
+                           write (p + i) ((pi + (ui mod 5)) land 0xffff)))
+                  in
+                  let* () = Blocks.Spin_barrier.wait bar in
+                  let* () =
+                    call "calc_v"
+                      (for_ lo (hi - 1) (fun i ->
+                           let* ui = read (u + ((i + 1) mod cells)) in
+                           let* vi = read (v + i) in
+                           let* () = compute 1 in
+                           write (v + i) ((vi + ui) land 0xffff)))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:7 4) ] }
+
+(* mgrid: red-black relaxation — alternating halves of the array, so
+   every read of the other colour was written by some other sweep
+   (possibly another thread's band). *)
+let mgrid ~workers ~cells ~sweeps ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "mgrid_main"
+      (let* _scale = load_params 4 in
+       let* grid = alloc cells in
+       let* () = Blocks.write_fill grid cells (fun i -> (i * 29) land 0xff) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "mgrid_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:cells in
+              for_ 1 sweeps (fun s ->
+                  let colour = s land 1 in
+                  let* () =
+                    call "relax"
+                      (for_ lo (hi - 1) (fun i ->
+                           if i land 1 <> colour || i = 0 || i = cells - 1 then
+                             return ()
+                           else
+                             let* l = read (grid + i - 1) in
+                             let* r = read (grid + i + 1) in
+                             let* () = compute 2 in
+                             write (grid + i) ((l + r) / 2)))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:8 4) ] }
+
+(* ------------------------------------------------------------------ *)
+
+let specs =
+  [
+    {
+      Workload.name = "nab";
+      suite = Workload.Omp;
+      description = "molecular dynamics with long-range interactions";
+      make =
+        (fun ~threads ~scale ~seed -> nab ~workers:threads ~atoms:scale ~steps:6 ~seed);
+    };
+    {
+      Workload.name = "md";
+      suite = Workload.Omp;
+      description = "neighbour-list molecular dynamics";
+      make =
+        (fun ~threads ~scale ~seed -> md ~workers:threads ~atoms:scale ~steps:6 ~seed);
+    };
+    {
+      Workload.name = "smithwa";
+      suite = Workload.Omp;
+      description = "Smith-Waterman wavefront alignment";
+      make =
+        (fun ~threads ~scale ~seed ->
+          smithwa ~workers:threads ~seq_len:(max 16 (scale / 4)) ~seed);
+    };
+    {
+      Workload.name = "kdtree";
+      suite = Workload.Omp;
+      description = "space-partitioning tree build and queries";
+      make =
+        (fun ~threads ~scale ~seed ->
+          kdtree ~workers:threads ~points:scale ~queries:(max 8 (scale / 4)) ~seed);
+    };
+    {
+      Workload.name = "botsalgn";
+      suite = Workload.Omp;
+      description = "task-pool pairwise sequence alignment";
+      make =
+        (fun ~threads ~scale ~seed ->
+          botsalgn ~workers:threads ~sequences:(max 4 (scale / 25)) ~seed);
+    };
+    {
+      Workload.name = "imagick";
+      suite = Workload.Omp;
+      description = "image convolution with halo exchange";
+      make =
+        (fun ~threads ~scale ~seed ->
+          imagick ~workers:threads ~rows:(max 8 (scale / 16)) ~cols:16 ~sweeps:18
+            ~seed);
+    };
+    {
+      Workload.name = "swim";
+      suite = Workload.Omp;
+      description = "shallow-water stencil over coupled fields";
+      make =
+        (fun ~threads ~scale ~seed -> swim ~workers:threads ~cells:scale ~steps:6 ~seed);
+    };
+    {
+      Workload.name = "mgrid";
+      suite = Workload.Omp;
+      description = "red-black relaxation sweeps";
+      make =
+        (fun ~threads ~scale ~seed -> mgrid ~workers:threads ~cells:scale ~sweeps:8 ~seed);
+    };
+  ]

@@ -1,0 +1,27 @@
+(** Miniatures of SPEC OMP2012-style kernels: barrier-parallel numeric
+    codes whose dynamic input is almost entirely shared-memory traffic
+    between worker threads — the paper's observation that the OMP2012
+    suite clusters at thread input >= 69% (Figure 15) follows from this
+    structure.  External input is limited to loading parameters once.
+
+    Eight kernels with genuinely different parallel shapes:
+    - [nab] / [md]: molecular dynamics over shared position/force arrays
+      (all-to-all and neighbour-list variants);
+    - [smithwa]: Smith-Waterman wavefront dynamic programming, blocks
+      depend on left/top blocks computed by other threads;
+    - [kdtree]: parallel k-d tree construction and querying;
+    - [botsalgn]: task-pool pairwise sequence alignments;
+    - [imagick]: 2-D convolution with halo exchange;
+    - [swim]: 1-D shallow-water stencil;
+    - [mgrid]: red-black relaxation sweeps. *)
+
+val nab : workers:int -> atoms:int -> steps:int -> seed:int -> Workload.t
+val md : workers:int -> atoms:int -> steps:int -> seed:int -> Workload.t
+val smithwa : workers:int -> seq_len:int -> seed:int -> Workload.t
+val kdtree : workers:int -> points:int -> queries:int -> seed:int -> Workload.t
+val botsalgn : workers:int -> sequences:int -> seed:int -> Workload.t
+val imagick : workers:int -> rows:int -> cols:int -> sweeps:int -> seed:int -> Workload.t
+val swim : workers:int -> cells:int -> steps:int -> seed:int -> Workload.t
+val mgrid : workers:int -> cells:int -> sweeps:int -> seed:int -> Workload.t
+
+val specs : Workload.spec list

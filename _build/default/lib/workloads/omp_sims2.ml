@@ -1,0 +1,414 @@
+open Aprof_vm.Program
+module Sync = Aprof_vm.Sync
+module Rng = Aprof_util.Rng
+module Device = Aprof_vm.Device
+
+let params_device ~seed n =
+  let rng = Rng.create seed in
+  Device.file (Array.init n (fun _ -> 1 + Rng.int rng 9))
+
+let load_params n =
+  call "load_params"
+    (let* fd = sys_open "params" in
+     let* buf = alloc n in
+     let* _ = sys_read fd buf n in
+     let* s = Blocks.read_sum buf n in
+     return (1 + (s mod 7)))
+
+(* ------------------------------------------------------------------ *)
+(* bt331: block-structured solver.  The grid is a row of square blocks;
+   each phase a thread factorizes its blocks reading the boundary column
+   of the previous block — owned by another thread at band edges. *)
+
+let bt331 ~workers ~blocks ~block ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let cells = blocks * block in
+  let main =
+    call "bt_main"
+      (let* _s = load_params 4 in
+       let* grid = alloc cells in
+       let* () = Blocks.write_fill grid cells (fun i -> (i * 19) land 0xff) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       let* bounds = alloc blocks in
+       let* () = Blocks.write_fill bounds blocks (fun _ -> 1) in
+       Blocks.run_workers workers (fun w ->
+           call "bt_worker"
+             (let blo, bhi = Blocks.band w ~of_:workers ~total:blocks in
+              for_ 1 steps (fun _ ->
+                  (* phase 1: snapshot each block's left boundary (reads
+                     only), so phase 2's writes cannot race with them *)
+                  let* () =
+                    call "exchange_boundaries"
+                      (for_ blo (bhi - 1) (fun b ->
+                           let* bound =
+                             if b > 0 then read (grid + (b * block) - 1)
+                             else return 1
+                           in
+                           write (bounds + b) bound))
+                  in
+                  let* () = Blocks.Spin_barrier.wait bar in
+                  let* () =
+                    call "factor_blocks"
+                      (for_ blo (bhi - 1) (fun b ->
+                           let base = b * block in
+                           let* bound = read (bounds + b) in
+                           for_ 0 (block - 1) (fun i ->
+                               let* v = read (grid + base + i) in
+                               let* () = compute 2 in
+                               write (grid + base + i)
+                                 ((v + bound + i) land 0xffff))))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:11 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* botsspar: sparse LU as a task DAG.  For each panel k: one diagonal
+   task, then a wave of update tasks U(k, j) for j > k, each reading the
+   diagonal panel produced by whichever thread ran the diagonal task. *)
+
+let botsspar ~workers ~panels ~seed:_ =
+  let workers = max 1 workers in
+  let panel_cells = 8 in
+  let main =
+    call "spar_main"
+      (let* _s = load_params 4 in
+       let total = panels * panel_cells in
+       let* m = alloc total in
+       let* () = Blocks.write_fill m total (fun i -> 1 + (i land 7)) in
+       let* tasks = Sync.Channel.create (2 * workers) in
+       let* done_ch = Sync.Channel.create (2 * workers) in
+       let* tids =
+         Blocks.spawn_all
+           (List.init workers (fun _ ->
+                call "spar_worker"
+                  (let rec serve () =
+                     let* t = Sync.Channel.recv tasks in
+                     if t < 0 then return ()
+                     else begin
+                       let k = t / panels and j = t mod panels in
+                       let* () =
+                         if k = j then
+                           call "factor_diagonal"
+                             (for_ 0 (panel_cells - 1) (fun i ->
+                                  let* v = read (m + (k * panel_cells) + i) in
+                                  let* () = compute 3 in
+                                  write (m + (k * panel_cells) + i)
+                                    ((v * 3) land 0xff)))
+                         else
+                           call "update_panel"
+                             (for_ 0 (panel_cells - 1) (fun i ->
+                                  let* d = read (m + (k * panel_cells) + i) in
+                                  let* v = read (m + (j * panel_cells) + i) in
+                                  let* () = compute 2 in
+                                  write (m + (j * panel_cells) + i)
+                                    ((v + d) land 0xff)))
+                       in
+                       let* () = Sync.Channel.send done_ch t in
+                       serve ()
+                     end
+                   in
+                   serve ())))
+       in
+       (* schedule the DAG wave by wave, keeping the number of
+          outstanding tasks bounded so neither channel can fill up while
+          the scheduler itself is blocked *)
+       let* () =
+         for_ 0 (panels - 1) (fun k ->
+             let* () = Sync.Channel.send tasks ((k * panels) + k) in
+             let* _ = Sync.Channel.recv done_ch in
+             let* outstanding =
+               fold_range (k + 1) (panels - 1) 0 (fun j outstanding ->
+                   let* () = Sync.Channel.send tasks ((k * panels) + j) in
+                   if outstanding + 1 >= workers then
+                     let* _ = Sync.Channel.recv done_ch in
+                     return outstanding
+                   else return (outstanding + 1))
+             in
+             for_ 1 outstanding (fun _ ->
+                 let* _ = Sync.Channel.recv done_ch in
+                 return ()))
+       in
+       let* () = for_ 1 workers (fun _ -> Sync.Channel.send tasks (-1)) in
+       Blocks.join_all tids)
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:12 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* ilbdc: lattice Boltzmann.  Three distribution populations per cell;
+   streaming pulls from the left/self/right neighbour of the previous
+   generation (double buffered), collision relaxes locally. *)
+
+let ilbdc ~workers ~cells ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "ilbdc_main"
+      (let* _s = load_params 4 in
+       let field g d = (g * 3 * cells) + (d * cells) in
+       let* base = alloc (2 * 3 * cells) in
+       let* () =
+         Blocks.write_fill base (2 * 3 * cells) (fun i -> (i * 7) land 0x3f)
+       in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "ilbdc_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:cells in
+              for_ 1 steps (fun s ->
+                  let src = s land 1 and dst = 1 - (s land 1) in
+                  let* () =
+                    call "stream_collide"
+                      (for_ lo (hi - 1) (fun i ->
+                           let left = if i = 0 then cells - 1 else i - 1 in
+                           let right = (i + 1) mod cells in
+                           let* f0 = read (base + field src 0 + i) in
+                           let* f1 = read (base + field src 1 + left) in
+                           let* f2 = read (base + field src 2 + right) in
+                           let* () = compute 3 in
+                           let rho = f0 + f1 + f2 in
+                           let* () =
+                             write (base + field dst 0 + i) ((rho * 2 / 3) land 0x3f)
+                           in
+                           let* () =
+                             write (base + field dst 1 + i) ((rho / 6) land 0x3f)
+                           in
+                           write (base + field dst 2 + i) ((rho / 6) land 0x3f)))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:13 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* applu: SSOR with pipelined wavefronts.  Thread w owns a band of rows;
+   for each column strip it must wait for thread w-1 to finish the same
+   strip (point-to-point semaphore handoff — no global barrier). *)
+
+let applu ~workers ~rows ~cols ~sweeps ~seed:_ =
+  let workers = max 1 workers in
+  let strip = 4 in
+  let n_strips = (cols + strip - 1) / strip in
+  let main =
+    call "applu_main"
+      (let* _s = load_params 4 in
+       let* grid = alloc (rows * cols) in
+       let* () =
+         Blocks.write_fill grid (rows * cols) (fun i -> (i * 23) land 0xff)
+       in
+       (* handoff.(w) signals thread w that its upstream neighbour
+          finished a strip *)
+       let rec mk_sems k acc =
+         if k = 0 then return (Array.of_list (List.rev acc))
+         else
+           let* s = sem_create 0 in
+           mk_sems (k - 1) (s :: acc)
+       in
+       let* handoff = mk_sems workers [] in
+       let* finish = mk_sems 1 [] in
+       let finish = finish.(0) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       let* () =
+         Blocks.run_workers workers (fun w ->
+             call "applu_worker"
+               (let rlo, rhi = Blocks.band w ~of_:workers ~total:rows in
+                let* () =
+                  for_ 1 sweeps (fun _ ->
+                      let* () =
+                        for_ 0 (n_strips - 1) (fun sidx ->
+                          let clo = sidx * strip in
+                          let chi = min cols (clo + strip) in
+                          (* wait for the upstream band to finish this strip *)
+                          let* () =
+                            when_ (w > 0) (sem_wait handoff.(w))
+                          in
+                          let* () =
+                            call "ssor_strip"
+                              (for_ rlo (rhi - 1) (fun r ->
+                                   for_ clo (chi - 1) (fun c ->
+                                       let at rr cc = grid + (rr * cols) + cc in
+                                       let* v = read (at r c) in
+                                       let* up =
+                                         if r > 0 then read (at (r - 1) c)
+                                         else return v
+                                       in
+                                       let* lf =
+                                         if c > 0 then read (at r (c - 1))
+                                         else return v
+                                       in
+                                       let* () = compute 2 in
+                                       write (at r c) ((v + up + lf) / 3))))
+                          in
+                          (* pass the strip downstream *)
+                          if w + 1 < workers then sem_post handoff.(w + 1)
+                          else sem_post finish)
+                      in
+                      (* a sweep may not lap the pipeline: everyone syncs
+                         before the next forward pass *)
+                      Blocks.Spin_barrier.wait bar)
+                in
+                return ()))
+       in
+       (* drain the completion tokens of the last band *)
+       for_ 1 (sweeps * n_strips) (fun _ -> sem_wait finish))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:14 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* bwaves: two coupled fields (pressure, velocity) under a 5-point-like
+   1-D stencil, double buffered per field. *)
+
+let bwaves ~workers ~cells ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "bwaves_main"
+      (let* _s = load_params 4 in
+       let* p0 = alloc cells in
+       let* p1 = alloc cells in
+       let* v0 = alloc cells in
+       let* v1 = alloc cells in
+       let* () = Blocks.write_fill p0 cells (fun i -> 100 + (i land 15)) in
+       let* () = Blocks.write_fill v0 cells (fun _ -> 0) in
+       let* () = Blocks.write_fill p1 cells (fun _ -> 0) in
+       let* () = Blocks.write_fill v1 cells (fun _ -> 0) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "bwaves_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:cells in
+              for_ 1 steps (fun s ->
+                  let psrc, pdst = if s land 1 = 1 then (p0, p1) else (p1, p0) in
+                  let vsrc, vdst = if s land 1 = 1 then (v0, v1) else (v1, v0) in
+                  let* () =
+                    call "flux_update"
+                      (for_ lo (hi - 1) (fun i ->
+                           let left = if i = 0 then cells - 1 else i - 1 in
+                           let right = (i + 1) mod cells in
+                           let* pc = read (psrc + i) in
+                           let* pl = read (psrc + left) in
+                           let* pr = read (psrc + right) in
+                           let* vc = read (vsrc + i) in
+                           let* () = compute 4 in
+                           let* () =
+                             write (pdst + i) ((pc + pl + pr + vc) / 3 land 0xffff)
+                           in
+                           write (vdst + i) ((vc + pr - pl) land 0xffff)))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:15 4) ] }
+
+(* ------------------------------------------------------------------ *)
+(* fma3d: finite elements.  Each element gathers its nodes' positions
+   (shared, scattered by other threads' elements) and scatter-adds forces
+   back under striped locks. *)
+
+let fma3d ~workers ~elements ~nodes ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let n_locks = 8 in
+  let main =
+    call "fma3d_main"
+      (let* _s = load_params 4 in
+       let* pos = alloc nodes in
+       let* force = alloc nodes in
+       let* () = Blocks.write_fill pos nodes (fun i -> i * 3) in
+       let* () = Blocks.write_fill force nodes (fun _ -> 0) in
+       let rec mk_locks k acc =
+         if k = 0 then return (Array.of_list (List.rev acc))
+         else
+           let* m = Sync.Mutex.create () in
+           mk_locks (k - 1) (m :: acc)
+       in
+       let* locks = mk_locks n_locks [] in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "fma3d_worker"
+             (let elo, ehi = Blocks.band w ~of_:workers ~total:elements in
+              for_ 1 steps (fun _ ->
+                  let* () =
+                    call "element_forces"
+                      (for_ elo (ehi - 1) (fun e ->
+                           (* the element's three nodes, spread across the
+                              mesh so they are shared between bands *)
+                           let n1 = e mod nodes in
+                           let n2 = (e * 7 + 3) mod nodes in
+                           let n3 = (e * 13 + 5) mod nodes in
+                           let* x1 = read (pos + n1) in
+                           let* x2 = read (pos + n2) in
+                           let* x3 = read (pos + n3) in
+                           let* () = compute 4 in
+                           let f = (x1 + x2 + x3) / 3 in
+                           iter_list
+                             (fun n ->
+                               Sync.Mutex.with_lock locks.(n mod n_locks)
+                                 (let* cur = read (force + n) in
+                                  write (force + n) ((cur + f) land 0xffff)))
+                             [ n1; n2; n3 ]))
+                  in
+                  let* () = Blocks.Spin_barrier.wait bar in
+                  let* () =
+                    call "advance_nodes"
+                      (let nlo, nhi = Blocks.band w ~of_:workers ~total:nodes in
+                       for_ nlo (nhi - 1) (fun n ->
+                           let* x = read (pos + n) in
+                           let* f = read (force + n) in
+                           let* () = compute 1 in
+                           let* () = write (pos + n) ((x + (f mod 9)) land 0xffff) in
+                           write (force + n) 0))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [ ("params", params_device ~seed:16 4) ] }
+
+(* ------------------------------------------------------------------ *)
+
+let specs =
+  [
+    {
+      Workload.name = "bt331";
+      suite = Workload.Omp;
+      description = "block solver with boundary exchange";
+      make =
+        (fun ~threads ~scale ~seed ->
+          bt331 ~workers:threads ~blocks:(max 4 (scale / 32)) ~block:8 ~steps:5
+            ~seed);
+    };
+    {
+      Workload.name = "botsspar";
+      suite = Workload.Omp;
+      description = "sparse LU task DAG over panels";
+      make =
+        (fun ~threads ~scale ~seed ->
+          botsspar ~workers:threads ~panels:(max 4 (scale / 25)) ~seed);
+    };
+    {
+      Workload.name = "ilbdc";
+      suite = Workload.Omp;
+      description = "lattice-Boltzmann pull-scheme streaming";
+      make =
+        (fun ~threads ~scale ~seed ->
+          ilbdc ~workers:threads ~cells:(max 16 (scale / 2)) ~steps:5 ~seed);
+    };
+    {
+      Workload.name = "applu";
+      suite = Workload.Omp;
+      description = "SSOR with pipelined wavefront handoff";
+      make =
+        (fun ~threads ~scale ~seed ->
+          applu ~workers:threads ~rows:(max 8 (scale / 16)) ~cols:16 ~sweeps:3
+            ~seed);
+    };
+    {
+      Workload.name = "bwaves";
+      suite = Workload.Omp;
+      description = "coupled-field wave stencil";
+      make =
+        (fun ~threads ~scale ~seed ->
+          bwaves ~workers:threads ~cells:(max 16 (scale / 2)) ~steps:5 ~seed);
+    };
+    {
+      Workload.name = "fma3d";
+      suite = Workload.Omp;
+      description = "finite elements with scatter-add under striped locks";
+      make =
+        (fun ~threads ~scale ~seed ->
+          fma3d ~workers:threads ~elements:(max 8 (scale / 4))
+            ~nodes:(max 8 (scale / 8)) ~steps:4 ~seed);
+    };
+  ]

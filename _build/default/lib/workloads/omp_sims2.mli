@@ -1,0 +1,26 @@
+(** The remaining SPEC OMP2012-style kernels, completing the 14-program
+    suite.  Distinct parallel shapes from {!Omp_sims}:
+
+    - [bt331]: block-structured solver; threads sweep block rows and
+      exchange block boundaries each phase;
+    - [botsspar]: sparse LU factorization as a task DAG (diagonal ->
+      panel -> trailing updates) distributed through a channel;
+    - [ilbdc]: lattice-Boltzmann streaming with a pull scheme over three
+      distribution directions, double buffered;
+    - [applu]: SSOR with *pipelined* wavefronts: point-to-point semaphore
+      handoff between neighbouring threads instead of global barriers;
+    - [bwaves]: two coupled fields under a 5-point stencil;
+    - [fma3d]: finite elements gathering shared node data and
+      scatter-adding forces under striped locks. *)
+
+val bt331 : workers:int -> blocks:int -> block:int -> steps:int -> seed:int -> Workload.t
+
+val botsspar : workers:int -> panels:int -> seed:int -> Workload.t
+val ilbdc : workers:int -> cells:int -> steps:int -> seed:int -> Workload.t
+val applu : workers:int -> rows:int -> cols:int -> sweeps:int -> seed:int -> Workload.t
+val bwaves : workers:int -> cells:int -> steps:int -> seed:int -> Workload.t
+
+val fma3d :
+  workers:int -> elements:int -> nodes:int -> steps:int -> seed:int -> Workload.t
+
+val specs : Workload.spec list

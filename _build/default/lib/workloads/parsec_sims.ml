@@ -1,0 +1,458 @@
+open Aprof_vm.Program
+module Sync = Aprof_vm.Sync
+module Device = Aprof_vm.Device
+module Rng = Aprof_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* fluidanimate: iterated grid stencil with barriers.  Particles live
+   in a shared array; each step every worker recomputes densities over
+   its band reading one halo cell on each side — cells its neighbours
+   wrote in the previous step. *)
+
+let fluidanimate ~workers ~particles ~steps ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "fluid_main"
+      (* double-buffered grids: each step reads the generation the other
+         threads finished writing before the previous barrier, which makes
+         the halo reads thread-induced without racing *)
+      (let* grid_a = alloc particles in
+       let* grid_b = alloc particles in
+       let* () = Blocks.write_fill grid_a particles (fun i -> (i * 13) land 0xff) in
+       let* () = Blocks.write_fill grid_b particles (fun _ -> 0) in
+       let* bar = Blocks.Spin_barrier.create ~parties:workers in
+       Blocks.run_workers workers (fun w ->
+           call "fluid_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:particles in
+              for_ 1 steps (fun s ->
+                  let src = if s land 1 = 1 then grid_a else grid_b in
+                  let dst = if s land 1 = 1 then grid_b else grid_a in
+                  let* () =
+                    call "compute_forces"
+                      (for_ lo (hi - 1) (fun i ->
+                           let* c = read (src + i) in
+                           let* l = if i > 0 then read (src + i - 1) else return 0 in
+                           let* r =
+                             if i < particles - 1 then read (src + i + 1)
+                             else return 0
+                           in
+                           let* () = compute 2 in
+                           write (dst + i) ((l + (2 * c) + r) / 4)))
+                  in
+                  Blocks.Spin_barrier.wait bar))))
+  in
+  { Workload.programs = [ main ]; devices = [] }
+
+(* ------------------------------------------------------------------ *)
+(* bodytrack: per-frame particle filter.  The main thread refills one
+   reused frame buffer from disk; workers score the shared particle set
+   against it, then the main thread resamples the particles. *)
+
+let bodytrack ~workers ~frames ~particles ~seed =
+  let workers = max 1 workers in
+  let frame_cells = 48 in
+  let rng = Rng.create seed in
+  let video =
+    Array.init (frames * frame_cells) (fun _ -> Rng.int rng 256)
+  in
+  let main =
+    call "bodytrack_main"
+      (let* frame = alloc frame_cells in
+       let* parts = alloc particles in
+       let* weights = alloc particles in
+       let* () = Blocks.write_fill parts particles (fun i -> i * 3) in
+       let* bar = Blocks.Spin_barrier.create ~parties:(workers + 1) in
+       let* fd = sys_open "video" in
+       let* _tids =
+         Blocks.spawn_all
+           (List.init workers (fun w ->
+                call "track_worker"
+                  (let lo, hi = Blocks.band w ~of_:workers ~total:particles in
+                   for_ 1 frames (fun _ ->
+                       let* () = Blocks.Spin_barrier.wait bar in
+                       (* frame ready *)
+                       let* () =
+                         call "eval_likelihood"
+                           (for_ lo (hi - 1) (fun i ->
+                                let* p = read (parts + i) in
+                                let* pix = read (frame + (p mod frame_cells)) in
+                                let* () = compute 3 in
+                                write (weights + i) ((p + pix) land 0xff)))
+                       in
+                       Blocks.Spin_barrier.wait bar))))
+       in
+       let* () =
+         for_ 1 frames (fun _ ->
+             let* _ = sys_read fd frame frame_cells in
+             let* () = Blocks.Spin_barrier.wait bar in
+             (* workers score *)
+             let* () = Blocks.Spin_barrier.wait bar in
+             call "resample"
+               (for_ 0 (particles - 1) (fun i ->
+                    let* w = read (weights + i) in
+                    let* p = read (parts + i) in
+                    let* () = compute 1 in
+                    write (parts + i) ((p + w) land 0xfff))))
+       in
+       (* Workers finish their last barrier_wait before exiting; joining
+          them is safe because the loop counts match. *)
+       Blocks.join_all _tids)
+  in
+  { Workload.programs = [ main ]; devices = [ ("video", Device.file video) ] }
+
+(* ------------------------------------------------------------------ *)
+(* swaptions: workers price disjoint swaptions by Monte Carlo on private
+   scratch memory; the only shared traffic is reading the parameters the
+   main thread wrote. *)
+
+let swaptions ~workers ~swaptions ~trials ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "swaptions_main"
+      (let* params = alloc swaptions in
+       let* results = alloc swaptions in
+       let* () = Blocks.write_fill params swaptions (fun i -> 100 + (i * 7)) in
+       Blocks.run_workers workers (fun w ->
+           call "hjm_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:swaptions in
+              let* scratch = alloc 16 in
+              for_ lo (hi - 1) (fun s ->
+                  call "price_swaption"
+                    (let* p = read (params + s) in
+                     let* sum =
+                       fold_range 1 trials 0 (fun t acc ->
+                           let* () =
+                             Blocks.write_fill scratch 16 (fun i ->
+                                 (p * (t + i)) land 0xffff)
+                           in
+                           let* v = Blocks.read_sum scratch 16 in
+                           let* () = compute 8 in
+                           return (acc + (v mod 97)))
+                     in
+                     write (results + s) (sum / max trials 1))))))
+  in
+  { Workload.programs = [ main ]; devices = [] }
+
+(* ------------------------------------------------------------------ *)
+(* x264: encode frames; each worker's motion search reads the reference
+   frame written by all workers during the previous frame. *)
+
+let x264 ~workers ~frames ~mbs ~seed =
+  let workers = max 1 workers in
+  let rng = Rng.create seed in
+  let video = Array.init (frames * mbs) (fun _ -> Rng.int rng 256) in
+  let main =
+    call "x264_main"
+      (let* current = alloc mbs in
+       (* two reconstruction frames: motion estimation references the
+          *previous* frame (read-only this phase) while this frame's
+          reconstruction is written — racing is structural otherwise *)
+       let* recon_a = alloc mbs in
+       let* recon_b = alloc mbs in
+       let* () = Blocks.write_fill recon_a mbs (fun _ -> 0) in
+       let* () = Blocks.write_fill recon_b mbs (fun _ -> 0) in
+       let* bar = Blocks.Spin_barrier.create ~parties:(workers + 1) in
+       let* fd = sys_open "video" in
+       let* tids =
+         Blocks.spawn_all
+           (List.init workers (fun w ->
+                call "encode_worker"
+                  (let lo, hi = Blocks.band w ~of_:workers ~total:mbs in
+                   for_ 1 frames (fun f ->
+                       let reff = if f land 1 = 1 then recon_a else recon_b in
+                       let out = if f land 1 = 1 then recon_b else recon_a in
+                       let* () = Blocks.Spin_barrier.wait bar in
+                       let* () =
+                         call "motion_search"
+                           (for_ lo (hi - 1) (fun mb ->
+                                let* cur = read (current + mb) in
+                                (* candidate motion vectors roam across
+                                   the whole reference frame, i.e. into
+                                   regions other workers reconstructed *)
+                                let* best =
+                                  fold_range 0 2 0 (fun k acc ->
+                                      let cand = (mb + 17 + (k * 23)) mod mbs in
+                                      let* r = read (reff + cand) in
+                                      let* () = compute 2 in
+                                      return (acc + r))
+                                in
+                                write (out + mb) ((cur + best) / 4)))
+                       in
+                       Blocks.Spin_barrier.wait bar))))
+       in
+       let* () =
+         for_ 1 frames (fun _ ->
+             let* _ = sys_read fd current mbs in
+             let* () = Blocks.Spin_barrier.wait bar in
+             Blocks.Spin_barrier.wait bar)
+       in
+       Blocks.join_all tids)
+  in
+  { Workload.programs = [ main ]; devices = [ ("video", Device.file video) ] }
+
+(* ------------------------------------------------------------------ *)
+(* canneal: simulated annealing over a shared netlist; every move reads
+   two elements last written by whichever thread moved them. *)
+
+let canneal ~workers ~elements ~moves ~seed:_ =
+  let workers = max 1 workers in
+  let main =
+    call "canneal_main"
+      (let* netlist = alloc elements in
+       let* () = Blocks.write_fill netlist elements (fun i -> i) in
+       let* lock = Sync.Mutex.create () in
+       Blocks.run_workers workers (fun _w ->
+           call "anneal_worker"
+             (for_ 1 moves (fun _ ->
+                  call "swap_cost"
+                    (let* i = random_int elements in
+                     let* j = random_int elements in
+                     Sync.Mutex.with_lock lock
+                       (let* a = read (netlist + i) in
+                        let* b = read (netlist + j) in
+                        let* () = compute 3 in
+                        let* () = write (netlist + i) b in
+                        write (netlist + j) a))))))
+  in
+  { Workload.programs = [ main ]; devices = [] }
+
+(* ------------------------------------------------------------------ *)
+(* ferret: a four-stage pipeline (load -> extract -> index -> rank)
+   chained by channels; queries arrive from disk, candidates come out of
+   a shared index table written at startup. *)
+
+let ferret ~workers:_ ~queries ~seed =
+  let feat_cells = 12 in
+  let index_cells = 64 in
+  let rng = Rng.create seed in
+  let images = Array.init (queries * feat_cells) (fun _ -> Rng.int rng 256) in
+  let main =
+    call "ferret_main"
+      (let* q_load = Sync.Channel.create 4 in
+       let* q_extract = Sync.Channel.create 4 in
+       let* q_index = Sync.Channel.create 4 in
+       let* feats = alloc (2 * feat_cells) in
+       (* two rotating feature slots, recycled only after the final stage
+          releases them *)
+       let* slots_free = sem_create 2 in
+       let* cands = alloc (2 * 4) in
+       let* index = alloc index_cells in
+       let* () = Blocks.write_fill index index_cells (fun i -> (i * 37) land 0xff) in
+       let* out = alloc 1 in
+       let* () = write out 0 in
+       let load_stage =
+         call "load_stage"
+           (let* fd = sys_open "imagedb" in
+            let* buf = alloc feat_cells in
+            for_ 0 (queries - 1) (fun q ->
+                let* _ = sys_read fd buf feat_cells in
+                let slot = q mod 2 in
+                let* () = sem_wait slots_free in
+                let* () =
+                  Blocks.copy ~src:buf ~dst:(feats + (slot * feat_cells))
+                    feat_cells
+                in
+                Sync.Channel.send q_load q))
+       in
+       let extract_stage =
+         call "extract_stage"
+           (for_ 0 (queries - 1) (fun _ ->
+                let* q = Sync.Channel.recv q_load in
+                let slot = q mod 2 in
+                let* () =
+                  call "extract_features"
+                    (let* s = Blocks.read_sum (feats + (slot * feat_cells)) feat_cells in
+                     let* () = compute 6 in
+                     write (feats + (slot * feat_cells)) (s land 0xff))
+                in
+                Sync.Channel.send q_extract q))
+       in
+       let index_stage =
+         call "index_stage"
+           (for_ 0 (queries - 1) (fun _ ->
+                let* q = Sync.Channel.recv q_extract in
+                let slot = q mod 2 in
+                let* () =
+                  call "index_lookup"
+                    (let* f = read (feats + (slot * feat_cells)) in
+                     for_ 0 3 (fun c ->
+                         let* v = read (index + ((f + (c * 17)) mod index_cells)) in
+                         let* () = compute 2 in
+                         write (cands + (slot * 4) + c) v))
+                in
+                Sync.Channel.send q_index q))
+       in
+       let rank_stage =
+         call "rank_stage"
+           (for_ 0 (queries - 1) (fun _ ->
+                let* q = Sync.Channel.recv q_index in
+                let slot = q mod 2 in
+                let* () =
+                  call "rank_candidates"
+                    (let* s = Blocks.read_sum (cands + (slot * 4)) 4 in
+                     let* best = read out in
+                     let* () = compute 2 in
+                     write out (max best (s mod 1000)))
+                in
+                sem_post slots_free))
+       in
+       let* tids = Blocks.spawn_all [ load_stage; extract_stage; index_stage; rank_stage ] in
+       Blocks.join_all tids)
+  in
+  { Workload.programs = [ main ]; devices = [ ("imagedb", Device.file images) ] }
+
+(* ------------------------------------------------------------------ *)
+(* streamcluster: blocks of points stream in from the network into one
+   reused buffer; workers assign points to shared medians each round. *)
+
+let streamcluster ~workers ~blocks ~block_points ~seed =
+  let workers = max 1 workers in
+  let medians = 4 in
+  let main =
+    call "streamcluster_main"
+      (let* block = alloc block_points in
+       let* centers = alloc medians in
+       let* () = Blocks.write_fill centers medians (fun i -> i * 50) in
+       let* assign = alloc block_points in
+       let* bar = Blocks.Spin_barrier.create ~parties:(workers + 1) in
+       let* fd = sys_open "net" in
+       let* tids =
+         Blocks.spawn_all
+           (List.init workers (fun w ->
+                call "cluster_worker"
+                  (let lo, hi = Blocks.band w ~of_:workers ~total:block_points in
+                   for_ 1 blocks (fun _ ->
+                       let* () = Blocks.Spin_barrier.wait bar in
+                       let* () =
+                         call "assign_points"
+                           (for_ lo (hi - 1) (fun i ->
+                                let* p = read (block + i) in
+                                let* best =
+                                  fold_range 0 (medians - 1) 0 (fun m acc ->
+                                      let* c = read (centers + m) in
+                                      let* () = compute 1 in
+                                      return (if abs (p - c) < abs (p - acc) then c else acc))
+                                in
+                                write (assign + i) best))
+                       in
+                       Blocks.Spin_barrier.wait bar))))
+       in
+       let* () =
+         for_ 1 blocks (fun b ->
+             let* _ = sys_read fd block block_points in
+             let* () = Blocks.Spin_barrier.wait bar in
+             let* () = Blocks.Spin_barrier.wait bar in
+             call "update_centers"
+               (for_ 0 (medians - 1) (fun m ->
+                    let* c = read (centers + m) in
+                    let* a = read (assign + (m * block_points / medians)) in
+                    let* () = compute 2 in
+                    write (centers + m) ((c + a + b) / 2))))
+       in
+       Blocks.join_all tids)
+  in
+  {
+    Workload.programs = [ main ];
+    devices = [ ("net", Device.stream (fun i -> (i * 97 * seed) land 0xff)) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* blackscholes: one bulk load of option parameters, then fully
+   independent pricing over disjoint bands. *)
+
+let blackscholes ~workers ~options ~seed =
+  let workers = max 1 workers in
+  let rng = Rng.create seed in
+  let option_data = Array.init options (fun _ -> 50 + Rng.int rng 100) in
+  let main =
+    call "blackscholes_main"
+      (let* data = alloc options in
+       let* prices = alloc options in
+       let* fd = sys_open "options" in
+       let* _ = sys_read fd data options in
+       Blocks.run_workers workers (fun w ->
+           call "bs_worker"
+             (let lo, hi = Blocks.band w ~of_:workers ~total:options in
+              for_ lo (hi - 1) (fun i ->
+                  call "bs_price"
+                    (let* s = read (data + i) in
+                     let* () = compute 10 in
+                     write (prices + i) ((s * 7) mod 1000))))))
+  in
+  {
+    Workload.programs = [ main ];
+    devices = [ ("options", Device.file option_data) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let specs =
+  [
+    {
+      Workload.name = "fluidanimate";
+      suite = Workload.Parsec;
+      description = "barrier-synchronized particle grid stencil";
+      make =
+        (fun ~threads ~scale ~seed ->
+          fluidanimate ~workers:threads ~particles:scale ~steps:8 ~seed);
+    };
+    {
+      Workload.name = "bodytrack";
+      suite = Workload.Parsec;
+      description = "particle filter over streamed video frames";
+      make =
+        (fun ~threads ~scale ~seed ->
+          bodytrack ~workers:threads ~frames:(max 2 (scale / 40))
+            ~particles:scale ~seed);
+    };
+    {
+      Workload.name = "swaptions";
+      suite = Workload.Parsec;
+      description = "independent Monte Carlo swaption pricing";
+      make =
+        (fun ~threads ~scale ~seed ->
+          swaptions ~workers:threads ~swaptions:(max 4 (scale / 8)) ~trials:6
+            ~seed);
+    };
+    {
+      Workload.name = "x264";
+      suite = Workload.Parsec;
+      description = "frame encoder with cross-thread reference frames";
+      make =
+        (fun ~threads ~scale ~seed ->
+          x264 ~workers:threads ~frames:(max 2 (scale / 30)) ~mbs:60 ~seed);
+    };
+    {
+      Workload.name = "canneal";
+      suite = Workload.Parsec;
+      description = "lock-based annealing over a shared netlist";
+      make =
+        (fun ~threads ~scale ~seed ->
+          canneal ~workers:threads ~elements:scale ~moves:(max 8 (scale / 2))
+            ~seed);
+    };
+    {
+      Workload.name = "ferret";
+      suite = Workload.Parsec;
+      description = "four-stage similarity-search pipeline";
+      make =
+        (fun ~threads:_ ~scale ~seed -> ferret ~workers:4 ~queries:(max 4 (scale / 10)) ~seed);
+    };
+    {
+      Workload.name = "streamcluster";
+      suite = Workload.Parsec;
+      description = "online clustering of streamed point blocks";
+      make =
+        (fun ~threads ~scale ~seed ->
+          streamcluster ~workers:threads ~blocks:(max 2 (scale / 50))
+            ~block_points:48 ~seed);
+    };
+    {
+      Workload.name = "blackscholes";
+      suite = Workload.Parsec;
+      description = "independent option pricing after one bulk load";
+      make =
+        (fun ~threads ~scale ~seed ->
+          blackscholes ~workers:threads ~options:scale ~seed);
+    };
+  ]

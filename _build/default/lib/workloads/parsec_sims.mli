@@ -1,0 +1,40 @@
+(** Miniatures of the remaining PARSEC 2.1 benchmarks used in the
+    evaluation (vips and dedup have dedicated modules).  Each reproduces
+    its original's communication structure, which is what determines its
+    drms/rms signature:
+
+    - [fluidanimate]: barrier-synchronized grid stencil; workers read
+      halo cells written by neighbour threads (thread input).
+    - [bodytrack]: frames stream from disk into a reused buffer
+      (external input per frame); workers score shared particles against
+      each frame (thread + external).
+    - [swaptions]: embarrassingly parallel Monte Carlo over privately
+      owned state; dynamic input only at work distribution.
+    - [x264]: per-frame encoding where motion estimation reads the
+      reference frame reconstructed by other workers (thread) and the
+      current frame from disk (external).
+    - [canneal]: lock-protected random element swaps over a shared
+      netlist (thread).
+    - [ferret]: four-stage similarity-search pipeline over channels
+      (thread + external image loads).
+    - [streamcluster]: network point stream into a reused block
+      (external) clustered against shared medians (thread).
+    - [blackscholes]: one bulk option load from disk, then independent
+      pricing (external once, minimal thread). *)
+
+val fluidanimate : workers:int -> particles:int -> steps:int -> seed:int -> Workload.t
+
+val bodytrack : workers:int -> frames:int -> particles:int -> seed:int -> Workload.t
+
+val swaptions : workers:int -> swaptions:int -> trials:int -> seed:int -> Workload.t
+
+val x264 : workers:int -> frames:int -> mbs:int -> seed:int -> Workload.t
+val canneal : workers:int -> elements:int -> moves:int -> seed:int -> Workload.t
+val ferret : workers:int -> queries:int -> seed:int -> Workload.t
+
+val streamcluster :
+  workers:int -> blocks:int -> block_points:int -> seed:int -> Workload.t
+
+val blackscholes : workers:int -> options:int -> seed:int -> Workload.t
+
+val specs : Workload.spec list

@@ -1,0 +1,73 @@
+open Aprof_vm.Program
+
+let producer_consumer ~n =
+  (* The shared cell and semaphores must exist before either party runs:
+     a coordinator thread allocates them and spawns both. *)
+  let coordinator =
+    let* x = alloc 1 in
+    let* empty = sem_create 1 in
+    let* full = sem_create 0 in
+    let* mutex = sem_create 1 in
+    let produce_data i = call "produceData" (write x (i * 7)) in
+    let consume_data =
+      call "consumeData"
+        (let* v = read x in
+         compute (1 + (v land 1)))
+    in
+    let producer =
+      call "producer"
+        (for_ 1 n (fun i ->
+             let* () = sem_wait empty in
+             let* () = sem_wait mutex in
+             let* () = produce_data i in
+             let* () = sem_post mutex in
+             sem_post full))
+    in
+    let consumer =
+      call "consumer"
+        (for_ 1 n (fun _ ->
+             let* () = sem_wait full in
+             let* () = sem_wait mutex in
+             let* () = consume_data in
+             let* () = sem_post mutex in
+             sem_post empty))
+    in
+    let* p = spawn producer in
+    let* c = spawn consumer in
+    let* () = join p in
+    join c
+  in
+  { Workload.programs = [ coordinator ]; devices = [] }
+
+let stream_reader ~n =
+  let reader =
+    call "streamReader"
+      (let* b = alloc 2 in
+       let* fd = sys_open "net" in
+       for_ 1 n (fun _ ->
+           let* got = sys_read fd b 2 in
+           let* () = when_ (got < 2) (compute 1) in
+           call "consumeData"
+             (let* v = read b in
+              compute (1 + (v land 3)))))
+  in
+  {
+    Workload.programs = [ reader ];
+    devices = [ ("net", Aprof_vm.Device.stream (fun i -> (i * 31) land 0xff)) ];
+  }
+
+let specs =
+  [
+    {
+      Workload.name = "producer_consumer";
+      suite = Workload.Micro;
+      description = "Figure 2: semaphore producer-consumer over one cell";
+      make = (fun ~threads:_ ~scale ~seed:_ -> producer_consumer ~n:scale);
+    };
+    {
+      Workload.name = "stream_reader";
+      suite = Workload.Micro;
+      description = "Figure 3: buffered reads from an external stream";
+      make = (fun ~threads:_ ~scale ~seed:_ -> stream_reader ~n:scale);
+    };
+  ]

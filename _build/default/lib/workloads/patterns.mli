@@ -1,0 +1,17 @@
+(** The two dynamic-workload patterns of Section 2, as runnable VM
+    programs. *)
+
+(** Figure 2, producer-consumer: the producer writes [n] values to one
+    shared cell under the classic three-semaphore protocol; the consumer
+    reads each.  Expected on the [consumer] routine: rms = 1,
+    drms = [n]. *)
+val producer_consumer : n:int -> Workload.t
+
+(** Figure 3, buffered data streaming: [stream_reader] fills a 2-cell
+    buffer from an external stream [n] times and processes [b[0]] after
+    each refill.  Expected on [stream_reader]: rms = 1 (well, the single
+    distinct buffered cell), drms = [n]. *)
+val stream_reader : n:int -> Workload.t
+
+(** [specs] registers both patterns (the [scale] parameter is [n]). *)
+val specs : Workload.spec list

@@ -1,0 +1,15 @@
+let all =
+  Patterns.specs @ Sorting.specs
+  @ [ Mysql_sim.spec; Vips_sim.spec; Dedup_sim.spec ]
+  @ Parsec_sims.specs @ Omp_sims.specs @ Omp_sims2.specs
+
+let find name =
+  List.find_opt (fun s -> s.Workload.name = name) all
+
+let by_suite suite = List.filter (fun s -> s.Workload.suite = suite) all
+
+let names () = List.map (fun s -> s.Workload.name) all
+
+let default_threads = 4
+let default_scale = 400
+let default_seed = 42

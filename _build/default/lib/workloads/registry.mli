@@ -1,0 +1,18 @@
+(** All registered benchmark workloads, by name and by suite. *)
+
+val all : Workload.spec list
+
+(** [find name] — the spec registered under [name], if any. *)
+val find : string -> Workload.spec option
+
+(** [by_suite suite] in registration order. *)
+val by_suite : Workload.suite -> Workload.spec list
+
+val names : unit -> string list
+
+(** The suite-defaults used by the benchmark harness: thread count,
+    scale, and seed per spec. *)
+val default_threads : int
+
+val default_scale : int
+val default_seed : int

@@ -1,0 +1,154 @@
+open Aprof_vm.Program
+
+let fill_random a n =
+  for_ 0 (n - 1) (fun i ->
+      let* v = random_int 1_000_000 in
+      write (a + i) v)
+
+let selection_sort a n =
+  call "selection_sort"
+    (for_ 0 (n - 2) (fun i ->
+         let* mi =
+           fold_range (i + 1) (n - 1) i (fun j mi ->
+               let* vj = read (a + j) in
+               let* vm = read (a + mi) in
+               let* () = compute 1 in
+               return (if vj < vm then j else mi))
+         in
+         when_ (mi <> i)
+           (let* vi = read (a + i) in
+            let* vm = read (a + mi) in
+            let* () = write (a + i) vm in
+            write (a + mi) vi)))
+
+let insertion_sort a n =
+  call "insertion_sort"
+    (for_ 1 (n - 1) (fun i ->
+         let* key = read (a + i) in
+         let rec shift j =
+           if j < 0 then write (a + 0) key
+           else
+             let* vj = read (a + j) in
+             let* () = compute 1 in
+             if vj > key then
+               let* () = write (a + j + 1) vj in
+               shift (j - 1)
+             else write (a + j + 1) key
+         in
+         shift (i - 1)))
+
+let merge_sort a n =
+  let merge lo mid hi tmp =
+    (* copy [lo, hi) to tmp, then merge back *)
+    let* () =
+      for_ lo (hi - 1) (fun i ->
+          let* v = read (a + i) in
+          write (tmp + i) v)
+    in
+    let rec emit i j k =
+      if k >= hi then return ()
+      else if i >= mid then
+        let* v = read (tmp + j) in
+        let* () = write (a + k) v in
+        emit i (j + 1) (k + 1)
+      else if j >= hi then
+        let* v = read (tmp + i) in
+        let* () = write (a + k) v in
+        emit (i + 1) j (k + 1)
+      else
+        let* vi = read (tmp + i) in
+        let* vj = read (tmp + j) in
+        let* () = compute 1 in
+        if vi <= vj then
+          let* () = write (a + k) vi in
+          emit (i + 1) j (k + 1)
+        else
+          let* () = write (a + k) vj in
+          emit i (j + 1) (k + 1)
+    in
+    emit lo mid lo
+  in
+  call "merge_sort"
+    (let* tmp = alloc n in
+     let rec go lo hi =
+       if hi - lo <= 1 then return ()
+       else begin
+         let mid = (lo + hi) / 2 in
+         let* () = go lo mid in
+         let* () = go mid hi in
+         merge lo mid hi tmp
+       end
+     in
+     go 0 n)
+
+let binary_search a n key =
+  call "binary_search"
+    (let rec go lo hi =
+       if lo >= hi then return (-1)
+       else begin
+         let mid = (lo + hi) / 2 in
+         let* v = read (a + mid) in
+         let* () = compute 1 in
+         if v = key then return mid
+         else if v < key then go (mid + 1) hi
+         else go lo mid
+       end
+     in
+     let* _ = go 0 n in
+     return ())
+
+let with_random_array ~n body =
+  let* a = alloc n in
+  let* () = fill_random a n in
+  body a
+
+let one_thread p = { Workload.programs = [ p ]; devices = [] }
+
+let selection_sort_run ~n ~seed:_ =
+  one_thread (with_random_array ~n (fun a -> selection_sort a n))
+
+let insertion_sort_run ~n ~seed:_ =
+  one_thread (with_random_array ~n (fun a -> insertion_sort a n))
+
+let merge_sort_run ~n ~seed:_ =
+  one_thread (with_random_array ~n (fun a -> merge_sort a n))
+
+let binary_search_run ~n ~lookups ~seed:_ =
+  one_thread
+    (let* a = alloc n in
+     (* Sorted input so the search contract holds. *)
+     let* () = for_ 0 (n - 1) (fun i -> write (a + i) (2 * i)) in
+     for_ 1 lookups (fun _ ->
+         let* key = random_int (2 * n) in
+         binary_search a n key))
+
+let specs =
+  let make f = fun ~threads:_ ~scale ~seed -> f ~n:scale ~seed in
+  [
+    {
+      Workload.name = "selection_sort";
+      suite = Workload.Micro;
+      description = "Figure 10: quadratic selection sort on a random array";
+      make = make selection_sort_run;
+    };
+    {
+      Workload.name = "insertion_sort";
+      suite = Workload.Micro;
+      description = "insertion sort on a random array";
+      make = make insertion_sort_run;
+    };
+    {
+      Workload.name = "merge_sort";
+      suite = Workload.Micro;
+      description = "n log n merge sort on a random array";
+      make = make merge_sort_run;
+    };
+    {
+      Workload.name = "binary_search";
+      suite = Workload.Micro;
+      description = "logarithmic searches in a sorted array";
+      make =
+        (fun ~threads:_ ~scale ~seed ->
+          binary_search_run ~n:scale ~lookups:50 ~seed);
+    };
+  ]

@@ -1,0 +1,26 @@
+(** Sorting kernels over simulated memory — the Figure 10 workload
+    (selection sort) plus friends with different asymptotics, used by the
+    cost-function fitting examples. *)
+
+(** [selection_sort_run ~n ~seed] sorts a random [n]-cell array inside
+    routine [selection_sort]: rms = drms = n, cost = Θ(n²). *)
+val selection_sort_run : n:int -> seed:int -> Workload.t
+
+(** [insertion_sort_run ~n ~seed]: Θ(n²) worst, Θ(n) on sorted input. *)
+val insertion_sort_run : n:int -> seed:int -> Workload.t
+
+(** [merge_sort_run ~n ~seed]: Θ(n log n). *)
+val merge_sort_run : n:int -> seed:int -> Workload.t
+
+(** [binary_search_run ~n ~lookups ~seed]: [lookups] searches in a sorted
+    array inside routine [binary_search], each Θ(log n). *)
+val binary_search_run : n:int -> lookups:int -> seed:int -> Workload.t
+
+(** DSL fragments, reusable from other workloads: sort [n] cells starting
+    at the given address. *)
+val selection_sort : Aprof_vm.Program.addr -> int -> unit Aprof_vm.Program.t
+
+val insertion_sort : Aprof_vm.Program.addr -> int -> unit Aprof_vm.Program.t
+val merge_sort : Aprof_vm.Program.addr -> int -> unit Aprof_vm.Program.t
+
+val specs : Workload.spec list

@@ -1,0 +1,271 @@
+open Aprof_vm.Program
+module Sync = Aprof_vm.Sync
+module Device = Aprof_vm.Device
+module Rng = Aprof_util.Rng
+
+let width = 16
+
+(* Tiles alternate 8 and 9 rows so the writer sees exactly two region
+   sizes — the two rms classes of Figure 6a. *)
+let tile_rows_of r = if r mod 2 = 0 then 8 else 9
+let max_tile_rows = 9
+
+let tiles_of_height h =
+  let rec go r remaining acc =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let rows = min (tile_rows_of r) remaining in
+      go (r + 1) (remaining - rows) (rows :: acc)
+    end
+  in
+  go 0 h []
+
+let region_calls ~heights =
+  List.fold_left (fun acc h -> acc + List.length (tiles_of_height h)) 0 heights
+
+(* Heights that tile exactly into the 8/9 alternation (no ragged final
+   tile), totalling 110 writer calls — the call count of Figure 6. *)
+let default_heights = [ 68; 102; 119; 136; 153; 170; 187 ]
+
+(* Channel message encodings (single-int messages keep multi-producer
+   channels atomic). *)
+let enc_job ~pos ~rows ~buf = (((pos * 64) + rows) * 16) + buf
+
+let dec_job msg =
+  let buf = msg mod 16 in
+  let rows = msg / 16 mod 64 in
+  let pos = msg / 16 / 64 in
+  (pos, rows, buf)
+
+let enc_wjob ~seq ~wbuf ~cells = (((seq * 16) + wbuf) * 16384) + cells
+
+let dec_wjob msg =
+  let cells = msg mod 16384 in
+  let wbuf = msg / 16384 mod 16 in
+  let seq = msg / 16384 / 16 in
+  (seq, wbuf, cells)
+
+let poison = -1
+
+type shared = {
+  jobs : Sync.Channel.t;
+  done_ch : Sync.Channel.t;
+  wjobs : Sync.Channel.t;
+  tile_bufs : addr array; (* the shared pool [im_generate] reads from *)
+  wbufs : addr array; (* two rotating write regions *)
+  wbuf_free : sem;
+  pressure : addr; (* io-pressure cell the workers keep bumping *)
+  pressure_lock : Sync.Mutex.t;
+  stats : addr;
+}
+
+(* One worker: load tile input from disk (external), convolve into the
+   assigned shared tile buffer, bump io pressure, report completion. *)
+let worker sh _i =
+  call "vips_worker"
+    (let* fd = sys_open "image.v" in
+     let* priv = alloc (max_tile_rows * width) in
+     let rec serve () =
+       let* msg = Sync.Channel.recv sh.jobs in
+       if msg = poison then return ()
+       else begin
+         let pos, rows, buf = dec_job msg in
+         let cells = rows * width in
+         let tile = sh.tile_bufs.(buf) in
+         let* () =
+           call "linear_stage"
+             (let* _got = sys_pread fd priv cells ~pos in
+              compute rows)
+         in
+         let* () =
+           call "conv_stage"
+             (for_ 0 (cells - 1) (fun c ->
+                  let* v = read (priv + c) in
+                  let* l = if c > 0 then read (priv + c - 1) else return 0 in
+                  let* () = compute 1 in
+                  write (tile + c) ((v + l) / 2)))
+         in
+         let* () =
+           Sync.Mutex.with_lock sh.pressure_lock
+             (let* p = read sh.pressure in
+              write sh.pressure (p + 1))
+         in
+         let* () = Sync.Channel.send sh.done_ch msg in
+         serve ()
+       end
+     in
+     serve ())
+
+(* The background flusher of Figure 6. *)
+let wbuffer_writer sh =
+  call "wbuffer_writer"
+    (let* out = sys_open "out.v" in
+     let* mfd = sys_open "meta" in
+     let* meta = alloc 4 in
+     let rec serve () =
+       let* msg = Sync.Channel.recv sh.wjobs in
+       if msg = poison then return ()
+       else begin
+         let seq, wbuf, cells = dec_wjob msg in
+         let region = sh.wbufs.(wbuf) in
+         let* () =
+           call "wbuffer_write_thread"
+             ((* Drain the region (thread input: the main thread wrote it). *)
+              let* _sum = Blocks.read_sum region cells in
+              let* _ = sys_write out region cells in
+              (* Re-check on-disk metadata a data-dependent number of
+                 times: each pread refreshes the same 4 cells, so every
+                 round adds 4 induced external first-reads while the rms
+                 stays at 4. *)
+              let polls = 1 + (seq * 2654435761 land 0x7F) in
+              let* () =
+                for_ 1 polls (fun _ ->
+                    let* _ = sys_pread mfd meta 4 ~pos:(seq mod 50 * 4) in
+                    let* _m = Blocks.read_sum meta 4 in
+                    return ())
+              in
+              (* Watch io pressure; workers rewrite it concurrently, so
+                 the induced count here varies with the interleaving. *)
+              for_ 1 (1 + (seq mod 5)) (fun _ ->
+                  let* () =
+                    Sync.Mutex.with_lock sh.pressure_lock
+                      (let* _p = read sh.pressure in
+                       return ())
+                  in
+                  yield))
+         in
+         let* () = sem_post sh.wbuf_free in
+         serve ()
+       end
+     in
+     serve ())
+
+(* Dispatch all tiles of one image and reduce every completed tile out of
+   the shared pool; ship each reduced tile to the writer. *)
+let im_generate sh ~n_bufs ~img_base ~h ~seq0 =
+  call "im_generate"
+    (let tiles = Array.of_list (tiles_of_height h) in
+     let n_tiles = Array.length tiles in
+     let pos_of = Array.make n_tiles 0 in
+     let () =
+       let acc = ref img_base in
+       Array.iteri
+         (fun i rows ->
+           pos_of.(i) <- !acc;
+           acc := !acc + (rows * width))
+         tiles
+     in
+     let send_job i buf =
+       Sync.Channel.send sh.jobs (enc_job ~pos:pos_of.(i) ~rows:tiles.(i) ~buf)
+     in
+     let prefill = min n_bufs n_tiles in
+     let* () = for_ 0 (prefill - 1) (fun i -> send_job i i) in
+     let* _ =
+       fold_range 0 (n_tiles - 1) prefill (fun k next ->
+           let* msg = Sync.Channel.recv sh.done_ch in
+           let _pos, rows, buf = dec_job msg in
+           let cells = rows * width in
+           let tile = sh.tile_bufs.(buf) in
+           (* Reduce the tile (thread input: a worker wrote it). *)
+           let* s = Blocks.read_sum tile cells in
+           let* old = read (sh.stats + (seq0 + k) mod 4) in
+           let* () = write (sh.stats + (seq0 + k) mod 4) (old + s) in
+           (* Stage the tile into a free write region. *)
+           let* () = sem_wait sh.wbuf_free in
+           let wbuf = (seq0 + k) mod 2 in
+           let* () = Blocks.copy ~src:tile ~dst:sh.wbufs.(wbuf) cells in
+           let* () =
+             Sync.Channel.send sh.wjobs (enc_wjob ~seq:(seq0 + k) ~wbuf ~cells)
+           in
+           (* Hand the freed tile buffer to the next pending tile. *)
+           if next < n_tiles then
+             let* () = send_job next buf in
+             return (next + 1)
+           else return next)
+     in
+     return ())
+
+let pipeline ~workers ~heights ~seed =
+  let workers = max 1 workers in
+  let n_bufs = workers + 1 in
+  let total_cells =
+    List.fold_left (fun acc h -> acc + (h * width)) 0 heights
+  in
+  let rng = Rng.create seed in
+  let image = Array.init total_cells (fun _ -> Rng.int rng 256) in
+  let meta = Array.init 256 (fun i -> (i * 17) land 0xff) in
+  let main =
+    call "vips_main"
+      (let* jobs = Sync.Channel.create (2 * workers) in
+       let* done_ch = Sync.Channel.create (2 * workers) in
+       let* wjobs = Sync.Channel.create 2 in
+       let* wbuf_free = sem_create 2 in
+       let* pressure = alloc 1 in
+       let* () = write pressure 0 in
+       let* pressure_lock = Sync.Mutex.create () in
+       let* stats = alloc 4 in
+       let* () = Blocks.write_fill stats 4 (fun _ -> 0) in
+       let alloc_bufs n cells =
+         let rec go k acc =
+           if k = 0 then return (Array.of_list (List.rev acc))
+           else
+             let* a = alloc cells in
+             go (k - 1) (a :: acc)
+         in
+         go n []
+       in
+       let* tile_bufs = alloc_bufs n_bufs (max_tile_rows * width) in
+       let* wbufs = alloc_bufs 2 (max_tile_rows * width) in
+       let sh =
+         {
+           jobs;
+           done_ch;
+           wjobs;
+           tile_bufs;
+           wbufs;
+           wbuf_free;
+           pressure;
+           pressure_lock;
+           stats;
+         }
+       in
+       let* wtids = Blocks.spawn_all (List.init workers (fun i -> worker sh i)) in
+       let* writer_tid = spawn (wbuffer_writer sh) in
+       let* _ =
+         fold_range 0
+           (List.length heights - 1)
+           (0, 0)
+           (fun i (img_base, seq0) ->
+             let h = List.nth heights i in
+             let* () = im_generate sh ~n_bufs ~img_base ~h ~seq0 in
+             return
+               (img_base + (h * width), seq0 + List.length (tiles_of_height h)))
+       in
+       let* () = for_ 1 workers (fun _ -> Sync.Channel.send sh.jobs poison) in
+       let* () = Sync.Channel.send sh.wjobs poison in
+       let* () = Blocks.join_all wtids in
+       join writer_tid)
+  in
+  {
+    Workload.programs = [ main ];
+    devices =
+      [
+        ("image.v", Device.file image);
+        ("meta", Device.file meta);
+        ("out.v", Device.sink ());
+      ];
+  }
+
+let spec =
+  {
+    Workload.name = "vips";
+    suite = Workload.Parsec;
+    description = "threaded image pipeline with background write buffering";
+    make =
+      (fun ~threads ~scale ~seed ->
+        (* Scale stretches the image heights proportionally. *)
+        let heights =
+          List.map (fun h -> max 16 (h * scale / 100)) default_heights
+        in
+        pipeline ~workers:threads ~heights ~seed);
+  }

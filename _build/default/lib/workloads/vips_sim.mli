@@ -1,0 +1,35 @@
+(** A miniature of the vips image-processing pipeline (PARSEC), the
+    paper's second case study (Figures 5, 6 and 13b).
+
+    Structure, mirroring the original's threaded evaluation:
+
+    - worker threads pull tile jobs from a channel, load their tile's
+      input rows from disk into a private reused buffer (external input),
+      convolve, and write the result into one of a pool of shared tile
+      buffers;
+    - the main thread's [im_generate] dispatches tiles and reduces every
+      completed tile out of the shared buffers (thread input): the tile
+      buffers are reused, so its rms plateaus near the pool size while
+      its drms tracks the whole image — reproducing Figure 5;
+    - a background [wbuffer_write_thread] flushes completed regions to
+      disk out of two rotating write buffers, polling both an on-disk
+      metadata block (external input, variable length per call) and a
+      shared io-pressure counter that workers keep updating (thread
+      input, scheduling-dependent) — reproducing the Figure 6 effect
+      where the rms collapses all 110 calls onto two input sizes while
+      the drms separates nearly all of them. *)
+
+(** [pipeline ~workers ~heights ~seed] processes one image per entry of
+    [heights] (rows of width {!width}). *)
+val pipeline : workers:int -> heights:int list -> seed:int -> Workload.t
+
+val width : int
+
+(** [region_calls ~heights] is how many [wbuffer_write_thread] calls a
+    run will perform (to pick heights hitting the paper's 110). *)
+val region_calls : heights:int list -> int
+
+(** Default heights giving roughly 110 writer calls. *)
+val default_heights : int list
+
+val spec : Workload.spec

@@ -1,0 +1,35 @@
+type t = {
+  programs : unit Aprof_vm.Program.t list;
+  devices : (string * Aprof_vm.Device.t) list;
+}
+
+type suite = Parsec | Omp | App | Micro
+
+type spec = {
+  name : string;
+  suite : suite;
+  description : string;
+  make : threads:int -> scale:int -> seed:int -> t;
+}
+
+let suite_name = function
+  | Parsec -> "parsec"
+  | Omp -> "omp2012"
+  | App -> "app"
+  | Micro -> "micro"
+
+let run ?(scheduler = Aprof_vm.Scheduler.Round_robin { slice = 64 })
+    ?(max_events = 50_000_000) w ~seed =
+  let config =
+    {
+      Aprof_vm.Interp.scheduler;
+      seed;
+      devices = w.devices;
+      max_events;
+      reuse_freed_memory = false;
+    }
+  in
+  Aprof_vm.Interp.run config w.programs
+
+let run_spec ?scheduler ?max_events spec ~threads ~scale ~seed =
+  run ?scheduler ?max_events (spec.make ~threads ~scale ~seed) ~seed

@@ -1,0 +1,1 @@
+test/gen_trace.ml: Aprof_trace Aprof_util Array List QCheck2 Random Seq String

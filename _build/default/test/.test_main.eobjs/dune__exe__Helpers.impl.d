@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Aprof_core Aprof_trace Aprof_util Aprof_workloads List

@@ -1,0 +1,1 @@
+test/test_cct.ml: Alcotest Aprof_core Aprof_trace Aprof_vm Aprof_workloads Format Helpers List Option

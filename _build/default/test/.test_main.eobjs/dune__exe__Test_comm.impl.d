@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Aprof_core Aprof_trace Aprof_util Aprof_vm Aprof_workloads Gen_trace List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Aprof_core Aprof_trace Aprof_util List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Aprof_core Aprof_util Gen_trace Helpers List Option QCheck2 QCheck_alcotest

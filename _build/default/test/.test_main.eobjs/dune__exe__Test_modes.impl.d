@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Aprof_core Aprof_vm Aprof_workloads Gen_trace Helpers List Option QCheck2 QCheck_alcotest

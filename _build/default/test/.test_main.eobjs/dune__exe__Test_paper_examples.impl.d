@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Aprof_vm Aprof_workloads Helpers List Profile Trace

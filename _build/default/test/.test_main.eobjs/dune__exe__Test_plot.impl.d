@@ -1,0 +1,1 @@
+test/test_plot.ml: Alcotest Aprof_plot String

@@ -1,0 +1,1 @@
+test/test_profile_io.ml: Alcotest Aprof_core Aprof_trace Aprof_vm Aprof_workloads Helpers List Option

@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest Aprof_core Aprof_trace Aprof_vm List Option

@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Aprof_shadow Hashtbl List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Aprof_core Aprof_tools Aprof_trace Aprof_util Aprof_vm Aprof_workloads Format List Option

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Aprof_trace Aprof_util Aprof_workloads Filename Gen_trace In_channel List Out_channel QCheck2 QCheck_alcotest Sys

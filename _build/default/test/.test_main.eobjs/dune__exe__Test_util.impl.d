@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Aprof_util Array Float List QCheck2 QCheck_alcotest

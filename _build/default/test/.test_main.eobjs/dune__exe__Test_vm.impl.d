@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Aprof_trace Aprof_util Aprof_vm Aprof_workloads List String

@@ -1,0 +1,1 @@
+test/test_workload_suite.ml: Alcotest Aprof_tools Aprof_util Aprof_vm Aprof_workloads Format Helpers List Profile Trace

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Aprof_core Aprof_vm Aprof_workloads Helpers List Profile Trace

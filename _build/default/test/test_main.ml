@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "aprof-drms"
+    [
+      ("util", Test_util.suite);
+      ("shadow", Test_shadow.suite);
+      ("trace", Test_trace.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("differential", Test_differential.suite);
+      ("workloads", Test_workloads.suite);
+      ("vm", Test_vm.suite);
+      ("tools", Test_tools.suite);
+      ("core-units", Test_core_units.suite);
+      ("comm", Test_comm.suite);
+      ("reuse", Test_reuse.suite);
+      ("profile-io", Test_profile_io.suite);
+      ("modes", Test_modes.suite);
+      ("cct", Test_cct.suite);
+      ("plot", Test_plot.suite);
+      ("workload-suite", Test_workload_suite.suite);
+    ]

@@ -1,0 +1,121 @@
+(* Exact drms/rms values from the paper's worked examples: Figure 1a/1b,
+   the producer-consumer pattern (Figure 2), buffered streaming
+   (Figure 3), and the ancestor-decrement path. *)
+
+open Helpers
+module Workloads = Aprof_workloads
+
+let check_values msg profile ~tid ~routine ~rms ~drms =
+  Alcotest.(check (list int)) (msg ^ " drms") drms (drms_values profile ~tid ~routine);
+  Alcotest.(check (list int)) (msg ^ " rms") rms (rms_values profile ~tid ~routine)
+
+let test_fig1a () =
+  let trace, tbl = Workloads.Micro.fig1a () in
+  Alcotest.(check (list string)) "well-formed" [] (Trace.well_formed trace);
+  let profile = run_drms trace in
+  check_values "f" profile ~tid:0 ~routine:(routine_id tbl "f") ~rms:[ 1 ] ~drms:[ 2 ];
+  check_values "g" profile ~tid:1 ~routine:(routine_id tbl "g") ~rms:[ 0 ] ~drms:[ 0 ]
+
+let test_fig1b () =
+  let trace, tbl = Workloads.Micro.fig1b () in
+  let profile = run_drms trace in
+  check_values "f" profile ~tid:0 ~routine:(routine_id tbl "f") ~rms:[ 1 ] ~drms:[ 2 ];
+  check_values "h" profile ~tid:0 ~routine:(routine_id tbl "h") ~rms:[ 1 ] ~drms:[ 1 ]
+
+let test_ancestor_decrement () =
+  let trace, tbl = Workloads.Micro.ancestor_decrement () in
+  let profile = run_drms trace in
+  check_values "parent" profile ~tid:0
+    ~routine:(routine_id tbl "parent")
+    ~rms:[ 1 ] ~drms:[ 1 ];
+  check_values "child" profile ~tid:0
+    ~routine:(routine_id tbl "child")
+    ~rms:[ 1 ] ~drms:[ 1 ]
+
+let test_external_refill () =
+  let n = 10 in
+  let trace, tbl = Workloads.Micro.external_refill ~n in
+  let profile = run_drms trace in
+  check_values "main" profile ~tid:0 ~routine:(routine_id tbl "main")
+    ~rms:[ 1 ] ~drms:[ n ]
+
+(* Figure 2.  The consumer routine must see rms = 1 and drms = n; every
+   consumeData activation reads one induced cell. *)
+let test_producer_consumer () =
+  let n = 25 in
+  let result = run_workload (Workloads.Patterns.producer_consumer ~n) in
+  Alcotest.(check (list string)) "well-formed" []
+    (Trace.well_formed result.Aprof_vm.Interp.trace);
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let tbl = result.Aprof_vm.Interp.routines in
+  let consumer = routine_id tbl "consumer" in
+  (* The consumer runs in the spawned thread; find its tid from the data. *)
+  let keys =
+    List.filter
+      (fun k -> k.Profile.routine = consumer)
+      (Profile.keys profile)
+  in
+  match keys with
+  | [ k ] ->
+    check_values "consumer" profile ~tid:k.Profile.tid ~routine:consumer
+      ~rms:[ 1 ] ~drms:[ n ]
+  | _ -> Alcotest.fail "expected exactly one consumer activation key"
+
+let test_producer_consumer_consume_data () =
+  let n = 8 in
+  let result = run_workload (Workloads.Patterns.producer_consumer ~n) in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let tbl = result.Aprof_vm.Interp.routines in
+  let consume = routine_id tbl "consumeData" in
+  let keys =
+    List.filter (fun k -> k.Profile.routine = consume) (Profile.keys profile)
+  in
+  match keys with
+  | [ k ] ->
+    (* Each of the n activations reads exactly one cell: it is both that
+       activation's own first access (rms = 1) and induced (drms = 1). *)
+    check_values "consumeData" profile ~tid:k.Profile.tid ~routine:consume
+      ~rms:(List.init n (fun _ -> 1))
+      ~drms:(List.init n (fun _ -> 1))
+  | _ -> Alcotest.fail "expected one consumeData key"
+
+(* Figure 3: drms of streamReader grows with n, rms stays constant. *)
+let test_stream_reader () =
+  let n = 30 in
+  let result = run_workload (Workloads.Patterns.stream_reader ~n) in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let tbl = result.Aprof_vm.Interp.routines in
+  let reader = routine_id tbl "streamReader" in
+  (match drms_values profile ~tid:0 ~routine:reader with
+  | [ d ] -> Alcotest.(check int) "drms = n" n d
+  | _ -> Alcotest.fail "expected a single streamReader activation");
+  match rms_values profile ~tid:0 ~routine:reader with
+  | [ r ] -> Alcotest.(check int) "rms = 1" 1 r
+  | _ -> Alcotest.fail "expected a single streamReader activation"
+
+(* Inequality 1: drms >= rms on every activation, here on a real
+   multi-threaded run. *)
+let test_inequality () =
+  let result = run_workload (Workloads.Patterns.producer_consumer ~n:12) in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  List.iter
+    (fun k ->
+      match Profile.data profile k with
+      | None -> ()
+      | Some d ->
+        Alcotest.(check bool) "sum drms >= sum rms" true
+          (d.Profile.sum_drms >= d.Profile.sum_rms))
+    (Profile.keys profile)
+
+let suite =
+  [
+    Alcotest.test_case "fig1a" `Quick test_fig1a;
+    Alcotest.test_case "fig1b" `Quick test_fig1b;
+    Alcotest.test_case "ancestor decrement" `Quick test_ancestor_decrement;
+    Alcotest.test_case "external refill" `Quick test_external_refill;
+    Alcotest.test_case "producer-consumer" `Quick test_producer_consumer;
+    Alcotest.test_case "consumeData per-activation" `Quick
+      test_producer_consumer_consume_data;
+    Alcotest.test_case "stream reader" `Quick test_stream_reader;
+    Alcotest.test_case "drms >= rms" `Quick test_inequality;
+  ]

@@ -1,0 +1,57 @@
+(* The ASCII plotting layer: geometry, legends, CSV shape. *)
+
+module Plot = Aprof_plot.Ascii_plot
+
+let test_render_contains_points () =
+  let p =
+    Plot.create ~width:40 ~height:10 ~title:"T" ~x_label:"x" ~y_label:"y" ()
+  in
+  Plot.add_series p ~name:"s" ~marker:'*' [ (0., 0.); (1., 1.); (0.5, 0.5) ];
+  let s = Plot.render_string p in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "has marker" true (String.contains s '*');
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has legend" true (contains_sub s "*=s")
+
+let test_render_empty () =
+  let p = Plot.create ~title:"empty" ~x_label:"x" ~y_label:"y" () in
+  Alcotest.(check bool) "renders without points" true
+    (String.length (Plot.render_string p) > 0)
+
+let test_degenerate_ranges () =
+  let p = Plot.create ~title:"flat" ~x_label:"x" ~y_label:"y" () in
+  Plot.add_series p ~name:"s" ~marker:'#' [ (5., 7.); (5., 7.) ];
+  Alcotest.(check bool) "single point ok" true
+    (String.contains (Plot.render_string p) '#')
+
+let test_small_grid_rejected () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Ascii_plot.create: grid too small") (fun () ->
+      ignore (Plot.create ~width:2 ~height:2 ~title:"" ~x_label:"" ~y_label:"" ()))
+
+let test_csv () =
+  let s = Plot.csv ~header:[ "a"; "b" ] [ [ 1.; 2. ]; [ 3.5; 4. ] ] in
+  Alcotest.(check string) "csv format" "a,b\n1,2\n3.5,4\n" s
+
+let test_histogram () =
+  let s =
+    Plot.histogram ~title:"H"
+      ~rows:[ ("row1", [ ("x", 75.); ("y", 25.) ]); ("row2", [ ("x", 0.) ]) ]
+  in
+  Alcotest.(check bool) "title" true (String.sub s 0 1 = "H");
+  Alcotest.(check bool) "bars drawn" true (String.contains s '#')
+
+let suite =
+  [
+    Alcotest.test_case "render contains points" `Quick test_render_contains_points;
+    Alcotest.test_case "render empty" `Quick test_render_empty;
+    Alcotest.test_case "degenerate ranges" `Quick test_degenerate_ranges;
+    Alcotest.test_case "small grid rejected" `Quick test_small_grid_rejected;
+    Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+  ]

@@ -1,0 +1,70 @@
+(* Profile serialization: save/load must reproduce the profile exactly
+   (points, aggregates, op counters, routine names). *)
+
+open Helpers
+module Profile = Aprof_core.Profile
+module Profile_io = Aprof_core.Profile_io
+
+let roundtrip profile =
+  match Profile_io.of_string (Profile_io.to_string profile) with
+  | Ok (p, _) -> p
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_roundtrip_workload () =
+  let result =
+    run_workload (Aprof_workloads.Mysql_sim.mysqlslap ~clients:3 ~queries:4
+                    ~rows:80 ~seed:2)
+  in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let back = roundtrip profile in
+  check_profiles_equal "points survive roundtrip" profile back;
+  check_ops_equal "ops survive roundtrip" profile back;
+  (* aggregates too *)
+  List.iter
+    (fun k ->
+      let a = Option.get (Profile.data profile k) in
+      let b = Option.get (Profile.data back k) in
+      Alcotest.(check int) "activations" a.Profile.activations b.Profile.activations;
+      Alcotest.(check (float 1e-9)) "sum_rms" a.Profile.sum_rms b.Profile.sum_rms;
+      Alcotest.(check (float 1e-9)) "sum_drms" a.Profile.sum_drms b.Profile.sum_drms;
+      Alcotest.(check (float 1e-9)) "total_cost" a.Profile.total_cost b.Profile.total_cost)
+    (Profile.keys profile)
+
+let test_routine_names () =
+  let result = run_workload (Aprof_workloads.Patterns.producer_consumer ~n:5) in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let tbl = result.Aprof_vm.Interp.routines in
+  let dump =
+    Profile_io.to_string ~routine_name:(Aprof_trace.Routine_table.name tbl)
+      profile
+  in
+  match Profile_io.of_string dump with
+  | Ok (_, names) ->
+    let consumer = routine_id tbl "consumer" in
+    Alcotest.(check (option string)) "name preserved" (Some "consumer")
+      (List.assoc_opt consumer names)
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_metrics_survive () =
+  let result = run_workload (Aprof_workloads.Patterns.stream_reader ~n:20) in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let back = roundtrip profile in
+  Alcotest.(check (float 1e-9)) "input volume preserved"
+    (Aprof_core.Metrics.dynamic_input_volume profile)
+    (Aprof_core.Metrics.dynamic_input_volume back)
+
+let test_malformed () =
+  List.iter
+    (fun s ->
+      match Profile_io.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected failure on %S" s)
+    [ "bogus,1,2"; "point,1,2,xxx,1,1,1,1,1,1"; "agg,a,b,c,d,e,f" ]
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip equals original" `Quick test_roundtrip_workload;
+    Alcotest.test_case "routine names" `Quick test_routine_names;
+    Alcotest.test_case "metrics survive" `Quick test_metrics_survive;
+    Alcotest.test_case "malformed input rejected" `Quick test_malformed;
+  ]

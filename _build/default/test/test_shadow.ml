@@ -1,0 +1,130 @@
+(* Shadow memory: model-based equivalence against a Hashtbl, plus the
+   renumbering and space-accounting contracts. *)
+
+module Shadow = Aprof_shadow.Shadow_memory
+
+type op = Set of int * int | Set_range of int * int * int | Get of int
+
+let gen_ops =
+  let open QCheck2.Gen in
+  let addr = int_range 0 5000 in
+  let op =
+    frequency
+      [
+        (4, map2 (fun a v -> Set (a, v)) addr (int_range 0 1000));
+        (1, map3 (fun a l v -> Set_range (a, l, v)) addr (int_range 0 50) (int_range 1 1000));
+        (4, map (fun a -> Get a) addr);
+      ]
+  in
+  list_size (int_range 1 300) op
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Set (a, v) -> Printf.sprintf "set %d %d" a v
+         | Set_range (a, l, v) -> Printf.sprintf "range %d %d %d" a l v
+         | Get a -> Printf.sprintf "get %d" a)
+       ops)
+
+let model_equivalence ops =
+  (* exercise a tiny geometry so chunk boundaries are crossed often *)
+  let s = Shadow.create ~leaf_bits:4 ~mid_bits:4 () in
+  let model = Hashtbl.create 64 in
+  List.for_all
+    (function
+      | Set (a, v) ->
+        Shadow.set s a v;
+        Hashtbl.replace model a v;
+        true
+      | Set_range (a, l, v) ->
+        Shadow.set_range s ~addr:a ~len:l v;
+        for x = a to a + l - 1 do
+          Hashtbl.replace model x v
+        done;
+        true
+      | Get a ->
+        Shadow.get s a = Option.value ~default:0 (Hashtbl.find_opt model a))
+    ops
+
+let iter_matches_model ops =
+  let s = Shadow.create ~leaf_bits:4 ~mid_bits:4 () in
+  let model = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Set (a, v) ->
+        Shadow.set s a v;
+        Hashtbl.replace model a v
+      | Set_range (a, l, v) ->
+        Shadow.set_range s ~addr:a ~len:l v;
+        for x = a to a + l - 1 do
+          Hashtbl.replace model x v
+        done
+      | Get _ -> ())
+    ops;
+  let from_iter = ref [] in
+  Shadow.iter_set (fun a v -> from_iter := (a, v) :: !from_iter) s;
+  let expected =
+    Hashtbl.fold (fun a v acc -> if v <> 0 then (a, v) :: acc else acc) model []
+    |> List.sort compare
+  in
+  List.sort compare !from_iter = expected
+
+let map_preserves_order ops =
+  let s = Shadow.create ~leaf_bits:4 ~mid_bits:4 () in
+  List.iter
+    (function
+      | Set (a, v) -> Shadow.set s a (v + 1)
+      | Set_range (a, l, v) -> Shadow.set_range s ~addr:a ~len:l (v + 1)
+      | Get _ -> ())
+    ops;
+  Shadow.map_in_place (fun v -> if v = 0 then 0 else (2 * v) + 1) s;
+  let ok = ref true in
+  Shadow.iter_set (fun _ v -> if v land 1 = 0 then ok := false) s;
+  !ok
+
+let test_basics () =
+  let s = Shadow.create () in
+  Alcotest.(check int) "unset reads 0" 0 (Shadow.get s 123456);
+  Shadow.set s 0 7;
+  Shadow.set s 123456 9;
+  Alcotest.(check int) "set/get low" 7 (Shadow.get s 0);
+  Alcotest.(check int) "set/get high" 9 (Shadow.get s 123456);
+  Alcotest.check_raises "negative address"
+    (Invalid_argument "Shadow_memory: negative address") (fun () ->
+      ignore (Shadow.get s (-1)))
+
+let test_space_accounting () =
+  let s = Shadow.create ~leaf_bits:8 ~mid_bits:8 () in
+  let before = Shadow.space_words s in
+  Shadow.set s 0 1;
+  let after_one = Shadow.space_words s in
+  Alcotest.(check bool) "materializing grows space" true (after_one > before);
+  Shadow.set s 1 1;
+  Alcotest.(check int) "same leaf, same space" after_one (Shadow.space_words s);
+  Shadow.set s (1 lsl 20) 1;
+  Alcotest.(check bool) "distant leaf grows space" true
+    (Shadow.space_words s > after_one);
+  Shadow.clear s;
+  Alcotest.(check int) "clear read" 0 (Shadow.get s 0)
+
+let test_map_rejects_bad_zero () =
+  let s = Shadow.create () in
+  Shadow.set s 3 1;
+  Alcotest.check_raises "f 0 <> 0 rejected"
+    (Invalid_argument "Shadow_memory.map_in_place: f 0 <> 0") (fun () ->
+      Shadow.map_in_place (fun v -> v + 1) s)
+
+let prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:200 ~print:print_ops gen_ops f)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "space accounting" `Quick test_space_accounting;
+    Alcotest.test_case "map_in_place zero guard" `Quick test_map_rejects_bad_zero;
+    prop "get/set model equivalence" model_equivalence;
+    prop "iter_set matches model" iter_matches_model;
+    prop "map_in_place hits every set cell" map_preserves_order;
+  ]

@@ -1,0 +1,124 @@
+(* Unit and property tests of the utility layer. *)
+
+module Vec = Aprof_util.Vec
+module Stats = Aprof_util.Stats
+module Rng = Aprof_util.Rng
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check int) "top" 99 (Vec.top v);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  Vec.truncate v 10;
+  Alcotest.(check int) "truncate" 10 (Vec.length v);
+  Alcotest.(check (list int)) "to_list" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 3 out of bounds [0,3)") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop (Vec.create ())))
+
+let test_vec_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"vec of_list/to_list roundtrip" ~count:200
+       QCheck2.Gen.(list int)
+       (fun l -> Vec.to_list (Vec.of_list l) = l))
+
+let test_vec_sort =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"vec sort agrees with List.sort" ~count:200
+       QCheck2.Gen.(list int)
+       (fun l ->
+         let v = Vec.of_list l in
+         Vec.sort compare v;
+         Vec.to_list v = List.sort compare l))
+
+let test_stats_basics () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 4. (Stats.geometric_mean [ 2.; 8. ]);
+  Alcotest.(check (float 1e-9)) "variance" (8. /. 3.) (Stats.variance [ 1.; 3.; 5. ]);
+  Alcotest.(check (float 1e-9)) "p50" 2. (Stats.percentile 50. [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "tail" 0.5
+    (Stats.tail_fraction ~at_least:2.5 [ 1.; 2.; 3.; 4. ])
+
+let test_value_at_top_fraction () =
+  let xs = [ 10.; 20.; 30.; 40.; 50.; 60.; 70.; 80.; 90.; 100. ] in
+  (* top 10% of ten samples is the single largest *)
+  Alcotest.(check (float 1e-9)) "top 10%" 100.
+    (Stats.value_at_top_fraction ~fraction:0.1 xs);
+  Alcotest.(check (float 1e-9)) "top 50%" 60.
+    (Stats.value_at_top_fraction ~fraction:0.5 xs);
+  Alcotest.(check (float 1e-9)) "top 100%" 10.
+    (Stats.value_at_top_fraction ~fraction:1.0 xs)
+
+let test_geomean_positive =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"geomean between min and max" ~count:200
+       QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.1 1000.))
+       (fun xs ->
+         let g = Stats.geometric_mean xs in
+         let mn = List.fold_left Float.min infinity xs in
+         let mx = List.fold_left Float.max neg_infinity xs in
+         g >= mn -. 1e-9 && g <= mx +. 1e-9))
+
+let test_acc () =
+  let a = Stats.Acc.create () in
+  List.iter (Stats.Acc.add a) [ 3.; 1.; 2. ];
+  Alcotest.(check int) "count" 3 (Stats.Acc.count a);
+  Alcotest.(check (float 1e-9)) "sum" 6. (Stats.Acc.sum a);
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.Acc.mean a);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Acc.min a);
+  Alcotest.(check (float 1e-9)) "max" 3. (Stats.Acc.max a)
+
+let test_rng_determinism () =
+  let draw seed =
+    let rng = Rng.create seed in
+    List.init 20 (fun _ -> Rng.int rng 1000)
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (draw 7) (draw 7);
+  Alcotest.(check bool) "different seeds differ" true (draw 7 <> draw 8)
+
+let test_rng_bounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"rng int_in within range" ~count:500
+       QCheck2.Gen.(pair (int_range (-100) 100) (int_range 0 100))
+       (fun (lo, span) ->
+         let rng = Rng.create (lo + span) in
+         let v = Rng.int_in rng lo (lo + span) in
+         v >= lo && v <= lo + span))
+
+let test_shuffle_permutes =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"shuffle is a permutation" ~count:200
+       QCheck2.Gen.(list int)
+       (fun l ->
+         let a = Array.of_list l in
+         Rng.shuffle (Rng.create 3) a;
+         List.sort compare (Array.to_list a) = List.sort compare l))
+
+let suite =
+  [
+    Alcotest.test_case "vec basics" `Quick test_vec_basics;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    test_vec_roundtrip;
+    test_vec_sort;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "value at top fraction" `Quick test_value_at_top_fraction;
+    test_geomean_positive;
+    Alcotest.test_case "acc" `Quick test_acc;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    test_rng_bounds;
+    test_shuffle_permutes;
+  ]

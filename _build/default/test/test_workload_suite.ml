@@ -1,0 +1,59 @@
+(* End-to-end sweep over every registered workload at a small scale:
+   the trace must be well-formed, the timestamping profiler must agree
+   exactly with the naive oracle (a differential test on *real*
+   program-shaped traces, not just random ones), Inequality 1 must hold,
+   and the synchronization must be race-free under happens-before. *)
+
+open Helpers
+module Workload = Aprof_workloads.Workload
+module Registry = Aprof_workloads.Registry
+
+let small_scale spec =
+  (* keep the naive-oracle runs affordable *)
+  match spec.Workload.name with
+  | "vips" -> 30
+  | "dedup" -> 60
+  | _ -> 80
+
+let run_one spec =
+  Workload.run_spec
+    ~scheduler:(Aprof_vm.Scheduler.Random_preemptive { min_slice = 4; max_slice = 48 })
+    spec ~threads:3 ~scale:(small_scale spec) ~seed:13
+
+let test_well_formed_and_differential spec () =
+  let result = run_one spec in
+  let trace = result.Aprof_vm.Interp.trace in
+  Alcotest.(check (list string)) "well-formed" [] (Trace.well_formed trace);
+  let p1 = run_drms trace in
+  let p2 = run_naive trace in
+  check_profiles_equal "timestamping = naive" p1 p2;
+  check_ops_equal "attribution agrees" p1 p2;
+  (* Inequality 1 on every activation *)
+  List.iter
+    (fun k ->
+      match Profile.data p1 k with
+      | None -> ()
+      | Some d ->
+        Alcotest.(check bool) "drms >= rms" true
+          (d.Profile.sum_drms >= d.Profile.sum_rms))
+    (Profile.keys p1)
+
+let test_race_free spec () =
+  let result = run_one spec in
+  let t = Aprof_tools.Helgrind_lite.create () in
+  Aprof_util.Vec.iter (Aprof_tools.Helgrind_lite.on_event t) result.Aprof_vm.Interp.trace;
+  Alcotest.(check (list string)) "race-free" []
+    (List.map
+       (fun r -> Format.asprintf "%a" Aprof_tools.Helgrind_lite.pp_race r)
+       (Aprof_tools.Helgrind_lite.races t))
+
+let suite =
+  List.concat_map
+    (fun spec ->
+      let name = spec.Workload.name in
+      [
+        Alcotest.test_case (name ^ ": differential") `Slow
+          (test_well_formed_and_differential spec);
+        Alcotest.test_case (name ^ ": race-free") `Slow (test_race_free spec);
+      ])
+    Registry.all
