@@ -1,0 +1,121 @@
+(* Trace-pipeline benchmark: binary vs text codec throughput, and the
+   memory story of streaming decode.
+
+   A large PARSEC miniature is scaled until its trace crosses the target
+   event count, then encoded and decoded through both codecs.  The
+   figures of merit are events/second for encode and decode, the
+   binary/text throughput ratio (the pipeline's raison d'etre), bytes
+   per event, and the peak live heap during a streaming decode — which
+   must track the I/O chunk size, not the trace length. *)
+
+module Workload = Aprof_workloads.Workload
+module Registry = Aprof_workloads.Registry
+module Trace = Aprof_trace.Trace
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+module Vec = Aprof_util.Vec
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (Sys.time () -. t0, r)
+
+let mib bytes = float_of_int bytes /. (1024. *. 1024.)
+
+let live_words () =
+  let st = Gc.stat () in
+  st.Gc.live_words
+
+let run ~quick ppf =
+  Exp_common.section ppf "codec: binary vs text trace pipeline";
+  let target = if quick then 200_000 else 1_200_000 in
+  let spec =
+    match Registry.find "blackscholes" with
+    | Some s -> s
+    | None -> failwith "blackscholes workload missing"
+  in
+  (* Scale the workload until the trace is big enough. *)
+  let rec grow scale =
+    let result = Workload.run_spec spec ~threads:4 ~scale ~seed:42 in
+    let n = Vec.length result.Aprof_vm.Interp.trace in
+    if n >= target || scale > 8_000_000 then (result, scale)
+    else grow (scale * 2)
+  in
+  let result, scale = grow (target / 8) in
+  let trace = result.Aprof_vm.Interp.trace in
+  let routines = result.Aprof_vm.Interp.routines in
+  let n_events = Vec.length trace in
+  Format.fprintf ppf "workload: %s, scale %d -> %d events@." "blackscholes"
+    scale n_events;
+  let routine_name = Aprof_trace.Routine_table.name routines in
+  let tmp suffix = Filename.temp_file "aprof_codec" suffix in
+  let text_file = tmp ".trace" and bin_file = tmp ".atrc" in
+  (* --- encode --- *)
+  let text_enc_s, () =
+    time (fun () ->
+        Out_channel.with_open_bin text_file (fun oc -> Trace.save oc trace))
+  in
+  let bin_enc_s, () =
+    time (fun () ->
+        Out_channel.with_open_bin bin_file (fun oc ->
+            let sink = Codec.writer ~routine_name oc in
+            Stream.iter sink.Stream.emit (Trace.to_stream trace);
+            sink.Stream.close ()))
+  in
+  let file_size f =
+    Int64.to_int (In_channel.with_open_bin f In_channel.length)
+  in
+  let text_bytes = file_size text_file in
+  let bin_bytes = file_size bin_file in
+  (* --- decode --- *)
+  let text_dec_s, text_n =
+    time (fun () ->
+        In_channel.with_open_bin text_file (fun ic ->
+            match Trace.load ic with
+            | Ok t -> Vec.length t
+            | Error e -> failwith e))
+  in
+  (* Streaming binary decode: count events, sampling live heap words to
+     show the decode never holds the trace. *)
+  let baseline_live = live_words () in
+  let peak_live = ref 0 in
+  let sample_every = max 1 (n_events / 8) in
+  let bin_dec_s, bin_n =
+    time (fun () ->
+        In_channel.with_open_bin bin_file (fun ic ->
+            let _names, stream = Codec.reader ic in
+            let count = ref 0 in
+            Stream.iter
+              (fun _ ->
+                incr count;
+                if !count mod sample_every = 0 then
+                  peak_live := max !peak_live (live_words ()))
+              stream;
+            !count))
+  in
+  if text_n <> n_events || bin_n <> n_events then
+    failwith "codec bench: decoded event count mismatch";
+  let rate n s = float_of_int n /. Float.max s 1e-9 /. 1e6 in
+  Format.fprintf ppf "size: text %.1f MiB (%.1f B/event), binary %.1f MiB (%.1f B/event), ratio %.2fx@."
+    (mib text_bytes)
+    (float_of_int text_bytes /. float_of_int n_events)
+    (mib bin_bytes)
+    (float_of_int bin_bytes /. float_of_int n_events)
+    (float_of_int text_bytes /. float_of_int bin_bytes);
+  Format.fprintf ppf "encode: text %.2fs (%.1f Mev/s), binary %.2fs (%.1f Mev/s), speedup %.2fx@."
+    text_enc_s (rate n_events text_enc_s) bin_enc_s (rate n_events bin_enc_s)
+    (text_enc_s /. Float.max bin_enc_s 1e-9);
+  Format.fprintf ppf "decode: text %.2fs (%.1f Mev/s), binary %.2fs (%.1f Mev/s), speedup %.2fx@."
+    text_dec_s (rate n_events text_dec_s) bin_dec_s (rate n_events bin_dec_s)
+    (text_dec_s /. Float.max bin_dec_s 1e-9);
+  let total_speedup =
+    (text_enc_s +. text_dec_s) /. Float.max (bin_enc_s +. bin_dec_s) 1e-9
+  in
+  Format.fprintf ppf "encode+decode: binary is %.2fx the text codec@."
+    total_speedup;
+  let extra_live = max 0 (!peak_live - baseline_live) in
+  Format.fprintf ppf
+    "streaming decode peak extra live: %d words (trace itself: ~%d words)@."
+    extra_live (3 * n_events);
+  Sys.remove text_file;
+  Sys.remove bin_file

@@ -18,6 +18,7 @@ let experiments quick :
     ("table1", "tool slowdown and space (Table 1)", Exp_table1.run ~quick);
     ("fig16", "overhead vs thread count (Figure 16)", Exp_scaling.run ~quick);
     ("sched", "scheduler sensitivity", Exp_sched.run);
+    ("codec", "binary vs text trace pipeline", Exp_codec.run ~quick);
     ("comm", "communication characterization (future-work direction)", Exp_comm.run);
     ("ablation", "design-choice ablations", Exp_ablation.run);
     ("bechamel", "microbenchmarks", Micro.run);

@@ -130,9 +130,8 @@ let report_cmd =
         | Some n -> n
         | None -> Printf.sprintf "routine_%d" id
       in
-      Format.printf "%a@." (Aprof_core.Profile.pp name) profile;
-      Format.printf "dynamic input volume: %.3f@."
-        (Aprof_core.Metrics.dynamic_input_volume profile)
+      print_string
+        (Aprof_core.Profile_io.render_report ~routine_name:name profile)
   in
   let path_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
@@ -322,6 +321,144 @@ let contexts_cmd =
       const run $ workload_arg $ threads_term $ scale_term $ seed_term
       $ scheduler_term $ top_term)
 
+(* ----- record / replay -------------------------------------------------- *)
+
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+
+let record_cmd =
+  let run name threads scale seed scheduler output format =
+    let spec = find_spec name in
+    let w = spec.Aprof_workloads.Workload.make ~threads ~scale ~seed in
+    let events, bytes =
+      try
+        Out_channel.with_open_bin output (fun oc ->
+          (* The sink is created once the interpreter hands us its routine
+             table, so the binary writer can embed names as they are
+             interned; recorded traces never live in memory. *)
+          let sink = ref Stream.null_sink in
+          let result =
+            Aprof_workloads.Workload.run_instrumented ~scheduler w ~seed
+              ~tool:(fun routines ->
+                let s =
+                  match format with
+                  | `Binary ->
+                    Codec.writer
+                      ~routine_name:(Aprof_trace.Routine_table.name routines)
+                      oc
+                  | `Text -> Stream.text_sink oc
+                in
+                sink := s;
+                s.Stream.emit)
+          in
+          (!sink).Stream.close ();
+          (result.Aprof_vm.Interp.events_emitted, Out_channel.pos oc))
+      with Sys_error msg ->
+        Printf.eprintf "cannot record to %s: %s\n" output msg;
+        exit 2
+    in
+    Printf.printf "recorded %d events (%Ld bytes, %s) to %s\n" events bytes
+      (match format with `Binary -> "binary" | `Text -> "text")
+      output
+  in
+  let output_term =
+    let doc = "Trace file to write." in
+    Arg.(
+      required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let format_term =
+    let doc = "Trace encoding: $(b,binary) (compact varint) or $(b,text)." in
+    Arg.(
+      value
+      & opt (enum [ ("binary", `Binary); ("text", `Text) ]) `Binary
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Execute a workload and stream its event trace to a file without \
+          materializing it")
+    Term.(
+      const run $ workload_arg $ threads_term $ scale_term $ seed_term
+      $ scheduler_term $ output_term $ format_term)
+
+let replay_cmd =
+  let run path profiler with_tools =
+    (* Streams are single-use: every consumer re-opens the file and decodes
+       incrementally, so replay memory stays bounded by the I/O chunk. *)
+    let with_stream f =
+      In_channel.with_open_bin path (fun ic ->
+          match Codec.detect ic with
+          | `Binary ->
+            let names, stream = Codec.reader ic in
+            let name id =
+              match Hashtbl.find_opt names id with
+              | Some n -> n
+              | None -> Printf.sprintf "routine_%d" id
+            in
+            f ~name stream
+          | `Text ->
+            f ~name:(Printf.sprintf "routine_%d") (Stream.of_text_channel ic))
+    in
+    try
+      with_stream (fun ~name stream ->
+          let profile =
+            match profiler with
+            | `Drms ->
+              let p = Aprof_core.Drms_profiler.create () in
+              Aprof_core.Drms_profiler.run_stream p stream;
+              Aprof_core.Drms_profiler.finish p
+            | `Rms ->
+              let p = Aprof_core.Rms_profiler.create () in
+              Aprof_core.Rms_profiler.run_stream p stream;
+              Aprof_core.Rms_profiler.finish p
+            | `Naive ->
+              let p = Aprof_core.Naive_drms.create () in
+              Aprof_core.Naive_drms.run_stream p stream;
+              Aprof_core.Naive_drms.finish p
+          in
+          print_string
+            (Aprof_core.Profile_io.render_report ~routine_name:name profile));
+      if with_tools then
+        List.iter
+          (fun f ->
+            with_stream (fun ~name:_ stream ->
+                let tool = f.Aprof_tools.Tool.create () in
+                Aprof_tools.Tool.replay_stream tool stream;
+                Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ())))
+          (Aprof_tools.Harness.standard_factories ())
+    with
+    | Stream.Decode_error msg | Sys_error msg ->
+      Printf.eprintf "cannot replay %s: %s\n" path msg;
+      exit 2
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Trace file written by $(b,aprof record) (binary or text; the \
+             format is auto-detected).")
+  in
+  let profiler_term =
+    let doc =
+      "Profiler to replay into: $(b,drms), $(b,rms) or $(b,naive)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("drms", `Drms); ("rms", `Rms); ("naive", `Naive) ]) `Drms
+      & info [ "profiler" ] ~docv:"P" ~doc)
+  in
+  let tools_term =
+    let doc = "Additionally replay the trace through every standard tool." in
+    Arg.(value & flag & info [ "tools" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Stream a recorded trace file through a profiler (and tools)")
+    Term.(const run $ path_arg $ profiler_term $ tools_term)
+
 (* ----- trace ----------------------------------------------------------- *)
 
 let trace_cmd =
@@ -353,5 +490,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; report_cmd; plot_cmd; fit_cmd; tools_cmd;
-            overhead_cmd; comm_cmd; contexts_cmd; trace_cmd ]))
+          [ list_cmd; run_cmd; report_cmd; record_cmd; replay_cmd; plot_cmd;
+            fit_cmd; tools_cmd; overhead_cmd; comm_cmd; contexts_cmd;
+            trace_cmd ]))

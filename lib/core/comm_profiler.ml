@@ -130,6 +130,8 @@ let on_event t e =
 
 let run t trace = Vec.iter (on_event t) trace
 
+let run_stream t s = Aprof_trace.Trace_stream.iter (on_event t) s
+
 let edges_of tbl =
   Hashtbl.fold
     (fun (from_id, to_id) r acc -> { from_id; to_id; values = !r } :: acc)

@@ -42,6 +42,10 @@ type t
 val create : unit -> t
 val on_event : t -> Aprof_trace.Event.t -> unit
 val run : t -> Aprof_trace.Trace.t -> unit
+
+(** [run_stream t s] feeds the events of [s] incrementally; the stream
+    is consumed (the whole trace is never materialized). *)
+val run_stream : t -> Aprof_trace.Trace_stream.t -> unit
 val report : t -> report
 
 (** [pp ~thread_name ~routine_name ppf report] renders both matrices. *)

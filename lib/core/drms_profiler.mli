@@ -60,6 +60,10 @@ val on_event : t -> Aprof_trace.Event.t -> unit
 (** [run t trace] feeds a whole trace. *)
 val run : t -> Aprof_trace.Trace.t -> unit
 
+(** [run_stream t s] feeds the events of [s] incrementally; the stream
+    is consumed (the whole trace is never materialized). *)
+val run_stream : t -> Aprof_trace.Trace_stream.t -> unit
+
 (** [finish t] collects every still-pending activation (as a profiler
     does at program exit) and returns the accumulated profile.  The
     profiler must not be fed further events afterwards. *)

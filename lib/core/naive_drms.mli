@@ -17,6 +17,10 @@ val create : unit -> t
 val on_event : t -> Aprof_trace.Event.t -> unit
 val run : t -> Aprof_trace.Trace.t -> unit
 
+(** [run_stream t s] feeds the events of [s] incrementally; the stream
+    is consumed (the whole trace is never materialized). *)
+val run_stream : t -> Aprof_trace.Trace_stream.t -> unit
+
 (** [finish t] collects pending activations and returns the profile.
     Per-activation rms/drms/cost and per-routine first-read operation
     counts follow the same conventions as {!Drms_profiler}. *)

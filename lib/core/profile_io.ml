@@ -135,3 +135,8 @@ let of_string s =
   go 1 lines
 
 let load ic = of_string (In_channel.input_all ic)
+
+let render_report ~routine_name profile =
+  Format.asprintf "%a@.dynamic input volume: %.3f@."
+    (Profile.pp routine_name) profile
+    (Metrics.dynamic_input_volume profile)

@@ -27,3 +27,9 @@ val load :
 val to_string : ?routine_name:(int -> string) -> Profile.t -> string
 
 val of_string : string -> (Profile.t * (int * string) list, string) result
+
+(** [render_report ~routine_name profile] is the canonical textual
+    rendering used by [aprof report]: the profile table followed by the
+    dynamic-input-volume line.  Shared with the golden-file regression
+    tests so the CLI output is pinned. *)
+val render_report : routine_name:(int -> string) -> Profile.t -> string

@@ -117,6 +117,8 @@ let on_event t e =
 
 let run t trace = Vec.iter (on_event t) trace
 
+let run_stream t s = Aprof_trace.Trace_stream.iter (on_event t) s
+
 let profile t = t.profile
 
 let finish t =

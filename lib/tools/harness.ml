@@ -31,33 +31,26 @@ let time_of ~min_time f =
   done;
   elapsed () /. float_of_int !runs
 
-(* A handler-free replay standing in for native execution: forces the
-   trace walk without analysis work.  The accumulator escapes through a
-   ref so the loop cannot be optimized away. *)
-let native_replay trace =
-  let acc = ref 0 in
-  Vec.iter (fun ev -> acc := !acc + Aprof_trace.Event.tid ev) trace;
-  ignore !acc
-
-let measure ?(min_time = 0.05) ~trace ~program_words factories =
-  let native_time = time_of ~min_time (fun () -> native_replay trace) in
+(* The measurement core, parameterized over how a tool consumes the
+   events: [replay] feeds one fresh tool instance the whole event
+   sequence, [native] enumerates it with an empty handler (our stand-in
+   for uninstrumented execution).  [measure] instantiates it with direct
+   vector iteration, [measure_stream] with incremental stream pulls. *)
+let measure_with ~min_time ~native ~replay ~program_words factories =
+  let native_time = time_of ~min_time native in
   let nulgrind_time =
-    time_of ~min_time (fun () ->
-        let t = Nulgrind.tool () in
-        Tool.replay t trace)
+    time_of ~min_time (fun () -> replay (Nulgrind.tool ()))
   in
   let program_words = max program_words 1 in
   List.map
     (fun f ->
       (* Time fresh instances end to end... *)
       let time_s =
-        time_of ~min_time (fun () ->
-            let t = f.Tool.create () in
-            Tool.replay t trace)
+        time_of ~min_time (fun () -> replay (f.Tool.create ()))
       in
       (* ...and keep one instance for space and summary. *)
       let t = f.Tool.create () in
-      Tool.replay t trace;
+      replay t;
       let space_words = t.Tool.space_words () in
       {
         tool = t.Tool.name;
@@ -71,6 +64,34 @@ let measure ?(min_time = 0.05) ~trace ~program_words factories =
         summary = t.Tool.summary ();
       })
     factories
+
+(* A handler-free replay standing in for native execution: forces the
+   trace walk without analysis work.  The accumulator escapes through a
+   ref so the loop cannot be optimized away. *)
+let native_replay trace =
+  let acc = ref 0 in
+  Vec.iter (fun ev -> acc := !acc + Aprof_trace.Event.tid ev) trace;
+  ignore !acc
+
+let measure ?(min_time = 0.05) ~trace ~program_words factories =
+  measure_with ~min_time
+    ~native:(fun () -> native_replay trace)
+    ~replay:(fun t -> Tool.replay t trace)
+    ~program_words factories
+
+let native_replay_stream source =
+  let acc =
+    Aprof_trace.Trace_stream.fold
+      (fun acc ev -> acc + Aprof_trace.Event.tid ev)
+      0 source
+  in
+  ignore (Sys.opaque_identity acc)
+
+let measure_stream ?(min_time = 0.05) ~source ~program_words factories =
+  measure_with ~min_time
+    ~native:(fun () -> native_replay_stream (source ()))
+    ~replay:(fun t -> Tool.replay_stream t (source ()))
+    ~program_words factories
 
 let geometric_rows per_benchmark =
   match per_benchmark with

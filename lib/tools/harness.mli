@@ -40,6 +40,19 @@ val measure :
   Tool.factory list ->
   measurement list
 
+(** [measure_stream ~source ~program_words factories] is {!measure} over
+    an incremental event source instead of a materialized trace.
+    [source] must produce a fresh stream per call (streams are
+    single-use); it is re-invoked for every timed repetition, so its own
+    cost — decoding a file, re-running a workload — is part of the
+    measured time. *)
+val measure_stream :
+  ?min_time:float ->
+  source:(unit -> Aprof_trace.Trace_stream.t) ->
+  program_words:int ->
+  Tool.factory list ->
+  measurement list
+
 (** [geometric_rows per_benchmark] aggregates measurements of the same
     tool across benchmarks by geometric mean (Table 1's aggregation):
     rows are (tool, slowdown_native, slowdown_nulgrind, space_overhead). *)

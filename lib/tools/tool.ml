@@ -8,3 +8,8 @@ type t = {
 type factory = { tool_name : string; create : unit -> t }
 
 let replay tool trace = Aprof_util.Vec.iter tool.on_event trace
+
+let replay_stream tool source =
+  Aprof_trace.Trace_stream.iter tool.on_event source
+
+let sink tool = Aprof_trace.Trace_stream.sink_of_fun tool.on_event

@@ -16,3 +16,10 @@ type factory = { tool_name : string; create : unit -> t }
 
 (** [replay tool trace] feeds every event. *)
 val replay : t -> Aprof_trace.Trace.t -> unit
+
+(** [replay_stream tool source] feeds every event of [source]
+    incrementally, never materializing the trace. *)
+val replay_stream : t -> Aprof_trace.Trace_stream.t -> unit
+
+(** [sink tool] views the tool as an event sink (close is a no-op). *)
+val sink : t -> Aprof_trace.Trace_stream.sink

@@ -1,7 +1,16 @@
 module Vec = Aprof_util.Vec
 module Rng = Aprof_util.Rng
 
+(* Incremental sources/sinks and the binary codec live in their own
+   modules; re-exported here so consumers can say [Trace.Stream] and
+   [Trace.Codec]. *)
+module Stream = Trace_stream
+module Codec = Trace_codec
+
 type t = Event.t Vec.t
+
+let to_stream = Trace_stream.of_trace
+let of_stream = Trace_stream.to_trace
 
 type timestamped = { ts : int; ev : Event.t }
 

@@ -5,7 +5,19 @@
     arbitrarily, Section 3) and [Switch_thread] events are inserted between
     any two operations performed by different threads. *)
 
+(** Incremental event streams ({!Trace_stream}) and the binary codec
+    ({!Trace_codec}), re-exported for convenience. *)
+module Stream = Trace_stream
+
+module Codec = Trace_codec
+
 type t = Event.t Aprof_util.Vec.t
+
+(** [to_stream t] is a single-use stream over [t]'s events. *)
+val to_stream : t -> Stream.t
+
+(** [of_stream s] materializes the remainder of [s]. *)
+val of_stream : Stream.t -> t
 
 (** An event stamped with the logical time at which its thread issued it.
     Within one thread trace, timestamps must be non-decreasing. *)

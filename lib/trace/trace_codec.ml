@@ -1,0 +1,311 @@
+module Vec = Aprof_util.Vec
+
+let magic = "ATRC"
+let version = 1
+let default_chunk = 64 * 1024
+
+let bad fmt =
+  Printf.ksprintf (fun s -> raise (Trace_stream.Decode_error s)) fmt
+
+(* ----- varints ------------------------------------------------------- *)
+
+(* Zigzag maps the signed int onto the non-negative range so that values
+   of small magnitude — the common case — encode in one byte, while the
+   full [min_int, max_int] range still round-trips: the shifted value is
+   treated as an unsigned machine word ([lsr] is logical). *)
+
+let add_varint buf n =
+  let v = ref ((n lsl 1) lxor (n asr (Sys.int_size - 1))) in
+  let fits = ref false in
+  while not !fits do
+    let b = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.unsafe_chr b);
+      fits := true
+    end
+    else Buffer.add_char buf (Char.unsafe_chr (b lor 0x80))
+  done
+
+(* [read_byte] yields the next byte or -1 at end of input. *)
+let read_varint read_byte =
+  let rec go shift acc =
+    match read_byte () with
+    | -1 -> bad "truncated varint"
+    | b ->
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then begin
+        if shift > Sys.int_size then bad "varint too long";
+        go (shift + 7) acc
+      end
+      else acc
+  in
+  let v = go 0 0 in
+  (v lsr 1) lxor (- (v land 1))
+
+(* ----- event records -------------------------------------------------- *)
+
+let def_tag = 15
+let end_tag = 0
+
+let tag_of_event : Event.t -> int = function
+  | Event.Call _ -> 1
+  | Event.Return _ -> 2
+  | Event.Read _ -> 3
+  | Event.Write _ -> 4
+  | Event.Block _ -> 5
+  | Event.User_to_kernel _ -> 6
+  | Event.Kernel_to_user _ -> 7
+  | Event.Acquire _ -> 8
+  | Event.Release _ -> 9
+  | Event.Alloc _ -> 10
+  | Event.Free _ -> 11
+  | Event.Thread_start _ -> 12
+  | Event.Thread_exit _ -> 13
+  | Event.Switch_thread _ -> 14
+
+let add_event buf ev =
+  Buffer.add_char buf (Char.unsafe_chr (tag_of_event ev));
+  match ev with
+  | Event.Call { tid; routine } ->
+    add_varint buf tid;
+    add_varint buf routine
+  | Event.Return { tid }
+  | Event.Thread_start { tid }
+  | Event.Thread_exit { tid }
+  | Event.Switch_thread { tid } ->
+    add_varint buf tid
+  | Event.Read { tid; addr } | Event.Write { tid; addr } ->
+    add_varint buf tid;
+    add_varint buf addr
+  | Event.Block { tid; units } ->
+    add_varint buf tid;
+    add_varint buf units
+  | Event.Acquire { tid; lock } | Event.Release { tid; lock } ->
+    add_varint buf tid;
+    add_varint buf lock
+  | Event.User_to_kernel { tid; addr; len }
+  | Event.Kernel_to_user { tid; addr; len }
+  | Event.Alloc { tid; addr; len }
+  | Event.Free { tid; addr; len } ->
+    add_varint buf tid;
+    add_varint buf addr;
+    add_varint buf len
+
+let add_def buf id name =
+  Buffer.add_char buf (Char.unsafe_chr def_tag);
+  add_varint buf id;
+  add_varint buf (String.length name);
+  Buffer.add_string buf name
+
+(* Decode records until an event (or the end-of-trace marker), feeding
+   definition records to [define].  [read_string n] must return exactly
+   [n] bytes.  Plain end of input is a truncation — a complete trace
+   always carries the marker, which is what lets truncation at a record
+   boundary be told apart from a genuine end. *)
+let rec read_record ~read_byte ~read_string ~define =
+  match read_byte () with
+  | -1 -> bad "truncated trace (missing end-of-trace marker)"
+  | tag when tag = end_tag ->
+    if read_byte () <> -1 then bad "trailing data after end-of-trace marker";
+    None
+  | tag when tag = def_tag ->
+    let id = read_varint read_byte in
+    let len = read_varint read_byte in
+    if len < 0 then bad "negative name length";
+    define id (read_string len);
+    read_record ~read_byte ~read_string ~define
+  | tag ->
+    let i () = read_varint read_byte in
+    let ev =
+      match tag with
+      | 1 ->
+        let tid = i () in
+        Event.Call { tid; routine = i () }
+      | 2 -> Event.Return { tid = i () }
+      | 3 ->
+        let tid = i () in
+        Event.Read { tid; addr = i () }
+      | 4 ->
+        let tid = i () in
+        Event.Write { tid; addr = i () }
+      | 5 ->
+        let tid = i () in
+        Event.Block { tid; units = i () }
+      | 6 ->
+        let tid = i () in
+        let addr = i () in
+        Event.User_to_kernel { tid; addr; len = i () }
+      | 7 ->
+        let tid = i () in
+        let addr = i () in
+        Event.Kernel_to_user { tid; addr; len = i () }
+      | 8 ->
+        let tid = i () in
+        Event.Acquire { tid; lock = i () }
+      | 9 ->
+        let tid = i () in
+        Event.Release { tid; lock = i () }
+      | 10 ->
+        let tid = i () in
+        let addr = i () in
+        Event.Alloc { tid; addr; len = i () }
+      | 11 ->
+        let tid = i () in
+        let addr = i () in
+        Event.Free { tid; addr; len = i () }
+      | 12 -> Event.Thread_start { tid = i () }
+      | 13 -> Event.Thread_exit { tid = i () }
+      | 14 -> Event.Switch_thread { tid = i () }
+      | t -> bad "unknown record tag %d" t
+    in
+    Some ev
+
+let check_header read_byte =
+  String.iter
+    (fun c ->
+      match read_byte () with
+      | b when b = Char.code c -> ()
+      | -1 -> bad "truncated header"
+      | _ -> bad "bad magic: not a binary trace")
+    magic;
+  match read_byte () with
+  | v when v = version -> ()
+  | -1 -> bad "truncated header"
+  | v -> bad "unsupported trace format version %d (expected %d)" v version
+
+let default_routine_name id = Printf.sprintf "routine_%d" id
+
+(* ----- streaming writer ----------------------------------------------- *)
+
+let writer ?(chunk_bytes = default_chunk) ?(routine_name = default_routine_name)
+    oc =
+  let buf = Buffer.create (chunk_bytes + 256) in
+  let defined = Hashtbl.create 64 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  let flush_chunk () =
+    Buffer.output_buffer oc buf;
+    Buffer.clear buf
+  in
+  let emit ev =
+    (match ev with
+    | Event.Call { routine; _ } when not (Hashtbl.mem defined routine) ->
+      Hashtbl.add defined routine ();
+      add_def buf routine (routine_name routine)
+    | _ -> ());
+    add_event buf ev;
+    if Buffer.length buf >= chunk_bytes then flush_chunk ()
+  in
+  let close () =
+    Buffer.add_char buf (Char.chr end_tag);
+    flush_chunk ()
+  in
+  { Trace_stream.emit; close }
+
+(* ----- streaming reader ----------------------------------------------- *)
+
+let reader ?(chunk_bytes = default_chunk) ic =
+  let chunk = Bytes.create (max 1 chunk_bytes) in
+  let pos = ref 0 in
+  let len = ref 0 in
+  let refill () =
+    len := In_channel.input ic chunk 0 (Bytes.length chunk);
+    pos := 0
+  in
+  let read_byte () =
+    if !pos >= !len then refill ();
+    if !len = 0 then -1
+    else begin
+      let b = Char.code (Bytes.unsafe_get chunk !pos) in
+      incr pos;
+      b
+    end
+  in
+  let read_string n =
+    let b = Bytes.create n in
+    let filled = ref 0 in
+    while !filled < n do
+      if !pos >= !len then begin
+        refill ();
+        if !len = 0 then bad "truncated name"
+      end;
+      let take = min (n - !filled) (!len - !pos) in
+      Bytes.blit chunk !pos b !filled take;
+      pos := !pos + take;
+      filled := !filled + take
+    done;
+    Bytes.unsafe_to_string b
+  in
+  check_header read_byte;
+  let names = Hashtbl.create 64 in
+  let define id name = Hashtbl.replace names id name in
+  let finished = ref false in
+  ( names,
+    fun () ->
+      if !finished then None
+      else
+        match read_record ~read_byte ~read_string ~define with
+        | None ->
+          finished := true;
+          None
+        | some -> some )
+
+(* ----- whole-trace convenience ---------------------------------------- *)
+
+let to_string ?(routine_name = default_routine_name) (tr : Event.t Vec.t) =
+  let buf = Buffer.create (16 + (4 * Vec.length tr)) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  let defined = Hashtbl.create 64 in
+  Vec.iter
+    (fun ev ->
+      (match ev with
+      | Event.Call { routine; _ } when not (Hashtbl.mem defined routine) ->
+        Hashtbl.add defined routine ();
+        add_def buf routine (routine_name routine)
+      | _ -> ());
+      add_event buf ev)
+    tr;
+  Buffer.add_char buf (Char.chr end_tag);
+  Buffer.contents buf
+
+let of_string s =
+  let pos = ref 0 in
+  let read_byte () =
+    if !pos >= String.length s then -1
+    else begin
+      let b = Char.code (String.unsafe_get s !pos) in
+      incr pos;
+      b
+    end
+  in
+  let read_string n =
+    if !pos + n > String.length s then bad "truncated name";
+    let sub = String.sub s !pos n in
+    pos := !pos + n;
+    sub
+  in
+  try
+    check_header read_byte;
+    let names = ref [] in
+    let define id name = names := (id, name) :: !names in
+    let out = Vec.create () in
+    let rec loop () =
+      match read_record ~read_byte ~read_string ~define with
+      | None -> ()
+      | Some ev ->
+        Vec.push out ev;
+        loop ()
+    in
+    loop ();
+    Ok (out, List.rev !names)
+  with Trace_stream.Decode_error msg -> Error msg
+
+let detect ic =
+  let start = In_channel.pos ic in
+  let head = really_input_string ic (min 4 (String.length magic)) in
+  In_channel.seek ic start;
+  if head = magic then `Binary else `Text
+
+let detect ic = try detect ic with End_of_file -> `Text

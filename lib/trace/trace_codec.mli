@@ -1,0 +1,71 @@
+(** Compact binary trace format.
+
+    The wire format is a 5-byte versioned header (magic ["ATRC"] plus a
+    version byte) followed by a flat sequence of records.  Every record
+    starts with a one-byte tag: tags 1–14 are the {!Event.t} variants,
+    whose integer fields are zigzag varints (LEB128, so small values —
+    the common case for thread ids and interned routine ids — cost one
+    byte); tag 15 is a routine-name definition [(id, name)] binding an
+    interned routine id to its name.  Definitions are interleaved with
+    the events — the writer emits one immediately before the first
+    [Call] that references the routine — so the intern table travels
+    inside the stream and both ends can operate strictly online, never
+    holding more than one I/O chunk in memory.
+
+    Integers round-trip over the full [int] range (zigzag encoding);
+    names round-trip byte-exactly, including empty and non-ASCII ones.
+
+    A complete trace ends with a one-byte end-of-trace marker (tag 0),
+    so truncation is detected even when it falls exactly on a record
+    boundary.  Any malformation — a missing marker, a truncated record,
+    trailing bytes after the marker, an unknown tag, a bad header —
+    raises {!Trace_stream.Decode_error}. *)
+
+val magic : string
+val version : int
+
+(** {1 Streaming} *)
+
+(** [writer oc] is a sink encoding events into [oc].  Output is
+    buffered; the sink's [close] writes the end-of-trace marker and
+    flushes the buffer (but leaves the channel open) — a trace without
+    it is rejected as truncated.  The header is written immediately.
+    @param routine_name names embedded in definition records (default
+    [fun id -> "routine_<id>"]).
+    @param chunk_bytes flush threshold in bytes (default 64 KiB). *)
+val writer :
+  ?chunk_bytes:int ->
+  ?routine_name:(int -> string) ->
+  out_channel ->
+  Trace_stream.sink
+
+(** [reader ic] validates the header and returns the routine-name table
+    together with the event stream.  The table fills in as the stream is
+    consumed (definitions decode in stream order); it is complete once
+    the stream returns [None].  Reads are buffered [chunk_bytes] at a
+    time, so peak live memory is bounded by the chunk, not the trace.
+    @raise Trace_stream.Decode_error on a bad header; the returned
+    stream raises it on malformed records. *)
+val reader :
+  ?chunk_bytes:int ->
+  in_channel ->
+  (int, string) Hashtbl.t * Trace_stream.t
+
+(** {1 Whole-trace convenience} *)
+
+(** [to_string ?routine_name tr] encodes an in-memory trace. *)
+val to_string :
+  ?routine_name:(int -> string) -> Event.t Aprof_util.Vec.t -> string
+
+(** [of_string s] decodes a full binary trace, returning the events and
+    the embedded routine-name table (in definition order).  All decode
+    failures are reported as [Error]. *)
+val of_string :
+  string -> (Event.t Aprof_util.Vec.t * (int * string) list, string) result
+
+(** {1 Format sniffing} *)
+
+(** [detect ic] peeks at the first bytes of a seekable channel and
+    reports whether it holds this binary format or (presumably) the text
+    format; the channel is rewound to the start. *)
+val detect : in_channel -> [ `Binary | `Text ]

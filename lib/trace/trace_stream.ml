@@ -1,0 +1,123 @@
+module Vec = Aprof_util.Vec
+
+type t = unit -> Event.t option
+
+exception Decode_error of string
+
+let empty : t = fun () -> None
+
+let of_trace (tr : Event.t Vec.t) : t =
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= Vec.length tr then None
+    else begin
+      let ev = Vec.get tr !pos in
+      incr pos;
+      Some ev
+    end
+
+let of_list events : t =
+  let rest = ref events in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | ev :: tl ->
+      rest := tl;
+      Some ev
+
+let of_fun f : t = f
+
+let of_text_channel ic : t =
+  let lineno = ref 0 in
+  let rec next () =
+    match In_channel.input_line ic with
+    | None -> None
+    | Some line ->
+      incr lineno;
+      if String.trim line = "" then next ()
+      else
+        (match Event.of_line line with
+        | Ok ev -> Some ev
+        | Error msg ->
+          raise (Decode_error (Printf.sprintf "line %d: %s" !lineno msg)))
+  in
+  next
+
+let map f (s : t) : t =
+ fun () ->
+  match s () with
+  | None -> None
+  | Some ev -> Some (f ev)
+
+let filter p (s : t) : t =
+  let rec next () =
+    match s () with
+    | None -> None
+    | Some ev when p ev -> Some ev
+    | Some _ -> next ()
+  in
+  next
+
+let take n (s : t) : t =
+  let left = ref n in
+  fun () ->
+    if !left <= 0 then None
+    else begin
+      decr left;
+      s ()
+    end
+
+let rec iter f (s : t) =
+  match s () with
+  | None -> ()
+  | Some ev ->
+    f ev;
+    iter f s
+
+let rec fold f acc (s : t) =
+  match s () with
+  | None -> acc
+  | Some ev -> fold f (f acc ev) s
+
+let to_trace s =
+  let tr = Vec.create () in
+  iter (Vec.push tr) s;
+  tr
+
+let to_list s = List.rev (fold (fun acc ev -> ev :: acc) [] s)
+
+let length s = fold (fun n _ -> n + 1) 0 s
+
+type sink = { emit : Event.t -> unit; close : unit -> unit }
+
+let null_sink = { emit = ignore; close = ignore }
+
+let sink_of_fun f = { emit = f; close = ignore }
+
+let sink_to_trace tr = { emit = Vec.push tr; close = ignore }
+
+let text_sink oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Event.to_line ev);
+        output_char oc '\n');
+    close = ignore;
+  }
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }
+
+let connect src dst =
+  let n = fold (fun n ev -> dst.emit ev; n + 1) 0 src in
+  dst.close ();
+  n

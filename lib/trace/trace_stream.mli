@@ -1,0 +1,88 @@
+(** Incremental event streams.
+
+    A {!t} is a pull-based source of events: calling it yields the next
+    event, or [None] when the stream is exhausted.  Streams let the
+    profilers and tools consume traces of unbounded length — from a live
+    VM run, a trace file, or an in-memory {!Trace.t} — without ever
+    materializing the whole event sequence, mirroring how the paper's
+    Valgrind tool observes billions of events online.
+
+    Streams are single-use: once exhausted (or partially consumed) they
+    cannot be rewound.  Re-create the source to replay again.
+
+    The dual {!sink} is a push-based consumer; {!connect} drains a source
+    into a sink. *)
+
+type t = unit -> Event.t option
+
+(** Raised by decoding sources ({!of_text_channel},
+    {!Trace_codec.reader}) on malformed input. *)
+exception Decode_error of string
+
+(** {1 Sources} *)
+
+val empty : t
+
+(** [of_trace tr] yields the events of an in-memory trace in order. *)
+val of_trace : Event.t Aprof_util.Vec.t -> t
+
+val of_list : Event.t list -> t
+
+(** [of_fun f] is [f] itself; documents intent at call sites. *)
+val of_fun : (unit -> Event.t option) -> t
+
+(** [of_text_channel ic] streams the one-event-per-line text format
+    ({!Event.of_line}), skipping blank lines.  The channel is read
+    lazily; the caller keeps ownership.
+    @raise Decode_error on the first malformed line. *)
+val of_text_channel : in_channel -> t
+
+(** {1 Transformers} *)
+
+val map : (Event.t -> Event.t) -> t -> t
+val filter : (Event.t -> bool) -> t -> t
+
+(** [take n s] yields at most the first [n] events of [s]. *)
+val take : int -> t -> t
+
+(** {1 Consumers} *)
+
+val iter : (Event.t -> unit) -> t -> unit
+val fold : ('acc -> Event.t -> 'acc) -> 'acc -> t -> 'acc
+
+(** [to_trace s] materializes the remainder of [s]. *)
+val to_trace : t -> Event.t Aprof_util.Vec.t
+
+val to_list : t -> Event.t list
+
+(** [length s] consumes [s] and returns how many events it yielded. *)
+val length : t -> int
+
+(** {1 Sinks} *)
+
+type sink = {
+  emit : Event.t -> unit;
+  close : unit -> unit;
+      (** flush buffered output; must be called exactly once, after the
+          last [emit].  Never closes an underlying channel — the channel's
+          owner does. *)
+}
+
+(** [null_sink] discards events. *)
+val null_sink : sink
+
+(** [sink_of_fun f] emits through [f]; [close] is a no-op. *)
+val sink_of_fun : (Event.t -> unit) -> sink
+
+(** [sink_to_trace tr] pushes events onto [tr]. *)
+val sink_to_trace : Event.t Aprof_util.Vec.t -> sink
+
+(** [text_sink oc] writes the one-event-per-line text format. *)
+val text_sink : out_channel -> sink
+
+(** [tee a b] duplicates every event (and the close) to both sinks. *)
+val tee : sink -> sink -> sink
+
+(** [connect src dst] drains [src] into [dst], closes [dst], and returns
+    the number of events transferred. *)
+val connect : t -> sink -> int

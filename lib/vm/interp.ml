@@ -27,6 +27,7 @@ type result = {
   routines : Routine_table.t;
   threads_spawned : int;
   memory_high_water : int;
+  events_emitted : int;
 }
 
 exception Run_error of string
@@ -426,21 +427,27 @@ let setup config sink =
     current = -1;
   }
 
-let run_internal config threads sink =
+(* [make_sink] receives the (initially empty) routine intern table before
+   the first event fires, so an online tool can resolve routine ids to
+   names while the workload executes: the interpreter interns a name
+   before emitting the corresponding [Call]. *)
+let run_internal config threads make_sink =
   if threads = [] then invalid_arg "Interp.run: no threads";
-  let st = setup config sink in
+  let sink = ref (fun (_ : Event.t) -> ()) in
+  let st = setup config (fun ev -> !sink ev) in
+  sink := make_sink st.routines;
   List.iter (fun body -> ignore (new_thread st (Program.to_prog body))) threads;
   run_loop st;
-  (st.routines, Vec.length st.threads, st.high_water)
+  { trace = Vec.create (); routines = st.routines;
+    threads_spawned = Vec.length st.threads;
+    memory_high_water = st.high_water; events_emitted = st.events }
 
 let run config threads =
   let trace = Vec.create () in
-  let routines, spawned, high_water =
-    run_internal config threads (fun ev -> Vec.push trace ev)
-  in
-  { trace; routines; threads_spawned = spawned; memory_high_water = high_water }
+  let result = run_internal config threads (fun _ ev -> Vec.push trace ev) in
+  { result with trace }
 
 let run_to_sink config threads ~sink =
-  let routines, spawned, high_water = run_internal config threads sink in
-  { trace = Vec.create (); routines; threads_spawned = spawned;
-    memory_high_water = high_water }
+  run_internal config threads (fun _ -> sink)
+
+let run_instrumented config threads ~tool = run_internal config threads tool

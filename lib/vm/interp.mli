@@ -25,6 +25,9 @@ type result = {
   routines : Aprof_trace.Routine_table.t;
   threads_spawned : int;
   memory_high_water : int;  (** peak allocated simulated cells *)
+  events_emitted : int;
+      (** total events the run produced — also meaningful for streaming
+          runs, whose [trace] field stays empty *)
 }
 
 (** Raised on deadlock, unbalanced call/return, unknown device, negative
@@ -41,3 +44,16 @@ val run : config -> unit Program.t list -> result
     with an empty trace. *)
 val run_to_sink :
   config -> unit Program.t list -> sink:(Aprof_trace.Event.t -> unit) -> result
+
+(** [run_instrumented config threads ~tool] is the online-profiling mode:
+    [tool] receives the run's routine intern table *before* the first
+    event and returns the event callback, so an analysis (a profiler, a
+    trace encoder) can observe the workload while it executes and resolve
+    routine ids to names as they are interned — the interpreter interns a
+    routine's name before emitting its [Call] event.  No trace is
+    materialized. *)
+val run_instrumented :
+  config ->
+  unit Program.t list ->
+  tool:(Aprof_trace.Routine_table.t -> Aprof_trace.Event.t -> unit) ->
+  result

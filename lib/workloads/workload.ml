@@ -18,18 +18,29 @@ let suite_name = function
   | App -> "app"
   | Micro -> "micro"
 
-let run ?(scheduler = Aprof_vm.Scheduler.Round_robin { slice = 64 })
+let config_of ?(scheduler = Aprof_vm.Scheduler.Round_robin { slice = 64 })
     ?(max_events = 50_000_000) w ~seed =
-  let config =
-    {
-      Aprof_vm.Interp.scheduler;
-      seed;
-      devices = w.devices;
-      max_events;
-      reuse_freed_memory = false;
-    }
-  in
-  Aprof_vm.Interp.run config w.programs
+  ignore (w.programs : unit Aprof_vm.Program.t list);
+  {
+    Aprof_vm.Interp.scheduler;
+    seed;
+    devices = w.devices;
+    max_events;
+    reuse_freed_memory = false;
+  }
+
+let run ?scheduler ?max_events w ~seed =
+  Aprof_vm.Interp.run (config_of ?scheduler ?max_events w ~seed) w.programs
 
 let run_spec ?scheduler ?max_events spec ~threads ~scale ~seed =
   run ?scheduler ?max_events (spec.make ~threads ~scale ~seed) ~seed
+
+let run_instrumented ?scheduler ?max_events w ~seed ~tool =
+  Aprof_vm.Interp.run_instrumented
+    (config_of ?scheduler ?max_events w ~seed)
+    w.programs ~tool
+
+let run_spec_instrumented ?scheduler ?max_events spec ~threads ~scale ~seed
+    ~tool =
+  run_instrumented ?scheduler ?max_events (spec.make ~threads ~scale ~seed)
+    ~seed ~tool

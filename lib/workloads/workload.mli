@@ -40,3 +40,28 @@ val run_spec :
   scale:int ->
   seed:int ->
   Aprof_vm.Interp.result
+
+(** [run_instrumented w ~seed ~tool] executes the workload in the
+    interpreter's online mode ({!Aprof_vm.Interp.run_instrumented}): no
+    trace is materialized; [tool] gets the routine table and sees every
+    event as it is emitted. *)
+val run_instrumented :
+  ?scheduler:Aprof_vm.Scheduler.policy ->
+  ?max_events:int ->
+  t ->
+  seed:int ->
+  tool:
+    (Aprof_trace.Routine_table.t -> Aprof_trace.Event.t -> unit) ->
+  Aprof_vm.Interp.result
+
+(** [run_spec_instrumented] builds and runs online in one step. *)
+val run_spec_instrumented :
+  ?scheduler:Aprof_vm.Scheduler.policy ->
+  ?max_events:int ->
+  spec ->
+  threads:int ->
+  scale:int ->
+  seed:int ->
+  tool:
+    (Aprof_trace.Routine_table.t -> Aprof_trace.Event.t -> unit) ->
+  Aprof_vm.Interp.result

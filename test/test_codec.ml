@@ -1,0 +1,172 @@
+(* Round-trip properties of the binary trace codec: every event variant
+   must survive encode/decode over the full int range, whole traces must
+   decode identically through the binary and the text format, and
+   routine-name definition records must carry arbitrary (empty, unicode)
+   names byte-exactly.  Malformed input must be rejected, not crash. *)
+
+module Event = Aprof_trace.Event
+module Trace = Aprof_trace.Trace
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+module Vec = Aprof_util.Vec
+
+let gen_payload =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, small_nat);
+        (2, int_bound 1_000_000);
+        (2, int);
+        ( 1,
+          oneofl [ 0; 1; -1; max_int; max_int - 1; min_int; min_int + 1 ] );
+      ])
+
+let gen_event =
+  let open QCheck2.Gen in
+  let* tag = int_range 1 14 in
+  let* a = gen_payload in
+  let* b = gen_payload in
+  let* c = gen_payload in
+  return
+    (match tag with
+    | 1 -> Event.Call { tid = a; routine = b }
+    | 2 -> Event.Return { tid = a }
+    | 3 -> Event.Read { tid = a; addr = b }
+    | 4 -> Event.Write { tid = a; addr = b }
+    | 5 -> Event.Block { tid = a; units = b }
+    | 6 -> Event.User_to_kernel { tid = a; addr = b; len = c }
+    | 7 -> Event.Kernel_to_user { tid = a; addr = b; len = c }
+    | 8 -> Event.Acquire { tid = a; lock = b }
+    | 9 -> Event.Release { tid = a; lock = b }
+    | 10 -> Event.Alloc { tid = a; addr = b; len = c }
+    | 11 -> Event.Free { tid = a; addr = b; len = c }
+    | 12 -> Event.Thread_start { tid = a }
+    | 13 -> Event.Thread_exit { tid = a }
+    | _ -> Event.Switch_thread { tid = a })
+
+let decode_exn s =
+  match Codec.of_string s with
+  | Ok (tr, names) -> (tr, names)
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let event_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"decode (encode e) = e, every variant"
+       ~count:2000 ~print:Event.to_string gen_event (fun ev ->
+         let tr, _ = decode_exn (Codec.to_string (Vec.of_list [ ev ])) in
+         Vec.length tr = 1 && Event.equal (Vec.get tr 0) ev))
+
+let trace_equal name a b =
+  Alcotest.(check (list string))
+    name
+    (List.map Event.to_line (Vec.to_list a))
+    (List.map Event.to_line (Vec.to_list b))
+
+let whole_trace_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"binary and text decode agree on whole traces"
+       ~count:300 ~print:Gen_trace.print (Gen_trace.gen ()) (fun trace ->
+         let from_binary, _ = decode_exn (Codec.to_string trace) in
+         (* Same trace through the text format. *)
+         let from_text =
+           Stream.to_trace
+             (Stream.of_list
+                (List.map
+                   (fun ev ->
+                     match Event.of_line (Event.to_line ev) with
+                     | Ok e -> e
+                     | Error m -> Alcotest.failf "text decode: %s" m)
+                   (Vec.to_list trace)))
+         in
+         trace_equal "binary round trip" from_binary trace;
+         trace_equal "binary = text" from_binary from_text;
+         true))
+
+let names_round_trip () =
+  let names = [| ""; "h\xc3\xa9llo \xe2\x86\x92 \xe4\xb8\x96\xe7\x95\x8c"; "plain name with spaces" |] in
+  let trace =
+    Vec.of_list
+      [
+        Event.Call { tid = 0; routine = 2 };
+        Event.Return { tid = 0 };
+        Event.Call { tid = 0; routine = 0 };
+        Event.Call { tid = 0; routine = 1 };
+        Event.Return { tid = 0 };
+        Event.Return { tid = 0 };
+        Event.Call { tid = 0; routine = 1 };
+        Event.Return { tid = 0 };
+      ]
+  in
+  let s = Codec.to_string ~routine_name:(fun id -> names.(id)) trace in
+  let decoded, table = decode_exn s in
+  trace_equal "events" decoded trace;
+  (* One definition per routine, in first-use order, names byte-exact. *)
+  Alcotest.(check (list (pair int string)))
+    "embedded name table"
+    [ (2, names.(2)); (0, names.(0)); (1, names.(1)) ]
+    table
+
+let channel_round_trip () =
+  let trace =
+    QCheck2.Gen.generate1 ~rand:(Random.State.make [| 7 |]) (Gen_trace.gen ())
+  in
+  let file = Filename.temp_file "aprof_test" ".atrc" in
+  Out_channel.with_open_bin file (fun oc ->
+      (* A tiny chunk forces many flushes. *)
+      let sink = Codec.writer ~chunk_bytes:64 oc in
+      Stream.iter sink.Stream.emit (Trace.to_stream trace);
+      sink.Stream.close ());
+  let decoded, names =
+    In_channel.with_open_bin file (fun ic ->
+        match Codec.detect ic with
+        | `Text -> Alcotest.fail "binary file detected as text"
+        | `Binary ->
+          let names, stream = Codec.reader ~chunk_bytes:64 ic in
+          let tr = Stream.to_trace stream in
+          (tr, names))
+  in
+  Sys.remove file;
+  trace_equal "channel round trip" decoded trace;
+  (* Every routine referenced by a Call must have been defined. *)
+  Vec.iter
+    (function
+      | Event.Call { routine; _ } ->
+        if not (Hashtbl.mem names routine) then
+          Alcotest.failf "routine %d has no definition record" routine
+      | _ -> ())
+    trace
+
+let rejects_garbage () =
+  let check_error name s =
+    match Codec.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected decode error" name
+    | Error _ -> ()
+  in
+  check_error "empty" "";
+  check_error "bad magic" "NOPE\x01";
+  check_error "bad version" "ATRC\x63";
+  check_error "truncated header" "ATR";
+  let valid = Codec.to_string (Vec.of_list [ Event.Read { tid = 1; addr = 2 } ]) in
+  (* [valid] ends with the end-of-trace marker byte. *)
+  let unterminated = String.sub valid 0 (String.length valid - 1) in
+  check_error "truncated mid-record" (String.sub valid 0 (String.length valid - 2));
+  check_error "truncated at a record boundary (marker missing)" unterminated;
+  check_error "unknown tag" (unterminated ^ "\xff\x00");
+  check_error "trailing data after marker" (valid ^ "x");
+  (* Text files must not be mistaken for binary ones. *)
+  let file = Filename.temp_file "aprof_test" ".trace" in
+  Out_channel.with_open_bin file (fun oc -> output_string oc "C 0 1\nR 0\n");
+  let fmt = In_channel.with_open_bin file Codec.detect in
+  Sys.remove file;
+  Alcotest.(check bool) "text detected" true (fmt = `Text)
+
+let suite =
+  [
+    event_round_trip;
+    whole_trace_round_trip;
+    Alcotest.test_case "routine names round trip (empty, unicode)" `Quick
+      names_round_trip;
+    Alcotest.test_case "writer/reader channel round trip" `Quick
+      channel_round_trip;
+    Alcotest.test_case "malformed input is rejected" `Quick rejects_garbage;
+  ]

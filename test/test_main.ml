@@ -4,8 +4,12 @@ let () =
       ("util", Test_util.suite);
       ("shadow", Test_shadow.suite);
       ("trace", Test_trace.suite);
+      ("stream", Test_stream.suite);
+      ("codec", Test_codec.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("differential", Test_differential.suite);
+      ("vm-differential", Test_vm_differential.suite);
+      ("golden", Test_golden.suite);
       ("workloads", Test_workloads.suite);
       ("vm", Test_vm.suite);
       ("tools", Test_tools.suite);

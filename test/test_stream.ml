@@ -1,0 +1,134 @@
+(* The stream pipeline: combinator sanity, text-channel sources, and the
+   load-bearing equivalence — streaming consumption (live VM callbacks,
+   binary or text decode) must produce bit-identical profiles to
+   materialized replay, on every registered workload. *)
+
+open Helpers
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+module Workload = Aprof_workloads.Workload
+module Registry = Aprof_workloads.Registry
+module Interp = Aprof_vm.Interp
+
+let ev_list = Alcotest.(list string)
+let lines tr = List.map Event.to_line (Vec.to_list tr)
+
+let combinators () =
+  let events =
+    [
+      Event.Switch_thread { tid = 0 };
+      Event.Call { tid = 0; routine = 1 };
+      Event.Read { tid = 0; addr = 3 };
+      Event.Write { tid = 0; addr = 4 };
+      Event.Return { tid = 0 };
+    ]
+  in
+  let tr = Vec.of_list events in
+  Alcotest.check ev_list "of_trace/to_trace identity" (lines tr)
+    (lines (Stream.to_trace (Trace.to_stream tr)));
+  Alcotest.(check int) "length" 5 (Stream.length (Stream.of_list events));
+  Alcotest.(check int) "take" 2 (Stream.length (Stream.take 2 (Stream.of_list events)));
+  let reads =
+    Stream.to_list
+      (Stream.filter
+         (function Event.Read _ -> true | _ -> false)
+         (Stream.of_list events))
+  in
+  Alcotest.(check int) "filter" 1 (List.length reads);
+  let bumped =
+    Stream.to_list
+      (Stream.map
+         (function
+           | Event.Read { tid; addr } -> Event.Read { tid; addr = addr + 1 }
+           | ev -> ev)
+         (Stream.of_list events))
+  in
+  (match List.nth bumped 2 with
+  | Event.Read { addr; _ } -> Alcotest.(check int) "map" 4 addr
+  | _ -> Alcotest.fail "map changed the shape");
+  (* tee duplicates, connect counts and closes. *)
+  let a = Vec.create () and b = Vec.create () in
+  let closed = ref 0 in
+  let counting base =
+    { base with Stream.close = (fun () -> incr closed) }
+  in
+  let n =
+    Stream.connect (Stream.of_list events)
+      (Stream.tee (counting (Stream.sink_to_trace a)) (counting (Stream.sink_to_trace b)))
+  in
+  Alcotest.(check int) "connect count" 5 n;
+  Alcotest.(check int) "both closed" 2 !closed;
+  Alcotest.check ev_list "tee left" (lines tr) (lines a);
+  Alcotest.check ev_list "tee right" (lines tr) (lines b)
+
+let text_channel_source () =
+  let tr =
+    QCheck2.Gen.generate1 ~rand:(Random.State.make [| 11 |]) (Gen_trace.gen ())
+  in
+  let file = Filename.temp_file "aprof_test" ".trace" in
+  Out_channel.with_open_bin file (fun oc ->
+      Stream.connect (Trace.to_stream tr) (Stream.text_sink oc) |> ignore);
+  let decoded =
+    In_channel.with_open_bin file (fun ic ->
+        Stream.to_trace (Stream.of_text_channel ic))
+  in
+  Sys.remove file;
+  Alcotest.check ev_list "text channel round trip" (lines tr) (lines decoded);
+  Out_channel.with_open_bin file (fun oc -> output_string oc "C 1\nnot an event\n");
+  let raises =
+    In_channel.with_open_bin file (fun ic ->
+        match Stream.to_trace (Stream.of_text_channel ic) with
+        | _ -> false
+        | exception Stream.Decode_error _ -> true)
+  in
+  Sys.remove file;
+  Alcotest.(check bool) "malformed line raises Decode_error" true raises
+
+(* --- streaming = materialized, on every registered workload ----------- *)
+
+let small_scale spec =
+  match spec.Workload.name with "vips" -> 30 | "dedup" -> 60 | _ -> 80
+
+let scheduler =
+  Aprof_vm.Scheduler.Random_preemptive { min_slice = 4; max_slice = 48 }
+
+let streaming_equals_materialized spec () =
+  let threads = 3 and scale = small_scale spec and seed = 13 in
+  (* Materialized: record the trace, then replay it into the profiler. *)
+  let result = Workload.run_spec ~scheduler spec ~threads ~scale ~seed in
+  let p_mat = run_drms result.Interp.trace in
+  (* Live: profile while the VM executes, no trace anywhere. *)
+  let live = Aprof_core.Drms_profiler.create () in
+  let live_result =
+    Workload.run_spec_instrumented ~scheduler spec ~threads ~scale ~seed
+      ~tool:(fun _routines -> Aprof_core.Drms_profiler.on_event live)
+  in
+  Alcotest.(check int)
+    "same event count" (Vec.length result.Interp.trace)
+    live_result.Interp.events_emitted;
+  Alcotest.(check int)
+    "streamed run materializes nothing" 0
+    (Vec.length live_result.Interp.trace);
+  check_profiles_equal "live streaming = materialized" p_mat
+    (Aprof_core.Drms_profiler.finish live);
+  (* Through the binary codec: encode, stream-decode, profile. *)
+  let routine_name =
+    Aprof_trace.Routine_table.name result.Interp.routines
+  in
+  let encoded = Codec.to_string ~routine_name result.Interp.trace in
+  match Codec.of_string encoded with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok (decoded, _) ->
+    let p_decoded = run_drms decoded in
+    check_profiles_equal "binary round trip preserves profile" p_mat p_decoded
+
+let suite =
+  Alcotest.test_case "stream combinators" `Quick combinators
+  :: Alcotest.test_case "text channel source" `Quick text_channel_source
+  :: List.map
+       (fun spec ->
+         Alcotest.test_case
+           (spec.Workload.name ^ ": streaming = materialized")
+           `Slow
+           (streaming_equals_materialized spec))
+       Registry.all
