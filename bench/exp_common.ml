@@ -76,6 +76,58 @@ let curve_table ppf ~title curves =
       Format.fprintf ppf "@.")
     curves
 
+(* --- machine-readable experiment rows (--json) ------------------------
+   Experiments push flat rows here; the harness dumps them as a JSON
+   array when invoked with [--json <file>], so perf numbers can be
+   tracked across revisions without scraping the text report. *)
+
+type json_value = Int of int | Float of float | String of string
+
+let json_rows : (string * (string * json_value) list) list ref = ref []
+
+let emit_row ~experiment fields =
+  json_rows := (experiment, fields) :: !json_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_value_to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+  | String s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let write_json path =
+  let rows = List.rev !json_rows in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (experiment, fields) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  {\"experiment\": \"%s\"" (json_escape experiment));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"%s\": %s" (json_escape k)
+               (json_value_to_string v)))
+        fields;
+      Buffer.add_char buf '}')
+    rows;
+  Buffer.add_string buf "\n]\n";
+  Out_channel.with_open_text path (fun oc -> Buffer.output_buffer oc buf)
+
 (* The benchmark sets used by the paper's figures. *)
 let fig11_set_a = [ "fluidanimate"; "mysqlslap"; "smithwa"; "dedup"; "nab" ]
 let fig11_set_b = [ "bodytrack"; "swaptions"; "vips"; "x264" ]

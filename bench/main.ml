@@ -19,6 +19,7 @@ let experiments quick :
     ("fig16", "overhead vs thread count (Figure 16)", Exp_scaling.run ~quick);
     ("sched", "scheduler sensitivity", Exp_sched.run);
     ("codec", "binary vs text trace pipeline", Exp_codec.run ~quick);
+    ("replay", "batched vs per-event replay hot path", Exp_replay.run ~quick);
     ("comm", "communication characterization (future-work direction)", Exp_comm.run);
     ("ablation", "design-choice ablations", Exp_ablation.run);
     ("bechamel", "microbenchmarks", Micro.run);
@@ -27,10 +28,13 @@ let experiments quick :
 let () =
   let quick = Array.exists (( = ) "-quick") Sys.argv in
   let selected = ref None in
+  let json_out = ref None in
   Array.iteri
     (fun i arg ->
       if arg = "-e" && i + 1 < Array.length Sys.argv then
-        selected := Some Sys.argv.(i + 1))
+        selected := Some Sys.argv.(i + 1);
+      if arg = "--json" && i + 1 < Array.length Sys.argv then
+        json_out := Some Sys.argv.(i + 1))
     Sys.argv;
   let ppf = Format.std_formatter in
   let exps = experiments quick in
@@ -53,4 +57,9 @@ let () =
       let t0 = Sys.time () in
       f ppf;
       Format.fprintf ppf "<<< %s done in %.1fs@." id (Sys.time () -. t0))
-    to_run
+    to_run;
+  match !json_out with
+  | None -> ()
+  | Some path ->
+    Exp_common.write_json path;
+    Format.fprintf ppf "@.experiment rows written to %s@." path

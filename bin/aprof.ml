@@ -325,33 +325,60 @@ let contexts_cmd =
 
 module Stream = Aprof_trace.Trace_stream
 module Codec = Aprof_trace.Trace_codec
+module Batch = Aprof_trace.Event.Batch
+
+(* Throughput is a diagnostic, not part of the profile: keep it off
+   stdout so replays of the same run stay byte-diffable across formats. *)
+let rate_line verb events seconds =
+  let rate =
+    if seconds > 0. then float_of_int events /. seconds /. 1e6 else 0.
+  in
+  Printf.eprintf "%s %d events in %.2f s (%.2fM events/s)\n" verb events
+    seconds rate
 
 let record_cmd =
   let run name threads scale seed scheduler output format =
     let spec = find_spec name in
     let w = spec.Aprof_workloads.Workload.make ~threads ~scale ~seed in
+    let t0 = Sys.time () in
     let events, bytes =
       try
         Out_channel.with_open_bin output (fun oc ->
           (* The sink is created once the interpreter hands us its routine
              table, so the binary writer can embed names as they are
-             interned; recorded traces never live in memory. *)
-          let sink = ref Stream.null_sink in
+             interned; recorded traces never live in memory.  The binary
+             format goes through the packed hot path: the interpreter's
+             recycled batch is encoded directly, with no per-event
+             variant or closure. *)
           let result =
-            Aprof_workloads.Workload.run_instrumented ~scheduler w ~seed
-              ~tool:(fun routines ->
-                let s =
-                  match format with
-                  | `Binary ->
-                    Codec.writer
-                      ~routine_name:(Aprof_trace.Routine_table.name routines)
-                      oc
-                  | `Text -> Stream.text_sink oc
-                in
-                sink := s;
-                s.Stream.emit)
+            match format with
+            | `Binary ->
+              let sink = ref Stream.batch_null_sink in
+              let result =
+                Aprof_workloads.Workload.run_batched ~scheduler w ~seed
+                  ~tool:(fun routines ->
+                    let s =
+                      Codec.batch_writer
+                        ~routine_name:(Aprof_trace.Routine_table.name routines)
+                        oc
+                    in
+                    sink := s;
+                    s.Stream.emit_batch)
+              in
+              (!sink).Stream.close_batch ();
+              result
+            | `Text ->
+              let sink = ref Stream.null_sink in
+              let result =
+                Aprof_workloads.Workload.run_instrumented ~scheduler w ~seed
+                  ~tool:(fun _ ->
+                    let s = Stream.text_sink oc in
+                    sink := s;
+                    s.Stream.emit)
+              in
+              (!sink).Stream.close ();
+              result
           in
-          (!sink).Stream.close ();
           (result.Aprof_vm.Interp.events_emitted, Out_channel.pos oc))
       with Sys_error msg ->
         Printf.eprintf "cannot record to %s: %s\n" output msg;
@@ -359,7 +386,8 @@ let record_cmd =
     in
     Printf.printf "recorded %d events (%Ld bytes, %s) to %s\n" events bytes
       (match format with `Binary -> "binary" | `Text -> "text")
-      output
+      output;
+    rate_line "recorded" events (Sys.time () -. t0)
   in
   let output_term =
     let doc = "Trace file to write." in
@@ -385,47 +413,71 @@ let record_cmd =
 let replay_cmd =
   let run path profiler with_tools =
     (* Streams are single-use: every consumer re-opens the file and decodes
-       incrementally, so replay memory stays bounded by the I/O chunk. *)
-    let with_stream f =
+       incrementally, so replay memory stays bounded by the I/O chunk.
+       Binary traces decode and dispatch a packed batch at a time — the
+       allocation-free path; the text format goes through the per-event
+       decoder lifted into batches. *)
+    let with_batches f =
       In_channel.with_open_bin path (fun ic ->
           match Codec.detect ic with
           | `Binary ->
-            let names, stream = Codec.reader ic in
+            let names, batches = Codec.batch_reader ic in
             let name id =
               match Hashtbl.find_opt names id with
               | Some n -> n
               | None -> Printf.sprintf "routine_%d" id
             in
-            f ~name stream
+            f ~name batches
           | `Text ->
-            f ~name:(Printf.sprintf "routine_%d") (Stream.of_text_channel ic))
+            f ~name:(Printf.sprintf "routine_%d")
+              (Stream.batches_of_events (Stream.of_text_channel ic)))
+    in
+    let drain batches on_batch =
+      let rec loop n =
+        match batches () with
+        | None -> n
+        | Some b ->
+          on_batch b;
+          loop (n + Batch.length b)
+      in
+      loop 0
     in
     try
-      with_stream (fun ~name stream ->
-          let profile =
+      with_batches (fun ~name batches ->
+          let t0 = Sys.time () in
+          let events, profile =
             match profiler with
             | `Drms ->
               let p = Aprof_core.Drms_profiler.create () in
-              Aprof_core.Drms_profiler.run_stream p stream;
-              Aprof_core.Drms_profiler.finish p
+              let n = drain batches (Aprof_core.Drms_profiler.on_batch p) in
+              (n, Aprof_core.Drms_profiler.finish p)
             | `Rms ->
               let p = Aprof_core.Rms_profiler.create () in
-              Aprof_core.Rms_profiler.run_stream p stream;
-              Aprof_core.Rms_profiler.finish p
+              let n = drain batches (Aprof_core.Rms_profiler.on_batch p) in
+              (n, Aprof_core.Rms_profiler.finish p)
             | `Naive ->
               let p = Aprof_core.Naive_drms.create () in
-              Aprof_core.Naive_drms.run_stream p stream;
-              Aprof_core.Naive_drms.finish p
+              let n = ref 0 in
+              Aprof_core.Naive_drms.run_stream p
+                (Stream.map
+                   (fun ev -> incr n; ev)
+                   (Stream.events_of_batches batches));
+              (!n, Aprof_core.Naive_drms.finish p)
           in
+          let dt = Sys.time () -. t0 in
           print_string
-            (Aprof_core.Profile_io.render_report ~routine_name:name profile));
+            (Aprof_core.Profile_io.render_report ~routine_name:name profile);
+          rate_line "replayed" events dt);
       if with_tools then
         List.iter
           (fun f ->
-            with_stream (fun ~name:_ stream ->
+            with_batches (fun ~name:_ batches ->
                 let tool = f.Aprof_tools.Tool.create () in
-                Aprof_tools.Tool.replay_stream tool stream;
-                Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ())))
+                let t0 = Sys.time () in
+                let n = Aprof_tools.Tool.replay_batches tool batches in
+                let dt = Sys.time () -. t0 in
+                Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ());
+                rate_line "replayed" n dt))
           (Aprof_tools.Harness.standard_factories ())
     with
     | Stream.Decode_error msg | Sys_error msg ->

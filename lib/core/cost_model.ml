@@ -8,18 +8,42 @@ let cost_increment = function
   | Event.Thread_start _ | Event.Thread_exit _ | Event.Switch_thread _ ->
     0
 
+(* The same metric from the packed fields (tags 1/3/4 = Call/Read/Write,
+   5 = Block whose [arg] is the unit count). *)
+let cost_increment_raw ~tag ~arg =
+  match tag with 1 | 3 | 4 -> 1 | 5 -> arg | _ -> 0
+
 module Counter = struct
-  type t = (int, int ref) Hashtbl.t
+  (* The counter table is consulted for every cost-bearing event, and
+     events arrive in scheduler slices of the same thread, so a one-entry
+     cache in front of the table turns almost every lookup into an int
+     compare.  [last_tid] starts at [min_int] — no real tid — so the
+     initial [last] ref is unreachable. *)
+  type t = {
+    tbl : (int, int ref) Hashtbl.t;
+    mutable last_tid : int;
+    mutable last : int ref;
+  }
 
-  let create () : t = Hashtbl.create 8
+  let create () : t =
+    { tbl = Hashtbl.create 8; last_tid = min_int; last = ref 0 }
 
-  let counter t tid =
-    match Hashtbl.find_opt t tid with
-    | Some c -> c
-    | None ->
-      let c = ref 0 in
-      Hashtbl.add t tid c;
-      c
+  (* [Hashtbl.find] rather than [find_opt]: the hot path must not box a
+     [Some] per cost-bearing event. *)
+  let counter_slow t tid =
+    let c =
+      match Hashtbl.find t.tbl tid with
+      | c -> c
+      | exception Not_found ->
+        let c = ref 0 in
+        Hashtbl.add t.tbl tid c;
+        c
+    in
+    t.last_tid <- tid;
+    t.last <- c;
+    c
+
+  let counter t tid = if tid = t.last_tid then t.last else counter_slow t tid
 
   let on_event t e =
     let inc = cost_increment e in
@@ -28,9 +52,21 @@ module Counter = struct
       c := !c + inc
     end
 
-  let cost t tid = match Hashtbl.find_opt t tid with Some c -> !c | None -> 0
+  let on_raw t ~tag ~tid ~arg =
+    let inc = cost_increment_raw ~tag ~arg in
+    if inc > 0 then begin
+      let c = counter t tid in
+      c := !c + inc
+    end
 
-  let total t = Hashtbl.fold (fun _ c acc -> acc + !c) t 0
+  let cost t tid =
+    if tid = t.last_tid then !(t.last)
+    else
+      match Hashtbl.find t.tbl tid with
+      | c -> !c
+      | exception Not_found -> 0
+
+  let total t = Hashtbl.fold (fun _ c acc -> acc + !c) t.tbl 0
 end
 
 let simulated_time_ns rng ~ns_per_block ~jitter cost =

@@ -16,6 +16,11 @@
     (address computation and call dispatch execute a block), 0 otherwise. *)
 val cost_increment : Aprof_trace.Event.t -> int
 
+(** [cost_increment_raw ~tag ~arg] is the same metric computed from a
+    packed event's raw fields ({!Aprof_trace.Event.Batch} tags; [arg] is
+    the [Block] unit count). *)
+val cost_increment_raw : tag:int -> arg:int -> int
+
 (** Per-thread executed-basic-block counters. *)
 module Counter : sig
   type t
@@ -24,6 +29,10 @@ module Counter : sig
 
   (** [on_event c e] advances the issuing thread's counter. *)
   val on_event : t -> Aprof_trace.Event.t -> unit
+
+  (** [on_raw c ~tag ~tid ~arg] is {!on_event} on packed fields; it does
+      not allocate. *)
+  val on_raw : t -> tag:int -> tid:int -> arg:int -> unit
 
   (** [cost c tid] is the number of basic blocks executed so far by
       [tid] (0 for an unseen thread) — the profiler's [getCost()]. *)

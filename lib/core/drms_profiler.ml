@@ -4,20 +4,28 @@ module Vec = Aprof_util.Vec
 
 type induction_mode = [ `Both | `External_only | `Thread_only | `None ]
 
+(* Every field is mutable: popped frames are recycled through
+   {!Vec.spare} on the next call, so a push after warm-up allocates
+   nothing. *)
 type frame = {
-  rtn : int;
+  mutable rtn : int;
   mutable ts : int; (* invocation timestamp (renumbering rewrites it) *)
   mutable drms : int; (* partial drms (Invariant 2 suffix-sum scheme) *)
   mutable rms : int; (* partial rms, maintained with the same scheme *)
-  cost_at_entry : int;
-  ops : Profile.ops_handle; (* first-read op counters of (rtn, tid) *)
-  context : Cct.node; (* calling-context node, Cct.root when untracked *)
+  mutable cost_at_entry : int;
+  mutable ops : Profile.ops_handle; (* first-read op counters of (rtn, tid) *)
+  mutable context : Cct.node; (* calling-context node, Cct.root when untracked *)
 }
 
 type thread_state = {
   tid : int;
   ts_local : Shadow.t; (* ts_t[l]: latest access (read or write) by t *)
   stack : frame Vec.t;
+  (* Executed basic blocks of this thread (the getCost() metric).  Held
+     here rather than in a separate counter table: the dispatchers
+     already resolve the thread state per event, so the cost bump rides
+     on the same lookup. *)
+  mutable cost : int;
 }
 
 type t = {
@@ -25,15 +33,27 @@ type t = {
   mode : induction_mode;
   ancestor_search : [ `Binary | `Linear ];
   mutable count : int;
-  (* The paper's single global [wts] is split by writer kind so that the
-     restricted induction modes (Figure 6b) can test against kernel writes
-     only.  The full-mode test uses their pointwise max, which equals the
-     single-shadow value: write stamps are non-decreasing, so the latest
-     writer holds the largest stamp. *)
+  (* Write timestamps.  In the default [`Both] mode ([use_combined]) a
+     single shadow [wts_max] is kept, as in the paper: write stamps are
+     non-decreasing, so the latest writer holds the largest stamp, and
+     the cell packs [(stamp lsl 1) lor kernel_bit] so the induced-read
+     attribution (kernel vs thread writer) survives in the same word —
+     one shadow lookup per read instead of two.  The restricted
+     induction modes (Figure 6b) must test against kernel-only or
+     thread-only stamps, which the latest-writer shadow cannot recover,
+     so they split the stamps by writer kind into [wts_thread] and
+     [wts_kernel]; each mode maintains only its own shadow(s). *)
+  use_combined : bool;
+  wts_max : Shadow.t;
   wts_thread : Shadow.t;
   wts_kernel : Shadow.t;
   threads : (int, thread_state) Hashtbl.t;
-  costs : Cost_model.Counter.t;
+  (* One-entry cache over [threads]: events arrive in scheduler slices of
+     the same thread, so the per-event lookup is usually a repeat of the
+     previous one.  [last_tid] starts at [min_int] — no real tid — so the
+     [None] state is never consulted. *)
+  mutable last_tid : int;
+  mutable last_state : thread_state option;
   profile : Profile.t;
   contexts : (Cct.t * Profile.t) option;
   mutable renumberings : int;
@@ -49,10 +69,13 @@ let create ?(overflow_limit = max_int - 1) ?(mode = `Both)
     mode;
     ancestor_search;
     count = 0;
+    use_combined = (mode = `Both);
+    wts_max = Shadow.create ();
     wts_thread = Shadow.create ();
     wts_kernel = Shadow.create ();
     threads = Hashtbl.create 8;
-    costs = Cost_model.Counter.create ();
+    last_tid = min_int;
+    last_state = None;
     profile = Profile.create ();
     contexts =
       (if track_contexts then Some (Cct.create (), Profile.create ()) else None);
@@ -60,13 +83,27 @@ let create ?(overflow_limit = max_int - 1) ?(mode = `Both)
     finished = false;
   }
 
+(* [Hashtbl.find] rather than [find_opt]: this lookup runs once per
+   event, and the hot path must not box a [Some] each time. *)
+let thread_state_slow t tid =
+  let st =
+    match Hashtbl.find t.threads tid with
+    | st -> st
+    | exception Not_found ->
+      let st =
+        { tid; ts_local = Shadow.create (); stack = Vec.create (); cost = 0 }
+      in
+      Hashtbl.add t.threads tid st;
+      st
+  in
+  t.last_tid <- tid;
+  t.last_state <- Some st;
+  st
+
 let thread_state t tid =
-  match Hashtbl.find_opt t.threads tid with
-  | Some st -> st
-  | None ->
-    let st = { tid; ts_local = Shadow.create (); stack = Vec.create () } in
-    Hashtbl.add t.threads tid st;
-    st
+  if tid = t.last_tid then
+    match t.last_state with Some st -> st | None -> assert false
+  else thread_state_slow t tid
 
 (* --- Counter-overflow renumbering ------------------------------------
 
@@ -78,6 +115,8 @@ let thread_state t tid =
 let renumber t =
   let live : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
   let note v = if v <> 0 then Hashtbl.replace live v () in
+  (* [wts_max] packs the stamp above a writer bit; the others are raw. *)
+  Shadow.iter_set (fun _ v -> note (v lsr 1)) t.wts_max;
   Shadow.iter_set (fun _ v -> note v) t.wts_thread;
   Shadow.iter_set (fun _ v -> note v) t.wts_kernel;
   Hashtbl.iter
@@ -91,6 +130,9 @@ let renumber t =
   let rank : (int, int) Hashtbl.t = Hashtbl.create (Array.length sorted) in
   Array.iteri (fun i v -> Hashtbl.add rank v (i + 1)) sorted;
   let remap v = if v = 0 then 0 else Hashtbl.find rank v in
+  Shadow.map_in_place
+    (fun v -> if v = 0 then 0 else (Hashtbl.find rank (v lsr 1) lsl 1) lor (v land 1))
+    t.wts_max;
   Shadow.map_in_place remap t.wts_thread;
   Shadow.map_in_place remap t.wts_kernel;
   Hashtbl.iter
@@ -130,11 +172,8 @@ let deepest_ancestor search stack ts =
     in
     down (Vec.length stack - 1)
 
-let getcost t tid = Cost_model.Counter.cost t.costs tid
-
-let on_call t tid rtn =
+let on_call t st rtn =
   tick t;
-  let st = thread_state t tid in
   let context =
     match t.contexts with
     | None -> Cct.root
@@ -144,136 +183,238 @@ let on_call t tid rtn =
       in
       Cct.child tree parent rtn
   in
-  Vec.push st.stack
-    {
-      rtn;
-      ts = t.count;
-      drms = 0;
-      rms = 0;
-      cost_at_entry = getcost t tid;
-      ops = Profile.ops_handle t.profile ~tid ~routine:rtn;
-      context;
-    }
+  let ops = Profile.ops_handle t.profile ~tid:st.tid ~routine:rtn in
+  let stack = st.stack in
+  if Vec.has_spare stack then begin
+    let fr = Vec.spare stack in
+    fr.rtn <- rtn;
+    fr.ts <- t.count;
+    fr.drms <- 0;
+    fr.rms <- 0;
+    fr.cost_at_entry <- st.cost;
+    fr.ops <- ops;
+    fr.context <- context;
+    Vec.extend stack
+  end
+  else
+    Vec.push stack
+      {
+        rtn;
+        ts = t.count;
+        drms = 0;
+        rms = 0;
+        cost_at_entry = st.cost;
+        ops;
+        context;
+      }
 
 let collect t st fr ~drms ~rms ~cost =
-  Profile.record_activation t.profile ~tid:st.tid ~routine:fr.rtn ~rms ~drms
-    ~cost;
+  (* The frame carries the profile cell it was entered with. *)
+  Profile.record_into fr.ops ~rms ~drms ~cost;
   match t.contexts with
   | None -> ()
   | Some (_, cprofile) ->
     Profile.record_activation cprofile ~tid:st.tid ~routine:fr.context ~rms
       ~drms ~cost
 
-let on_return t tid =
-  let st = thread_state t tid in
+let on_return t st =
   if Vec.is_empty st.stack then
     invalid_arg "Drms_profiler: return with empty shadow stack";
   let fr = Vec.pop st.stack in
   (* At the top of the stack, partial drms = full drms (Invariant 2). *)
-  collect t st fr ~drms:fr.drms ~rms:fr.rms ~cost:(getcost t tid - fr.cost_at_entry);
+  collect t st fr ~drms:fr.drms ~rms:fr.rms ~cost:(st.cost - fr.cost_at_entry);
   if not (Vec.is_empty st.stack) then begin
     let parent = Vec.top st.stack in
     parent.drms <- parent.drms + fr.drms;
     parent.rms <- parent.rms + fr.rms
   end
 
-(* The rms side of a read: the latest-access scheme of aprof (lines 4-10
-   of Figure 8), operating on the [sel] partial counters. *)
-let first_access_update search stack ~ts_l ~get ~set =
-  let top = Vec.top stack in
-  if ts_l < top.ts then begin
-    set top (get top + 1);
-    if ts_l <> 0 then begin
-      let i = deepest_ancestor search stack ts_l in
-      if i >= 0 then begin
-        let anc = Vec.get stack i in
-        set anc (get anc - 1)
+let on_read t st addr =
+  (* One chunk resolution covers both halves of the first-access scheme:
+     read the old thread-local stamp, store the new one. *)
+  let ts_l = Shadow.exchange st.ts_local addr t.count in
+  if not (Vec.is_empty st.stack) then begin
+    (* The write timestamp the current mode tests against (line 1 of
+       Figure 8), packed as [(stamp lsl 1) lor kernel_bit].  Full mode
+       reads it straight from [wts_max]; the restricted modes rebuild
+       the same packing from the split shadows. *)
+    let c =
+      if t.use_combined then Shadow.get t.wts_max addr
+      else begin
+        let wt = Shadow.get t.wts_thread addr in
+        let wk = Shadow.get t.wts_kernel addr in
+        let kbit = if wk > wt then 1 else 0 in
+        match t.mode with
+        | `External_only -> (wk lsl 1) lor kbit
+        | `Thread_only -> (wt lsl 1) lor kbit
+        | _ -> 0 (* `None; `Both uses [wts_max] *)
       end
+    in
+    let w = c lsr 1 in
+    let top = Vec.top st.stack in
+    (* Both metrics run the first-access scheme of aprof (lines 4-10 of
+       Figure 8) on the partial counters; the test and the ancestor
+       search depend only on [ts_l], so one fused pass serves rms and
+       drms — the search is the expensive part, and this code runs for
+       every read.  The drms side diverges only on an induced first-read
+       (ts_l < w), which charges the top frame without an ancestor
+       decrement: the paper's scheme treats the external write as making
+       the location new again, wherever it was read before. *)
+    if ts_l < top.ts then begin
+      let anc_i =
+        if ts_l = 0 then -1
+        else deepest_ancestor t.ancestor_search st.stack ts_l
+      in
+      (* rms side: the plain first-access rule, blind to writes. *)
+      top.rms <- top.rms + 1;
+      if anc_i >= 0 then begin
+        let anc = Vec.get st.stack anc_i in
+        anc.rms <- anc.rms - 1
+      end;
+      if ts_l < w then begin
+        (* Induced first-read.  Attribute to the latest writer: the
+           kernel bit is set iff the kernel stamp is strictly above the
+           thread stamp (a thread writing after a kernelToUser in the
+           same tick window reuses the same count, so ties resolve to
+           the thread). *)
+        top.drms <- top.drms + 1;
+        if c land 1 = 1 then Profile.bump_induced_external top.ops
+        else Profile.bump_induced_thread top.ops
+      end
+      else begin
+        Profile.bump_plain top.ops;
+        top.drms <- top.drms + 1;
+        if anc_i >= 0 then begin
+          let anc = Vec.get st.stack anc_i in
+          anc.drms <- anc.drms - 1
+        end
+      end
+    end
+    else if ts_l < w then begin
+      (* Seen this activation, but externally rewritten since: induced
+         for drms, a no-op for rms. *)
+      top.drms <- top.drms + 1;
+      if c land 1 = 1 then Profile.bump_induced_external top.ops
+      else Profile.bump_induced_thread top.ops
     end
   end
 
-let on_read t tid addr =
-  let st = thread_state t tid in
-  if not (Vec.is_empty st.stack) then begin
-    let ts_l = Shadow.get st.ts_local addr in
-    let wt = Shadow.get t.wts_thread addr in
-    let wk = Shadow.get t.wts_kernel addr in
-    (* The write timestamp the current mode tests against (line 1 of
-       Figure 8).  In full mode this is max(wt, wk) = the single-shadow
-       [wts] of the paper. *)
-    let w =
-      match t.mode with
-      | `Both -> max wt wk
-      | `External_only -> wk
-      | `Thread_only -> wt
-      | `None -> 0
-    in
-    let top = Vec.top st.stack in
-    if ts_l < w then begin
-      (* Induced first-read.  Attribute to the latest writer: a kernel
-         stamp strictly above the thread stamp means the kernel wrote
-         last (a thread writing after a kernelToUser in the same tick
-         window reuses the same count, so ties resolve to the thread). *)
-      top.drms <- top.drms + 1;
-      if wk > wt then Profile.bump_induced_external top.ops
-      else Profile.bump_induced_thread top.ops
-    end
-    else begin
-      if ts_l < top.ts then Profile.bump_plain top.ops;
-      first_access_update t.ancestor_search st.stack ~ts_l
-        ~get:(fun fr -> fr.drms)
-        ~set:(fun fr v -> fr.drms <- v)
-    end;
-    (* rms side: always the plain first-access rule, blind to writes. *)
-    first_access_update t.ancestor_search st.stack ~ts_l
-      ~get:(fun fr -> fr.rms)
-      ~set:(fun fr v -> fr.rms <- v)
-  end;
-  Shadow.set st.ts_local addr t.count
-
-let on_write t tid addr =
-  let st = thread_state t tid in
+let on_write t st addr =
   Shadow.set st.ts_local addr t.count;
-  Shadow.set t.wts_thread addr t.count
+  if t.use_combined then Shadow.set t.wts_max addr (t.count lsl 1)
+  else Shadow.set t.wts_thread addr t.count
 
 let on_kernel_to_user t addr len =
   (* Figure 9: bump the counter once, then stamp the buffer with a global
      write timestamp larger than any thread-local one. *)
   tick t;
-  Shadow.set_range t.wts_kernel ~addr ~len t.count
+  if t.use_combined then
+    Shadow.set_range t.wts_max ~addr ~len ((t.count lsl 1) lor 1)
+  else Shadow.set_range t.wts_kernel ~addr ~len t.count
 
-let on_user_to_kernel t tid addr len =
+let on_user_to_kernel t st addr len =
   (* The kernel reads the buffer on the thread's behalf: treat each
      location as a read by the thread, as if the call were a subroutine. *)
   for a = addr to addr + len - 1 do
-    on_read t tid a
+    on_read t st a
   done
 
+(* A freed block may be recycled by the allocator: drop every stamp so
+   reads of a later allocation at the same addresses are plain
+   first-reads again, not stale re-reads. *)
+let on_free t addr len =
+  if t.use_combined then Shadow.set_range t.wts_max ~addr ~len 0
+  else begin
+    Shadow.set_range t.wts_thread ~addr ~len 0;
+    Shadow.set_range t.wts_kernel ~addr ~len 0
+  end;
+  Hashtbl.iter (fun _ st -> Shadow.set_range st.ts_local ~addr ~len 0) t.threads
+
+(* Cost bumps (the basic-block model of {!Cost_model}) happen at
+   dispatch, riding the thread-state lookup the handler needs anyway:
+   calls, reads and writes count 1, a [Block] counts its units. *)
 let on_event t e =
   if t.finished then invalid_arg "Drms_profiler: event after finish";
-  Cost_model.Counter.on_event t.costs e;
   match e with
-  | Event.Call { tid; routine } -> on_call t tid routine
-  | Event.Return { tid } -> on_return t tid
-  | Event.Read { tid; addr } -> on_read t tid addr
-  | Event.Write { tid; addr } -> on_write t tid addr
+  | Event.Call { tid; routine } ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + 1;
+    on_call t st routine
+  | Event.Return { tid } -> on_return t (thread_state t tid)
+  | Event.Read { tid; addr } ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + 1;
+    on_read t st addr
+  | Event.Write { tid; addr } ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + 1;
+    on_write t st addr
+  | Event.Block { tid; units } ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + units
   | Event.Switch_thread _ -> tick t
   | Event.Kernel_to_user { addr; len; _ } -> on_kernel_to_user t addr len
-  | Event.User_to_kernel { tid; addr; len } -> on_user_to_kernel t tid addr len
-  | Event.Free { addr; len; _ } ->
-    (* A freed block may be recycled by the allocator: drop every stamp
-       so reads of a later allocation at the same addresses are plain
-       first-reads again, not stale re-reads. *)
-    Shadow.set_range t.wts_thread ~addr ~len 0;
-    Shadow.set_range t.wts_kernel ~addr ~len 0;
-    Hashtbl.iter (fun _ st -> Shadow.set_range st.ts_local ~addr ~len 0) t.threads
-  | Event.Block _ | Event.Acquire _ | Event.Release _ | Event.Alloc _
-  | Event.Thread_start _ | Event.Thread_exit _ ->
+  | Event.User_to_kernel { tid; addr; len } ->
+    on_user_to_kernel t (thread_state t tid) addr len
+  | Event.Free { addr; len; _ } -> on_free t addr len
+  | Event.Acquire _ | Event.Release _ | Event.Alloc _ | Event.Thread_start _
+  | Event.Thread_exit _ ->
     ()
+
+(* The packed-field twin of [on_event]: dispatch on the int tag (an
+   OCaml integer match compiles to a jump table) and hand the raw fields
+   to the same helpers, constructing no variant.  Tag literals are
+   {!Event.Batch}'s: 1 Call, 2 Return, 3 Read, 4 Write, 6 U2k, 7 K2u,
+   5 Block, 11 Free, 14 Switch_thread. *)
+let on_raw t ~tag ~tid ~arg ~len =
+  if t.finished then invalid_arg "Drms_profiler: event after finish";
+  match tag with
+  | 1 ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + 1;
+    on_call t st arg
+  | 2 -> on_return t (thread_state t tid)
+  | 3 ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + 1;
+    on_read t st arg
+  | 4 ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + 1;
+    on_write t st arg
+  | 5 ->
+    let st = thread_state t tid in
+    st.cost <- st.cost + arg
+  | 6 -> on_user_to_kernel t (thread_state t tid) arg len
+  | 7 -> on_kernel_to_user t arg len
+  | 11 -> on_free t arg len
+  | 14 -> tick t
+  | _ -> ()
+
+(* Direct loop over the field arrays rather than [Batch.iter]: the
+   closure indirection per event is measurable at this path's speed.
+   Indices below [length b] are in bounds for all four arrays. *)
+let on_batch t b =
+  let tags = Event.Batch.tags b and tids = Event.Batch.tids b in
+  let args = Event.Batch.args b and lens = Event.Batch.lens b in
+  for i = 0 to Event.Batch.length b - 1 do
+    on_raw t ~tag:(Array.unsafe_get tags i) ~tid:(Array.unsafe_get tids i)
+      ~arg:(Array.unsafe_get args i) ~len:(Array.unsafe_get lens i)
+  done
 
 let run t trace = Vec.iter (on_event t) trace
 
 let run_stream t s = Aprof_trace.Trace_stream.iter (on_event t) s
+
+let run_batches t (src : Aprof_trace.Trace_stream.batch_source) =
+  let rec loop () =
+    match src () with
+    | None -> ()
+    | Some b ->
+      on_batch t b;
+      loop ()
+  in
+  loop ()
 
 let profile t = t.profile
 
@@ -283,14 +424,14 @@ let finish t =
     (* Collect pending activations: by Invariant 2 the drms of frame i is
        the suffix sum of partial values; walk each stack top-down. *)
     Hashtbl.iter
-      (fun tid st ->
+      (fun _ st ->
         let drms_suffix = ref 0 and rms_suffix = ref 0 in
         for i = Vec.length st.stack - 1 downto 0 do
           let fr = Vec.get st.stack i in
           drms_suffix := !drms_suffix + fr.drms;
           rms_suffix := !rms_suffix + fr.rms;
           collect t st fr ~drms:!drms_suffix ~rms:!rms_suffix
-            ~cost:(getcost t tid - fr.cost_at_entry)
+            ~cost:(st.cost - fr.cost_at_entry)
         done;
         Vec.clear st.stack)
       t.threads
@@ -303,7 +444,11 @@ let context_results t = t.contexts
 
 let space_words t =
   let frame_words = 5 in
-  let acc = ref (Shadow.space_words t.wts_thread + Shadow.space_words t.wts_kernel) in
+  let acc =
+    ref
+      (Shadow.space_words t.wts_max + Shadow.space_words t.wts_thread
+      + Shadow.space_words t.wts_kernel)
+  in
   Hashtbl.iter
     (fun _ st ->
       acc := !acc + Shadow.space_words st.ts_local

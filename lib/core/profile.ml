@@ -21,94 +21,178 @@ type routine_data = {
   induced_external_ops : int;
 }
 
-(* Internal mutable accumulator; converted to [routine_data] on demand. *)
+(* All-float records are stored flat, so updating these sums in the hot
+   path does not box a float per store — unlike mutable float fields in
+   the mixed records below, which would. *)
+type fsums = { mutable f_sum : float; mutable f_sum_sq : float }
+
+(* Internal mutable accumulator for one input-size value; converted to
+   the immutable [point] on demand.  Mutated in place so an activation
+   costs no allocation, where rebuilding a [point] per activation would
+   allocate the record plus fresh float boxes. *)
+type acc = {
+  a_input : int;
+  mutable a_calls : int;
+  mutable a_max : int;
+  mutable a_min : int;
+  a_cost : fsums;
+}
+
+type totals = {
+  mutable t_rms : float;
+  mutable t_drms : float;
+  mutable t_cost : float;
+}
+
+(* Internal mutable accumulator; converted to [routine_data] on demand.
+   [last_drms_acc]/[last_rms_acc] cache the accumulator of the most
+   recent input size per metric: activations of a routine overwhelmingly
+   repeat the previous input size, and the cache turns both point-table
+   lookups of an activation into an int compare.  The cached accumulator
+   is the live table entry, so updates through either path agree; the
+   shared [sentinel_acc] ([a_input = min_int], below any real size)
+   stands for "empty" and is never written. *)
 type cell = {
-  drms_tbl : (int, point ref) Hashtbl.t;
-  rms_tbl : (int, point ref) Hashtbl.t;
+  k_tid : int;
+  k_routine : int;
+  drms_tbl : (int, acc) Hashtbl.t;
+  rms_tbl : (int, acc) Hashtbl.t;
+  mutable last_drms_acc : acc;
+  mutable last_rms_acc : acc;
   mutable acts : int;
-  mutable s_rms : float;
-  mutable s_drms : float;
-  mutable s_cost : float;
+  sums : totals;
   mutable plain : int;
   mutable ind_thread : int;
   mutable ind_external : int;
 }
 
-type t = (key, cell) Hashtbl.t
+(* Cells are keyed by the packed (tid, routine) pair: profilers hit this
+   table on every call and return, and an int key avoids both the key
+   record allocation and the generic structural hash of a record key.
+   Routine ids (including CCT node ids) fit well below 2^32, tids below
+   2^30.  [last] is a one-entry cache: activations cluster by routine,
+   so consecutive lookups usually repeat the previous key. *)
+type t = {
+  cells : (int, cell) Hashtbl.t;
+  mutable last_code : int;
+  mutable last_cell : cell option;
+}
 
-let create () : t = Hashtbl.create 64
+let code ~tid ~routine = (tid lsl 32) lor (routine land 0xFFFFFFFF)
 
-let fresh_cell () =
+let create () : t =
+  { cells = Hashtbl.create 64; last_code = min_int; last_cell = None }
+
+let sentinel_acc =
   {
+    a_input = min_int;
+    a_calls = 0;
+    a_max = 0;
+    a_min = 0;
+    a_cost = { f_sum = 0.; f_sum_sq = 0. };
+  }
+
+let fresh_cell ~tid ~routine =
+  {
+    k_tid = tid;
+    k_routine = routine;
     drms_tbl = Hashtbl.create 8;
     rms_tbl = Hashtbl.create 8;
+    last_drms_acc = sentinel_acc;
+    last_rms_acc = sentinel_acc;
     acts = 0;
-    s_rms = 0.;
-    s_drms = 0.;
-    s_cost = 0.;
+    sums = { t_rms = 0.; t_drms = 0.; t_cost = 0. };
     plain = 0;
     ind_thread = 0;
     ind_external = 0;
   }
 
-let cell t key =
-  match Hashtbl.find_opt t key with
-  | Some c -> c
-  | None ->
-    let c = fresh_cell () in
-    Hashtbl.add t key c;
-    c
+let cell_slow t ~tid ~routine c =
+  let cl =
+    match Hashtbl.find t.cells c with
+    | cl -> cl
+    | exception Not_found ->
+      let cl = fresh_cell ~tid ~routine in
+      Hashtbl.add t.cells c cl;
+      cl
+  in
+  t.last_code <- c;
+  t.last_cell <- Some cl;
+  cl
 
-let add_point tbl ~input ~cost =
-  let fcost = float_of_int cost in
-  match Hashtbl.find_opt tbl input with
-  | None ->
-    Hashtbl.add tbl input
-      (ref
-         {
-           input;
-           calls = 1;
-           max_cost = cost;
-           min_cost = cost;
-           sum_cost = fcost;
-           sum_cost_sq = fcost *. fcost;
-         })
-  | Some p ->
-    let v = !p in
-    p :=
+let cell t ~tid ~routine =
+  let c = code ~tid ~routine in
+  if c = t.last_code then
+    match t.last_cell with Some cl -> cl | None -> assert false
+  else cell_slow t ~tid ~routine c
+
+let bump_acc a cost fcost =
+  a.a_calls <- a.a_calls + 1;
+  if cost > a.a_max then a.a_max <- cost;
+  if cost < a.a_min then a.a_min <- cost;
+  a.a_cost.f_sum <- a.a_cost.f_sum +. fcost;
+  a.a_cost.f_sum_sq <- a.a_cost.f_sum_sq +. (fcost *. fcost)
+
+(* Find-or-create the accumulator of [input], already bumped by [cost]. *)
+let acc_for tbl input cost fcost =
+  match Hashtbl.find tbl input with
+  | a ->
+    bump_acc a cost fcost;
+    a
+  | exception Not_found ->
+    let a =
       {
-        v with
-        calls = v.calls + 1;
-        max_cost = max v.max_cost cost;
-        min_cost = min v.min_cost cost;
-        sum_cost = v.sum_cost +. fcost;
-        sum_cost_sq = v.sum_cost_sq +. (fcost *. fcost);
+        a_input = input;
+        a_calls = 1;
+        a_max = cost;
+        a_min = cost;
+        a_cost = { f_sum = fcost; f_sum_sq = fcost *. fcost };
       }
+    in
+    Hashtbl.add tbl input a;
+    a
+
+let record_into c ~rms ~drms ~cost =
+  c.acts <- c.acts + 1;
+  c.sums.t_rms <- c.sums.t_rms +. float_of_int rms;
+  c.sums.t_drms <- c.sums.t_drms +. float_of_int drms;
+  c.sums.t_cost <- c.sums.t_cost +. float_of_int cost;
+  let fcost = float_of_int cost in
+  let da = c.last_drms_acc in
+  if da.a_input = drms then bump_acc da cost fcost
+  else c.last_drms_acc <- acc_for c.drms_tbl drms cost fcost;
+  let ra = c.last_rms_acc in
+  if ra.a_input = rms then bump_acc ra cost fcost
+  else c.last_rms_acc <- acc_for c.rms_tbl rms cost fcost
 
 let record_activation t ~tid ~routine ~rms ~drms ~cost =
-  let c = cell t { tid; routine } in
-  c.acts <- c.acts + 1;
-  c.s_rms <- c.s_rms +. float_of_int rms;
-  c.s_drms <- c.s_drms +. float_of_int drms;
-  c.s_cost <- c.s_cost +. float_of_int cost;
-  add_point c.drms_tbl ~input:drms ~cost;
-  add_point c.rms_tbl ~input:rms ~cost
+  record_into (cell t ~tid ~routine) ~rms ~drms ~cost
 
 let record_ops t ~tid ~routine ~plain ~induced_thread ~induced_external =
-  let c = cell t { tid; routine } in
+  let c = cell t ~tid ~routine in
   c.plain <- c.plain + plain;
   c.ind_thread <- c.ind_thread + induced_thread;
   c.ind_external <- c.ind_external + induced_external
 
 type ops_handle = cell
 
-let ops_handle t ~tid ~routine = cell t { tid; routine }
+let ops_handle t ~tid ~routine = cell t ~tid ~routine
 let bump_plain c = c.plain <- c.plain + 1
 let bump_induced_thread c = c.ind_thread <- c.ind_thread + 1
 let bump_induced_external c = c.ind_external <- c.ind_external + 1
 
+let point_of_acc a =
+  {
+    input = a.a_input;
+    calls = a.a_calls;
+    max_cost = a.a_max;
+    min_cost = a.a_min;
+    sum_cost = a.a_cost.f_sum;
+    sum_cost_sq = a.a_cost.f_sum_sq;
+  }
+
 let points_of_tbl tbl =
-  Hashtbl.fold (fun _ p acc -> !p :: acc) tbl []
+  Hashtbl.fold (fun _ a acc -> point_of_acc a :: acc) tbl []
   |> List.sort (fun a b -> compare a.input b.input)
 
 let data_of_cell c =
@@ -116,50 +200,57 @@ let data_of_cell c =
     drms_points = points_of_tbl c.drms_tbl;
     rms_points = points_of_tbl c.rms_tbl;
     activations = c.acts;
-    sum_rms = c.s_rms;
-    sum_drms = c.s_drms;
-    total_cost = c.s_cost;
+    sum_rms = c.sums.t_rms;
+    sum_drms = c.sums.t_drms;
+    total_cost = c.sums.t_cost;
     first_read_ops = c.plain;
     induced_thread_ops = c.ind_thread;
     induced_external_ops = c.ind_external;
   }
 
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+let keys t =
+  Hashtbl.fold
+    (fun _ c acc -> { tid = c.k_tid; routine = c.k_routine } :: acc)
+    t.cells []
 
-let data t key = Option.map data_of_cell (Hashtbl.find_opt t key)
+let data t key =
+  Option.map data_of_cell
+    (Hashtbl.find_opt t.cells (code ~tid:key.tid ~routine:key.routine))
 
 let routines t =
   let seen = Hashtbl.create 16 in
-  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k.routine ()) t;
+  Hashtbl.iter (fun _ c -> Hashtbl.replace seen c.k_routine ()) t.cells;
   Hashtbl.fold (fun r () acc -> r :: acc) seen []
   |> List.sort compare
 
-let merge_cells target src =
+let merge_accs target src =
   let merge_tbl dst src_tbl =
     Hashtbl.iter
-      (fun input p ->
-        let v = !p in
+      (fun input a ->
         match Hashtbl.find_opt dst input with
-        | None -> Hashtbl.add dst input (ref v)
-        | Some q ->
-          let w = !q in
-          q :=
+        | None ->
+          Hashtbl.add dst input
             {
-              w with
-              calls = w.calls + v.calls;
-              max_cost = max w.max_cost v.max_cost;
-              min_cost = min w.min_cost v.min_cost;
-              sum_cost = w.sum_cost +. v.sum_cost;
-              sum_cost_sq = w.sum_cost_sq +. v.sum_cost_sq;
-            })
+              a_input = a.a_input;
+              a_calls = a.a_calls;
+              a_max = a.a_max;
+              a_min = a.a_min;
+              a_cost = { f_sum = a.a_cost.f_sum; f_sum_sq = a.a_cost.f_sum_sq };
+            }
+        | Some q ->
+          q.a_calls <- q.a_calls + a.a_calls;
+          if a.a_max > q.a_max then q.a_max <- a.a_max;
+          if a.a_min < q.a_min then q.a_min <- a.a_min;
+          q.a_cost.f_sum <- q.a_cost.f_sum +. a.a_cost.f_sum;
+          q.a_cost.f_sum_sq <- q.a_cost.f_sum_sq +. a.a_cost.f_sum_sq)
       src_tbl
   in
   merge_tbl target.drms_tbl src.drms_tbl;
   merge_tbl target.rms_tbl src.rms_tbl;
   target.acts <- target.acts + src.acts;
-  target.s_rms <- target.s_rms +. src.s_rms;
-  target.s_drms <- target.s_drms +. src.s_drms;
-  target.s_cost <- target.s_cost +. src.s_cost;
+  target.sums.t_rms <- target.sums.t_rms +. src.sums.t_rms;
+  target.sums.t_drms <- target.sums.t_drms +. src.sums.t_drms;
+  target.sums.t_cost <- target.sums.t_cost +. src.sums.t_cost;
   target.plain <- target.plain + src.plain;
   target.ind_thread <- target.ind_thread + src.ind_thread;
   target.ind_external <- target.ind_external + src.ind_external
@@ -167,46 +258,50 @@ let merge_cells target src =
 let merge_threads t =
   let merged : (int, cell) Hashtbl.t = Hashtbl.create 32 in
   Hashtbl.iter
-    (fun k src ->
+    (fun _ src ->
       let dst =
-        match Hashtbl.find_opt merged k.routine with
+        match Hashtbl.find_opt merged src.k_routine with
         | Some c -> c
         | None ->
-          let c = fresh_cell () in
-          Hashtbl.add merged k.routine c;
+          let c = fresh_cell ~tid:0 ~routine:src.k_routine in
+          Hashtbl.add merged src.k_routine c;
           c
       in
-      merge_cells dst src)
-    t;
+      merge_accs dst src)
+    t.cells;
   Hashtbl.fold (fun r c acc -> (r, data_of_cell c) :: acc) merged []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let total_activations t = Hashtbl.fold (fun _ c acc -> acc + c.acts) t 0
+let total_activations t =
+  Hashtbl.fold (fun _ c acc -> acc + c.acts) t.cells 0
 
 let restore_point t ~tid ~routine ~metric (p : point) =
-  let c = cell t { tid; routine } in
+  let c = cell t ~tid ~routine in
   let tbl = match metric with `Drms -> c.drms_tbl | `Rms -> c.rms_tbl in
   match Hashtbl.find_opt tbl p.input with
-  | None -> Hashtbl.add tbl p.input (ref p)
-  | Some q ->
-    let w = !q in
-    q :=
+  | None ->
+    Hashtbl.add tbl p.input
       {
-        w with
-        calls = w.calls + p.calls;
-        max_cost = max w.max_cost p.max_cost;
-        min_cost = min w.min_cost p.min_cost;
-        sum_cost = w.sum_cost +. p.sum_cost;
-        sum_cost_sq = w.sum_cost_sq +. p.sum_cost_sq;
+        a_input = p.input;
+        a_calls = p.calls;
+        a_max = p.max_cost;
+        a_min = p.min_cost;
+        a_cost = { f_sum = p.sum_cost; f_sum_sq = p.sum_cost_sq };
       }
+  | Some q ->
+    q.a_calls <- q.a_calls + p.calls;
+    if p.max_cost > q.a_max then q.a_max <- p.max_cost;
+    if p.min_cost < q.a_min then q.a_min <- p.min_cost;
+    q.a_cost.f_sum <- q.a_cost.f_sum +. p.sum_cost;
+    q.a_cost.f_sum_sq <- q.a_cost.f_sum_sq +. p.sum_cost_sq
 
 let restore_aggregates t ~tid ~routine ~activations ~sum_rms ~sum_drms
     ~total_cost =
-  let c = cell t { tid; routine } in
+  let c = cell t ~tid ~routine in
   c.acts <- activations;
-  c.s_rms <- sum_rms;
-  c.s_drms <- sum_drms;
-  c.s_cost <- total_cost
+  c.sums.t_rms <- sum_rms;
+  c.sums.t_drms <- sum_drms;
+  c.sums.t_cost <- total_cost
 
 let pp name ppf t =
   let entries =

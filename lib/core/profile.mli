@@ -56,14 +56,21 @@ val record_ops :
   induced_external:int ->
   unit
 
-(** A cursor on one (routine, thread)'s operation counters, letting the
-    profilers bump counts without a table lookup per memory access. *)
+(** A cursor on one (routine, thread)'s counters, letting the profilers
+    bump counts and record activations without a table lookup per memory
+    access or return. *)
 type ops_handle
 
 val ops_handle : t -> tid:int -> routine:int -> ops_handle
 val bump_plain : ops_handle -> unit
 val bump_induced_thread : ops_handle -> unit
 val bump_induced_external : ops_handle -> unit
+
+(** [record_into h ~rms ~drms ~cost] is
+    {!record_activation}[ t ~tid ~routine ...] for the (routine, thread)
+    pair [h] was obtained for, skipping the cell lookup: a shadow-stack
+    frame already holds the handle it was entered with. *)
+val record_into : ops_handle -> rms:int -> drms:int -> cost:int -> unit
 
 (** [keys t] lists the (routine, thread) pairs with data, in unspecified
     order. *)

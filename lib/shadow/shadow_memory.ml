@@ -14,6 +14,15 @@ type t = {
   mutable top : mid option array;
   mutable leaves : int; (* materialized leaf count, for space accounting *)
   mutable mids : int;
+  (* One-entry leaf cache: profiled code touches runs of consecutive
+     addresses, so the leaf resolved by the previous access usually
+     serves the next one.  [last_page] is [addr lsr leaf_bits], or -1
+     when empty — the cached array is the live leaf itself, so writes
+     through either path stay coherent; only [clear], which replaces the
+     whole table, must invalidate.  Missing leaves are never cached: a
+     later [set] may materialize them. *)
+  mutable last_page : int;
+  mutable last_leaf : int array;
 }
 
 let create ?(leaf_bits = 10) ?(mid_bits = 10) () =
@@ -31,13 +40,17 @@ let create ?(leaf_bits = 10) ?(mid_bits = 10) () =
     top = Array.make 4 None;
     leaves = 0;
     mids = 0;
+    last_page = -1;
+    last_leaf = [||];
   }
 
 let check_addr addr =
   if addr < 0 then invalid_arg "Shadow_memory: negative address"
 
-let get t addr =
-  check_addr addr;
+(* [unsafe_get]/[unsafe_set] on cache hits are in bounds by construction:
+   a leaf has [leaf_mask + 1] entries and the index is masked. *)
+
+let get_slow t addr page =
   let ti = addr lsr (t.mid_bits + t.leaf_bits) in
   if ti >= Array.length t.top then 0
   else
@@ -46,7 +59,16 @@ let get t addr =
     | Some mid -> (
       match mid.((addr lsr t.leaf_bits) land t.mid_mask) with
       | None -> 0
-      | Some leaf -> leaf.(addr land t.leaf_mask))
+      | Some leaf ->
+        t.last_page <- page;
+        t.last_leaf <- leaf;
+        leaf.(addr land t.leaf_mask))
+
+let get t addr =
+  check_addr addr;
+  let page = addr lsr t.leaf_bits in
+  if page = t.last_page then Array.unsafe_get t.last_leaf (addr land t.leaf_mask)
+  else get_slow t addr page
 
 let grow_top t ti =
   let cap = Array.length t.top in
@@ -80,7 +102,38 @@ let leaf_for t addr =
 
 let set t addr v =
   check_addr addr;
-  (leaf_for t addr).(addr land t.leaf_mask) <- v
+  let page = addr lsr t.leaf_bits in
+  if page = t.last_page then
+    Array.unsafe_set t.last_leaf (addr land t.leaf_mask) v
+  else begin
+    let leaf = leaf_for t addr in
+    t.last_page <- page;
+    t.last_leaf <- leaf;
+    leaf.(addr land t.leaf_mask) <- v
+  end
+
+(* [get] followed by [set] at the same address, resolving the leaf once:
+   the first-access tests of the profilers read the old stamp and store
+   the new one on every single read event. *)
+let exchange t addr v =
+  check_addr addr;
+  let page = addr lsr t.leaf_bits in
+  if page = t.last_page then begin
+    let i = addr land t.leaf_mask in
+    let leaf = t.last_leaf in
+    let old = Array.unsafe_get leaf i in
+    Array.unsafe_set leaf i v;
+    old
+  end
+  else begin
+    let leaf = leaf_for t addr in
+    t.last_page <- page;
+    t.last_leaf <- leaf;
+    let i = addr land t.leaf_mask in
+    let old = leaf.(i) in
+    leaf.(i) <- v;
+    old
+  end
 
 let set_range t ~addr ~len v =
   check_addr addr;
@@ -138,4 +191,6 @@ let space_words t =
 let clear t =
   t.top <- Array.make 4 None;
   t.leaves <- 0;
-  t.mids <- 0
+  t.mids <- 0;
+  t.last_page <- -1;
+  t.last_leaf <- [||]

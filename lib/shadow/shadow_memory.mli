@@ -23,6 +23,11 @@ val get : t -> int -> int
 (** [set t addr v] stores [v] at [addr], materializing chunks as needed. *)
 val set : t -> int -> int -> unit
 
+(** [exchange t addr v] stores [v] at [addr] and returns the previous
+    word, resolving the chunk once — equivalent to [get] then [set].
+    @raise Invalid_argument on a negative address. *)
+val exchange : t -> int -> int -> int
+
 (** [set_range t ~addr ~len v] stores [v] on [addr .. addr+len-1]. *)
 val set_range : t -> addr:int -> len:int -> int -> unit
 

@@ -4,17 +4,16 @@ let aprof_rms =
     create =
       (fun () ->
         let p = Aprof_core.Rms_profiler.create () in
-        {
-          Tool.name = "aprof";
-          on_event = Aprof_core.Rms_profiler.on_event p;
-          space_words = (fun () -> Aprof_core.Rms_profiler.space_words p);
-          summary =
-            (fun () ->
-              let profile = Aprof_core.Rms_profiler.finish p in
-              Printf.sprintf "aprof: %d activations over %d routines"
-                (Aprof_core.Profile.total_activations profile)
-                (List.length (Aprof_core.Profile.routines profile)));
-        });
+        Tool.make ~name:"aprof"
+          ~on_event:(Aprof_core.Rms_profiler.on_event p)
+          ~on_batch:(Aprof_core.Rms_profiler.on_batch p)
+          ~space_words:(fun () -> Aprof_core.Rms_profiler.space_words p)
+          ~summary:(fun () ->
+            let profile = Aprof_core.Rms_profiler.finish p in
+            Printf.sprintf "aprof: %d activations over %d routines"
+              (Aprof_core.Profile.total_activations profile)
+              (List.length (Aprof_core.Profile.routines profile)))
+          ());
   }
 
 let aprof_drms =
@@ -23,15 +22,14 @@ let aprof_drms =
     create =
       (fun () ->
         let p = Aprof_core.Drms_profiler.create () in
-        {
-          Tool.name = "aprof-drms";
-          on_event = Aprof_core.Drms_profiler.on_event p;
-          space_words = (fun () -> Aprof_core.Drms_profiler.space_words p);
-          summary =
-            (fun () ->
-              let profile = Aprof_core.Drms_profiler.finish p in
-              Printf.sprintf "aprof-drms: %d activations over %d routines"
-                (Aprof_core.Profile.total_activations profile)
-                (List.length (Aprof_core.Profile.routines profile)));
-        });
+        Tool.make ~name:"aprof-drms"
+          ~on_event:(Aprof_core.Drms_profiler.on_event p)
+          ~on_batch:(Aprof_core.Drms_profiler.on_batch p)
+          ~space_words:(fun () -> Aprof_core.Drms_profiler.space_words p)
+          ~summary:(fun () ->
+            let profile = Aprof_core.Drms_profiler.finish p in
+            Printf.sprintf "aprof-drms: %d activations over %d routines"
+              (Aprof_core.Profile.total_activations profile)
+              (List.length (Aprof_core.Profile.routines profile)))
+          ());
   }

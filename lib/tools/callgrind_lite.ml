@@ -105,6 +105,41 @@ let on_event t e =
   | Event.Call { tid; _ } -> charge t tid cost
   | _ -> ()
 
+(* Packed-field twin of [on_event]; tag literals are {!Event.Batch}'s:
+   1 Call, 2 Return, 3 Read, 4 Write, 5 Block.  The Call arm charges the
+   dispatch cost after pushing, so it lands on the callee, exactly as
+   the two-step variant dispatch above does. *)
+let on_raw t ~tag ~tid ~arg =
+  match tag with
+  | 1 ->
+    let s = stack t tid in
+    let caller = if Vec.is_empty s then -1 else (Vec.top s).rtn in
+    Vec.push s { rtn = arg; caller; own = 0; children = 0 };
+    let r = racc t arg in
+    r.calls <- r.calls + 1;
+    charge t tid 1
+  | 2 ->
+    let s = stack t tid in
+    if Vec.is_empty s then invalid_arg "Callgrind_lite: return without call";
+    let fr = Vec.pop s in
+    let inclusive = fr.own + fr.children in
+    let r = racc t fr.rtn in
+    r.excl <- r.excl + fr.own;
+    r.incl <- r.incl + inclusive;
+    let edge = eacc t (fr.caller, fr.rtn) in
+    edge.cnt <- edge.cnt + 1;
+    edge.einc <- edge.einc + inclusive;
+    if not (Vec.is_empty s) then begin
+      let parent = Vec.top s in
+      parent.children <- parent.children + inclusive
+    end
+  | 3 | 4 -> charge t tid 1
+  | 5 -> charge t tid arg
+  | _ -> ()
+
+let on_batch t b =
+  Event.Batch.iter (fun tag tid arg _len -> on_raw t ~tag ~tid ~arg) b
+
 let routine_costs t =
   Hashtbl.fold
     (fun routine r acc ->
@@ -128,15 +163,12 @@ let space_words t =
 
 let tool () =
   let t = create () in
-  {
-    Tool.name = "callgrind";
-    on_event = on_event t;
-    space_words = (fun () -> space_words t);
-    summary =
-      (fun () ->
-        Printf.sprintf "callgrind: %d routines, %d edges"
-          (Hashtbl.length t.by_routine)
-          (Hashtbl.length t.by_edge));
-  }
+  Tool.make ~name:"callgrind" ~on_event:(on_event t) ~on_batch:(on_batch t)
+    ~space_words:(fun () -> space_words t)
+    ~summary:(fun () ->
+      Printf.sprintf "callgrind: %d routines, %d edges"
+        (Hashtbl.length t.by_routine)
+        (Hashtbl.length t.by_edge))
+    ()
 
 let factory = { Tool.tool_name = "callgrind"; create = tool }

@@ -21,6 +21,10 @@ type t
 val create : unit -> t
 val on_event : t -> Aprof_trace.Event.t -> unit
 
+(** [on_batch t b] is {!on_event} over the packed events of [b],
+    dispatching on raw tags without constructing variants. *)
+val on_batch : t -> Aprof_trace.Event.Batch.t -> unit
+
 (** [routine_costs t] sorted by decreasing inclusive cost.  Pending
     activations contribute on [Return] only; call once the trace ended. *)
 val routine_costs : t -> routine_costs list

@@ -174,15 +174,12 @@ let space_words t =
 
 let tool () =
   let t = create () in
-  {
-    Tool.name = "helgrind";
-    on_event = on_event t;
-    space_words = (fun () -> space_words t);
-    summary =
-      (fun () ->
-        Printf.sprintf "helgrind: %d races on %d cells (%d drained locksets)"
-          (List.length (races t))
-          (Hashtbl.length t.cells) t.lockset_empty);
-  }
+  Tool.make ~name:"helgrind" ~on_event:(on_event t)
+    ~space_words:(fun () -> space_words t)
+    ~summary:(fun () ->
+      Printf.sprintf "helgrind: %d races on %d cells (%d drained locksets)"
+        (List.length (races t))
+        (Hashtbl.length t.cells) t.lockset_empty)
+    ()
 
 let factory = { Tool.tool_name = "helgrind"; create = tool }

@@ -102,16 +102,13 @@ let leaks t =
 
 let tool () =
   let t = create () in
-  {
-    Tool.name = "memcheck";
-    on_event = on_event t;
-    space_words =
-      (fun () -> Shadow.space_words t.shadow + (2 * Hashtbl.length t.blocks));
-    summary =
-      (fun () ->
-        Printf.sprintf "memcheck: %d errors, %d leaked blocks"
-          (List.length (errors t))
-          (List.length (leaks t)));
-  }
+  Tool.make ~name:"memcheck" ~on_event:(on_event t)
+    ~space_words:(fun () ->
+      Shadow.space_words t.shadow + (2 * Hashtbl.length t.blocks))
+    ~summary:(fun () ->
+      Printf.sprintf "memcheck: %d errors, %d leaked blocks"
+        (List.length (errors t))
+        (List.length (leaks t)))
+    ()
 
 let factory = { Tool.tool_name = "memcheck"; create = tool }

@@ -4,15 +4,15 @@ let create () = { events = 0 }
 
 let on_event t _ = t.events <- t.events + 1
 
+let on_batch t b = t.events <- t.events + Aprof_trace.Event.Batch.length b
+
 let events t = t.events
 
 let tool () =
   let t = create () in
-  {
-    Tool.name = "nulgrind";
-    on_event = on_event t;
-    space_words = (fun () -> 1);
-    summary = (fun () -> Printf.sprintf "nulgrind: %d events replayed" t.events);
-  }
+  Tool.make ~name:"nulgrind" ~on_event:(on_event t) ~on_batch:(on_batch t)
+    ~space_words:(fun () -> 1)
+    ~summary:(fun () -> Printf.sprintf "nulgrind: %d events replayed" t.events)
+    ()
 
 let factory = { Tool.tool_name = "nulgrind"; create = tool }

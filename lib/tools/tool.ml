@@ -1,15 +1,38 @@
+module Event = Aprof_trace.Event
+module Stream = Aprof_trace.Trace_stream
+
 type t = {
   name : string;
-  on_event : Aprof_trace.Event.t -> unit;
+  on_event : Event.t -> unit;
+  on_batch : Event.Batch.t -> unit;
   space_words : unit -> int;
   summary : unit -> string;
 }
 
 type factory = { tool_name : string; create : unit -> t }
 
+let make ?on_batch ~name ~on_event ~space_words ~summary () =
+  let on_batch =
+    match on_batch with
+    | Some f -> f
+    | None -> fun b -> Event.Batch.iter_events on_event b
+  in
+  { name; on_event; on_batch; space_words; summary }
+
 let replay tool trace = Aprof_util.Vec.iter tool.on_event trace
 
-let replay_stream tool source =
-  Aprof_trace.Trace_stream.iter tool.on_event source
+let replay_stream tool source = Stream.iter tool.on_event source
 
-let sink tool = Aprof_trace.Trace_stream.sink_of_fun tool.on_event
+let replay_batches tool (src : Stream.batch_source) =
+  let rec loop n =
+    match src () with
+    | None -> n
+    | Some b ->
+      tool.on_batch b;
+      loop (n + Event.Batch.length b)
+  in
+  loop 0
+
+let sink tool = Stream.sink_of_fun tool.on_event
+
+let batch_sink tool = Stream.batch_sink_of_fun tool.on_batch

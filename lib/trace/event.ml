@@ -142,3 +142,212 @@ let of_line line =
   | _ -> fail ()
 
 let equal (a : t) (b : t) = a = b
+
+(* ----- packed batches -------------------------------------------------- *)
+
+module Batch = struct
+  type event = t
+
+  (* Struct-of-arrays: one int per field, so the hot path (VM emission,
+     codec, profiler dispatch) moves events as four machine words and
+     never constructs a variant.  [args] holds the routine / addr /
+     units / lock payload, [lens] the length of range events; both are 0
+     for events without that field. *)
+  type t = {
+    tags : int array;
+    tids : int array;
+    args : int array;
+    lens : int array;
+    mutable len : int;
+  }
+
+  let default_capacity = 8192
+
+  let create ?(capacity = default_capacity) () =
+    if capacity <= 0 then
+      invalid_arg "Event.Batch.create: capacity must be positive";
+    {
+      tags = Array.make capacity 0;
+      tids = Array.make capacity 0;
+      args = Array.make capacity 0;
+      lens = Array.make capacity 0;
+      len = 0;
+    }
+
+  let capacity b = Array.length b.tags
+  let length b = b.len
+  let is_empty b = b.len = 0
+  let is_full b = b.len = Array.length b.tags
+  let clear b = b.len <- 0
+
+  (* Event tags.  The numbering is shared with the binary codec's record
+     tags (Trace_codec), so a decoded record's tag byte is stored as-is. *)
+  let tag_call = 1
+  let tag_return = 2
+  let tag_read = 3
+  let tag_write = 4
+  let tag_block = 5
+  let tag_user_to_kernel = 6
+  let tag_kernel_to_user = 7
+  let tag_acquire = 8
+  let tag_release = 9
+  let tag_alloc = 10
+  let tag_free = 11
+  let tag_thread_start = 12
+  let tag_thread_exit = 13
+  let tag_switch_thread = 14
+  let max_tag = 14
+
+  (* Field-presence masks, bit [tag] set when the field exists: payload
+     for Call/Read/Write/Block/ranges/locks (1, 3-11), length for the
+     range events (6, 7, 10, 11).  Exposed so decoders can test presence
+     with a shift instead of a cross-module call per record. *)
+  let arg_mask = 0b1111_1111_1010
+  let len_mask = 0b1100_1100_0000
+
+  let tag_has_arg tag = (arg_mask lsr tag) land 1 = 1
+  let tag_has_len tag = (len_mask lsr tag) land 1 = 1
+
+  let tags b = b.tags
+  let tids b = b.tids
+  let args b = b.args
+  let lens b = b.lens
+
+  let unsafe_push b ~tag ~tid ~arg ~len =
+    let i = b.len in
+    Array.unsafe_set b.tags i tag;
+    Array.unsafe_set b.tids i tid;
+    Array.unsafe_set b.args i arg;
+    Array.unsafe_set b.lens i len;
+    b.len <- i + 1
+
+  (* For bulk fillers that write through the field arrays directly;
+     [n] must count rows actually written. *)
+  let unsafe_set_length b n = b.len <- n
+
+  let tag_of_event : event -> int = function
+    | Call _ -> tag_call
+    | Return _ -> tag_return
+    | Read _ -> tag_read
+    | Write _ -> tag_write
+    | Block _ -> tag_block
+    | User_to_kernel _ -> tag_user_to_kernel
+    | Kernel_to_user _ -> tag_kernel_to_user
+    | Acquire _ -> tag_acquire
+    | Release _ -> tag_release
+    | Alloc _ -> tag_alloc
+    | Free _ -> tag_free
+    | Thread_start _ -> tag_thread_start
+    | Thread_exit _ -> tag_thread_exit
+    | Switch_thread _ -> tag_switch_thread
+
+  let push b ev =
+    if is_full b then invalid_arg "Event.Batch.push: batch is full";
+    match ev with
+    | Call { tid; routine } ->
+      unsafe_push b ~tag:tag_call ~tid ~arg:routine ~len:0
+    | Return { tid } -> unsafe_push b ~tag:tag_return ~tid ~arg:0 ~len:0
+    | Read { tid; addr } -> unsafe_push b ~tag:tag_read ~tid ~arg:addr ~len:0
+    | Write { tid; addr } -> unsafe_push b ~tag:tag_write ~tid ~arg:addr ~len:0
+    | Block { tid; units } ->
+      unsafe_push b ~tag:tag_block ~tid ~arg:units ~len:0
+    | User_to_kernel { tid; addr; len } ->
+      unsafe_push b ~tag:tag_user_to_kernel ~tid ~arg:addr ~len
+    | Kernel_to_user { tid; addr; len } ->
+      unsafe_push b ~tag:tag_kernel_to_user ~tid ~arg:addr ~len
+    | Acquire { tid; lock } ->
+      unsafe_push b ~tag:tag_acquire ~tid ~arg:lock ~len:0
+    | Release { tid; lock } ->
+      unsafe_push b ~tag:tag_release ~tid ~arg:lock ~len:0
+    | Alloc { tid; addr; len } -> unsafe_push b ~tag:tag_alloc ~tid ~arg:addr ~len
+    | Free { tid; addr; len } -> unsafe_push b ~tag:tag_free ~tid ~arg:addr ~len
+    | Thread_start { tid } ->
+      unsafe_push b ~tag:tag_thread_start ~tid ~arg:0 ~len:0
+    | Thread_exit { tid } ->
+      unsafe_push b ~tag:tag_thread_exit ~tid ~arg:0 ~len:0
+    | Switch_thread { tid } ->
+      unsafe_push b ~tag:tag_switch_thread ~tid ~arg:0 ~len:0
+
+  let unpack b i : event =
+    let tid = Array.unsafe_get b.tids i in
+    let arg = Array.unsafe_get b.args i in
+    let len = Array.unsafe_get b.lens i in
+    match Array.unsafe_get b.tags i with
+    | 1 -> Call { tid; routine = arg }
+    | 2 -> Return { tid }
+    | 3 -> Read { tid; addr = arg }
+    | 4 -> Write { tid; addr = arg }
+    | 5 -> Block { tid; units = arg }
+    | 6 -> User_to_kernel { tid; addr = arg; len }
+    | 7 -> Kernel_to_user { tid; addr = arg; len }
+    | 8 -> Acquire { tid; lock = arg }
+    | 9 -> Release { tid; lock = arg }
+    | 10 -> Alloc { tid; addr = arg; len }
+    | 11 -> Free { tid; addr = arg; len }
+    | 12 -> Thread_start { tid }
+    | 13 -> Thread_exit { tid }
+    | 14 -> Switch_thread { tid }
+    | tag -> invalid_arg (Printf.sprintf "Event.Batch: corrupt tag %d" tag)
+
+  let check b i =
+    if i < 0 || i >= b.len then
+      invalid_arg
+        (Printf.sprintf "Event.Batch: index %d out of bounds [0,%d)" i b.len)
+
+  let get b i =
+    check b i;
+    unpack b i
+
+  let set b i ev =
+    check b i;
+    let saved = b.len in
+    b.len <- i;
+    push b ev;
+    b.len <- saved
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f
+        (Array.unsafe_get b.tags i)
+        (Array.unsafe_get b.tids i)
+        (Array.unsafe_get b.args i)
+        (Array.unsafe_get b.lens i)
+    done
+
+  let iter_events f b =
+    for i = 0 to b.len - 1 do
+      f (unpack b i)
+    done
+
+  let map_in_place f b =
+    for i = 0 to b.len - 1 do
+      set b i (f (unpack b i))
+    done
+
+  let filter_in_place p b =
+    let w = ref 0 in
+    for i = 0 to b.len - 1 do
+      if p (unpack b i) then begin
+        let j = !w in
+        if j <> i then begin
+          Array.unsafe_set b.tags j (Array.unsafe_get b.tags i);
+          Array.unsafe_set b.tids j (Array.unsafe_get b.tids i);
+          Array.unsafe_set b.args j (Array.unsafe_get b.args i);
+          Array.unsafe_set b.lens j (Array.unsafe_get b.lens i)
+        end;
+        incr w
+      end
+    done;
+    b.len <- !w
+
+  let of_trace (tr : event Aprof_util.Vec.t) =
+    let n = Aprof_util.Vec.length tr in
+    let b = create ~capacity:(max n 1) () in
+    Aprof_util.Vec.iter (push b) tr;
+    b
+
+  let to_trace b =
+    let tr = Aprof_util.Vec.create () in
+    iter_events (Aprof_util.Vec.push tr) b;
+    tr
+end

@@ -57,3 +57,123 @@ val to_line : t -> string
 val of_line : string -> (t, string) result
 
 val equal : t -> t -> bool
+
+(** Packed event batches: the zero-allocation hot-path representation.
+
+    A batch is a reusable struct-of-arrays buffer — per event one tag,
+    one thread id, one primary payload ([args]: routine, address, units
+    or lock id) and one secondary payload ([lens]: the length of range
+    events) — plus a length cursor.  Producers (the VM interpreter, the
+    binary decoder) fill a recycled batch with raw ints; consumers
+    (profilers, tools, the encoder) dispatch on the int tag and read the
+    arrays directly, so no [Event.t] variant is ever constructed on the
+    hot path.  {!pack}ing/unpacking to [Event.t] happens only at the
+    edges ({!push}, {!get}, {!iter_events}). *)
+module Batch : sig
+  type event = t
+
+  type t
+
+  val default_capacity : int
+
+  (** [create ~capacity ()] is an empty batch holding at most [capacity]
+      events (default {!default_capacity}).
+      @raise Invalid_argument when [capacity <= 0]. *)
+  val create : ?capacity:int -> unit -> t
+
+  val capacity : t -> int
+  val length : t -> int
+  val is_empty : t -> bool
+  val is_full : t -> bool
+
+  (** [clear b] resets the cursor; storage is recycled. *)
+  val clear : t -> unit
+
+  (** {2 Tags}
+
+      The int tag stored per event.  The numbering is shared with the
+      binary codec's record tags, so decode can store the tag byte
+      unchanged. *)
+
+  val tag_call : int
+  val tag_return : int
+  val tag_read : int
+  val tag_write : int
+  val tag_block : int
+  val tag_user_to_kernel : int
+  val tag_kernel_to_user : int
+  val tag_acquire : int
+  val tag_release : int
+  val tag_alloc : int
+  val tag_free : int
+  val tag_thread_start : int
+  val tag_thread_exit : int
+  val tag_switch_thread : int
+  val max_tag : int
+
+  (** [tag_has_arg tag] — does the event kind carry a primary payload
+      (routine / addr / units / lock)? *)
+  val tag_has_arg : int -> bool
+
+  (** [tag_has_len tag] — does the event kind carry a length? *)
+  val tag_has_len : int -> bool
+
+  (** Bitmask forms of {!tag_has_arg}/{!tag_has_len}: bit [tag] is set
+      when the field exists.  For decode loops that cannot afford a call
+      per record; [tag_has_arg tag = (arg_mask lsr tag) land 1 = 1]. *)
+
+  val arg_mask : int
+  val len_mask : int
+
+  val tag_of_event : event -> int
+
+  (** {2 Raw field access}
+
+      The backing arrays; only indices [< length b] are meaningful.
+      Consumers must treat them as read-only. *)
+
+  val tags : t -> int array
+  val tids : t -> int array
+  val args : t -> int array
+  val lens : t -> int array
+
+  (** [unsafe_push b ~tag ~tid ~arg ~len] appends raw fields without a
+      capacity check: the caller must guarantee [not (is_full b)]. *)
+  val unsafe_push : t -> tag:int -> tid:int -> arg:int -> len:int -> unit
+
+  (** [unsafe_set_length b n] declares that rows [0..n-1] of the backing
+      arrays are valid, for bulk fillers that bypass {!unsafe_push}; the
+      caller must have written all four arrays up to [n]. *)
+  val unsafe_set_length : t -> int -> unit
+
+  (** [iter f b] — [f tag tid arg len] per event, allocation-free. *)
+  val iter : (int -> int -> int -> int -> unit) -> t -> unit
+
+  (** {2 Pack/unpack edges} *)
+
+  (** [push b ev] packs one event.
+      @raise Invalid_argument when the batch is full. *)
+  val push : t -> event -> unit
+
+  (** [get b i] unpacks the [i]-th event (constructs a variant). *)
+  val get : t -> int -> event
+
+  (** [set b i ev] overwrites the [i]-th event in place. *)
+  val set : t -> int -> event -> unit
+
+  (** [iter_events f b] unpacks each event in order. *)
+  val iter_events : (event -> unit) -> t -> unit
+
+  (** [map_in_place f b] / [filter_in_place p b]: the per-event
+      transformers lifted onto the packed representation; the batch is
+      rewritten (and compacted) in place. *)
+  val map_in_place : (event -> event) -> t -> unit
+
+  val filter_in_place : (event -> bool) -> t -> unit
+
+  (** [of_trace tr] packs a whole trace into one batch sized to fit;
+      [to_trace] unpacks back. *)
+  val of_trace : event Aprof_util.Vec.t -> t
+
+  val to_trace : t -> event Aprof_util.Vec.t
+end

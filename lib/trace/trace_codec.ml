@@ -1,4 +1,5 @@
 module Vec = Aprof_util.Vec
+module Batch = Event.Batch
 
 let magic = "ATRC"
 let version = 1
@@ -14,83 +15,82 @@ let bad fmt =
    full [min_int, max_int] range still round-trips: the shifted value is
    treated as an unsigned machine word ([lsr] is logical). *)
 
+(* Both directions run a few times per event, so they are written as
+   top-level tail recursions over plain int arguments: an inner closure
+   (capturing the byte source) or a local [ref] would cost a minor
+   allocation per call and dominate the decode profile. *)
+
+let rec add_varint_rest buf v =
+  let b = v land 0x7f in
+  let v = v lsr 7 in
+  if v = 0 then Buffer.add_char buf (Char.unsafe_chr b)
+  else begin
+    Buffer.add_char buf (Char.unsafe_chr (b lor 0x80));
+    add_varint_rest buf v
+  end
+
 let add_varint buf n =
-  let v = ref ((n lsl 1) lxor (n asr (Sys.int_size - 1))) in
-  let fits = ref false in
-  while not !fits do
-    let b = !v land 0x7f in
-    v := !v lsr 7;
-    if !v = 0 then begin
-      Buffer.add_char buf (Char.unsafe_chr b);
-      fits := true
-    end
-    else Buffer.add_char buf (Char.unsafe_chr (b lor 0x80))
-  done
+  add_varint_rest buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
 
 (* [read_byte] yields the next byte or -1 at end of input. *)
+let rec read_varint_rest read_byte shift acc =
+  match read_byte () with
+  | -1 -> bad "truncated varint"
+  | b ->
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then begin
+      if shift > Sys.int_size then bad "varint too long";
+      read_varint_rest read_byte (shift + 7) acc
+    end
+    else acc
+
 let read_varint read_byte =
-  let rec go shift acc =
-    match read_byte () with
-    | -1 -> bad "truncated varint"
-    | b ->
-      let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 <> 0 then begin
-        if shift > Sys.int_size then bad "varint too long";
-        go (shift + 7) acc
-      end
-      else acc
-  in
-  let v = go 0 0 in
+  let v = read_varint_rest read_byte 0 0 in
   (v lsr 1) lxor (- (v land 1))
 
-(* ----- event records -------------------------------------------------- *)
+(* Same decode, but straight off a byte buffer through a position ref —
+   the chunked reader's fast path.  Callers must guarantee the buffer
+   holds a complete varint starting at [!pos]; the [shift] guard bounds
+   a varint at 11 bytes, which is what makes the caller's margin check
+   sufficient for [unsafe_get]. *)
+let rec read_varint_bytes_rest chunk pos shift acc =
+  let b = Char.code (Bytes.unsafe_get chunk !pos) in
+  incr pos;
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 <> 0 then begin
+    if shift > Sys.int_size then bad "varint too long";
+    read_varint_bytes_rest chunk pos (shift + 7) acc
+  end
+  else acc
+
+(* One-byte varints — small tids, small deltas — are the overwhelmingly
+   common case, so decode them without entering the loop. *)
+let[@inline always] read_varint_bytes_fast chunk pos =
+  let b0 = Char.code (Bytes.unsafe_get chunk !pos) in
+  incr pos;
+  if b0 < 0x80 then (b0 lsr 1) lxor (- (b0 land 1))
+  else
+    let v = read_varint_bytes_rest chunk pos 7 (b0 land 0x7f) in
+    (v lsr 1) lxor (- (v land 1))
+
+(* A record is at most 1 tag byte + 3 varints of at most 11 bytes. *)
+let max_record_bytes = 34
+
+(* ----- records -------------------------------------------------------- *)
 
 let def_tag = 15
 let end_tag = 0
 
-let tag_of_event : Event.t -> int = function
-  | Event.Call _ -> 1
-  | Event.Return _ -> 2
-  | Event.Read _ -> 3
-  | Event.Write _ -> 4
-  | Event.Block _ -> 5
-  | Event.User_to_kernel _ -> 6
-  | Event.Kernel_to_user _ -> 7
-  | Event.Acquire _ -> 8
-  | Event.Release _ -> 9
-  | Event.Alloc _ -> 10
-  | Event.Free _ -> 11
-  | Event.Thread_start _ -> 12
-  | Event.Thread_exit _ -> 13
-  | Event.Switch_thread _ -> 14
-
-let add_event buf ev =
-  Buffer.add_char buf (Char.unsafe_chr (tag_of_event ev));
-  match ev with
-  | Event.Call { tid; routine } ->
-    add_varint buf tid;
-    add_varint buf routine
-  | Event.Return { tid }
-  | Event.Thread_start { tid }
-  | Event.Thread_exit { tid }
-  | Event.Switch_thread { tid } ->
-    add_varint buf tid
-  | Event.Read { tid; addr } | Event.Write { tid; addr } ->
-    add_varint buf tid;
-    add_varint buf addr
-  | Event.Block { tid; units } ->
-    add_varint buf tid;
-    add_varint buf units
-  | Event.Acquire { tid; lock } | Event.Release { tid; lock } ->
-    add_varint buf tid;
-    add_varint buf lock
-  | Event.User_to_kernel { tid; addr; len }
-  | Event.Kernel_to_user { tid; addr; len }
-  | Event.Alloc { tid; addr; len }
-  | Event.Free { tid; addr; len } ->
-    add_varint buf tid;
-    add_varint buf addr;
-    add_varint buf len
+(* Event record tags are exactly {!Event.Batch}'s tags (1–14), so both
+   encode and decode work on the raw packed fields: tid always, then the
+   primary payload when the kind has one, then the length when it has
+   one.  This is the single encoder; every writer entry point funnels
+   into it. *)
+let add_record buf ~tag ~tid ~arg ~len =
+  Buffer.add_char buf (Char.unsafe_chr tag);
+  add_varint buf tid;
+  if Batch.tag_has_arg tag then add_varint buf arg;
+  if Batch.tag_has_len tag then add_varint buf len
 
 let add_def buf id name =
   Buffer.add_char buf (Char.unsafe_chr def_tag);
@@ -98,68 +98,94 @@ let add_def buf id name =
   add_varint buf (String.length name);
   Buffer.add_string buf name
 
-(* Decode records until an event (or the end-of-trace marker), feeding
-   definition records to [define].  [read_string n] must return exactly
-   [n] bytes.  Plain end of input is a truncation — a complete trace
-   always carries the marker, which is what lets truncation at a record
-   boundary be told apart from a genuine end. *)
-let rec read_record ~read_byte ~read_string ~define =
+(* [encoder buf ~routine_name] is the raw per-record encoder, interning
+   routine names: the first [Call] of each routine is preceded by its
+   definition record.  Matches {!Event.Batch.iter}'s field order. *)
+let encoder buf ~routine_name =
+  let defined = Hashtbl.create 64 in
+  fun tag tid arg len ->
+    if tag = Batch.tag_call && not (Hashtbl.mem defined arg) then begin
+      Hashtbl.add defined arg ();
+      add_def buf arg (routine_name arg)
+    end;
+    add_record buf ~tag ~tid ~arg ~len
+
+(* The single decoder: refill a cleared batch with raw records until it
+   is full or the end-of-trace marker is consumed, feeding definition
+   records to [define].  Returns [true] when the marker was seen.
+   [read_string n] must return exactly [n] bytes.  Plain end of input is
+   a truncation — a complete trace always carries the marker, which is
+   what lets truncation at a record boundary be told apart from a
+   genuine end. *)
+(* Consume exactly one record through the generic byte source, pushing
+   event records into [b].  Returns [true] when the record was the
+   end-of-trace marker. *)
+let step_record ~read_byte ~read_string ~define b =
   match read_byte () with
   | -1 -> bad "truncated trace (missing end-of-trace marker)"
   | tag when tag = end_tag ->
     if read_byte () <> -1 then bad "trailing data after end-of-trace marker";
-    None
+    true
   | tag when tag = def_tag ->
     let id = read_varint read_byte in
     let len = read_varint read_byte in
     if len < 0 then bad "negative name length";
     define id (read_string len);
-    read_record ~read_byte ~read_string ~define
-  | tag ->
-    let i () = read_varint read_byte in
-    let ev =
-      match tag with
-      | 1 ->
-        let tid = i () in
-        Event.Call { tid; routine = i () }
-      | 2 -> Event.Return { tid = i () }
-      | 3 ->
-        let tid = i () in
-        Event.Read { tid; addr = i () }
-      | 4 ->
-        let tid = i () in
-        Event.Write { tid; addr = i () }
-      | 5 ->
-        let tid = i () in
-        Event.Block { tid; units = i () }
-      | 6 ->
-        let tid = i () in
-        let addr = i () in
-        Event.User_to_kernel { tid; addr; len = i () }
-      | 7 ->
-        let tid = i () in
-        let addr = i () in
-        Event.Kernel_to_user { tid; addr; len = i () }
-      | 8 ->
-        let tid = i () in
-        Event.Acquire { tid; lock = i () }
-      | 9 ->
-        let tid = i () in
-        Event.Release { tid; lock = i () }
-      | 10 ->
-        let tid = i () in
-        let addr = i () in
-        Event.Alloc { tid; addr; len = i () }
-      | 11 ->
-        let tid = i () in
-        let addr = i () in
-        Event.Free { tid; addr; len = i () }
-      | 12 -> Event.Thread_start { tid = i () }
-      | 13 -> Event.Thread_exit { tid = i () }
-      | 14 -> Event.Switch_thread { tid = i () }
-      | t -> bad "unknown record tag %d" t
-    in
-    Some ev
+    false
+  | tag when tag >= 1 && tag <= Batch.max_tag ->
+    let tid = read_varint read_byte in
+    let arg = if Batch.tag_has_arg tag then read_varint read_byte else 0 in
+    let len = if Batch.tag_has_len tag then read_varint read_byte else 0 in
+    Batch.unsafe_push b ~tag ~tid ~arg ~len;
+    false
+  | tag -> bad "unknown record tag %d" tag
+
+let fill_batch ~read_byte ~read_string ~define b =
+  let finished = ref false in
+  while (not !finished) && not (Batch.is_full b) do
+    finished := step_record ~read_byte ~read_string ~define b
+  done;
+  !finished
+
+(* Bulk fast path over a chunk: decode plain event records directly off
+   the bytes while a whole record is guaranteed to fit below [limit],
+   without going through the [read_byte] closure.  Stops — leaving [pos]
+   on the offending tag — at definition records, the end marker, or any
+   malformed tag, which the generic [step_record] then handles. *)
+let fill_batch_bytes b chunk pos limit =
+  let tags = Batch.tags b and tids = Batch.tids b in
+  let args = Batch.args b and lens = Batch.lens b in
+  let cap = Array.length tags in
+  let arg_mask = Batch.arg_mask and len_mask = Batch.len_mask in
+  (* [!p <= last_start] guarantees a whole record fits before [limit]. *)
+  let last_start = limit - max_record_bytes in
+  let i = ref (Batch.length b) in
+  let p = ref !pos in
+  let stop = ref false in
+  while (not !stop) && !i < cap && !p <= last_start do
+    let tag = Char.code (Bytes.unsafe_get chunk !p) in
+    if tag >= 1 && tag <= Batch.max_tag then begin
+      incr p;
+      let tid = read_varint_bytes_fast chunk p in
+      let arg =
+        if (arg_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
+        else 0
+      in
+      let len =
+        if (len_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
+        else 0
+      in
+      let j = !i in
+      Array.unsafe_set tags j tag;
+      Array.unsafe_set tids j tid;
+      Array.unsafe_set args j arg;
+      Array.unsafe_set lens j len;
+      i := j + 1
+    end
+    else stop := true
+  done;
+  Batch.unsafe_set_length b !i;
+  pos := !p
 
 let check_header read_byte =
   String.iter
@@ -178,34 +204,36 @@ let default_routine_name id = Printf.sprintf "routine_%d" id
 
 (* ----- streaming writer ----------------------------------------------- *)
 
-let writer ?(chunk_bytes = default_chunk) ?(routine_name = default_routine_name)
-    oc =
+let batch_writer ?(chunk_bytes = default_chunk)
+    ?(routine_name = default_routine_name) oc =
   let buf = Buffer.create (chunk_bytes + 256) in
-  let defined = Hashtbl.create 64 in
   Buffer.add_string buf magic;
   Buffer.add_char buf (Char.chr version);
+  let encode = encoder buf ~routine_name in
   let flush_chunk () =
     Buffer.output_buffer oc buf;
     Buffer.clear buf
   in
-  let emit ev =
-    (match ev with
-    | Event.Call { routine; _ } when not (Hashtbl.mem defined routine) ->
-      Hashtbl.add defined routine ();
-      add_def buf routine (routine_name routine)
-    | _ -> ());
-    add_event buf ev;
-    if Buffer.length buf >= chunk_bytes then flush_chunk ()
+  let emit_batch b =
+    Batch.iter
+      (fun tag tid arg len ->
+        encode tag tid arg len;
+        if Buffer.length buf >= chunk_bytes then flush_chunk ())
+      b
   in
-  let close () =
+  let close_batch () =
     Buffer.add_char buf (Char.chr end_tag);
     flush_chunk ()
   in
-  { Trace_stream.emit; close }
+  { Trace_stream.emit_batch; close_batch }
+
+let writer ?chunk_bytes ?routine_name oc =
+  Trace_stream.sink_of_batches (batch_writer ?chunk_bytes ?routine_name oc)
 
 (* ----- streaming reader ----------------------------------------------- *)
 
-let reader ?(chunk_bytes = default_chunk) ic =
+let batch_reader ?(chunk_bytes = default_chunk)
+    ?(batch_size = Batch.default_capacity) ic =
   let chunk = Bytes.create (max 1 chunk_bytes) in
   let pos = ref 0 in
   let len = ref 0 in
@@ -240,16 +268,29 @@ let reader ?(chunk_bytes = default_chunk) ic =
   check_header read_byte;
   let names = Hashtbl.create 64 in
   let define id name = Hashtbl.replace names id name in
+  let b = Batch.create ~capacity:batch_size () in
   let finished = ref false in
+  let fill () =
+    Batch.clear b;
+    let fin = ref false in
+    while (not !fin) && not (Batch.is_full b) do
+      fill_batch_bytes b chunk pos !len;
+      if not (Batch.is_full b) then
+        fin := step_record ~read_byte ~read_string ~define b
+    done;
+    !fin
+  in
   ( names,
     fun () ->
       if !finished then None
-      else
-        match read_record ~read_byte ~read_string ~define with
-        | None ->
-          finished := true;
-          None
-        | some -> some )
+      else begin
+        finished := fill ();
+        if Batch.is_empty b then None else Some b
+      end )
+
+let reader ?chunk_bytes ic =
+  let names, batches = batch_reader ?chunk_bytes ic in
+  (names, Trace_stream.events_of_batches batches)
 
 (* ----- whole-trace convenience ---------------------------------------- *)
 
@@ -257,16 +298,16 @@ let to_string ?(routine_name = default_routine_name) (tr : Event.t Vec.t) =
   let buf = Buffer.create (16 + (4 * Vec.length tr)) in
   Buffer.add_string buf magic;
   Buffer.add_char buf (Char.chr version);
-  let defined = Hashtbl.create 64 in
-  Vec.iter
-    (fun ev ->
-      (match ev with
-      | Event.Call { routine; _ } when not (Hashtbl.mem defined routine) ->
-        Hashtbl.add defined routine ();
-        add_def buf routine (routine_name routine)
-      | _ -> ());
-      add_event buf ev)
-    tr;
+  let encode = encoder buf ~routine_name in
+  let batches = Trace_stream.batches_of_trace tr in
+  let rec loop () =
+    match batches () with
+    | None -> ()
+    | Some b ->
+      Batch.iter encode b;
+      loop ()
+  in
+  loop ();
   Buffer.add_char buf (Char.chr end_tag);
   Buffer.contents buf
 
@@ -291,14 +332,13 @@ let of_string s =
     let names = ref [] in
     let define id name = names := (id, name) :: !names in
     let out = Vec.create () in
-    let rec loop () =
-      match read_record ~read_byte ~read_string ~define with
-      | None -> ()
-      | Some ev ->
-        Vec.push out ev;
-        loop ()
-    in
-    loop ();
+    let b = Batch.create () in
+    let finished = ref false in
+    while not !finished do
+      Batch.clear b;
+      finished := fill_batch ~read_byte ~read_string ~define b;
+      Batch.iter_events (Vec.push out) b
+    done;
     Ok (out, List.rev !names)
   with Trace_stream.Decode_error msg -> Error msg
 

@@ -24,7 +24,34 @@
 val magic : string
 val version : int
 
-(** {1 Streaming} *)
+(** {1 Streaming}
+
+    The batch entry points are the primitive ones — they encode/decode a
+    whole {!Event.Batch.t} of raw int fields at a time into a reused
+    buffer/chunk, never constructing an [Event.t].  The per-event
+    {!writer}/{!reader} are thin layers over them
+    ({!Trace_stream.sink_of_batches} / {!Trace_stream.events_of_batches})
+    kept for glue and tests. *)
+
+(** [batch_writer oc] is a batch sink encoding packed events into [oc].
+    Same format, buffering, and close contract as {!writer}. *)
+val batch_writer :
+  ?chunk_bytes:int ->
+  ?routine_name:(int -> string) ->
+  out_channel ->
+  Trace_stream.batch_sink
+
+(** [batch_reader ic] validates the header and returns the routine-name
+    table together with a batch source decoding up to [batch_size]
+    events per pull into a recycled batch (valid until the next pull).
+    The table fills in as batches are pulled.
+    @raise Trace_stream.Decode_error on a bad header; the source raises
+    it on malformed records. *)
+val batch_reader :
+  ?chunk_bytes:int ->
+  ?batch_size:int ->
+  in_channel ->
+  (int, string) Hashtbl.t * Trace_stream.batch_source
 
 (** [writer oc] is a sink encoding events into [oc].  Output is
     buffered; the sink's [close] writes the end-of-trace marker and

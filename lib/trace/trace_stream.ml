@@ -118,6 +118,160 @@ let tee a b =
   }
 
 let connect src dst =
-  let n = fold (fun n ev -> dst.emit ev; n + 1) 0 src in
-  dst.close ();
-  n
+  Fun.protect ~finally:dst.close (fun () ->
+      fold
+        (fun n ev ->
+          dst.emit ev;
+          n + 1)
+        0 src)
+
+(* Batched streams.  The same pull/push duality as above, but the unit of
+   transfer is a recycled {!Event.Batch.t}: each pull refills and returns
+   the same buffer, so steady-state transport allocates nothing per
+   event. *)
+
+module Batch = Event.Batch
+
+type batch_source = unit -> Batch.t option
+
+type batch_sink = {
+  emit_batch : Batch.t -> unit;
+  close_batch : unit -> unit;
+}
+
+let batches_of_trace ?(batch_size = Batch.default_capacity) (tr : Event.t Vec.t)
+    : batch_source =
+  let b = Batch.create ~capacity:batch_size () in
+  let pos = ref 0 in
+  let n = Vec.length tr in
+  fun () ->
+    if !pos >= n then None
+    else begin
+      Batch.clear b;
+      while (not (Batch.is_full b)) && !pos < n do
+        Batch.push b (Vec.get tr !pos);
+        incr pos
+      done;
+      Some b
+    end
+
+let batches_of_events ?(batch_size = Batch.default_capacity) (s : t) :
+    batch_source =
+  let b = Batch.create ~capacity:batch_size () in
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else begin
+      Batch.clear b;
+      let continue = ref true in
+      while !continue do
+        match s () with
+        | None ->
+          finished := true;
+          continue := false
+        | Some ev ->
+          Batch.push b ev;
+          if Batch.is_full b then continue := false
+      done;
+      if Batch.is_empty b then None else Some b
+    end
+
+let events_of_batches (bs : batch_source) : t =
+  let current = ref None in
+  let pos = ref 0 in
+  let rec next () =
+    match !current with
+    | Some b when !pos < Batch.length b ->
+      let ev = Batch.get b !pos in
+      incr pos;
+      Some ev
+    | _ -> (
+      match bs () with
+      | None ->
+        current := None;
+        None
+      | Some b ->
+        current := Some b;
+        pos := 0;
+        next ())
+  in
+  next
+
+let map_batches f (bs : batch_source) : batch_source =
+ fun () ->
+  match bs () with
+  | None -> None
+  | Some b ->
+    Batch.map_in_place f b;
+    Some b
+
+let filter_batches p (bs : batch_source) : batch_source =
+  let rec next () =
+    match bs () with
+    | None -> None
+    | Some b ->
+      Batch.filter_in_place p b;
+      if Batch.is_empty b then next () else Some b
+  in
+  next
+
+let batch_null_sink = { emit_batch = ignore; close_batch = ignore }
+
+let batch_sink_of_fun f = { emit_batch = f; close_batch = ignore }
+
+let batch_sink_to_trace tr =
+  {
+    emit_batch = (fun b -> Batch.iter_events (Vec.push tr) b);
+    close_batch = ignore;
+  }
+
+let batch_sink_of_sink (s : sink) =
+  {
+    emit_batch = (fun b -> Batch.iter_events s.emit b);
+    close_batch = s.close;
+  }
+
+let sink_of_batches ?(batch_size = Batch.default_capacity) (bs : batch_sink) :
+    sink =
+  let b = Batch.create ~capacity:batch_size () in
+  let flush () =
+    if not (Batch.is_empty b) then begin
+      bs.emit_batch b;
+      Batch.clear b
+    end
+  in
+  {
+    emit =
+      (fun ev ->
+        Batch.push b ev;
+        if Batch.is_full b then flush ());
+    close =
+      (fun () ->
+        flush ();
+        bs.close_batch ());
+  }
+
+let tee_batches a b =
+  {
+    emit_batch =
+      (fun batch ->
+        a.emit_batch batch;
+        b.emit_batch batch);
+    close_batch =
+      (fun () ->
+        a.close_batch ();
+        b.close_batch ());
+  }
+
+let connect_batches (src : batch_source) (dst : batch_sink) =
+  Fun.protect ~finally:dst.close_batch (fun () ->
+      let n = ref 0 in
+      let rec loop () =
+        match src () with
+        | None -> !n
+        | Some b ->
+          n := !n + Batch.length b;
+          dst.emit_batch b;
+          loop ()
+      in
+      loop ())

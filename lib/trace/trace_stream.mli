@@ -84,5 +84,69 @@ val text_sink : out_channel -> sink
 val tee : sink -> sink -> sink
 
 (** [connect src dst] drains [src] into [dst], closes [dst], and returns
-    the number of events transferred. *)
+    the number of events transferred.  [dst] is closed (exactly once)
+    even when the source or an interposed stage raises, so buffered
+    output — e.g. a binary trace's end marker — is flushed before the
+    exception propagates. *)
 val connect : t -> sink -> int
+
+(** {1 Batched streams}
+
+    The allocation-free transport: the unit of transfer is a packed
+    {!Event.Batch.t} rather than a boxed event.  A {!batch_source}
+    recycles its buffer — the returned batch is only valid until the
+    next pull, so consumers must finish with (or copy) a batch before
+    pulling again.  Use the batch API on hot paths (replay, codec,
+    profiler dispatch); use the per-event API for glue and tests. *)
+
+type batch_source = unit -> Event.Batch.t option
+
+type batch_sink = {
+  emit_batch : Event.Batch.t -> unit;
+      (** Consume one batch.  The batch belongs to the producer and may
+          be recycled after the call returns. *)
+  close_batch : unit -> unit;
+      (** Flush buffered output; called exactly once, after the last
+          [emit_batch]. *)
+}
+
+(** [batches_of_trace ?batch_size tr] packs an in-memory trace into a
+    recycled batch, [batch_size] events per pull. *)
+val batches_of_trace : ?batch_size:int -> Event.t Aprof_util.Vec.t -> batch_source
+
+(** [batches_of_events ?batch_size s] groups a per-event stream into
+    recycled batches (the last batch may be partial). *)
+val batches_of_events : ?batch_size:int -> t -> batch_source
+
+(** [events_of_batches bs] is the per-event view of a batch source:
+    each pull unpacks one event (this edge allocates). *)
+val events_of_batches : batch_source -> t
+
+(** {!map}/{!filter} lifted onto batches; the transformation is applied
+    in place on the recycled buffer.  [filter_batches] never yields an
+    empty batch. *)
+val map_batches : (Event.t -> Event.t) -> batch_source -> batch_source
+
+val filter_batches : (Event.t -> bool) -> batch_source -> batch_source
+
+val batch_null_sink : batch_sink
+val batch_sink_of_fun : (Event.Batch.t -> unit) -> batch_sink
+val batch_sink_to_trace : Event.t Aprof_util.Vec.t -> batch_sink
+
+(** [batch_sink_of_sink s] unpacks each batch into the per-event sink
+    [s]; closing closes [s]. *)
+val batch_sink_of_sink : sink -> batch_sink
+
+(** [sink_of_batches ?batch_size bs] is a per-event sink that packs
+    events into a recycled batch and hands full batches (and, on close,
+    the final partial batch) to [bs]; closing closes [bs]. *)
+val sink_of_batches : ?batch_size:int -> batch_sink -> sink
+
+(** [tee_batches a b] duplicates every batch (and the close) to both
+    sinks. *)
+val tee_batches : batch_sink -> batch_sink -> batch_sink
+
+(** [connect_batches src dst] drains [src] into [dst], closes [dst]
+    (exactly once, even on raise, as {!connect}), and returns the number
+    of events transferred. *)
+val connect_batches : batch_source -> batch_sink -> int

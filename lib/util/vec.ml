@@ -1,11 +1,17 @@
 type 'a t = {
   mutable data : 'a array;
   mutable len : int;
+  (* High-water mark of [len] over the current backing array: slots in
+     [len, hiw) hold elements that were pushed and later popped (or
+     truncated away), each written by its own [push].  [spare]/[extend]
+     recycle them.  Growth replaces the array and copies only the live
+     prefix, so [grow] resets the mark. *)
+  mutable hiw : int;
 }
 
-let create () = { data = [||]; len = 0 }
+let create () = { data = [||]; len = 0; hiw = 0 }
 
-let make n x = { data = Array.make (max n 1) x; len = n }
+let make n x = { data = Array.make (max n 1) x; len = n; hiw = n }
 
 let length v = v.len
 
@@ -28,11 +34,23 @@ let grow v x =
   let cap' = if cap = 0 then 8 else cap * 2 in
   let data' = Array.make cap' x in
   Array.blit v.data 0 data' 0 v.len;
-  v.data <- data'
+  v.data <- data';
+  v.hiw <- v.len
 
 let push v x =
   if v.len = Array.length v.data then grow v x;
   v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  if v.len > v.hiw then v.hiw <- v.len
+
+let has_spare v = v.len < v.hiw
+
+let spare v =
+  if v.len >= v.hiw then invalid_arg "Vec.spare: no retained element";
+  v.data.(v.len)
+
+let extend v =
+  if v.len >= v.hiw then invalid_arg "Vec.extend: no retained element";
   v.len <- v.len + 1
 
 let pop v =
@@ -69,7 +87,9 @@ let to_list v = List.init v.len (fun i -> v.data.(i))
 
 let to_array v = Array.sub v.data 0 v.len
 
-let of_array a = { data = Array.copy a; len = Array.length a }
+let of_array a =
+  let len = Array.length a in
+  { data = Array.copy a; len; hiw = len }
 
 let of_list l = of_array (Array.of_list l)
 
@@ -80,7 +100,7 @@ let map f v =
     for i = 0 to v.len - 1 do
       data.(i) <- f v.data.(i)
     done;
-    { data; len = v.len }
+    { data; len = v.len; hiw = v.len }
   end
 
 let exists p v =

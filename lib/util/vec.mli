@@ -32,6 +32,35 @@ val push : 'a t -> 'a -> unit
     @raise Invalid_argument on an empty vector. *)
 val pop : 'a t -> 'a
 
+(** {2 Element recycling}
+
+    A popped element is retained in its slot until a later [push]
+    overwrites it.  [spare]/[extend] hand such a retained element back so
+    a caller pushing mutable records can reset the old record in place
+    instead of allocating a fresh one:
+
+    {[ if Vec.has_spare v then begin
+         let r = Vec.spare v in
+         (* ... reset r's fields ... *) Vec.extend v
+       end else Vec.push v (fresh ()) ]}
+
+    Safe only when every live element was written by its own [push] of a
+    distinct value: [make] and [set] can alias one record across several
+    slots, after which mutating a spare corrupts live elements.  The
+    caller must also not retain a popped element across a later push. *)
+
+(** [has_spare v] is [true] when the slot at index [length v] holds a
+    retained (previously pushed, then popped) element. *)
+val has_spare : 'a t -> bool
+
+(** [spare v] is the retained element just past the end.
+    @raise Invalid_argument when [has_spare v] is [false]. *)
+val spare : 'a t -> 'a
+
+(** [extend v] re-appends the retained element [spare v].
+    @raise Invalid_argument when [has_spare v] is [false]. *)
+val extend : 'a t -> unit
+
 (** [top v] is the last element without removing it.
     @raise Invalid_argument on an empty vector. *)
 val top : 'a t -> 'a

@@ -1,4 +1,5 @@
 module Event = Aprof_trace.Event
+module Batch = Event.Batch
 module Trace = Aprof_trace.Trace
 module Routine_table = Aprof_trace.Routine_table
 module Vec = Aprof_util.Vec
@@ -54,7 +55,8 @@ type barrier_state = {
 
 type state = {
   cfg : config;
-  sink : Event.t -> unit;
+  batch : Batch.t; (* recycled emission buffer, flushed when full *)
+  flush : Batch.t -> unit;
   routines : Routine_table.t;
   rng : Rng.t;
   sched : Scheduler.t;
@@ -76,11 +78,28 @@ type state = {
   mutable current : int; (* tid owning the last Switch_thread, -1 initially *)
 }
 
-let emit st ev =
+(* The hot emitters: raw fields go straight into the recycled batch; no
+   [Event.t] is constructed.  The batch is handed to [flush] when full
+   and once more, partially filled, at the end of the run. *)
+let emit_raw st ~tag ~tid ~arg ~len =
   st.events <- st.events + 1;
   if st.events > st.cfg.max_events then
     fail "event budget exhausted (%d events): runaway program?" st.cfg.max_events;
-  st.sink ev
+  if Batch.is_full st.batch then begin
+    st.flush st.batch;
+    Batch.clear st.batch
+  end;
+  Batch.unsafe_push st.batch ~tag ~tid ~arg ~len
+
+let emit_flush st =
+  if not (Batch.is_empty st.batch) then begin
+    st.flush st.batch;
+    Batch.clear st.batch
+  end
+
+let emit_plain st tag tid = emit_raw st ~tag ~tid ~arg:0 ~len:0
+let emit_arg st tag tid arg = emit_raw st ~tag ~tid ~arg ~len:0
+let emit_range st tag tid ~addr ~len = emit_raw st ~tag ~tid ~arg:addr ~len
 
 let fresh_sync st =
   let id = st.sync_ids in
@@ -106,7 +125,7 @@ let new_thread st prog =
   Vec.push st.threads th;
   Vec.push st.ready tid;
   st.live <- st.live + 1;
-  emit st (Event.Thread_start { tid });
+  emit_plain st Batch.tag_thread_start tid;
   th
 
 let make_runnable st tid k =
@@ -147,36 +166,36 @@ let step st th =
       st.live <- st.live - 1;
       (* The exit publishes through the exit sync: current joiners wake
          here, late joiners acquire in the [Join] handler. *)
-      emit st (Event.Release { tid; lock = th.exit_sync });
+      emit_arg st Batch.tag_release tid th.exit_sync;
       List.iter
         (fun (jtid, k) ->
-          emit st (Event.Acquire { tid = jtid; lock = th.exit_sync });
+          emit_arg st Batch.tag_acquire jtid th.exit_sync;
           make_runnable st jtid k)
         (List.rev th.joiners);
       th.joiners <- [];
-      emit st (Event.Thread_exit { tid });
+      emit_plain st Batch.tag_thread_exit tid;
       false
     | Read (addr, k) ->
       let v = mem_read st addr in
-      emit st (Event.Read { tid; addr });
+      emit_arg st Batch.tag_read tid addr;
       continue_with (k v)
     | Write (addr, v, k) ->
       mem_write st addr v;
-      emit st (Event.Write { tid; addr });
+      emit_arg st Batch.tag_write tid addr;
       continue_with (k ())
     | Compute (units, k) ->
       if units < 0 then fail "negative compute units";
-      if units > 0 then emit st (Event.Block { tid; units });
+      if units > 0 then emit_arg st Batch.tag_block tid units;
       continue_with (k ())
     | Enter (name, k) ->
       let routine = Routine_table.intern st.routines name in
       th.depth <- th.depth + 1;
-      emit st (Event.Call { tid; routine });
+      emit_arg st Batch.tag_call tid routine;
       continue_with (k ())
     | Leave k ->
       if th.depth <= 0 then fail "thread %d: return without call" tid;
       th.depth <- th.depth - 1;
-      emit st (Event.Return { tid });
+      emit_plain st Batch.tag_return tid;
       continue_with (k ())
     | Alloc (n, k) ->
       if n <= 0 then fail "alloc of %d cells" n;
@@ -210,14 +229,14 @@ let step st th =
          done);
       st.allocated <- st.allocated + n;
       if st.allocated > st.high_water then st.high_water <- st.allocated;
-      emit st (Event.Alloc { tid; addr = base; len = n });
+      emit_range st Batch.tag_alloc tid ~addr:base ~len:n;
       continue_with (k base)
     | Dealloc (addr, n, k) ->
       if n <= 0 then fail "dealloc of %d cells" n;
       st.allocated <- st.allocated - n;
       if st.cfg.reuse_freed_memory then
         st.free_list <- (addr, n) :: st.free_list;
-      emit st (Event.Free { tid; addr; len = n });
+      emit_range st Batch.tag_free tid ~addr ~len:n;
       continue_with (k ())
     | Sem_create (n, k) ->
       if n < 0 then fail "semaphore with negative count";
@@ -231,7 +250,7 @@ let step st th =
       | Some sem ->
         if sem.count > 0 then begin
           sem.count <- sem.count - 1;
-          emit st (Event.Acquire { tid; lock = id });
+          emit_arg st Batch.tag_acquire tid id;
           continue_with (k ())
         end
         else begin
@@ -245,7 +264,7 @@ let step st th =
       | Some sem ->
         if sem.count > 0 then begin
           sem.count <- sem.count - 1;
-          emit st (Event.Acquire { tid; lock = id });
+          emit_arg st Batch.tag_acquire tid id;
           continue_with (k true)
         end
         else continue_with (k false))
@@ -254,11 +273,11 @@ let step st th =
       match Hashtbl.find_opt st.sems id with
       | None -> fail "post on unknown semaphore %d" id
       | Some sem ->
-        emit st (Event.Release { tid; lock = id });
+        emit_arg st Batch.tag_release tid id;
         (if Queue.is_empty sem.sem_waiters then sem.count <- sem.count + 1
          else begin
            let wtid, wk = Queue.pop sem.sem_waiters in
-           emit st (Event.Acquire { tid = wtid; lock = id });
+           emit_arg st Batch.tag_acquire wtid id;
            make_runnable st wtid wk
          end);
         continue_with (k ()))
@@ -274,17 +293,17 @@ let step st th =
       | None -> fail "wait on unknown barrier %d" id
       | Some bar ->
         (* Arrival publishes; departure observes every arrival. *)
-        emit st (Event.Release { tid; lock = bar.bar_sync });
+        emit_arg st Batch.tag_release tid bar.bar_sync;
         if bar.arrived + 1 < bar.parties then begin
           bar.arrived <- bar.arrived + 1;
           bar.bar_waiters <- (tid, k) :: bar.bar_waiters;
           park ()
         end
         else begin
-          emit st (Event.Acquire { tid; lock = bar.bar_sync });
+          emit_arg st Batch.tag_acquire tid bar.bar_sync;
           List.iter
             (fun (wtid, wk) ->
-              emit st (Event.Acquire { tid = wtid; lock = bar.bar_sync });
+              emit_arg st Batch.tag_acquire wtid bar.bar_sync;
               make_runnable st wtid wk)
             (List.rev bar.bar_waiters);
           bar.arrived <- 0;
@@ -294,13 +313,13 @@ let step st th =
     | Spawn (body, k) ->
       let child = new_thread st body in
       (* Parent's prior work happens-before the child's first step. *)
-      emit st (Event.Release { tid; lock = child.exit_sync });
-      emit st (Event.Acquire { tid = child.tid; lock = child.exit_sync });
+      emit_arg st Batch.tag_release tid child.exit_sync;
+      emit_arg st Batch.tag_acquire child.tid child.exit_sync;
       continue_with (k child.tid)
     | Join (target, k) ->
       let tgt = thread st target in
       if tgt.exited then begin
-        emit st (Event.Acquire { tid; lock = tgt.exit_sync });
+        emit_arg st Batch.tag_acquire tid tgt.exit_sync;
         continue_with (k ())
       end
       else begin
@@ -327,7 +346,7 @@ let step st th =
         let data = Device.read dev len in
         let got = Array.length data in
         Array.iteri (fun i v -> mem_write st (buf + i) v) data;
-        if got > 0 then emit st (Event.Kernel_to_user { tid; addr = buf; len = got });
+        if got > 0 then emit_range st Batch.tag_kernel_to_user tid ~addr:buf ~len:got;
         continue_with (k got))
     | Sys_pread (fd, buf, len, pos, k) -> (
       if len < 0 || pos < 0 then fail "sys_pread: negative argument";
@@ -337,7 +356,7 @@ let step st th =
         let data = Device.read_at dev ~pos len in
         let got = Array.length data in
         Array.iteri (fun i v -> mem_write st (buf + i) v) data;
-        if got > 0 then emit st (Event.Kernel_to_user { tid; addr = buf; len = got });
+        if got > 0 then emit_range st Batch.tag_kernel_to_user tid ~addr:buf ~len:got;
         continue_with (k got))
     | Sys_write (fd, buf, len, k) -> (
       if len < 0 then fail "sys_write: negative length";
@@ -345,7 +364,7 @@ let step st th =
       | None -> fail "sys_write: bad fd %d" fd
       | Some dev ->
         let data = Array.init len (fun i -> mem_read st (buf + i)) in
-        if len > 0 then emit st (Event.User_to_kernel { tid; addr = buf; len });
+        if len > 0 then emit_range st Batch.tag_user_to_kernel tid ~addr:buf ~len;
         let _accepted = Device.write dev data in
         continue_with (k len))
     | Sys_close (fd, k) ->
@@ -387,7 +406,7 @@ let run_loop st =
     | None -> () (* woken and re-parked stale entry: skip *)
     | Some _ ->
       if st.current <> tid then begin
-        emit st (Event.Switch_thread { tid });
+        emit_plain st Batch.tag_switch_thread tid;
         st.current <- tid
       end;
       let slice = Scheduler.slice st.sched in
@@ -401,11 +420,12 @@ let run_loop st =
       if th.prog <> None && not th.exited then Vec.push st.ready tid
   done
 
-let setup config sink =
+let setup config flush =
   let rng = Rng.create config.seed in
   {
     cfg = config;
-    sink;
+    batch = Batch.create ();
+    flush;
     routines = Routine_table.create ();
     rng;
     sched = Scheduler.create config.scheduler (Rng.split rng);
@@ -427,27 +447,35 @@ let setup config sink =
     current = -1;
   }
 
-(* [make_sink] receives the (initially empty) routine intern table before
-   the first event fires, so an online tool can resolve routine ids to
-   names while the workload executes: the interpreter interns a name
-   before emitting the corresponding [Call]. *)
-let run_internal config threads make_sink =
+(* [make_flush] receives the (initially empty) routine intern table
+   before the first event fires, so an online tool can resolve routine
+   ids to names while the workload executes: the interpreter interns a
+   name before emitting the corresponding [Call]. *)
+let run_internal config threads make_flush =
   if threads = [] then invalid_arg "Interp.run: no threads";
-  let sink = ref (fun (_ : Event.t) -> ()) in
-  let st = setup config (fun ev -> !sink ev) in
-  sink := make_sink st.routines;
+  let flush = ref (fun (_ : Batch.t) -> ()) in
+  let st = setup config (fun b -> !flush b) in
+  flush := make_flush st.routines;
   List.iter (fun body -> ignore (new_thread st (Program.to_prog body))) threads;
   run_loop st;
+  emit_flush st;
   { trace = Vec.create (); routines = st.routines;
     threads_spawned = Vec.length st.threads;
     memory_high_water = st.high_water; events_emitted = st.events }
 
+let run_batched config threads ~tool = run_internal config threads tool
+
 let run config threads =
   let trace = Vec.create () in
-  let result = run_internal config threads (fun _ ev -> Vec.push trace ev) in
+  let result =
+    run_internal config threads (fun _ b -> Batch.iter_events (Vec.push trace) b)
+  in
   { result with trace }
 
 let run_to_sink config threads ~sink =
-  run_internal config threads (fun _ -> sink)
+  run_internal config threads (fun _ b -> Batch.iter_events sink b)
 
-let run_instrumented config threads ~tool = run_internal config threads tool
+let run_instrumented config threads ~tool =
+  run_internal config threads (fun routines ->
+      let f = tool routines in
+      fun b -> Batch.iter_events f b)

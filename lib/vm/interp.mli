@@ -57,3 +57,16 @@ val run_instrumented :
   unit Program.t list ->
   tool:(Aprof_trace.Routine_table.t -> Aprof_trace.Event.t -> unit) ->
   result
+
+(** [run_batched config threads ~tool] is the hot-path variant of
+    {!run_instrumented}: the interpreter packs events straight into a
+    recycled {!Aprof_trace.Event.Batch.t} — no [Event.t] is ever
+    constructed — and hands it to the callback when full, plus once more
+    (partially filled) at the end of the run.  The callback must not
+    retain the batch: it is cleared and reused after each call.  The
+    per-event entry points above are thin wrappers over this one. *)
+val run_batched :
+  config ->
+  unit Program.t list ->
+  tool:(Aprof_trace.Routine_table.t -> Aprof_trace.Event.Batch.t -> unit) ->
+  result

@@ -44,3 +44,12 @@ let run_spec_instrumented ?scheduler ?max_events spec ~threads ~scale ~seed
     ~tool =
   run_instrumented ?scheduler ?max_events (spec.make ~threads ~scale ~seed)
     ~seed ~tool
+
+let run_batched ?scheduler ?max_events w ~seed ~tool =
+  Aprof_vm.Interp.run_batched
+    (config_of ?scheduler ?max_events w ~seed)
+    w.programs ~tool
+
+let run_spec_batched ?scheduler ?max_events spec ~threads ~scale ~seed ~tool =
+  run_batched ?scheduler ?max_events (spec.make ~threads ~scale ~seed) ~seed
+    ~tool

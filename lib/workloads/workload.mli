@@ -65,3 +65,27 @@ val run_spec_instrumented :
   tool:
     (Aprof_trace.Routine_table.t -> Aprof_trace.Event.t -> unit) ->
   Aprof_vm.Interp.result
+
+(** [run_batched w ~seed ~tool] is {!run_instrumented} through the
+    interpreter's packed hot path ({!Aprof_vm.Interp.run_batched}): the
+    tool callback receives recycled event batches instead of events. *)
+val run_batched :
+  ?scheduler:Aprof_vm.Scheduler.policy ->
+  ?max_events:int ->
+  t ->
+  seed:int ->
+  tool:
+    (Aprof_trace.Routine_table.t -> Aprof_trace.Event.Batch.t -> unit) ->
+  Aprof_vm.Interp.result
+
+(** [run_spec_batched] builds and runs batched in one step. *)
+val run_spec_batched :
+  ?scheduler:Aprof_vm.Scheduler.policy ->
+  ?max_events:int ->
+  spec ->
+  threads:int ->
+  scale:int ->
+  seed:int ->
+  tool:
+    (Aprof_trace.Routine_table.t -> Aprof_trace.Event.Batch.t -> unit) ->
+  Aprof_vm.Interp.result

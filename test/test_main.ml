@@ -6,6 +6,7 @@ let () =
       ("trace", Test_trace.suite);
       ("stream", Test_stream.suite);
       ("codec", Test_codec.suite);
+      ("batch", Test_batch.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("differential", Test_differential.suite);
       ("vm-differential", Test_vm_differential.suite);

@@ -84,6 +84,45 @@ let text_channel_source () =
   Sys.remove file;
   Alcotest.(check bool) "malformed line raises Decode_error" true raises
 
+(* [connect]/[connect_batches] guarantee the sink is closed exactly once
+   even when the source raises mid-stream — a binary writer's end marker
+   must be flushed before the exception propagates. *)
+let connect_closes_on_raise () =
+  let exception Boom in
+  let raising_source () =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      if !n > 2 then raise Boom else Some (Event.Switch_thread { tid = 0 })
+  in
+  let closed = ref 0 in
+  let sink =
+    { Stream.emit = ignore; close = (fun () -> incr closed) }
+  in
+  (match Stream.connect (raising_source ()) sink with
+  | _ -> Alcotest.fail "expected the source's exception to propagate"
+  | exception Boom -> ());
+  Alcotest.(check int) "event sink closed exactly once" 1 !closed;
+  let raising_batches () =
+    let n = ref 0 in
+    let b = Event.Batch.create ~capacity:1 () in
+    Event.Batch.push b (Event.Switch_thread { tid = 0 });
+    fun () ->
+      incr n;
+      if !n > 2 then raise Boom else Some b
+  in
+  let closed_b = ref 0 in
+  let bsink =
+    {
+      Stream.emit_batch = (fun (_ : Event.Batch.t) -> ());
+      close_batch = (fun () -> incr closed_b);
+    }
+  in
+  (match Stream.connect_batches (raising_batches ()) bsink with
+  | _ -> Alcotest.fail "expected the source's exception to propagate"
+  | exception Boom -> ());
+  Alcotest.(check int) "batch sink closed exactly once" 1 !closed_b
+
 (* --- streaming = materialized, on every registered workload ----------- *)
 
 let small_scale spec =
@@ -125,6 +164,8 @@ let streaming_equals_materialized spec () =
 let suite =
   Alcotest.test_case "stream combinators" `Quick combinators
   :: Alcotest.test_case "text channel source" `Quick text_channel_source
+  :: Alcotest.test_case "connect closes sink on raise" `Quick
+       connect_closes_on_raise
   :: List.map
        (fun spec ->
          Alcotest.test_case
