@@ -1,0 +1,123 @@
+(* Parallel replay scaling: aggregate events/second of the sharded
+   replay engine at 1..4 workers, per mergeable tool.
+
+   A blackscholes trace is recorded once (binary, with the shard
+   index), then each thread-shardable tool replays it through
+   [Tool.replay_parallel] at increasing job counts; each worker opens
+   its own channel and visits only the chunks the index marks as
+   relevant to it.  Wall-clock time is the denominator — CPU time would
+   erase the parallelism being measured.  The host's core count is
+   recorded in every row: on a single-core machine the curve is flat
+   (the engine can only interleave), so the speedup column is only
+   meaningful when [cores] exceeds the job count. *)
+
+module Workload = Aprof_workloads.Workload
+module Registry = Aprof_workloads.Registry
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+module Tool = Aprof_tools.Tool
+module Harness = Aprof_tools.Harness
+module Par = Aprof_util.Par
+module Vec = Aprof_util.Vec
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let max_jobs = 4
+
+let run ~quick ppf =
+  Exp_common.section ppf "parallel: sharded replay scaling";
+  let target = if quick then 150_000 else 3_000_000 in
+  let spec =
+    match Registry.find "blackscholes" with
+    | Some s -> s
+    | None -> failwith "blackscholes workload missing"
+  in
+  let rec grow scale =
+    let result = Workload.run_spec spec ~threads:4 ~scale ~seed:42 in
+    if Vec.length result.Aprof_vm.Interp.trace >= target || scale > 8_000_000
+    then result
+    else grow (scale * 2)
+  in
+  let result = grow (target / 8) in
+  let trace = result.Aprof_vm.Interp.trace in
+  let routines = result.Aprof_vm.Interp.routines in
+  let cores = Par.available_parallelism () in
+  Format.fprintf ppf "trace: %d events, %d cores available@." (Vec.length trace)
+    cores;
+  let path = Filename.temp_file "aprof_parallel" ".atrc" in
+  Out_channel.with_open_bin path (fun oc ->
+      let sink =
+        Codec.batch_writer
+          ~routine_name:(Aprof_trace.Routine_table.name routines)
+          oc
+      in
+      let batches = Stream.batches_of_trace trace in
+      let rec loop () =
+        match batches () with
+        | None -> ()
+        | Some b ->
+          sink.Stream.emit_batch b;
+          loop ()
+      in
+      loop ();
+      sink.Stream.close_batch ());
+  let reps = if quick then 1 else 3 in
+  let replay_at (module M : Tool.S) jobs =
+    let pool = Par.create ~jobs () in
+    let one () =
+      let channels = Array.make jobs None in
+      let open_source ~worker =
+        let ic = In_channel.open_bin path in
+        channels.(worker) <- Some ic;
+        match Codec.shards ~path ic with
+        | Some shs when jobs > 1 ->
+          let select (sh : Codec.shard) =
+            sh.Codec.tag_mask land M.broadcast <> 0
+            || Array.exists (fun tid -> tid mod jobs = worker) sh.Codec.tids
+          in
+          snd (Codec.sharded_reader ~path ic shs ~select)
+        | _ ->
+          In_channel.seek ic 0L;
+          snd (Codec.batch_reader ic)
+      in
+      let seconds, (_, events) =
+        wall (fun () -> Tool.replay_parallel ~pool ~jobs ~open_source (module M))
+      in
+      Array.iter (Option.iter In_channel.close) channels;
+      (seconds, events)
+    in
+    (* Best of [reps]: replay times are short enough to jitter. *)
+    let best = ref (one ()) in
+    for _ = 2 to reps do
+      let r = one () in
+      if fst r < fst !best then best := r
+    done;
+    !best
+  in
+  List.iter
+    (fun (Harness.Mergeable (module M)) ->
+      let base = ref 0. in
+      for jobs = 1 to max_jobs do
+        let seconds, events = replay_at (module M) jobs in
+        if jobs = 1 then base := seconds;
+        let mev = float_of_int events /. seconds /. 1e6 in
+        let speedup = !base /. seconds in
+        Format.fprintf ppf
+          "  %-10s jobs=%d  %8d events  %.3fs  %6.2fM ev/s  speedup %.2fx@."
+          M.name jobs events seconds mev speedup;
+        Exp_common.emit_row ~experiment:"parallel"
+          [
+            ("tool", Exp_common.String M.name);
+            ("jobs", Exp_common.Int jobs);
+            ("cores", Exp_common.Int cores);
+            ("events", Exp_common.Int events);
+            ("seconds", Exp_common.Float seconds);
+            ("mev_per_s", Exp_common.Float mev);
+            ("speedup_vs_j1", Exp_common.Float speedup);
+          ]
+      done)
+    (Harness.standard_mergeable ());
+  Sys.remove path

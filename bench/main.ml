@@ -20,6 +20,7 @@ let experiments quick :
     ("sched", "scheduler sensitivity", Exp_sched.run);
     ("codec", "binary vs text trace pipeline", Exp_codec.run ~quick);
     ("replay", "batched vs per-event replay hot path", Exp_replay.run ~quick);
+    ("parallel", "sharded parallel replay scaling", Exp_parallel.run ~quick);
     ("comm", "communication characterization (future-work direction)", Exp_comm.run);
     ("ablation", "design-choice ablations", Exp_ablation.run);
     ("bechamel", "microbenchmarks", Micro.run);

@@ -336,11 +336,16 @@ let rate_line verb events seconds =
   Printf.eprintf "%s %d events in %.2f s (%.2fM events/s)\n" verb events
     seconds rate
 
+(* Wall clock, not [Sys.time]: parallel replay spreads the work over
+   domains, where process CPU time overstates elapsed time — and a rate
+   is events per elapsed second. *)
+let now () = Unix.gettimeofday ()
+
 let record_cmd =
   let run name threads scale seed scheduler output format =
     let spec = find_spec name in
     let w = spec.Aprof_workloads.Workload.make ~threads ~scale ~seed in
-    let t0 = Sys.time () in
+    let t0 = now () in
     let events, bytes =
       try
         Out_channel.with_open_bin output (fun oc ->
@@ -387,7 +392,7 @@ let record_cmd =
     Printf.printf "recorded %d events (%Ld bytes, %s) to %s\n" events bytes
       (match format with `Binary -> "binary" | `Text -> "text")
       output;
-    rate_line "recorded" events (Sys.time () -. t0)
+    rate_line "recorded" events (now () -. t0)
   in
   let output_term =
     let doc = "Trace file to write." in
@@ -411,26 +416,32 @@ let record_cmd =
       $ scheduler_term $ output_term $ format_term)
 
 let replay_cmd =
-  let run path profiler with_tools =
+  let run paths profiler with_tools jobs =
     (* Streams are single-use: every consumer re-opens the file and decodes
        incrementally, so replay memory stays bounded by the I/O chunk.
        Binary traces decode and dispatch a packed batch at a time — the
        allocation-free path; the text format goes through the per-event
-       decoder lifted into batches. *)
-    let with_batches f =
-      In_channel.with_open_bin path (fun ic ->
-          match Codec.detect ic with
-          | `Binary ->
-            let names, batches = Codec.batch_reader ic in
-            let name id =
-              match Hashtbl.find_opt names id with
-              | Some n -> n
-              | None -> Printf.sprintf "routine_%d" id
-            in
-            f ~name batches
-          | `Text ->
-            f ~name:(Printf.sprintf "routine_%d")
-              (Stream.batches_of_events (Stream.of_text_channel ic)))
+       decoder lifted into batches.
+
+       With [-j N], thread-shardable analyses replay in parallel: each
+       worker opens its own channel, uses the shard index (when the file
+       carries one) to visit only the chunks holding its threads' events
+       or the tool's broadcast events, and the partial states merge at
+       the join.  Globally-ordered analyses (drms, naive, helgrind) keep
+       a sequential replay per trace; several trace files parallelize
+       across files instead, merging the resulting profiles. *)
+    if jobs < 1 then begin
+      Printf.eprintf "invalid job count %d\n" jobs;
+      exit 2
+    end;
+    let pool = Aprof_util.Par.create ~jobs () in
+    (* The file being decoded when an error surfaces. *)
+    let current = ref (List.hd paths) in
+    let sequential_batches ic =
+      match Codec.detect ic with
+      | `Binary -> Codec.batch_reader ic
+      | `Text ->
+        (Hashtbl.create 1, Stream.batches_of_events (Stream.of_text_channel ic))
     in
     let drain batches on_batch =
       let rec loop n =
@@ -442,10 +453,53 @@ let replay_cmd =
       in
       loop 0
     in
-    try
-      with_batches (fun ~name batches ->
-          let t0 = Sys.time () in
-          let events, profile =
+    let union_names tables =
+      let out = Hashtbl.create 64 in
+      List.iter (Hashtbl.iter (fun k v -> Hashtbl.replace out k v)) tables;
+      out
+    in
+    let name_of names id =
+      match Hashtbl.find_opt names id with
+      | Some n -> n
+      | None -> Printf.sprintf "routine_%d" id
+    in
+    (* Worker-private source over [path] for a tool whose broadcast mask
+       is [broadcast]: skip whole chunks via the index when there is
+       one, else decode the full stream (the event-level shard filter in
+       {!Aprof_tools.Tool.replay_parallel} stays authoritative either
+       way).  Slot [worker] of [channels]/[name_tbls] records what this
+       worker opened — arrays, not a shared list, because workers run
+       concurrently. *)
+    let open_shard_source ~path ~broadcast ~channels ~name_tbls ~worker =
+      let ic = In_channel.open_bin path in
+      channels.(worker) <- Some ic;
+      match Codec.detect ic with
+      | `Text -> Stream.batches_of_events (Stream.of_text_channel ic)
+      | `Binary -> (
+        match Codec.shards ~path ic with
+        | Some shs when jobs > 1 ->
+          let select (sh : Codec.shard) =
+            sh.Codec.tag_mask land broadcast <> 0
+            || Array.exists (fun tid -> tid mod jobs = worker) sh.Codec.tids
+          in
+          let names, src = Codec.sharded_reader ~path ic shs ~select in
+          name_tbls.(worker) <- Some names;
+          src
+        | _ ->
+          In_channel.seek ic 0L;
+          let names, src = Codec.batch_reader ic in
+          name_tbls.(worker) <- Some names;
+          src)
+    in
+    let close_slots channels =
+      Array.iter (Option.iter In_channel.close) channels
+    in
+    (* One trace file through one fresh profiler instance, sequentially. *)
+    let sequential_profile path =
+      current := path;
+      In_channel.with_open_bin path (fun ic ->
+          let names, batches = sequential_batches ic in
+          let n, profile =
             match profiler with
             | `Drms ->
               let p = Aprof_core.Drms_profiler.create () in
@@ -460,38 +514,125 @@ let replay_cmd =
               let n = ref 0 in
               Aprof_core.Naive_drms.run_stream p
                 (Stream.map
-                   (fun ev -> incr n; ev)
+                   (fun ev ->
+                     incr n;
+                     ev)
                    (Stream.events_of_batches batches));
               (!n, Aprof_core.Naive_drms.finish p)
           in
-          let dt = Sys.time () -. t0 in
-          print_string
-            (Aprof_core.Profile_io.render_report ~routine_name:name profile);
-          rate_line "replayed" events dt);
-      if with_tools then
+          (n, profile, names))
+    in
+    (* The rms profiler thread-shards (see DESIGN.md); one file, [jobs]
+       workers. *)
+    let parallel_rms path =
+      current := path;
+      let module M = Aprof_tools.Aprof_adapters.Rms_mergeable in
+      let channels = Array.make jobs None in
+      let name_tbls = Array.make jobs None in
+      let open_source ~worker =
+        open_shard_source ~path ~broadcast:M.broadcast ~channels ~name_tbls
+          ~worker
+      in
+      let p, n =
+        Aprof_tools.Tool.replay_parallel ~pool ~jobs ~open_source (module M)
+      in
+      close_slots channels;
+      let names =
+        union_names (List.filter_map Fun.id (Array.to_list name_tbls))
+      in
+      (n, Aprof_core.Rms_profiler.finish p, names)
+    in
+    try
+      let t0 = now () in
+      let events, profile, names =
+        match paths with
+        | [ path ] ->
+          if jobs > 1 && profiler <> `Rms then
+            Printf.eprintf
+              "note: this profiler needs the global event order; replaying %s \
+               sequentially (use --profiler rms or several trace files for \
+               parallel replay)\n"
+              path;
+          if jobs > 1 && profiler = `Rms then parallel_rms path
+          else sequential_profile path
+        | paths ->
+          (* Several traces: one worker per file, merge the profiles. *)
+          let files = Array.of_list paths in
+          let out = Array.make (Array.length files) None in
+          Aprof_util.Par.run pool
+            (Array.mapi
+               (fun i path () -> out.(i) <- Some (sequential_profile path))
+               files);
+          let parts = List.filter_map Fun.id (Array.to_list out) in
+          let events = List.fold_left (fun a (n, _, _) -> a + n) 0 parts in
+          let profile = Aprof_core.Profile.create () in
+          List.iter
+            (fun (_, p, _) -> Aprof_core.Profile.merge_into ~into:profile p)
+            parts;
+          (events, profile, union_names (List.map (fun (_, _, t) -> t) parts))
+      in
+      let dt = now () -. t0 in
+      print_string
+        (Aprof_core.Profile_io.render_report ~routine_name:(name_of names)
+           profile);
+      rate_line "replayed" events dt;
+      if with_tools then begin
+        let mergeables = Aprof_tools.Harness.standard_mergeable () in
+        let find_mergeable name =
+          List.find_opt
+            (fun (Aprof_tools.Harness.Mergeable (module M)) -> M.name = name)
+            mergeables
+        in
         List.iter
-          (fun f ->
-            with_batches (fun ~name:_ batches ->
-                let tool = f.Aprof_tools.Tool.create () in
-                let t0 = Sys.time () in
-                let n = Aprof_tools.Tool.replay_batches tool batches in
-                let dt = Sys.time () -. t0 in
-                Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ());
-                rate_line "replayed" n dt))
-          (Aprof_tools.Harness.standard_factories ())
+          (fun path ->
+            current := path;
+            List.iter
+              (fun f ->
+                let tool_name = f.Aprof_tools.Tool.tool_name in
+                match if jobs > 1 then find_mergeable tool_name else None with
+                | Some (Aprof_tools.Harness.Mergeable (module M)) ->
+                  let channels = Array.make jobs None in
+                  let name_tbls = Array.make jobs None in
+                  let open_source ~worker =
+                    open_shard_source ~path ~broadcast:M.broadcast ~channels
+                      ~name_tbls ~worker
+                  in
+                  let t0 = now () in
+                  let st, n =
+                    Aprof_tools.Tool.replay_parallel ~pool ~jobs ~open_source
+                      (module M)
+                  in
+                  let dt = now () -. t0 in
+                  close_slots channels;
+                  let tool = M.tool st in
+                  Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ());
+                  rate_line "replayed" n dt
+                | None ->
+                  In_channel.with_open_bin path (fun ic ->
+                      let _, batches = sequential_batches ic in
+                      let tool = f.Aprof_tools.Tool.create () in
+                      let t0 = now () in
+                      let n = Aprof_tools.Tool.replay_batches tool batches in
+                      let dt = now () -. t0 in
+                      Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ());
+                      rate_line "replayed" n dt))
+              (Aprof_tools.Harness.standard_factories ()))
+          paths
+      end
     with
     | Stream.Decode_error msg | Sys_error msg ->
-      Printf.eprintf "cannot replay %s: %s\n" path msg;
+      Printf.eprintf "cannot replay %s: %s\n" !current msg;
       exit 2
   in
-  let path_arg =
+  let paths_arg =
     Arg.(
-      required
-      & pos 0 (some string) None
+      non_empty & pos_all string []
       & info [] ~docv:"FILE"
           ~doc:
-            "Trace file written by $(b,aprof record) (binary or text; the \
-             format is auto-detected).")
+            "Trace file(s) written by $(b,aprof record) (binary or text; the \
+             format is auto-detected).  With several files, each replays \
+             through its own profiler instance in parallel and the profiles \
+             are merged.")
   in
   let profiler_term =
     let doc =
@@ -506,10 +647,79 @@ let replay_cmd =
     let doc = "Additionally replay the trace through every standard tool." in
     Arg.(value & flag & info [ "tools" ] ~doc)
   in
+  let jobs_term =
+    let doc =
+      "Replay with $(docv) parallel workers.  Thread-shardable analyses \
+       (rms, nulgrind, memcheck, callgrind) partition the trace by thread \
+       id; globally-ordered ones replay sequentially per trace."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Stream a recorded trace file through a profiler (and tools)")
-    Term.(const run $ path_arg $ profiler_term $ tools_term)
+       ~doc:"Stream recorded trace file(s) through a profiler (and tools)")
+    Term.(const run $ paths_arg $ profiler_term $ tools_term $ jobs_term)
+
+(* ----- merge ----------------------------------------------------------- *)
+
+let merge_cmd =
+  let run output inputs =
+    let profile = Aprof_core.Profile.create () in
+    let names = ref [] in
+    (try
+       List.iter
+         (fun path ->
+           match In_channel.with_open_text path Aprof_core.Profile_io.load with
+           | Error e ->
+             Printf.eprintf "cannot load %s: %s\n" path e;
+             exit 2
+           | Ok (p, ns) ->
+             Aprof_core.Profile.merge_into ~into:profile p;
+             List.iter
+               (fun (id, n) ->
+                 if not (List.mem_assoc id !names) then
+                   names := (id, n) :: !names)
+               ns)
+         inputs
+     with Sys_error msg ->
+       Printf.eprintf "cannot merge: %s\n" msg;
+       exit 2);
+    let routine_name id =
+      match List.assoc_opt id !names with
+      | Some n -> n
+      | None -> Printf.sprintf "routine_%d" id
+    in
+    match output with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Aprof_core.Profile_io.save oc ~routine_name profile);
+      Printf.printf "merged %d profiles into %s\n" (List.length inputs) path
+    | None ->
+      print_string
+        (Aprof_core.Profile_io.render_report ~routine_name profile)
+  in
+  let inputs_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Profile CSVs written by $(b,aprof run -o) or $(b,aprof merge \
+             -o).  The dumps must share a routine-id universe — i.e. come \
+             from runs or shards of the same workload.")
+  in
+  let output_term =
+    let doc =
+      "Write the merged profile as CSV to $(docv); without it, render the \
+       merged report."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Merge saved profiles (shards of one trace, or runs over several \
+          traces) into one")
+    Term.(const run $ output_term $ inputs_arg)
 
 (* ----- trace ----------------------------------------------------------- *)
 
@@ -542,6 +752,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; report_cmd; record_cmd; replay_cmd; plot_cmd;
-            fit_cmd; tools_cmd; overhead_cmd; comm_cmd; contexts_cmd;
-            trace_cmd ]))
+          [ list_cmd; run_cmd; report_cmd; record_cmd; replay_cmd; merge_cmd;
+            plot_cmd; fit_cmd; tools_cmd; overhead_cmd; comm_cmd;
+            contexts_cmd; trace_cmd ]))

@@ -438,6 +438,8 @@ let finish t =
   end;
   t.profile
 
+let merge_into ~into src = Profile.merge_into ~into:(finish into) (finish src)
+
 let renumber_count t = t.renumberings
 
 let context_results t = t.contexts

@@ -85,6 +85,15 @@ val finish : t -> Profile.t
     only), without collecting pending ones. *)
 val profile : t -> Profile.t
 
+(** [merge_into ~into src] finishes both profilers and merges [src]'s
+    profile into [into]'s ({!Profile.merge_into}).  Sound for combining
+    profiles of *separate traces* (different runs, or one trace per
+    worker): the drms of one trace depends on the global write-timestamp
+    order of that whole trace, so a single trace cannot be split between
+    two drms profilers — parallelize across traces and tools instead
+    (see DESIGN.md). *)
+val merge_into : into:t -> t -> unit
+
 (** [renumber_count t] is the number of timestamp renumberings performed
     (for tests and the overhead report). *)
 val renumber_count : t -> int

@@ -191,6 +191,8 @@ let finish t =
   end;
   t.profile
 
+let merge_into ~into src = Profile.merge_into ~into:(finish into) (finish src)
+
 let current_drms t ~tid =
   match Hashtbl.find_opt t.threads tid with
   | None -> []

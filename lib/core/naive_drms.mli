@@ -28,6 +28,11 @@ val finish : t -> Profile.t
 
 val profile : t -> Profile.t
 
+(** [merge_into ~into src] finishes both profilers and merges [src]'s
+    profile into [into]'s; the same per-trace soundness caveat as
+    {!Drms_profiler.merge_into} applies. *)
+val merge_into : into:t -> t -> unit
+
 (** [current_drms t ~tid] mirrors {!Drms_profiler.current_drms}: the drms
     of each pending activation of [tid], bottom first. *)
 val current_drms : t -> tid:int -> int list

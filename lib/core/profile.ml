@@ -255,6 +255,23 @@ let merge_accs target src =
   target.ind_thread <- target.ind_thread + src.ind_thread;
   target.ind_external <- target.ind_external + src.ind_external
 
+(* Cells and fit points are associative aggregates by construction
+   (counts and sums add, maxes max), so combining two profiles is a
+   cell-wise [merge_accs]: the result is what one profiler would have
+   produced had it seen both event sets.  The destination's one-entry
+   caches stay valid — [merge_accs] mutates live table entries in
+   place and never replaces them. *)
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun _ s -> merge_accs (cell into ~tid:s.k_tid ~routine:s.k_routine) s)
+    src.cells
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
 let merge_threads t =
   let merged : (int, cell) Hashtbl.t = Hashtbl.create 32 in
   Hashtbl.iter

@@ -82,6 +82,24 @@ val data : t -> key -> routine_data option
 (** [routines t] lists the distinct routine ids with data. *)
 val routines : t -> int list
 
+(** {2 Merging partial profiles}
+
+    Profiles form a commutative monoid under {!merge} with {!create} as
+    identity: every per-cell aggregate is a count, a sum, or an extremum,
+    and points with equal input sizes combine exactly as
+    {!record_activation} would have accumulated them in one pass.  This
+    is what lets partial profiles from trace shards, parallel replay
+    workers, or separate runs compose into the profile a single
+    sequential pass would have produced.  (Float sums are associative
+    only up to rounding, as in any summation order change.) *)
+
+(** [merge_into ~into src] folds every cell of [src] into [into];
+    [src] is not modified. *)
+val merge_into : into:t -> t -> unit
+
+(** [merge a b] is a fresh profile holding the combined data. *)
+val merge : t -> t -> t
+
 (** [merge_threads t] folds the thread dimension away: one [routine_data]
     per routine, where points with equal input sizes are combined
     (max of maxes, sum of calls, ...). *)

@@ -1,7 +1,17 @@
 let metric_name = function `Drms -> "drms" | `Rms -> "rms"
 
+(* Version history:
+   1 — the original unversioned dump (agg/ops/point/routine records, no
+       header); still accepted on load.
+   2 — identical records, prefixed by an explicit [format,2] header so
+       readers (and [aprof merge], which combines dumps from different
+       runs) can reject formats they do not understand instead of
+       misparsing them. *)
+let format_version = 2
+
 let save_buf buf ?routine_name (t : Profile.t) =
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "format,%d" format_version;
   let keys =
     Profile.keys t
     |> List.sort (fun a b ->
@@ -56,6 +66,15 @@ let parse_line lineno profile names line =
   in
   match String.split_on_char ',' (String.trim line) with
   | [ "" ] -> Ok ()
+  | [ "format"; v ] -> (
+    (* A dump without this header is a version-1 file; with it, the
+       version must be one this reader understands. *)
+    match int_of_string_opt v with
+    | Some v when v >= 1 && v <= format_version -> Ok ()
+    | Some v ->
+      fail "unsupported profile format version %d (expected <= %d)" v
+        format_version
+    | None -> fail "bad format version %S" v)
   | "routine" :: id :: rest -> (
     match int_of_string_opt id with
     | Some id ->

@@ -1,6 +1,9 @@
 (** Saving and loading profiles.
 
-    The format is plain CSV with two record kinds, one line each:
+    The format is plain CSV, opened by a [format,<version>] header line
+    (see {!format_version}; dumps without the header are read as the
+    original version-1 format), followed by records of two kinds, one
+    line each:
 
     - [point,<tid>,<routine>,<metric>,<input>,<calls>,<max>,<min>,<sum>,<sumsq>]
       — one performance point ([metric] is [drms] or [rms]);
@@ -11,6 +14,11 @@
     self-describing.  Loading rebuilds an equivalent {!Profile.t} (point
     aggregates are reconstructed exactly; per-activation history is not
     retained by profiles in the first place). *)
+
+(** The version written by {!save}.  Loading accepts any version up to
+    this one (and headerless version-1 dumps); newer versions are
+    rejected with an explicit error rather than misparsed. *)
+val format_version : int
 
 (** [save oc ?routine_name profile] writes the profile as CSV.
     [routine_name] adds the name table when available. *)

@@ -237,6 +237,8 @@ let finish t =
   end;
   t.profile
 
+let merge_into ~into src = Profile.merge_into ~into:(finish into) (finish src)
+
 let space_words t =
   let frame_words = 4 in
   let acc = ref 0 in

@@ -36,5 +36,12 @@ val finish : t -> Profile.t
 
 val profile : t -> Profile.t
 
+(** [merge_into ~into src] finishes both profilers (collecting pending
+    activations) and merges [src]'s profile into [into]'s, so partial
+    replays — trace shards partitioned by thread, or separate runs —
+    compose into one profile.  Afterwards {!finish}[ into] returns the
+    combined profile; neither profiler accepts further events. *)
+val merge_into : into:t -> t -> unit
+
 (** [space_words t] for the Table 1 space comparison. *)
 val space_words : t -> int

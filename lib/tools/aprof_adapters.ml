@@ -1,20 +1,36 @@
+let rms_tool p =
+  Tool.make ~name:"aprof"
+    ~on_event:(Aprof_core.Rms_profiler.on_event p)
+    ~on_batch:(Aprof_core.Rms_profiler.on_batch p)
+    ~space_words:(fun () -> Aprof_core.Rms_profiler.space_words p)
+    ~summary:(fun () ->
+      let profile = Aprof_core.Rms_profiler.finish p in
+      Printf.sprintf "aprof: %d activations over %d routines"
+        (Aprof_core.Profile.total_activations profile)
+        (List.length (Aprof_core.Profile.routines profile)))
+    ()
+
 let aprof_rms =
   {
     Tool.tool_name = "aprof";
-    create =
-      (fun () ->
-        let p = Aprof_core.Rms_profiler.create () in
-        Tool.make ~name:"aprof"
-          ~on_event:(Aprof_core.Rms_profiler.on_event p)
-          ~on_batch:(Aprof_core.Rms_profiler.on_batch p)
-          ~space_words:(fun () -> Aprof_core.Rms_profiler.space_words p)
-          ~summary:(fun () ->
-            let profile = Aprof_core.Rms_profiler.finish p in
-            Printf.sprintf "aprof: %d activations over %d routines"
-              (Aprof_core.Profile.total_activations profile)
-              (List.length (Aprof_core.Profile.routines profile)))
-          ());
+    create = (fun () -> rms_tool (Aprof_core.Rms_profiler.create ()));
   }
+
+module Rms_mergeable = struct
+  type state = Aprof_core.Rms_profiler.t
+
+  let name = "aprof"
+  let create () = Aprof_core.Rms_profiler.create ()
+  let tool = rms_tool
+  let merge = Aprof_core.Rms_profiler.merge_into
+
+  (* A free clears every thread's shadow stamps (see
+     {!Aprof_core.Rms_profiler}), so every worker must see it; all
+     other rms state is per-thread, and the global activation counter
+     only feeds order comparisons between one thread's own stamps,
+     which dropping foreign events preserves. *)
+  let broadcast = 1 lsl Aprof_trace.Event.Batch.tag_free
+end
 
 let aprof_drms =
   {

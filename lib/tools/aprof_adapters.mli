@@ -4,5 +4,11 @@
 (** The rms-only baseline profiler (the paper's [aprof] column). *)
 val aprof_rms : Tool.factory
 
+(** Thread-sharded parallel replay of the rms profiler: broadcast is
+    [Free] only (the one cross-thread rms effect).  Merging finishes
+    both profilers.  The drms profiler has no such module — its
+    write-timestamp order is global, see DESIGN.md. *)
+module Rms_mergeable : Tool.S with type state = Aprof_core.Rms_profiler.t
+
 (** The full drms profiler (the paper's [aprof-drms] column). *)
 val aprof_drms : Tool.factory

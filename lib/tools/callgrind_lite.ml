@@ -161,8 +161,32 @@ let space_words t =
   stack_words + (4 * Hashtbl.length t.by_routine)
   + (4 * Hashtbl.length t.by_edge)
 
-let tool () =
-  let t = create () in
+let merge ~into src =
+  Hashtbl.iter
+    (fun rtn (r : racc) ->
+      let d = racc into rtn in
+      d.calls <- d.calls + r.calls;
+      d.excl <- d.excl + r.excl;
+      d.incl <- d.incl + r.incl)
+    src.by_routine;
+  Hashtbl.iter
+    (fun key (e : eacc) ->
+      let d = eacc into key in
+      d.cnt <- d.cnt + e.cnt;
+      d.einc <- d.einc + e.einc)
+    src.by_edge;
+  (* Pending frames carry over only when the two halves saw disjoint
+     threads — the invariant thread-sharding guarantees. *)
+  Hashtbl.iter
+    (fun tid s ->
+      if not (Vec.is_empty s) then
+        match Hashtbl.find_opt into.stacks tid with
+        | Some s' when not (Vec.is_empty s') ->
+          invalid_arg "Callgrind_lite.merge: thread seen by both halves"
+        | _ -> Hashtbl.replace into.stacks tid s)
+    src.stacks
+
+let tool_of t =
   Tool.make ~name:"callgrind" ~on_event:(on_event t) ~on_batch:(on_batch t)
     ~space_words:(fun () -> space_words t)
     ~summary:(fun () ->
@@ -171,4 +195,19 @@ let tool () =
         (Hashtbl.length t.by_edge))
     ()
 
+let tool () = tool_of (create ())
+
 let factory = { Tool.tool_name = "callgrind"; create = tool }
+
+module Mergeable = struct
+  type state = t
+
+  let name = "callgrind"
+  let create = create
+  let tool = tool_of
+  let merge = merge
+
+  (* Calls, returns and cost charges are all keyed by the event's own
+     thread; nothing crosses threads. *)
+  let broadcast = 0
+end

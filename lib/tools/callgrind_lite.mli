@@ -32,5 +32,16 @@ val routine_costs : t -> routine_costs list
 (** [edges t] sorted by decreasing inclusive cost. *)
 val edges : t -> edge_costs list
 
+(** [merge ~into src] adds [src]'s per-routine and per-edge costs into
+    [into].  Pending (unreturned) frames transfer only for threads
+    [into] has not seen — merging halves of one thread's stack is
+    rejected, as thread-sharded replays never produce that. *)
+val merge : into:t -> t -> unit
+
+(** [tool_of t] wraps existing state; [tool ()] makes a fresh one. *)
+val tool_of : t -> Tool.t
+
 val tool : unit -> Tool.t
 val factory : Tool.factory
+
+module Mergeable : Tool.S with type state = t

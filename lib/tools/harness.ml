@@ -20,6 +20,19 @@ let standard_factories () =
     Aprof_adapters.aprof_drms;
   ]
 
+type mergeable = Mergeable : (module Tool.S with type state = 'a) -> mergeable
+
+let standard_mergeable () =
+  [
+    Mergeable (module Nulgrind.Mergeable);
+    Mergeable (module Memcheck_lite.Mergeable);
+    Mergeable (module Callgrind_lite.Mergeable);
+    Mergeable (module Aprof_adapters.Rms_mergeable);
+  ]
+
+let global_factories () =
+  [ Helgrind_lite.factory; Aprof_adapters.aprof_drms ]
+
 (* Mean CPU seconds of [f] per call, repeating until [min_time] total. *)
 let time_of ~min_time f =
   let runs = ref 0 in

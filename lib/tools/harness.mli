@@ -29,6 +29,19 @@ type measurement = {
     nulgrind, memcheck, callgrind, helgrind, aprof, aprof-drms. *)
 val standard_factories : unit -> Tool.factory list
 
+(** A packed mergeable tool, for heterogeneous lists. *)
+type mergeable = Mergeable : (module Tool.S with type state = 'a) -> mergeable
+
+(** [standard_mergeable ()] is the subset of the standard tools whose
+    analysis shards by thread (see {!Tool.S}): nulgrind, memcheck,
+    callgrind, aprof.  {!global_factories} are the rest — helgrind and
+    aprof-drms, whose analyses depend on the global event order and
+    replay sequentially (parallelize those across tools and traces
+    instead). *)
+val standard_mergeable : unit -> mergeable list
+
+val global_factories : unit -> Tool.factory list
+
 (** [measure ~trace ~program_words factories] replays [trace] through a
     fresh instance of each factory.
     @param min_time keep repeating until this much CPU time was sampled

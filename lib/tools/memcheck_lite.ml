@@ -100,8 +100,9 @@ let leaks t =
   Hashtbl.fold (fun addr len acc -> Leak { addr; len } :: acc) t.blocks []
   |> List.sort compare
 
-let tool () =
-  let t = create () in
+let merge ~into src = List.iter (report into) (errors src)
+
+let tool_of t =
   Tool.make ~name:"memcheck" ~on_event:(on_event t)
     ~space_words:(fun () ->
       Shadow.space_words t.shadow + (2 * Hashtbl.length t.blocks))
@@ -111,4 +112,25 @@ let tool () =
         (List.length (leaks t)))
     ()
 
+let tool () = tool_of (create ())
+
 let factory = { Tool.tool_name = "memcheck"; create = tool }
+
+module Mergeable = struct
+  type state = t
+
+  let name = "memcheck"
+  let create () = create ()
+  let tool = tool_of
+  let merge = merge
+
+  (* Writes, allocations, frees and kernel fills all mutate the global
+     addressability/definedness state that any thread's next access is
+     checked against, so every worker replays them; with those
+     broadcast, each worker holds the full shadow and block table, and
+     merging reduces to deduplicating the error reports. *)
+  let broadcast =
+    let module B = Aprof_trace.Event.Batch in
+    (1 lsl B.tag_write) lor (1 lsl B.tag_alloc) lor (1 lsl B.tag_free)
+    lor (1 lsl B.tag_kernel_to_user)
+end

@@ -35,5 +35,17 @@ val errors : t -> error list
 (** [leaks t] — live blocks (call after the trace ends). *)
 val leaks : t -> error list
 
+(** [merge ~into src] folds [src]'s error reports into [into],
+    deduplicating identical ones; [into]'s shadow and block tables are
+    kept.  Meaningful for thread-sharded replays of {e one} trace
+    (where {!Mergeable.broadcast} makes every worker's shadow state
+    identical), not for combining runs over different traces. *)
+val merge : into:t -> t -> unit
+
+(** [tool_of t] wraps existing state; [tool ()] makes a fresh one. *)
+val tool_of : t -> Tool.t
+
 val tool : unit -> Tool.t
 val factory : Tool.factory
+
+module Mergeable : Tool.S with type state = t

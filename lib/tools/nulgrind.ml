@@ -8,11 +8,27 @@ let on_batch t b = t.events <- t.events + Aprof_trace.Event.Batch.length b
 
 let events t = t.events
 
-let tool () =
-  let t = create () in
+let merge ~into src = into.events <- into.events + src.events
+
+let tool_of t =
   Tool.make ~name:"nulgrind" ~on_event:(on_event t) ~on_batch:(on_batch t)
     ~space_words:(fun () -> 1)
     ~summary:(fun () -> Printf.sprintf "nulgrind: %d events replayed" t.events)
     ()
 
+let tool () = tool_of (create ())
+
 let factory = { Tool.tool_name = "nulgrind"; create = tool }
+
+module Mergeable = struct
+  type state = t
+
+  let name = "nulgrind"
+  let create = create
+  let tool = tool_of
+  let merge = merge
+
+  (* No broadcast: every event must reach exactly one worker or the
+     merged count would double. *)
+  let broadcast = 0
+end

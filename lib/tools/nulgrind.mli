@@ -13,5 +13,13 @@ val on_batch : t -> Aprof_trace.Event.Batch.t -> unit
 (** [events t] is the number of events consumed. *)
 val events : t -> int
 
+(** [merge ~into src] adds [src]'s event count into [into]. *)
+val merge : into:t -> t -> unit
+
+(** [tool_of t] wraps existing state; [tool ()] makes a fresh one. *)
+val tool_of : t -> Tool.t
+
 val tool : unit -> Tool.t
 val factory : Tool.factory
+
+module Mergeable : Tool.S with type state = t

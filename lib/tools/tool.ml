@@ -36,3 +36,46 @@ let replay_batches tool (src : Stream.batch_source) =
 let sink tool = Stream.sink_of_fun tool.on_event
 
 let batch_sink tool = Stream.batch_sink_of_fun tool.on_batch
+
+(* ----- mergeable tools ------------------------------------------------- *)
+
+module type S = sig
+  type state
+
+  val name : string
+  val create : unit -> state
+  val tool : state -> t
+  val merge : into:state -> state -> unit
+  val broadcast : int
+end
+
+let shard_keep ~jobs ~worker ~broadcast =
+ fun tag tid -> tid mod jobs = worker || (broadcast lsr tag) land 1 = 1
+
+let replay_parallel (type a) ~pool ~jobs ~open_source
+    (module M : S with type state = a) =
+  if jobs < 1 then invalid_arg "Tool.replay_parallel: jobs < 1";
+  let states = Array.init jobs (fun _ -> M.create ()) in
+  let counts = Array.make jobs 0 in
+  let worker w () =
+    let tool = M.tool states.(w) in
+    let src = open_source ~worker:w in
+    let keep = shard_keep ~jobs ~worker:w ~broadcast:M.broadcast in
+    let rec loop n =
+      match src () with
+      | None -> counts.(w) <- n
+      | Some b ->
+        (* One worker keeps everything — and stays byte-for-byte the
+           sequential replay, which is what the [-j N ≡ -j 1]
+           differential suite pins. *)
+        if jobs > 1 then Event.Batch.keep_in_place keep b;
+        tool.on_batch b;
+        loop (n + Event.Batch.length b)
+    in
+    loop 0
+  in
+  Aprof_util.Par.run pool (Array.init jobs worker);
+  for w = 1 to jobs - 1 do
+    M.merge ~into:states.(0) states.(w)
+  done;
+  (states.(0), Array.fold_left ( + ) 0 counts)

@@ -54,3 +54,57 @@ val sink : t -> Aprof_trace.Trace_stream.sink
 (** [batch_sink tool] views the tool as a batch sink (close is a
     no-op). *)
 val batch_sink : t -> Aprof_trace.Trace_stream.batch_sink
+
+(** {1 Mergeable tools}
+
+    A mergeable tool exposes its state so that several instances can
+    each replay a *part* of a trace and be combined afterwards: the
+    trace is sharded by thread ([tid mod jobs] picks the owning
+    worker), every worker replays its own threads' events plus the
+    tool's broadcast events, and [merge] folds the partial states.
+
+    [merge] must be associative, with a fresh [create ()] as identity,
+    over states produced from thread-disjoint event streams — exactly
+    what the shard filter yields.  [broadcast] is the bit mask (over
+    {!Aprof_trace.Event.Batch} tags) of the events carrying cross-thread
+    effects, which every worker must observe regardless of the owning
+    thread: e.g. [Free] for the rms profiler (a free clears every
+    thread's shadow stamps), nothing at all for nulgrind (whose count
+    would otherwise double).  Globally-ordered tools (helgrind,
+    aprof-drms) cannot be sharded this way and provide no such module —
+    see DESIGN.md for the ordering argument. *)
+module type S = sig
+  type state
+
+  val name : string
+  val create : unit -> state
+
+  (** [tool st] views the state as a plain {!t} feeding [st]. *)
+  val tool : state -> t
+
+  val merge : into:state -> state -> unit
+
+  (** Tag mask of events every worker must see. *)
+  val broadcast : int
+end
+
+(** [shard_keep ~jobs ~worker ~broadcast] is the per-event filter of
+    worker [worker]: keep events of its own threads plus broadcast
+    ones. *)
+val shard_keep : jobs:int -> worker:int -> broadcast:int -> int -> int -> bool
+
+(** [replay_parallel ~pool ~jobs ~open_source (module M)] replays a
+    trace through [jobs] instances of [M], each draining its own batch
+    source from [open_source ~worker] (workers run on [pool], so the
+    source must be private to the worker — typically a separate channel
+    on the same file), filtering with {!shard_keep}, and merges the
+    partial states into the first.  Returns the merged state and the
+    total number of events delivered post-filter (broadcast events
+    count once per worker).  With [jobs = 1] this is exactly a
+    sequential {!replay_batches}. *)
+val replay_parallel :
+  pool:Aprof_util.Par.t ->
+  jobs:int ->
+  open_source:(worker:int -> Aprof_trace.Trace_stream.batch_source) ->
+  (module S with type state = 'a) ->
+  'a * int

@@ -340,6 +340,27 @@ module Batch = struct
     done;
     b.len <- !w
 
+  (* Raw twin of [filter_in_place] for the parallel replay path: the
+     predicate sees the packed tag/tid fields, so filtering a batch down
+     to one shard's threads unpacks nothing. *)
+  let keep_in_place p b =
+    let w = ref 0 in
+    for i = 0 to b.len - 1 do
+      let tag = Array.unsafe_get b.tags i in
+      let tid = Array.unsafe_get b.tids i in
+      if p tag tid then begin
+        let j = !w in
+        if j <> i then begin
+          Array.unsafe_set b.tags j tag;
+          Array.unsafe_set b.tids j tid;
+          Array.unsafe_set b.args j (Array.unsafe_get b.args i);
+          Array.unsafe_set b.lens j (Array.unsafe_get b.lens i)
+        end;
+        incr w
+      end
+    done;
+    b.len <- !w
+
   let of_trace (tr : event Aprof_util.Vec.t) =
     let n = Aprof_util.Vec.length tr in
     let b = create ~capacity:(max n 1) () in

@@ -171,6 +171,12 @@ module Batch : sig
 
   val filter_in_place : (event -> bool) -> t -> unit
 
+  (** [keep_in_place p b] compacts [b] to the events whose packed
+      [tag]/[tid] fields satisfy [p tag tid], preserving order.  The raw
+      twin of {!filter_in_place}: nothing is unpacked, so sharding a
+      batch by thread stays allocation-free. *)
+  val keep_in_place : (int -> int -> bool) -> t -> unit
+
   (** [of_trace tr] packs a whole trace into one batch sized to fit;
       [to_trace] unpacks back. *)
   val of_trace : event Aprof_util.Vec.t -> t

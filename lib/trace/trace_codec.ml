@@ -5,6 +5,13 @@ let magic = "ATRC"
 let version = 1
 let default_chunk = 64 * 1024
 
+(* The shard-index footer appended after the end-of-trace marker; see
+   the .mli for the layout.  Its own magic differs from the header's so
+   a footer can never be mistaken for the start of a trace. *)
+let index_magic = "ATRI"
+let index_version = 1
+let index_trailer_bytes = 8 + 4 (* LE64 footer offset + magic *)
+
 let bad fmt =
   Printf.ksprintf (fun s -> raise (Trace_stream.Decode_error s)) fmt
 
@@ -124,7 +131,20 @@ let step_record ~read_byte ~read_string ~define b =
   match read_byte () with
   | -1 -> bad "truncated trace (missing end-of-trace marker)"
   | tag when tag = end_tag ->
-    if read_byte () <> -1 then bad "trailing data after end-of-trace marker";
+    (match read_byte () with
+    | -1 -> ()
+    | b when b = Char.code index_magic.[0] ->
+      (* A shard-index footer may follow the marker.  Sequential readers
+         check its magic and skip the rest; the seekable path ({!shards})
+         is the one that validates and uses it. *)
+      for i = 1 to 3 do
+        if read_byte () <> Char.code index_magic.[i] then
+          bad "trailing data after end-of-trace marker"
+      done;
+      while read_byte () <> -1 do
+        ()
+      done
+    | _ -> bad "trailing data after end-of-trace marker");
     true
   | tag when tag = def_tag ->
     let id = read_varint read_byte in
@@ -204,31 +224,108 @@ let default_routine_name id = Printf.sprintf "routine_%d" id
 
 (* ----- streaming writer ----------------------------------------------- *)
 
-let batch_writer ?(chunk_bytes = default_chunk)
+(* What the writer remembers about one flushed chunk, to be serialized
+   into the footer on close. *)
+type chunk_entry = {
+  c_bytes : int;
+  c_events : int;
+  c_tag_mask : int;
+  c_tids : int array; (* distinct, ascending *)
+}
+
+let add_le64 buf n =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let add_footer buf chunks =
+  Buffer.add_string buf index_magic;
+  Buffer.add_char buf (Char.chr index_version);
+  add_varint buf (List.length chunks);
+  List.iter
+    (fun c ->
+      add_varint buf c.c_bytes;
+      add_varint buf c.c_events;
+      add_varint buf c.c_tag_mask;
+      add_varint buf (Array.length c.c_tids);
+      (* Ascending tids delta-encode into one byte each in practice. *)
+      let prev = ref 0 in
+      Array.iter
+        (fun tid ->
+          add_varint buf (tid - !prev);
+          prev := tid)
+        c.c_tids)
+    chunks
+
+let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
     ?(routine_name = default_routine_name) oc =
+  (* The header goes straight to the channel so that the buffer — and
+     therefore each recorded chunk length — holds record bytes only:
+     chunk [i]'s first byte sits at [5 + sum of earlier chunk lengths]. *)
+  output_string oc magic;
+  output_char oc (Char.chr version);
   let buf = Buffer.create (chunk_bytes + 256) in
-  Buffer.add_string buf magic;
-  Buffer.add_char buf (Char.chr version);
   let encode = encoder buf ~routine_name in
+  (* Per-chunk stats for the index.  The last-tid cache keeps the table
+     lookup off the hot path: consecutive events of one thread are the
+     overwhelmingly common case. *)
+  let chunks = ref [] in
+  let events = ref 0 in
+  let tag_mask = ref 0 in
+  let tid_set : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let last_tid = ref min_int in
   let flush_chunk () =
-    Buffer.output_buffer oc buf;
-    Buffer.clear buf
+    if Buffer.length buf > 0 then begin
+      let tids =
+        Hashtbl.fold (fun tid () acc -> tid :: acc) tid_set []
+        |> List.sort compare |> Array.of_list
+      in
+      chunks :=
+        {
+          c_bytes = Buffer.length buf;
+          c_events = !events;
+          c_tag_mask = !tag_mask;
+          c_tids = tids;
+        }
+        :: !chunks;
+      events := 0;
+      tag_mask := 0;
+      Hashtbl.reset tid_set;
+      last_tid := min_int;
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
   in
   let emit_batch b =
     Batch.iter
       (fun tag tid arg len ->
         encode tag tid arg len;
+        incr events;
+        tag_mask := !tag_mask lor (1 lsl tag);
+        if tid <> !last_tid then begin
+          last_tid := tid;
+          Hashtbl.replace tid_set tid ()
+        end;
         if Buffer.length buf >= chunk_bytes then flush_chunk ())
       b
   in
   let close_batch () =
-    Buffer.add_char buf (Char.chr end_tag);
-    flush_chunk ()
+    flush_chunk ();
+    let marker_off = 5 + List.fold_left (fun a c -> a + c.c_bytes) 0 !chunks in
+    output_char oc (Char.chr end_tag);
+    if index then begin
+      let footer_off = marker_off + 1 in
+      add_footer buf (List.rev !chunks);
+      add_le64 buf footer_off;
+      Buffer.add_string buf index_magic;
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
   in
   { Trace_stream.emit_batch; close_batch }
 
-let writer ?chunk_bytes ?routine_name oc =
-  Trace_stream.sink_of_batches (batch_writer ?chunk_bytes ?routine_name oc)
+let writer ?chunk_bytes ?index ?routine_name oc =
+  Trace_stream.sink_of_batches (batch_writer ?chunk_bytes ?index ?routine_name oc)
 
 (* ----- streaming reader ----------------------------------------------- *)
 
@@ -291,6 +388,183 @@ let batch_reader ?(chunk_bytes = default_chunk)
 let reader ?chunk_bytes ic =
   let names, batches = batch_reader ?chunk_bytes ic in
   (names, Trace_stream.events_of_batches batches)
+
+(* ----- shard index ----------------------------------------------------- *)
+
+type shard = {
+  offset : int;
+  bytes : int;
+  events : int;
+  tag_mask : int;
+  tids : int array;
+}
+
+let shards ?(path = "trace") ic =
+  let total = Int64.to_int (In_channel.length ic) in
+  (* Smallest indexed trace: header, marker, footer magic+version+count,
+     trailer.  Anything shorter is an old index-less (or text) file. *)
+  if total < 5 + 1 + 6 + index_trailer_bytes then None
+  else begin
+    In_channel.seek ic (Int64.of_int (total - index_trailer_bytes));
+    let trailer = really_input_string ic index_trailer_bytes in
+    if String.sub trailer 8 4 <> index_magic then None
+    else begin
+      let footer_off = ref 0 in
+      for i = 7 downto 0 do
+        footer_off := (!footer_off lsl 8) lor Char.code trailer.[i]
+      done;
+      let footer_off = !footer_off in
+      let footer_len = total - index_trailer_bytes - footer_off in
+      if footer_off < 5 + 1 || footer_len < 6 then
+        bad "cannot read shard index of %s: bad footer offset %d" path
+          footer_off;
+      In_channel.seek ic (Int64.of_int footer_off);
+      let footer = really_input_string ic footer_len in
+      let pos = ref 0 in
+      let read_byte () =
+        if !pos >= footer_len then
+          bad "cannot read shard index of %s: truncated at byte %d" path
+            (footer_off + !pos)
+        else begin
+          let b = Char.code (String.unsafe_get footer !pos) in
+          incr pos;
+          b
+        end
+      in
+      String.iter
+        (fun c ->
+          if read_byte () <> Char.code c then
+            bad "cannot read shard index of %s: bad footer magic at byte %d"
+              path
+              (footer_off + !pos - 1))
+        index_magic;
+      (match read_byte () with
+      | v when v = index_version -> ()
+      | v ->
+        bad "cannot read shard index of %s: unsupported index version %d" path
+          v);
+      let nchunks = read_varint read_byte in
+      if nchunks < 0 || nchunks > footer_len then
+        bad "cannot read shard index of %s: implausible chunk count %d" path
+          nchunks;
+      let off = ref 5 in
+      (* Explicit loops: the parse order must match the byte order. *)
+      let out = ref [] in
+      for _ = 1 to nchunks do
+        let bytes = read_varint read_byte in
+        let events = read_varint read_byte in
+        let tag_mask = read_varint read_byte in
+        let ntids = read_varint read_byte in
+        if bytes < 0 || events < 0 || ntids < 0 || ntids > footer_len then
+          bad "cannot read shard index of %s: corrupt chunk entry at byte %d"
+            path
+            (footer_off + !pos);
+        let tids = Array.make ntids 0 in
+        let prev = ref 0 in
+        for i = 0 to ntids - 1 do
+          prev := !prev + read_varint read_byte;
+          tids.(i) <- !prev
+        done;
+        out := { offset = !off; bytes; events; tag_mask; tids } :: !out;
+        off := !off + bytes
+      done;
+      let out = Array.of_list (List.rev !out) in
+      if !pos <> footer_len then
+        bad "cannot read shard index of %s: %d trailing bytes at byte %d" path
+          (footer_len - !pos)
+          (footer_off + !pos);
+      (* The chunks plus the end-of-trace marker must account for every
+         byte up to the footer. *)
+      if !off + 1 <> footer_off then
+        bad "cannot read shard index of %s: chunks cover %d bytes, footer at %d"
+          path !off footer_off;
+      Some out
+    end
+  end
+
+(* One record off a chunk's byte range.  A chunk never contains the
+   end-of-trace marker, so tag 0 falls through to the error arm. *)
+let chunk_step ~read_byte ~read_string ~define b =
+  match read_byte () with
+  | -1 -> true (* chunk exhausted at a record boundary *)
+  | tag when tag = def_tag ->
+    let id = read_varint read_byte in
+    let len = read_varint read_byte in
+    if len < 0 then bad "negative name length";
+    define id (read_string len);
+    false
+  | tag when tag >= 1 && tag <= Batch.max_tag ->
+    let tid = read_varint read_byte in
+    let arg = if Batch.tag_has_arg tag then read_varint read_byte else 0 in
+    let len = if Batch.tag_has_len tag then read_varint read_byte else 0 in
+    Batch.unsafe_push b ~tag ~tid ~arg ~len;
+    false
+  | tag -> bad "unknown record tag %d in indexed chunk" tag
+
+let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
+    shs ~select =
+  let names = Hashtbl.create 64 in
+  let define id name = Hashtbl.replace names id name in
+  let b = Batch.create ~capacity:batch_size () in
+  let remaining = ref (List.filter select (Array.to_list shs)) in
+  let chunk = ref Bytes.empty in
+  let pos = ref 0 in
+  let len = ref 0 in
+  let advance () =
+    match !remaining with
+    | [] -> false
+    | sh :: rest ->
+      remaining := rest;
+      In_channel.seek ic (Int64.of_int sh.offset);
+      let c = Bytes.create sh.bytes in
+      (try really_input ic c 0 sh.bytes
+       with End_of_file ->
+         bad "cannot replay %s: chunk at byte %d truncated" path sh.offset);
+      chunk := c;
+      pos := 0;
+      len := sh.bytes;
+      true
+  in
+  let read_byte () =
+    if !pos >= !len then -1
+    else begin
+      let b = Char.code (Bytes.unsafe_get !chunk !pos) in
+      incr pos;
+      b
+    end
+  in
+  let read_string n =
+    if !pos + n > !len then bad "truncated name";
+    let s = Bytes.sub_string !chunk !pos n in
+    pos := !pos + n;
+    s
+  in
+  let fill () =
+    Batch.clear b;
+    let fin = ref false in
+    while (not !fin) && not (Batch.is_full b) do
+      if !pos >= !len then begin
+        if not (advance ()) then fin := true
+      end
+      else begin
+        fill_batch_bytes b !chunk pos !len;
+        if (not (Batch.is_full b)) && !pos < !len then
+          ignore (chunk_step ~read_byte ~read_string ~define b)
+      end
+    done;
+    !fin
+  in
+  let finished = ref false in
+  ( names,
+    fun () ->
+      if !finished then None
+      else begin
+        finished := fill ();
+        if Batch.is_empty b then None else Some b
+      end )
+
+let seek_chunk ?path ?batch_size ic sh =
+  sharded_reader ?path ?batch_size ic [| sh |] ~select:(fun _ -> true)
 
 (* ----- whole-trace convenience ---------------------------------------- *)
 

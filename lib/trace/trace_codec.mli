@@ -19,7 +19,28 @@
     so truncation is detected even when it falls exactly on a record
     boundary.  Any malformation — a missing marker, a truncated record,
     trailing bytes after the marker, an unknown tag, a bad header —
-    raises {!Trace_stream.Decode_error}. *)
+    raises {!Trace_stream.Decode_error}.
+
+    {2 Shard index}
+
+    After the end-of-trace marker, {!batch_writer} appends a seekable
+    shard-index footer describing every flushed chunk (its byte length,
+    event count, the set of record tags present, and the set of thread
+    ids present), so a parallel replay can decide which chunks concern
+    it and seek straight to them.  The footer layout is:
+
+    {v
+    "ATRI" version:byte nchunks:varint chunk*   ; the footer body
+    footer_offset:le64 "ATRI"                   ; fixed 12-byte trailer
+    chunk := bytes:varint events:varint tag_mask:varint
+             ntids:varint tid_delta:varint*     ; tids ascending
+    v}
+
+    The fixed-size trailer lets a reader find the footer from the end
+    of the file; a file without the trailing magic is an old index-less
+    trace and still reads normally (the footer is likewise skipped by
+    the sequential readers, so indexed files stay readable by old-style
+    streaming consumers of this module). *)
 
 val magic : string
 val version : int
@@ -34,9 +55,12 @@ val version : int
     kept for glue and tests. *)
 
 (** [batch_writer oc] is a batch sink encoding packed events into [oc].
-    Same format, buffering, and close contract as {!writer}. *)
+    Same format, buffering, and close contract as {!writer}.
+    @param index write the shard-index footer on close (default [true];
+    pass [false] for an old-style index-less trace). *)
 val batch_writer :
   ?chunk_bytes:int ->
+  ?index:bool ->
   ?routine_name:(int -> string) ->
   out_channel ->
   Trace_stream.batch_sink
@@ -62,6 +86,7 @@ val batch_reader :
     @param chunk_bytes flush threshold in bytes (default 64 KiB). *)
 val writer :
   ?chunk_bytes:int ->
+  ?index:bool ->
   ?routine_name:(int -> string) ->
   out_channel ->
   Trace_stream.sink
@@ -77,6 +102,55 @@ val reader :
   ?chunk_bytes:int ->
   in_channel ->
   (int, string) Hashtbl.t * Trace_stream.t
+
+(** {1 Shard index} *)
+
+(** One writer flush unit, as described by the index footer.  [offset]
+    and [bytes] delimit its records in the file; [events] counts event
+    records (definition records excluded); [tag_mask] has bit [t] set
+    iff a record with tag [t] is present; [tids] are the distinct
+    thread ids appearing in the chunk, ascending. *)
+type shard = {
+  offset : int;
+  bytes : int;
+  events : int;
+  tag_mask : int;
+  tids : int array;
+}
+
+(** [shards ~path ic] reads the shard index of a seekable channel.
+    [None] means the file carries no index (written before the index
+    existed, or with [~index:false]) — fall back to {!batch_reader}.
+    The channel position is unspecified afterwards.
+    @param path the file name used in error messages (default ["trace"]).
+    @raise Trace_stream.Decode_error when the trailing magic is present
+    but the footer is truncated or inconsistent; the message names
+    [path] and the offending byte offset. *)
+val shards : ?path:string -> in_channel -> shard array option
+
+(** [sharded_reader ic shards ~select] is a batch source decoding, in
+    file order, exactly the chunks of [shards] that [select] accepts,
+    seeking over the rest.  Because routine-name definition records
+    live in the chunk holding the routine's first [Call], the returned
+    name table only covers the selected chunks — a parallel replay
+    unions the tables of its workers to recover the full one.
+    @raise Trace_stream.Decode_error (from the source) on malformed
+    chunk contents, naming [path]. *)
+val sharded_reader :
+  ?path:string ->
+  ?batch_size:int ->
+  in_channel ->
+  shard array ->
+  select:(shard -> bool) ->
+  (int, string) Hashtbl.t * Trace_stream.batch_source
+
+(** [seek_chunk ic sh] is [sharded_reader] over the single chunk [sh]. *)
+val seek_chunk :
+  ?path:string ->
+  ?batch_size:int ->
+  in_channel ->
+  shard ->
+  (int, string) Hashtbl.t * Trace_stream.batch_source
 
 (** {1 Whole-trace convenience} *)
 

@@ -1,0 +1,34 @@
+(** A minimal fork/join job pool.
+
+    On OCaml 5 tasks run on [Domain]s (one per job, spawned per {!run});
+    on 4.x the build selects a sequential backend with identical
+    semantics, so callers never need to know which they got — the
+    parallel replay engine degrades to ordinary sequential replay.
+
+    Tasks of one {!run} must be independent: they may run in any order,
+    concurrently, and must not share mutable state unless that state is
+    their own (the intended pattern is one private accumulator per task,
+    merged by the caller afterwards). *)
+
+type t
+
+(** [available_parallelism ()] is the number of hardware-backed domains
+    worth spawning ([Domain.recommended_domain_count]; 1 on OCaml 4). *)
+val available_parallelism : unit -> int
+
+(** [create ?jobs ()] is a pool running at most [jobs] tasks at once
+    (default {!available_parallelism}).
+    @raise Invalid_argument when [jobs < 1]. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [run t tasks] executes every task and waits for all of them.  If any
+    task raised, the exception of the lowest-indexed failing task is
+    re-raised after all tasks finished — deterministic regardless of
+    scheduling. *)
+val run : t -> (unit -> unit) array -> unit
+
+(** [map t f xs] is [Array.map f xs] with the applications of [f] run as
+    one task each.  Same exception contract as {!run}. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array

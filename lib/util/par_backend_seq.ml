@@ -1,0 +1,11 @@
+(* Sequential parallel backend (OCaml 4.x, no Domain).  Same observable
+   semantics as the domain backend with one worker: tasks run in index
+   order, the first exception is captured and returned. *)
+
+let available () = 1
+
+let run ~jobs:_ (tasks : (unit -> unit) array) : exn option =
+  try
+    Array.iter (fun f -> f ()) tasks;
+    None
+  with e -> Some e

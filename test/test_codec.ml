@@ -160,6 +160,154 @@ let rejects_garbage () =
   Sys.remove file;
   Alcotest.(check bool) "text detected" true (fmt = `Text)
 
+(* --- shard index ------------------------------------------------------ *)
+
+let sample_trace seed =
+  QCheck2.Gen.generate1 ~rand:(Random.State.make [| seed |]) (Gen_trace.gen ())
+
+(* Small chunks and batches so even the generator's short traces span
+   several index entries. *)
+let write_binary ?(index = true) trace file =
+  Out_channel.with_open_bin file (fun oc ->
+      let sink = Codec.batch_writer ~chunk_bytes:128 ~index oc in
+      let batches = Stream.batches_of_trace ~batch_size:16 trace in
+      let rec loop () =
+        match batches () with
+        | None -> ()
+        | Some b ->
+          sink.Stream.emit_batch b;
+          loop ()
+      in
+      loop ();
+      sink.Stream.close_batch ())
+
+let decode_source src = Stream.to_trace (Stream.events_of_batches src)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let shard_index_round_trip () =
+  let trace = sample_trace 11 in
+  let file = Filename.temp_file "aprof_test" ".atrc" in
+  write_binary trace file;
+  In_channel.with_open_bin file (fun ic ->
+      match Codec.shards ~path:file ic with
+      | None -> Alcotest.fail "indexed file reports no shard index"
+      | Some shs ->
+        Alcotest.(check bool) "several chunks" true (Array.length shs >= 2);
+        (* Chunks tile the record region, starting right after the
+           5-byte header. *)
+        let off = ref 5 in
+        Array.iter
+          (fun (sh : Codec.shard) ->
+            Alcotest.(check int) "contiguous offsets" !off sh.Codec.offset;
+            off := !off + sh.Codec.bytes)
+          shs;
+        Alcotest.(check int) "every event accounted for" (Vec.length trace)
+          (Array.fold_left (fun acc sh -> acc + sh.Codec.events) 0 shs);
+        (* Selecting every chunk reproduces the whole trace, and the
+           name table then covers every Call. *)
+        let names, src =
+          Codec.sharded_reader ~path:file ic shs ~select:(fun _ -> true)
+        in
+        let decoded = decode_source src in
+        trace_equal "sharded read = original" decoded trace;
+        Vec.iter
+          (function
+            | Event.Call { routine; _ } ->
+              if not (Hashtbl.mem names routine) then
+                Alcotest.failf "routine %d lost its definition" routine
+            | _ -> ())
+          trace);
+  Sys.remove file
+
+let seek_chunk_reads_one_chunk () =
+  let trace = sample_trace 12 in
+  let file = Filename.temp_file "aprof_test" ".atrc" in
+  write_binary trace file;
+  In_channel.with_open_bin file (fun ic ->
+      let shs = Option.get (Codec.shards ~path:file ic) in
+      let parts = ref [] in
+      Array.iter
+        (fun (sh : Codec.shard) ->
+          let _, src = Codec.seek_chunk ~path:file ic sh in
+          let part = decode_source src in
+          Alcotest.(check int) "chunk event count" sh.Codec.events
+            (Vec.length part);
+          (* The index's tid set really describes the chunk. *)
+          Vec.iter
+            (fun ev ->
+              let tid = Event.tid ev in
+              if not (Array.exists (( = ) tid) sh.Codec.tids) then
+                Alcotest.failf "tid %d missing from the chunk's tid set" tid)
+            part;
+          parts := Vec.to_list part :: !parts)
+        shs;
+      let glued = Vec.of_list (List.concat (List.rev !parts)) in
+      trace_equal "chunks glue back into the trace" glued trace);
+  Sys.remove file
+
+let index_compat () =
+  let trace = sample_trace 13 in
+  let file = Filename.temp_file "aprof_test" ".atrc" in
+  (* Index-less files (the pre-index format, or ~index:false) decode as
+     before and report no shards. *)
+  write_binary ~index:false trace file;
+  In_channel.with_open_bin file (fun ic ->
+      Alcotest.(check bool) "no index" true (Codec.shards ~path:file ic = None);
+      In_channel.seek ic 0L;
+      let _, src = Codec.batch_reader ic in
+      trace_equal "index-less file decodes" (decode_source src) trace);
+  (* Old-style streaming consumers skip the footer of an indexed file. *)
+  write_binary ~index:true trace file;
+  In_channel.with_open_bin file (fun ic ->
+      let _, src = Codec.batch_reader ic in
+      trace_equal "streaming read of an indexed file" (decode_source src) trace);
+  In_channel.with_open_bin file (fun ic ->
+      let _, stream = Codec.reader ic in
+      trace_equal "per-event read of an indexed file" (Stream.to_trace stream)
+        trace);
+  Sys.remove file
+
+let corrupt_footer_is_named () =
+  let trace = sample_trace 14 in
+  let file = Filename.temp_file "aprof_corrupt" ".atrc" in
+  write_binary trace file;
+  let bytes = In_channel.with_open_bin file In_channel.input_all in
+  let total = String.length bytes in
+  let footer_off =
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code bytes.[total - 12 + i]
+    done;
+    !v
+  in
+  let expect ?(wants_offset = true) name mutated =
+    Out_channel.with_open_bin file (fun oc -> output_string oc mutated);
+    In_channel.with_open_bin file (fun ic ->
+        match Codec.shards ~path:file ic with
+        | exception Stream.Decode_error msg ->
+          Alcotest.(check bool) (name ^ ": names the file") true
+            (contains ~sub:file msg);
+          if wants_offset then
+            Alcotest.(check bool) (name ^ ": names a byte offset") true
+              (contains ~sub:"byte" msg)
+        | Some _ -> Alcotest.failf "%s: corrupt index was accepted" name
+        | None -> Alcotest.failf "%s: corrupt index read as index-less" name)
+  in
+  let set i c = String.mapi (fun j x -> if j = i then c else x) bytes in
+  expect "bad footer magic" (set footer_off 'X');
+  expect ~wants_offset:false "unsupported index version"
+    (set (footer_off + 4) '\x63');
+  (* A byte chopped out of the footer body desynchronizes the parse:
+     the error must still point into the file, not crash. *)
+  expect "truncated footer body"
+    (String.sub bytes 0 (footer_off + 6)
+    ^ String.sub bytes (footer_off + 7) (total - footer_off - 7));
+  Sys.remove file
+
 let suite =
   [
     event_round_trip;
@@ -169,4 +317,11 @@ let suite =
     Alcotest.test_case "writer/reader channel round trip" `Quick
       channel_round_trip;
     Alcotest.test_case "malformed input is rejected" `Quick rejects_garbage;
+    Alcotest.test_case "shard index round trip" `Quick shard_index_round_trip;
+    Alcotest.test_case "seek_chunk reads exactly one chunk" `Quick
+      seek_chunk_reads_one_chunk;
+    Alcotest.test_case "index-less and indexed files interoperate" `Quick
+      index_compat;
+    Alcotest.test_case "corrupt shard index names file and offset" `Quick
+      corrupt_footer_is_named;
   ]

@@ -17,6 +17,7 @@ let () =
       ("core-units", Test_core_units.suite);
       ("comm", Test_comm.suite);
       ("reuse", Test_reuse.suite);
+      ("merge", Test_merge.suite);
       ("profile-io", Test_profile_io.suite);
       ("modes", Test_modes.suite);
       ("cct", Test_cct.suite);

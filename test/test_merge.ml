@@ -1,0 +1,235 @@
+(* Mergeable profiler state and the sharded parallel replay engine.
+
+   Profile.merge must be a commutative monoid (associative, commutative,
+   Profile.create () as identity) on profiles produced from real traces,
+   and replaying through [Tool.replay_parallel] at several jobs must
+   agree with sequential replay for every thread-shardable tool — the
+   differential that licenses `aprof replay -j N`. *)
+
+open Helpers
+module Profile = Aprof_core.Profile
+module Stream = Aprof_trace.Trace_stream
+module Tool = Aprof_tools.Tool
+module Par = Aprof_util.Par
+module Vec = Aprof_util.Vec
+module Workload = Aprof_workloads.Workload
+module Registry = Aprof_workloads.Registry
+module Interp = Aprof_vm.Interp
+
+(* --- Profile.merge laws ---------------------------------------------- *)
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.abs a +. Float.abs b)
+
+(* Exact agreement on points, activations, and op counters; float
+   aggregates up to accumulation-order rounding. *)
+let agree p q =
+  signature p = signature q
+  && ops_signature p = ops_signature q
+  && List.for_all
+       (fun k ->
+         match (Profile.data p k, Profile.data q k) with
+         | Some a, Some b ->
+           close a.Profile.sum_rms b.Profile.sum_rms
+           && close a.Profile.sum_drms b.Profile.sum_drms
+           && close a.Profile.total_cost b.Profile.total_cost
+         | _ -> false)
+       (Profile.keys p)
+
+let merge_commutative =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Profile.merge is commutative" ~count:40
+       QCheck2.Gen.(pair (Gen_trace.gen ()) (Gen_trace.gen ()))
+       (fun (t1, t2) ->
+         let a = run_drms t1 and b = run_drms t2 in
+         agree (Profile.merge a b) (Profile.merge b a)))
+
+let merge_associative =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Profile.merge is associative" ~count:40
+       QCheck2.Gen.(triple (Gen_trace.gen ()) (Gen_trace.gen ()) (Gen_trace.gen ()))
+       (fun (t1, t2, t3) ->
+         let a = run_drms t1 and b = run_drms t2 and c = run_drms t3 in
+         agree
+           (Profile.merge (Profile.merge a b) c)
+           (Profile.merge a (Profile.merge b c))))
+
+let merge_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Profile.create is the merge identity" ~count:40
+       (Gen_trace.gen ())
+       (fun t ->
+         let p = run_drms t in
+         agree (Profile.merge p (Profile.create ())) p
+         && agree (Profile.merge (Profile.create ()) p) p))
+
+(* --- parallel replay = sequential replay ------------------------------ *)
+
+let workloads = [ "mysqlslap"; "dedup" ]
+
+let registry_trace name =
+  let spec = Option.get (Registry.find name) in
+  let r =
+    Workload.run_spec
+      ~scheduler:
+        (Aprof_vm.Scheduler.Random_preemptive { min_slice = 4; max_slice = 32 })
+      spec ~threads:3 ~scale:120 ~seed:5
+  in
+  r.Interp.trace
+
+(* Every worker gets a fresh batch source over the whole trace; the
+   engine's shard filter does the partitioning. *)
+let replay_jobs (type a) (module M : Tool.S with type state = a) trace jobs :
+    a * int =
+  let pool = Par.create ~jobs () in
+  Tool.replay_parallel ~pool ~jobs
+    ~open_source:(fun ~worker:_ -> Stream.batches_of_trace trace)
+    (module M)
+
+let test_parallel_nulgrind () =
+  List.iter
+    (fun name ->
+      let trace = registry_trace name in
+      let module M = Aprof_tools.Nulgrind.Mergeable in
+      let st1, n1 = replay_jobs (module M) trace 1 in
+      let st3, n3 = replay_jobs (module M) trace 3 in
+      (* No broadcast events: each event reaches exactly one worker. *)
+      Alcotest.(check int) (name ^ ": delivered once each") n1 n3;
+      Alcotest.(check int)
+        (name ^ ": merged count = sequential count")
+        (Aprof_tools.Nulgrind.events st1)
+        (Aprof_tools.Nulgrind.events st3);
+      Alcotest.(check int) (name ^ ": whole trace") (Vec.length trace)
+        (Aprof_tools.Nulgrind.events st3))
+    workloads
+
+let test_parallel_callgrind () =
+  List.iter
+    (fun name ->
+      let trace = registry_trace name in
+      let module C = Aprof_tools.Callgrind_lite in
+      let st1, _ = replay_jobs (module C.Mergeable) trace 1 in
+      let st3, _ = replay_jobs (module C.Mergeable) trace 3 in
+      (* Hashtable fold order is not deterministic: compare sorted. *)
+      let costs t = List.sort compare (C.routine_costs t) in
+      let edges t = List.sort compare (C.edges t) in
+      Alcotest.(check bool)
+        (name ^ ": routine costs agree")
+        true
+        (costs st1 = costs st3);
+      Alcotest.(check bool) (name ^ ": edges agree") true (edges st1 = edges st3))
+    workloads
+
+(* A multi-threaded program seeded with memory bugs: errors found in
+   different workers' shards must union into the sequential report. *)
+let buggy_trace () =
+  let open Aprof_vm.Program in
+  let prog =
+    let* a = alloc 8 in
+    let worker base =
+      let* _ = read (a + base) in
+      (* uninitialized *)
+      let* () = write (a + base) 1 in
+      let* _ = read (a + base) in
+      return ()
+    in
+    let* t1 = spawn (worker 0) in
+    let* t2 = spawn (worker 2) in
+    let* () = join t1 in
+    let* () = join t2 in
+    let* () = dealloc a 8 in
+    let* _ = read a in
+    (* use after free *)
+    return ()
+  in
+  let r =
+    Interp.run
+      {
+        Interp.scheduler =
+          Aprof_vm.Scheduler.Random_preemptive { min_slice = 1; max_slice = 8 };
+        seed = 3;
+        devices = [];
+        max_events = 1_000_000;
+        reuse_freed_memory = false;
+      }
+      [ prog ]
+  in
+  r.Interp.trace
+
+let test_parallel_memcheck () =
+  let module M = Aprof_tools.Memcheck_lite in
+  List.iter
+    (fun (name, trace) ->
+      let st1, _ = replay_jobs (module M.Mergeable) trace 1 in
+      let st3, _ = replay_jobs (module M.Mergeable) trace 3 in
+      let errs t =
+        List.sort compare
+          (List.map (Format.asprintf "%a" M.pp_error) (M.errors t))
+      in
+      Alcotest.(check (list string)) (name ^ ": errors agree") (errs st1)
+        (errs st3);
+      Alcotest.(check bool) (name ^ ": leaks agree") true
+        (List.sort compare (M.leaks st1) = List.sort compare (M.leaks st3)))
+    [
+      ("mysqlslap", registry_trace "mysqlslap");
+      ("seeded bugs", buggy_trace ());
+    ]
+
+let test_parallel_rms () =
+  List.iter
+    (fun name ->
+      let trace = registry_trace name in
+      let st3, _ =
+        replay_jobs (module Aprof_tools.Aprof_adapters.Rms_mergeable) trace 3
+      in
+      let p3 = Aprof_core.Rms_profiler.finish st3 in
+      let p1 = run_rms trace in
+      check_profiles_equal (name ^ ": rms parallel = sequential") p1 p3;
+      check_ops_equal (name ^ ": op counters agree") p1 p3)
+    workloads
+
+(* --- the job pool itself ---------------------------------------------- *)
+
+let test_par_map () =
+  List.iter
+    (fun jobs ->
+      let pool = Par.create ~jobs () in
+      Alcotest.(check int) "jobs" jobs (Par.jobs pool);
+      let xs = Array.init 37 (fun i -> i) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map at %d jobs" jobs)
+        (Array.map (fun x -> x * x) xs)
+        (Par.map pool (fun x -> x * x) xs))
+    [ 1; 2; 3 ]
+
+let test_par_exceptions () =
+  let pool = Par.create ~jobs:2 () in
+  (match
+     Par.run pool
+       [|
+         (fun () -> ());
+         (fun () -> failwith "b");
+         (fun () -> failwith "c");
+       |]
+   with
+  | () -> Alcotest.fail "expected an exception"
+  | exception Failure m ->
+    Alcotest.(check string) "lowest-index failure wins" "b" m);
+  match Par.create ~jobs:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs = 0 accepted"
+
+let suite =
+  [
+    merge_commutative;
+    merge_associative;
+    merge_identity;
+    Alcotest.test_case "parallel nulgrind = sequential" `Quick
+      test_parallel_nulgrind;
+    Alcotest.test_case "parallel callgrind = sequential" `Quick
+      test_parallel_callgrind;
+    Alcotest.test_case "parallel memcheck = sequential" `Quick
+      test_parallel_memcheck;
+    Alcotest.test_case "parallel rms = sequential" `Quick test_parallel_rms;
+    Alcotest.test_case "par: map matches sequential map" `Quick test_par_map;
+    Alcotest.test_case "par: deterministic exception" `Quick test_par_exceptions;
+  ]

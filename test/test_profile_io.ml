@@ -53,6 +53,32 @@ let test_metrics_survive () =
     (Aprof_core.Metrics.dynamic_input_volume profile)
     (Aprof_core.Metrics.dynamic_input_volume back)
 
+let test_format_versions () =
+  let result = run_workload (Aprof_workloads.Patterns.producer_consumer ~n:5) in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let dump = Profile_io.to_string profile in
+  let header = Printf.sprintf "format,%d\n" Profile_io.format_version in
+  Alcotest.(check bool) "dump leads with the version header" true
+    (String.length dump >= String.length header
+    && String.sub dump 0 (String.length header) = header);
+  (* The pre-versioning format had no header at all: such dumps must
+     keep loading (as version 1). *)
+  let headerless =
+    String.sub dump (String.length header)
+      (String.length dump - String.length header)
+  in
+  (match Profile_io.of_string headerless with
+  | Ok (p, _) -> check_profiles_equal "headerless (v1) dump loads" profile p
+  | Error e -> Alcotest.failf "headerless dump rejected: %s" e);
+  (* An explicit version 1 header is accepted too. *)
+  (match Profile_io.of_string ("format,1\n" ^ headerless) with
+  | Ok (p, _) -> check_profiles_equal "explicit v1 header loads" profile p
+  | Error e -> Alcotest.failf "v1 header rejected: %s" e);
+  (* Versions we do not know how to read are refused, not misread. *)
+  match Profile_io.of_string ("format,99\n" ^ headerless) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future format version accepted"
+
 let test_malformed () =
   List.iter
     (fun s ->
@@ -66,5 +92,6 @@ let suite =
     Alcotest.test_case "roundtrip equals original" `Quick test_roundtrip_workload;
     Alcotest.test_case "routine names" `Quick test_routine_names;
     Alcotest.test_case "metrics survive" `Quick test_metrics_survive;
+    Alcotest.test_case "format versions" `Quick test_format_versions;
     Alcotest.test_case "malformed input rejected" `Quick test_malformed;
   ]
