@@ -128,6 +128,14 @@ let write_json path =
   Buffer.add_string buf "\n]\n";
   Out_channel.with_open_text path (fun oc -> Buffer.output_buffer oc buf)
 
+(* [-t <tool>] on the harness command line: experiments that iterate
+   over the standard tool factories (replay, table1) restrict themselves
+   to the named tool.  [None] means all tools. *)
+let tool_filter : string option ref = ref None
+
+let keep_tool name =
+  match !tool_filter with None -> true | Some t -> t = name
+
 (* The benchmark sets used by the paper's figures. *)
 let fig11_set_a = [ "fluidanimate"; "mysqlslap"; "smithwa"; "dedup"; "nab" ]
 let fig11_set_b = [ "bodytrack"; "swaptions"; "vips"; "x264" ]

@@ -129,5 +129,7 @@ let run ~quick ppf =
           ("batch_minor_words_per_event", Exp_common.Float b_w);
           ("speedup", Exp_common.Float speedup);
         ])
-    (Harness.standard_factories ());
+    (List.filter
+       (fun f -> Exp_common.keep_tool f.Tool.tool_name)
+       (Harness.standard_factories ()));
   Sys.remove bin_file

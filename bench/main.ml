@@ -1,6 +1,7 @@
 (* Benchmark harness entry point: regenerates every table and figure of
    the paper's evaluation.  `dune exec bench/main.exe` runs everything;
-   `-e <id>` selects one experiment; `-quick` shrinks workloads. *)
+   `-e <id>` selects one experiment; `-quick` shrinks workloads;
+   `-t <tool>` restricts tool-sweep experiments to one tool. *)
 
 let experiments quick :
     (string * string * (Format.formatter -> unit)) list =
@@ -35,7 +36,9 @@ let () =
       if arg = "-e" && i + 1 < Array.length Sys.argv then
         selected := Some Sys.argv.(i + 1);
       if arg = "--json" && i + 1 < Array.length Sys.argv then
-        json_out := Some Sys.argv.(i + 1))
+        json_out := Some Sys.argv.(i + 1);
+      if arg = "-t" && i + 1 < Array.length Sys.argv then
+        Exp_common.tool_filter := Some Sys.argv.(i + 1))
     Sys.argv;
   let ppf = Format.std_formatter in
   let exps = experiments quick in

@@ -226,9 +226,20 @@ let tools_cmd =
     let result = execute name threads scale seed scheduler in
     List.iter
       (fun f ->
-        let tool = f.Aprof_tools.Tool.create () in
-        Aprof_tools.Tool.replay tool result.Aprof_vm.Interp.trace;
-        Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ()))
+        (* The race detector reports per-race lines, not just a summary:
+           print its full report (the golden test pins this rendering). *)
+        if f.Aprof_tools.Tool.tool_name = "helgrind" then begin
+          let h = Aprof_tools.Helgrind_lite.create () in
+          Aprof_util.Vec.iter
+            (Aprof_tools.Helgrind_lite.on_event h)
+            result.Aprof_vm.Interp.trace;
+          print_string (Aprof_tools.Helgrind_lite.render_report h)
+        end
+        else begin
+          let tool = f.Aprof_tools.Tool.create () in
+          Aprof_tools.Tool.replay tool result.Aprof_vm.Interp.trace;
+          Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ())
+        end)
       (Aprof_tools.Harness.standard_factories ())
   in
   Cmd.v

@@ -44,11 +44,21 @@ let create ?(leaf_bits = 10) ?(mid_bits = 10) () =
     last_leaf = [||];
   }
 
+(* [get]/[set]/[exchange] do not guard against negative addresses: they
+   run once per trace event, and every producer validates at its edge —
+   the codec calls [Event.Batch.validate_addrs] per decoded batch, the
+   VM allocator only hands out non-negative addresses.  [check_addr] is
+   exported for edges that take addresses from elsewhere (CLI arguments,
+   bulk [set_range]).  A negative address that slipped through cannot
+   corrupt memory: [lsr] is logical, so the top index becomes a huge
+   positive int — [get] misses the (bounds-checked) top table and reads
+   0, [set] dies in [Array.make].
+
+   [unsafe_get]/[unsafe_set] on cache hits are in bounds by construction:
+   a leaf has [leaf_mask + 1] entries and the index is masked. *)
+
 let check_addr addr =
   if addr < 0 then invalid_arg "Shadow_memory: negative address"
-
-(* [unsafe_get]/[unsafe_set] on cache hits are in bounds by construction:
-   a leaf has [leaf_mask + 1] entries and the index is masked. *)
 
 let get_slow t addr page =
   let ti = addr lsr (t.mid_bits + t.leaf_bits) in
@@ -65,7 +75,6 @@ let get_slow t addr page =
         leaf.(addr land t.leaf_mask))
 
 let get t addr =
-  check_addr addr;
   let page = addr lsr t.leaf_bits in
   if page = t.last_page then Array.unsafe_get t.last_leaf (addr land t.leaf_mask)
   else get_slow t addr page
@@ -101,7 +110,6 @@ let leaf_for t addr =
     leaf
 
 let set t addr v =
-  check_addr addr;
   let page = addr lsr t.leaf_bits in
   if page = t.last_page then
     Array.unsafe_set t.last_leaf (addr land t.leaf_mask) v
@@ -116,7 +124,6 @@ let set t addr v =
    the first-access tests of the profilers read the old stamp and store
    the new one on every single read event. *)
 let exchange t addr v =
-  check_addr addr;
   let page = addr lsr t.leaf_bits in
   if page = t.last_page then begin
     let i = addr land t.leaf_mask in

@@ -16,16 +16,25 @@ type t
     @raise Invalid_argument if either is not in [4, 20]. *)
 val create : ?leaf_bits:int -> ?mid_bits:int -> unit -> t
 
-(** [get t addr] is the word shadowing [addr] ([0] if never set).
+(** [check_addr addr] rejects a negative address.  The per-access
+    operations below do {e not} call it: addresses are validated once at
+    the trust boundary ({!Aprof_trace.Event.Batch.validate_addrs} at the
+    codec's batch edge; the VM allocator never produces negatives), so
+    edges that accept addresses from elsewhere must call this first.
     @raise Invalid_argument on a negative address. *)
+val check_addr : int -> unit
+
+(** [get t addr] is the word shadowing [addr] ([0] if never set).
+    [addr] must be non-negative — see {!check_addr}. *)
 val get : t -> int -> int
 
-(** [set t addr v] stores [v] at [addr], materializing chunks as needed. *)
+(** [set t addr v] stores [v] at [addr], materializing chunks as needed.
+    [addr] must be non-negative — see {!check_addr}. *)
 val set : t -> int -> int -> unit
 
 (** [exchange t addr v] stores [v] at [addr] and returns the previous
     word, resolving the chunk once — equivalent to [get] then [set].
-    @raise Invalid_argument on a negative address. *)
+    [addr] must be non-negative — see {!check_addr}. *)
 val exchange : t -> int -> int -> int
 
 (** [set_range t ~addr ~len v] stores [v] on [addr .. addr+len-1]. *)

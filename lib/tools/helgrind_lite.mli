@@ -1,6 +1,17 @@
 (** A happens-before data race detector in the style of helgrind /
-    FastTrack: vector clocks per thread and per synchronization object,
-    a last-write epoch and a read clock per memory cell.
+    FastTrack: per-thread and per-sync-object vector clocks, but O(1)
+    packed-epoch metadata per memory cell.
+
+    Each cell stores the last-write epoch ([clk lsl tid_bits lor tid])
+    and a read state that is a single epoch until genuinely concurrent
+    reads force promotion to a full {!Vclock.t} (demoted again at the
+    next write).  Same-epoch reads and writes exit after two loads and a
+    compare.  Cells live in a {!Shadow_memory} arena (three ints per
+    cell) and Eraser candidate locksets are hash-consed {!Lockset} ids.
+
+    Race reports are equivalent to the full-vector-clock oracle
+    {!Helgrind_ref}: identical (address, kind, accessing thread) sets,
+    detected at the same events — the differential suite pins this.
 
     Synchronization events ([Acquire]/[Release] from semaphores,
     barriers, spawn/join edges) transfer clocks through the sync
@@ -25,8 +36,18 @@ type t
 val create : unit -> t
 val on_event : t -> Aprof_trace.Event.t -> unit
 
+(** Packed-field dispatch used by the batch pipeline; [tag] is an
+    {!Aprof_trace.Event.Batch} wire tag. *)
+val on_raw : t -> tag:int -> tid:int -> arg:int -> len:int -> unit
+
+val on_batch : t -> Aprof_trace.Event.Batch.t -> unit
+
 (** [races t] in detection order, deduplicated per (address, kind). *)
 val races : t -> race list
+
+(** [render_report t] is the races, one per line, followed by the
+    summary — what `aprof tools` prints and the golden test pins. *)
+val render_report : t -> string
 
 val tool : unit -> Tool.t
 val factory : Tool.factory

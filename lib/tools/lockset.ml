@@ -1,0 +1,178 @@
+(* Hash-consed lock sets: every distinct sorted set of lock ids is
+   interned once and named by a small int, so a shadow cell's Eraser
+   candidate set is one immediate word and set operations on the hot
+   path are memo-table hits instead of list walks.
+
+   Ids are dense and start at 0 = the empty set.  The three operations
+   the race detector needs — [add], [remove] (thread held-set updates on
+   acquire/release) and [inter] (candidate-set refinement on access) —
+   are memoized on packed (id, operand) keys, so each distinct pair is
+   computed at most once over a run.  The number of distinct sets is
+   bounded by the lock-nesting structure of the program, not by the
+   event count, which keeps both tables tiny. *)
+
+type t = {
+  mutable sets : int array array; (* id -> sorted, duplicate-free locks *)
+  mutable n : int;
+  ids : (int array, int) Hashtbl.t; (* canonical array -> id *)
+  add_memo : (int, int) Hashtbl.t; (* (id, lock) -> id *)
+  remove_memo : (int, int) Hashtbl.t; (* (id, lock) -> id *)
+  inter_memo : (int, int) Hashtbl.t; (* (id, id) -> id *)
+}
+
+let empty = 0
+
+let create () =
+  let t =
+    {
+      sets = Array.make 16 [||];
+      n = 0;
+      ids = Hashtbl.create 64;
+      add_memo = Hashtbl.create 64;
+      remove_memo = Hashtbl.create 64;
+      inter_memo = Hashtbl.create 64;
+    }
+  in
+  t.sets.(0) <- [||];
+  t.n <- 1;
+  Hashtbl.add t.ids [||] 0;
+  t
+
+let count t = t.n
+
+let intern_sorted t arr =
+  match Hashtbl.find_opt t.ids arr with
+  | Some id -> id
+  | None ->
+    let id = t.n in
+    if id = Array.length t.sets then begin
+      let sets = Array.make (2 * id) [||] in
+      Array.blit t.sets 0 sets 0 id;
+      t.sets <- sets
+    end;
+    t.sets.(id) <- arr;
+    t.n <- id + 1;
+    Hashtbl.add t.ids arr id;
+    id
+
+let check t id =
+  if id < 0 || id >= t.n then
+    invalid_arg (Printf.sprintf "Lockset: unknown id %d" id)
+
+let intern t locks =
+  let arr = Array.of_list (List.sort_uniq compare locks) in
+  Array.iter
+    (fun l -> if l < 0 then invalid_arg "Lockset.intern: negative lock id")
+    arr;
+  intern_sorted t arr
+
+let to_list t id =
+  check t id;
+  Array.to_list t.sets.(id)
+
+let cardinal t id =
+  check t id;
+  Array.length t.sets.(id)
+
+let mem t id lock =
+  check t id;
+  let arr = t.sets.(id) in
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let m = (lo + hi) / 2 in
+      if arr.(m) = lock then true
+      else if arr.(m) < lock then go (m + 1) hi
+      else go lo m
+  in
+  go 0 (Array.length arr)
+
+(* Memo keys pack the operand into the id: ids and lock ids are both
+   small (bounded by distinct sets resp. locks), so a 31-bit shift
+   cannot collide on 64-bit ints. *)
+let key a b = (a lsl 31) lor b
+
+let add t id lock =
+  check t id;
+  if lock < 0 then invalid_arg "Lockset.add: negative lock id";
+  let k = key id lock in
+  match Hashtbl.find_opt t.add_memo k with
+  | Some r -> r
+  | None ->
+    let r =
+      if mem t id lock then id
+      else begin
+        let arr = t.sets.(id) in
+        let n = Array.length arr in
+        let out = Array.make (n + 1) lock in
+        let i = ref 0 in
+        while !i < n && arr.(!i) < lock do
+          out.(!i) <- arr.(!i);
+          incr i
+        done;
+        Array.blit arr !i out (!i + 1) (n - !i);
+        intern_sorted t out
+      end
+    in
+    Hashtbl.add t.add_memo k r;
+    r
+
+let remove t id lock =
+  check t id;
+  let k = key id lock in
+  match Hashtbl.find_opt t.remove_memo k with
+  | Some r -> r
+  | None ->
+    let r =
+      if not (mem t id lock) then id
+      else
+        intern_sorted t
+          (Array.of_seq
+             (Seq.filter (fun l -> l <> lock) (Array.to_seq t.sets.(id))))
+    in
+    Hashtbl.add t.remove_memo k r;
+    r
+
+let inter t a b =
+  check t a;
+  check t b;
+  if a = b then a
+  else begin
+    (* Normalize the key order: intersection is commutative, so one memo
+       entry serves both argument orders. *)
+    let a, b = if a < b then (a, b) else (b, a) in
+    let k = key a b in
+    match Hashtbl.find_opt t.inter_memo k with
+    | Some r -> r
+    | None ->
+      let xa = t.sets.(a) and xb = t.sets.(b) in
+      let na = Array.length xa and nb = Array.length xb in
+      let out = Array.make (min na nb) 0 in
+      let w = ref 0 and i = ref 0 and j = ref 0 in
+      while !i < na && !j < nb do
+        let va = xa.(!i) and vb = xb.(!j) in
+        if va = vb then begin
+          out.(!w) <- va;
+          incr w;
+          incr i;
+          incr j
+        end
+        else if va < vb then incr i
+        else incr j
+      done;
+      let r = intern_sorted t (Array.sub out 0 !w) in
+      Hashtbl.add t.inter_memo k r;
+      r
+  end
+
+let space_words t =
+  (* Interned arrays (header + elements) plus roughly three words per
+     table binding; the memo tables dominate, the sets are tiny. *)
+  let arrays = ref 0 in
+  for i = 0 to t.n - 1 do
+    arrays := !arrays + 1 + Array.length t.sets.(i)
+  done;
+  !arrays + Array.length t.sets
+  + 3
+    * (Hashtbl.length t.ids + Hashtbl.length t.add_memo
+     + Hashtbl.length t.remove_memo + Hashtbl.length t.inter_memo)

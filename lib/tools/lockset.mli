@@ -1,0 +1,40 @@
+(** Hash-consed lock sets for the race detector's Eraser machinery.
+
+    Every distinct set of lock ids is interned once and named by a small
+    dense int, so a shadow cell's candidate lockset is a single
+    immediate word and the per-access refinement is a memoized
+    intersection of two ids.  All operations are amortized O(1) per
+    distinct (id, operand) pair; the table grows with the program's
+    lock-nesting structure, not its event count. *)
+
+type t
+
+(** The id of the empty set, in every table. *)
+val empty : int
+
+val create : unit -> t
+
+(** [intern t locks] is the id of the set of [locks] (order and
+    duplicates ignored).
+    @raise Invalid_argument on a negative lock id. *)
+val intern : t -> int list -> int
+
+(** [add t id lock] is the id of [id ∪ {lock}]. *)
+val add : t -> int -> int -> int
+
+(** [remove t id lock] is the id of [id ∖ {lock}]. *)
+val remove : t -> int -> int -> int
+
+(** [inter t a b] is the id of [a ∩ b]. *)
+val inter : t -> int -> int -> int
+
+val mem : t -> int -> int -> bool
+val cardinal : t -> int -> int
+
+(** [to_list t id] is the set, sorted ascending. *)
+val to_list : t -> int -> int list
+
+(** [count t] is the number of distinct interned sets. *)
+val count : t -> int
+
+val space_words : t -> int

@@ -30,6 +30,8 @@ let join dst src =
 
 let copy t = { comps = Array.copy t.comps }
 
+let reset t = Array.fill t.comps 0 (Array.length t.comps) 0
+
 let leq a b =
   let ok = ref true in
   Array.iteri (fun i v -> if v > get b i then ok := false) a.comps;

@@ -19,6 +19,10 @@ val join : t -> t -> unit
 
 val copy : t -> t
 
+(** [reset c] zeroes every component in place, keeping the allocated
+    capacity — recycling for the read-vector pool of the race detector. *)
+val reset : t -> unit
+
 (** [leq a b] is the pointwise order: every component of [a] is <= the
     corresponding component of [b]. *)
 val leq : t -> t -> bool

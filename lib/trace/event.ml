@@ -82,6 +82,13 @@ let to_line = function
 
 let of_line line =
   let fail () = Error (Printf.sprintf "Event.of_line: malformed %S" line) in
+  (* The text edge validates addresses exactly like the binary one
+     (Batch.validate_addrs): shadow-memory consumers carry no
+     per-access guard, so no decoder may admit a negative address. *)
+  let addr_ok a ev =
+    if a >= 0 then Ok ev
+    else Error (Printf.sprintf "Event.of_line: negative address in %S" line)
+  in
   match String.split_on_char ' ' (String.trim line) with
   | [ "C"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
@@ -93,11 +100,11 @@ let of_line line =
     | None -> fail ())
   | [ "L"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
-    | Some tid, Some addr -> Ok (Read { tid; addr })
+    | Some tid, Some addr -> addr_ok addr (Read { tid; addr })
     | _ -> fail ())
   | [ "S"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
-    | Some tid, Some addr -> Ok (Write { tid; addr })
+    | Some tid, Some addr -> addr_ok addr (Write { tid; addr })
     | _ -> fail ())
   | [ "B"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
@@ -105,11 +112,13 @@ let of_line line =
     | _ -> fail ())
   | [ "U"; a; b; c ] -> (
     match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
-    | Some tid, Some addr, Some len -> Ok (User_to_kernel { tid; addr; len })
+    | Some tid, Some addr, Some len ->
+      addr_ok addr (User_to_kernel { tid; addr; len })
     | _ -> fail ())
   | [ "K"; a; b; c ] -> (
     match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
-    | Some tid, Some addr, Some len -> Ok (Kernel_to_user { tid; addr; len })
+    | Some tid, Some addr, Some len ->
+      addr_ok addr (Kernel_to_user { tid; addr; len })
     | _ -> fail ())
   | [ "A"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
@@ -121,11 +130,11 @@ let of_line line =
     | _ -> fail ())
   | [ "M"; a; b; c ] -> (
     match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
-    | Some tid, Some addr, Some len -> Ok (Alloc { tid; addr; len })
+    | Some tid, Some addr, Some len -> addr_ok addr (Alloc { tid; addr; len })
     | _ -> fail ())
   | [ "F"; a; b; c ] -> (
     match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
-    | Some tid, Some addr, Some len -> Ok (Free { tid; addr; len })
+    | Some tid, Some addr, Some len -> addr_ok addr (Free { tid; addr; len })
     | _ -> fail ())
   | [ "T"; a ] -> (
     match int_of_string_opt a with
@@ -207,6 +216,25 @@ module Batch = struct
 
   let tag_has_arg tag = (arg_mask lsr tag) land 1 = 1
   let tag_has_len tag = (len_mask lsr tag) land 1 = 1
+
+  (* Tags whose payload is a memory address: Read/Write (3, 4), the
+     kernel transfers (6, 7), Alloc/Free (10, 11). *)
+  let addr_mask = 0b1100_1101_1000
+
+  (* Shadow-memory consumers index page tables with the raw address, so
+     a negative address must never cross the batch edge: decoders and
+     other untrusted producers validate once per batch here, and the
+     tools' hot paths drop their per-access guards. *)
+  let validate_addrs b =
+    for i = 0 to b.len - 1 do
+      if
+        (addr_mask lsr Array.unsafe_get b.tags i) land 1 = 1
+        && Array.unsafe_get b.args i < 0
+      then
+        invalid_arg
+          (Printf.sprintf "Event.Batch: negative address %d at event %d"
+             b.args.(i) i)
+    done
 
   let tags b = b.tags
   let tids b = b.tids

@@ -125,6 +125,17 @@ module Batch : sig
   val arg_mask : int
   val len_mask : int
 
+  (** Bit [tag] set when the payload is a memory address (Read/Write,
+      kernel transfers, Alloc/Free). *)
+  val addr_mask : int
+
+  (** [validate_addrs b] checks every address-carrying event for a
+      non-negative address.  Decoders call this once per batch at the
+      trust boundary, so shadow-memory consumers can index page tables
+      with raw addresses and no per-access guard.
+      @raise Invalid_argument on the first negative address. *)
+  val validate_addrs : t -> unit
+
   val tag_of_event : event -> int
 
   (** {2 Raw field access}

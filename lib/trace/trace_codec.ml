@@ -160,11 +160,20 @@ let step_record ~read_byte ~read_string ~define b =
     false
   | tag -> bad "unknown record tag %d" tag
 
+(* Decoded bytes are untrusted; downstream tools index shadow pages with
+   raw addresses and no per-access guard, so the batch edge is where
+   negative addresses must die.  Every fill site calls this once per
+   refilled batch. *)
+let validate_batch b =
+  try Batch.validate_addrs b
+  with Invalid_argument msg -> bad "%s" msg
+
 let fill_batch ~read_byte ~read_string ~define b =
   let finished = ref false in
   while (not !finished) && not (Batch.is_full b) do
     finished := step_record ~read_byte ~read_string ~define b
   done;
+  validate_batch b;
   !finished
 
 (* Bulk fast path over a chunk: decode plain event records directly off
@@ -375,6 +384,7 @@ let batch_reader ?(chunk_bytes = default_chunk)
       if not (Batch.is_full b) then
         fin := step_record ~read_byte ~read_string ~define b
     done;
+    validate_batch b;
     !fin
   in
   ( names,
@@ -552,6 +562,7 @@ let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
           ignore (chunk_step ~read_byte ~read_string ~define b)
       end
     done;
+    validate_batch b;
     !fin
   in
   let finished = ref false in

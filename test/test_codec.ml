@@ -27,22 +27,31 @@ let gen_event =
   let* a = gen_payload in
   let* b = gen_payload in
   let* c = gen_payload in
+  (* Decoders validate addresses at the batch edge, so address fields
+     must be non-negative for a round trip; masking keeps the extreme
+     magnitudes.  Non-address payloads still sweep the full int range. *)
+  let addr = b land max_int in
   return
     (match tag with
     | 1 -> Event.Call { tid = a; routine = b }
     | 2 -> Event.Return { tid = a }
-    | 3 -> Event.Read { tid = a; addr = b }
-    | 4 -> Event.Write { tid = a; addr = b }
+    | 3 -> Event.Read { tid = a; addr }
+    | 4 -> Event.Write { tid = a; addr }
     | 5 -> Event.Block { tid = a; units = b }
-    | 6 -> Event.User_to_kernel { tid = a; addr = b; len = c }
-    | 7 -> Event.Kernel_to_user { tid = a; addr = b; len = c }
+    | 6 -> Event.User_to_kernel { tid = a; addr; len = c }
+    | 7 -> Event.Kernel_to_user { tid = a; addr; len = c }
     | 8 -> Event.Acquire { tid = a; lock = b }
     | 9 -> Event.Release { tid = a; lock = b }
-    | 10 -> Event.Alloc { tid = a; addr = b; len = c }
-    | 11 -> Event.Free { tid = a; addr = b; len = c }
+    | 10 -> Event.Alloc { tid = a; addr; len = c }
+    | 11 -> Event.Free { tid = a; addr; len = c }
     | 12 -> Event.Thread_start { tid = a }
     | 13 -> Event.Thread_exit { tid = a }
     | _ -> Event.Switch_thread { tid = a })
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
 
 let decode_exn s =
   match Codec.of_string s with
@@ -160,6 +169,56 @@ let rejects_garbage () =
   Sys.remove file;
   Alcotest.(check bool) "text detected" true (fmt = `Text)
 
+(* Negative addresses die at the decode edge, not inside a tool's shadow
+   lookup: the codec happily encodes them (zigzag covers the full int
+   range), so the decoder must be the one to refuse. *)
+let rejects_negative_addrs () =
+  List.iter
+    (fun (name, ev) ->
+      let s = Codec.to_string (Vec.of_list [ ev ]) in
+      (match Codec.of_string s with
+      | Ok _ -> Alcotest.failf "%s: negative address was accepted" name
+      | Error msg ->
+        Alcotest.(check bool)
+          (name ^ ": error names the address") true
+          (contains ~sub:"negative address" msg));
+      (* The streaming batch reader rejects too. *)
+      let file = Filename.temp_file "aprof_negaddr" ".atrc" in
+      Out_channel.with_open_bin file (fun oc -> output_string oc s);
+      (match
+         In_channel.with_open_bin file (fun ic ->
+             let _names, batches = Codec.batch_reader ic in
+             batches ())
+       with
+      | exception Stream.Decode_error _ -> ()
+      | _ -> Alcotest.failf "%s: batch reader accepted it" name);
+      Sys.remove file)
+    [
+      ("read", Event.Read { tid = 0; addr = -1 });
+      ("write", Event.Write { tid = 0; addr = min_int });
+      ("user-to-kernel", Event.User_to_kernel { tid = 0; addr = -7; len = 3 });
+      ("kernel-to-user", Event.Kernel_to_user { tid = 0; addr = -7; len = 3 });
+      ("alloc", Event.Alloc { tid = 0; addr = -2; len = 1 });
+      ("free", Event.Free { tid = 0; addr = -2; len = 1 });
+    ];
+  (* The text edge rejects identically. *)
+  List.iter
+    (fun line ->
+      match Event.of_line line with
+      | Error msg ->
+        Alcotest.(check bool)
+          (line ^ ": text error names the address") true
+          (contains ~sub:"negative address" msg)
+      | Ok _ -> Alcotest.failf "%S: text decode accepted a negative address" line)
+    [ "L 0 -1"; "S 0 -9"; "U 0 -2 3"; "K 0 -2 3"; "M 0 -4 1"; "F 0 -4 1" ];
+  (* Negative payloads that are not addresses still round trip. *)
+  let ev = Event.Block { tid = 0; units = -5 } in
+  match Codec.of_string (Codec.to_string (Vec.of_list [ ev ])) with
+  | Ok (tr, _) ->
+    Alcotest.(check bool) "negative non-address payload survives" true
+      (Vec.length tr = 1 && Event.equal (Vec.get tr 0) ev)
+  | Error msg -> Alcotest.failf "negative units rejected: %s" msg
+
 (* --- shard index ------------------------------------------------------ *)
 
 let sample_trace seed =
@@ -182,11 +241,6 @@ let write_binary ?(index = true) trace file =
       sink.Stream.close_batch ())
 
 let decode_source src = Stream.to_trace (Stream.events_of_batches src)
-
-let contains ~sub s =
-  let n = String.length sub and m = String.length s in
-  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
-  at 0
 
 let shard_index_round_trip () =
   let trace = sample_trace 11 in
@@ -317,6 +371,8 @@ let suite =
     Alcotest.test_case "writer/reader channel round trip" `Quick
       channel_round_trip;
     Alcotest.test_case "malformed input is rejected" `Quick rejects_garbage;
+    Alcotest.test_case "negative addresses rejected at the decode edge"
+      `Quick rejects_negative_addrs;
     Alcotest.test_case "shard index round trip" `Quick shard_index_round_trip;
     Alcotest.test_case "seek_chunk reads exactly one chunk" `Quick
       seek_chunk_reads_one_chunk;

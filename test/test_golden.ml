@@ -81,10 +81,29 @@ let run_case ~workload ~threads ~scale () =
     check_golden (workload ^ ".report.txt")
       (Profile_io.render_report ~routine_name:name loaded))
 
+(* The helgrind race report is pinned too: race lines and summary, as
+   `aprof tools` prints them.  The round-robin scheduler makes the
+   interleaving — hence the detected races and their order — exact. *)
+let helgrind_case ~workload ~threads ~scale () =
+  let spec =
+    match Registry.find workload with
+    | Some s -> s
+    | None -> Alcotest.failf "unknown workload %s" workload
+  in
+  let result = Workload.run_spec spec ~threads ~scale ~seed:42 in
+  let h = Aprof_tools.Helgrind_lite.create () in
+  Aprof_util.Vec.iter
+    (Aprof_tools.Helgrind_lite.on_event h)
+    result.Interp.trace;
+  check_golden (workload ^ ".helgrind.txt")
+    (Aprof_tools.Helgrind_lite.render_report h)
+
 let suite =
   [
     Alcotest.test_case "producer_consumer report" `Quick
       (run_case ~workload:"producer_consumer" ~threads:4 ~scale:60);
     Alcotest.test_case "mysqlslap report" `Quick
       (run_case ~workload:"mysqlslap" ~threads:4 ~scale:40);
+    Alcotest.test_case "producer_consumer helgrind report" `Quick
+      (helgrind_case ~workload:"producer_consumer" ~threads:4 ~scale:60);
   ]

@@ -1,0 +1,130 @@
+(* The hash-consed lockset table: interning gives one id per distinct
+   set, and add/remove/inter agree with a naive sorted-list model. *)
+
+module Lockset = Aprof_tools.Lockset
+
+let test_intern_basics () =
+  let t = Lockset.create () in
+  Alcotest.(check int) "empty interned at 0" Lockset.empty (Lockset.intern t []);
+  let a = Lockset.intern t [ 3; 1; 2 ] in
+  let b = Lockset.intern t [ 2; 3; 1; 1 ] in
+  Alcotest.(check int) "order and duplicates ignored" a b;
+  Alcotest.(check (list int)) "sorted set back" [ 1; 2; 3 ] (Lockset.to_list t a);
+  let c = Lockset.intern t [ 1; 2 ] in
+  Alcotest.(check bool) "distinct sets, distinct ids" true (a <> c);
+  Alcotest.(check int) "three sets interned" 3 (Lockset.count t)
+
+let test_operations () =
+  let t = Lockset.create () in
+  let ab = Lockset.intern t [ 1; 2 ] in
+  let abc = Lockset.add t ab 3 in
+  Alcotest.(check (list int)) "add" [ 1; 2; 3 ] (Lockset.to_list t abc);
+  Alcotest.(check int) "add existing is identity" abc (Lockset.add t abc 2);
+  Alcotest.(check int) "remove" ab (Lockset.remove t abc 3);
+  Alcotest.(check int) "remove absent is identity" ab (Lockset.remove t ab 9);
+  let bc = Lockset.intern t [ 2; 3 ] in
+  let b = Lockset.inter t ab bc in
+  Alcotest.(check (list int)) "inter" [ 2 ] (Lockset.to_list t b);
+  Alcotest.(check int) "inter commutes" b (Lockset.inter t bc ab);
+  Alcotest.(check int) "inter with self" ab (Lockset.inter t ab ab);
+  Alcotest.(check int) "inter with empty drains" Lockset.empty
+    (Lockset.inter t ab Lockset.empty);
+  Alcotest.(check bool) "mem positive" true (Lockset.mem t ab 2);
+  Alcotest.(check bool) "mem negative" false (Lockset.mem t ab 3);
+  Alcotest.(check int) "cardinal" 2 (Lockset.cardinal t ab)
+
+let test_hash_consing () =
+  let t = Lockset.create () in
+  let a = Lockset.intern t [ 5; 7 ] in
+  (* Reaching the same set through different operation chains yields the
+     same id — the property the race detector's two-int cells rely on. *)
+  let via_add = Lockset.add t (Lockset.intern t [ 5 ]) 7 in
+  let via_remove = Lockset.remove t (Lockset.intern t [ 5; 6; 7 ]) 6 in
+  let via_inter = Lockset.inter t (Lockset.intern t [ 5; 7; 9 ]) (Lockset.intern t [ 4; 5; 7 ]) in
+  Alcotest.(check int) "add reaches interned id" a via_add;
+  Alcotest.(check int) "remove reaches interned id" a via_remove;
+  Alcotest.(check int) "inter reaches interned id" a via_inter
+
+let test_rejects_negative () =
+  let t = Lockset.create () in
+  Alcotest.check_raises "intern negative"
+    (Invalid_argument "Lockset.intern: negative lock id") (fun () ->
+      ignore (Lockset.intern t [ -3 ]));
+  Alcotest.check_raises "add negative"
+    (Invalid_argument "Lockset.add: negative lock id") (fun () ->
+      ignore (Lockset.add t Lockset.empty (-1)))
+
+(* --- qcheck vs a naive sorted-list oracle ----------------------------
+   Random operation programs over a small lock universe, interpreted in
+   parallel against sorted int lists; every step must agree, and equal
+   model sets must share one interned id (hash-consing). *)
+
+type op = Intern of int list | Add of int * int | Remove of int * int | Inter of int * int
+
+let gen_ops =
+  let open QCheck2.Gen in
+  let lock = int_range 0 7 in
+  let slot = int_range 0 3 in
+  let op =
+    frequency
+      [
+        (2, map (fun ls -> Intern ls) (list_size (int_range 0 5) lock));
+        (3, map2 (fun s l -> Add (s, l)) slot lock);
+        (2, map2 (fun s l -> Remove (s, l)) slot lock);
+        (3, map2 (fun a b -> Inter (a, b)) slot slot);
+      ]
+  in
+  list_size (int_range 1 60) op
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Intern ls ->
+           "intern[" ^ String.concat "," (List.map string_of_int ls) ^ "]"
+         | Add (s, l) -> Printf.sprintf "add %d %d" s l
+         | Remove (s, l) -> Printf.sprintf "rem %d %d" s l
+         | Inter (a, b) -> Printf.sprintf "int %d %d" a b)
+       ops)
+
+let model_agreement ops =
+  let t = Lockset.create () in
+  (* Four slots holding (id, model) pairs that the ops mutate. *)
+  let slots = Array.make 4 (Lockset.empty, []) in
+  let ok = ref true in
+  let store s id model =
+    (* Hash-consing invariant: same model set -> same id, everywhere. *)
+    Array.iter
+      (fun (id', model') -> if model' = model && id' <> id then ok := false)
+      slots;
+    slots.(s) <- (id, model);
+    if Lockset.to_list t id <> model then ok := false
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Intern ls -> store 0 (Lockset.intern t ls) (List.sort_uniq compare ls)
+      | Add (s, l) ->
+        let id, model = slots.(s) in
+        store s (Lockset.add t id l) (List.sort_uniq compare (l :: model))
+      | Remove (s, l) ->
+        let id, model = slots.(s) in
+        store s (Lockset.remove t id l) (List.filter (fun x -> x <> l) model)
+      | Inter (a, b) ->
+        let ida, ma = slots.(a) and idb, mb = slots.(b) in
+        store a (Lockset.inter t ida idb)
+          (List.filter (fun x -> List.mem x mb) ma))
+    ops;
+  !ok
+
+let suite =
+  [
+    Alcotest.test_case "intern basics" `Quick test_intern_basics;
+    Alcotest.test_case "add/remove/inter" `Quick test_operations;
+    Alcotest.test_case "hash-consing across operation chains" `Quick
+      test_hash_consing;
+    Alcotest.test_case "negative lock ids rejected" `Quick test_rejects_negative;
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"lockset = sorted-list oracle"
+         ~print:print_ops gen_ops model_agreement);
+  ]

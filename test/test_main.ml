@@ -14,6 +14,8 @@ let () =
       ("workloads", Test_workloads.suite);
       ("vm", Test_vm.suite);
       ("tools", Test_tools.suite);
+      ("lockset", Test_lockset.suite);
+      ("helgrind-diff", Test_helgrind_diff.suite);
       ("core-units", Test_core_units.suite);
       ("comm", Test_comm.suite);
       ("reuse", Test_reuse.suite);
