@@ -46,7 +46,7 @@ let create ?(leaf_bits = 10) ?(mid_bits = 10) () =
 
 (* [get]/[set]/[exchange] do not guard against negative addresses: they
    run once per trace event, and every producer validates at its edge —
-   the codec calls [Event.Batch.validate_addrs] per decoded batch, the
+   the codec calls [Event.Batch.validate] per decoded batch, the
    VM allocator only hands out non-negative addresses.  [check_addr] is
    exported for edges that take addresses from elsewhere (CLI arguments,
    bulk [set_range]).  A negative address that slipped through cannot

@@ -18,7 +18,7 @@ val create : ?leaf_bits:int -> ?mid_bits:int -> unit -> t
 
 (** [check_addr addr] rejects a negative address.  The per-access
     operations below do {e not} call it: addresses are validated once at
-    the trust boundary ({!Aprof_trace.Event.Batch.validate_addrs} at the
+    the trust boundary ({!Aprof_trace.Event.Batch.validate} at the
     codec's batch edge; the VM allocator never produces negatives), so
     edges that accept addresses from elsewhere must call this first.
     @raise Invalid_argument on a negative address. *)

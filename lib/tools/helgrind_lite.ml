@@ -55,6 +55,11 @@ let tid_bits = 16
 let tid_mask = (1 lsl tid_bits) - 1
 let max_tid = tid_mask
 
+(* The decode edge (Event.Batch.validate, Event.of_line) enforces the
+   same bound, so no decoded trace can reach the range check in
+   [thread] — only direct API callers can. *)
+let () = assert (max_tid = Event.max_tid)
+
 type thread = {
   clk : Vclock.t;
   mutable held : int; (* interned id of the locks currently held *)
@@ -266,8 +271,9 @@ let write_slow t tid i addr =
 
 (* Arena indexes decoded from the shadow word are < ncells by
    construction, so the unsafe reads are in bounds; [epochs] is indexed
-   only after an explicit bounds check (0, "thread unseen", can never
-   equal a nonzero cell state). *)
+   only after explicit bounds checks on both ends — a negative or
+   oversized tid falls through to the slow path, where [thread] rejects
+   it — and 0 ("thread unseen") can never equal a nonzero cell state. *)
 
 let on_read t tid addr =
   let idx = Shadow.get t.shadow addr in
@@ -281,6 +287,7 @@ let on_read t tid addr =
        update is idempotent — nothing observable is skipped. *)
     if
       re > 0
+      && tid >= 0
       && tid < Array.length t.epochs
       && re = Array.unsafe_get t.epochs tid
     then ()
@@ -297,6 +304,7 @@ let on_write t tid addr =
        vacuous and the update a no-op. *)
     if
       Array.unsafe_get t.r i = 0
+      && tid >= 0
       && tid < Array.length t.epochs
       && Array.unsafe_get t.w i = Array.unsafe_get t.epochs tid
       && Array.unsafe_get t.w i <> 0

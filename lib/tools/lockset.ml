@@ -59,11 +59,19 @@ let check t id =
   if id < 0 || id >= t.n then
     invalid_arg (Printf.sprintf "Lockset: unknown id %d" id)
 
+(* Memo keys pack the lock operand into the low 31 bits (see [key]), so
+   every entry point that takes a raw lock id must bound it — otherwise
+   a stray id aliases another pair's memo slot and silently corrupts
+   held/candidate sets. *)
+let max_lock = (1 lsl 31) - 1
+
+let check_lock name lock =
+  if lock < 0 || lock > max_lock then
+    invalid_arg (Printf.sprintf "Lockset.%s: lock id %d out of range" name lock)
+
 let intern t locks =
   let arr = Array.of_list (List.sort_uniq compare locks) in
-  Array.iter
-    (fun l -> if l < 0 then invalid_arg "Lockset.intern: negative lock id")
-    arr;
+  Array.iter (check_lock "intern") arr;
   intern_sorted t arr
 
 let to_list t id =
@@ -87,14 +95,15 @@ let mem t id lock =
   in
   go 0 (Array.length arr)
 
-(* Memo keys pack the operand into the id: ids and lock ids are both
-   small (bounded by distinct sets resp. locks), so a 31-bit shift
-   cannot collide on 64-bit ints. *)
+(* Memo keys pack the operand into the id: injective only while
+   [0 <= b < 2^31].  Both operand kinds satisfy it — lock ids are
+   bounded by [check_lock] at every entry point, and set ids are dense
+   (< [t.n], far below 2^31). *)
 let key a b = (a lsl 31) lor b
 
 let add t id lock =
   check t id;
-  if lock < 0 then invalid_arg "Lockset.add: negative lock id";
+  check_lock "add" lock;
   let k = key id lock in
   match Hashtbl.find_opt t.add_memo k with
   | Some r -> r
@@ -119,6 +128,7 @@ let add t id lock =
 
 let remove t id lock =
   check t id;
+  check_lock "remove" lock;
   let k = key id lock in
   match Hashtbl.find_opt t.remove_memo k with
   | Some r -> r

@@ -12,17 +12,24 @@ type t
 (** The id of the empty set, in every table. *)
 val empty : int
 
+(** The largest admissible lock id: memo keys pack the lock operand
+    into 31 bits, so [intern]/[add]/[remove] reject anything outside
+    [[0, max_lock]] (the trace decode edge enforces the same bound). *)
+val max_lock : int
+
 val create : unit -> t
 
 (** [intern t locks] is the id of the set of [locks] (order and
     duplicates ignored).
-    @raise Invalid_argument on a negative lock id. *)
+    @raise Invalid_argument on a lock id outside [[0, max_lock]]. *)
 val intern : t -> int list -> int
 
-(** [add t id lock] is the id of [id ∪ {lock}]. *)
+(** [add t id lock] is the id of [id ∪ {lock}].
+    @raise Invalid_argument on a lock id outside [[0, max_lock]]. *)
 val add : t -> int -> int -> int
 
-(** [remove t id lock] is the id of [id ∖ {lock}]. *)
+(** [remove t id lock] is the id of [id ∖ {lock}].
+    @raise Invalid_argument on a lock id outside [[0, max_lock]]. *)
 val remove : t -> int -> int -> int
 
 (** [inter t a b] is the id of [a ∩ b]. *)

@@ -18,6 +18,15 @@ type t =
   | Thread_exit of { tid : tid }
   | Switch_thread of { tid : tid }
 
+(* Decode-edge bounds on identifier payloads.  Consumers trust these:
+   tools keep per-thread state dense in [tid] and pack it into 16-bit
+   epoch fields (Helgrind_lite), and lockset memo keys pack the lock id
+   below bit 31 (Lockset) — so the trace contract bounds both, and every
+   decoder turns an out-of-range value into a clean decode error instead
+   of an exception (or an unsafe access) deep inside a tool. *)
+let max_tid = 0xFFFF
+let max_lock = (1 lsl 31) - 1
+
 let tid = function
   | Call { tid; _ }
   | Return { tid }
@@ -82,21 +91,35 @@ let to_line = function
 
 let of_line line =
   let fail () = Error (Printf.sprintf "Event.of_line: malformed %S" line) in
-  (* The text edge validates addresses exactly like the binary one
-     (Batch.validate_addrs): shadow-memory consumers carry no
-     per-access guard, so no decoder may admit a negative address. *)
+  (* The text edge validates identifier payloads exactly like the binary
+     one (Batch.validate): shadow-memory, per-thread and lockset
+     consumers carry no per-access guard, so no decoder may admit a
+     negative address or an out-of-range thread or lock id. *)
+  let ok ev =
+    let t = tid ev in
+    if t < 0 || t > max_tid then
+      Error (Printf.sprintf "Event.of_line: thread id %d out of range in %S" t line)
+    else
+      match ev with
+      | (Acquire { lock; _ } | Release { lock; _ })
+        when lock < 0 || lock > max_lock ->
+        Error
+          (Printf.sprintf "Event.of_line: lock id %d out of range in %S" lock
+             line)
+      | _ -> Ok ev
+  in
   let addr_ok a ev =
-    if a >= 0 then Ok ev
+    if a >= 0 then ok ev
     else Error (Printf.sprintf "Event.of_line: negative address in %S" line)
   in
   match String.split_on_char ' ' (String.trim line) with
   | [ "C"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
-    | Some tid, Some routine -> Ok (Call { tid; routine })
+    | Some tid, Some routine -> ok (Call { tid; routine })
     | _ -> fail ())
   | [ "R"; a ] -> (
     match int_of_string_opt a with
-    | Some tid -> Ok (Return { tid })
+    | Some tid -> ok (Return { tid })
     | None -> fail ())
   | [ "L"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
@@ -108,7 +131,7 @@ let of_line line =
     | _ -> fail ())
   | [ "B"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
-    | Some tid, Some units -> Ok (Block { tid; units })
+    | Some tid, Some units -> ok (Block { tid; units })
     | _ -> fail ())
   | [ "U"; a; b; c ] -> (
     match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
@@ -122,11 +145,11 @@ let of_line line =
     | _ -> fail ())
   | [ "A"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
-    | Some tid, Some lock -> Ok (Acquire { tid; lock })
+    | Some tid, Some lock -> ok (Acquire { tid; lock })
     | _ -> fail ())
   | [ "E"; a; b ] -> (
     match (int_of_string_opt a, int_of_string_opt b) with
-    | Some tid, Some lock -> Ok (Release { tid; lock })
+    | Some tid, Some lock -> ok (Release { tid; lock })
     | _ -> fail ())
   | [ "M"; a; b; c ] -> (
     match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
@@ -138,15 +161,15 @@ let of_line line =
     | _ -> fail ())
   | [ "T"; a ] -> (
     match int_of_string_opt a with
-    | Some tid -> Ok (Thread_start { tid })
+    | Some tid -> ok (Thread_start { tid })
     | None -> fail ())
   | [ "X"; a ] -> (
     match int_of_string_opt a with
-    | Some tid -> Ok (Thread_exit { tid })
+    | Some tid -> ok (Thread_exit { tid })
     | None -> fail ())
   | [ "W"; a ] -> (
     match int_of_string_opt a with
-    | Some tid -> Ok (Switch_thread { tid })
+    | Some tid -> ok (Switch_thread { tid })
     | None -> fail ())
   | _ -> fail ()
 
@@ -221,19 +244,32 @@ module Batch = struct
      kernel transfers (6, 7), Alloc/Free (10, 11). *)
   let addr_mask = 0b1100_1101_1000
 
-  (* Shadow-memory consumers index page tables with the raw address, so
-     a negative address must never cross the batch edge: decoders and
-     other untrusted producers validate once per batch here, and the
+  (* Tags whose payload is a lock id: Acquire/Release (8, 9). *)
+  let lock_mask = 0b0011_0000_0000
+
+  (* Consumers trust batch fields: shadow-memory page tables are indexed
+     with the raw address, per-thread tool state is dense in (and packed
+     by) the tid, and lockset memo keys pack the lock id below bit 31 —
+     so a negative address, a tid outside [0, max_tid] or a lock id
+     outside [0, max_lock] must never cross the batch edge.  Decoders
+     and other untrusted producers validate once per batch here, and the
      tools' hot paths drop their per-access guards. *)
-  let validate_addrs b =
+  let validate b =
     for i = 0 to b.len - 1 do
-      if
-        (addr_mask lsr Array.unsafe_get b.tags i) land 1 = 1
-        && Array.unsafe_get b.args i < 0
-      then
+      let tag = Array.unsafe_get b.tags i in
+      let tid = Array.unsafe_get b.tids i in
+      if tid < 0 || tid > max_tid then
         invalid_arg
-          (Printf.sprintf "Event.Batch: negative address %d at event %d"
-             b.args.(i) i)
+          (Printf.sprintf "Event.Batch: thread id %d out of range at event %d"
+             tid i);
+      let arg = Array.unsafe_get b.args i in
+      if (addr_mask lsr tag) land 1 = 1 && arg < 0 then
+        invalid_arg
+          (Printf.sprintf "Event.Batch: negative address %d at event %d" arg i);
+      if (lock_mask lsr tag) land 1 = 1 && (arg < 0 || arg > max_lock) then
+        invalid_arg
+          (Printf.sprintf "Event.Batch: lock id %d out of range at event %d"
+             arg i)
     done
 
   let tags b = b.tags

@@ -40,6 +40,16 @@ type t =
       (** Control switches to thread [tid].  Inserted by the trace merge
           (or the VM scheduler) between events of different threads. *)
 
+(** Decode-edge bounds on identifier payloads.  Thread ids are kept
+    dense (and packed into 16-bit epoch fields) by the tools, and lock
+    ids are packed below bit 31 by the lockset memo tables, so every
+    decoder rejects out-of-range values as decode errors — consumers
+    past the edge carry no per-access guard. *)
+
+val max_tid : int
+
+val max_lock : int
+
 (** [tid e] is the thread associated with [e]; for [Switch_thread] it is
     the incoming thread. *)
 val tid : t -> tid
@@ -129,12 +139,17 @@ module Batch : sig
       kernel transfers, Alloc/Free). *)
   val addr_mask : int
 
-  (** [validate_addrs b] checks every address-carrying event for a
-      non-negative address.  Decoders call this once per batch at the
-      trust boundary, so shadow-memory consumers can index page tables
-      with raw addresses and no per-access guard.
-      @raise Invalid_argument on the first negative address. *)
-  val validate_addrs : t -> unit
+  (** Bit [tag] set when the payload is a lock id (Acquire/Release). *)
+  val lock_mask : int
+
+  (** [validate b] checks every event's thread id against
+      [[0, max_tid]], every address-carrying event for a non-negative
+      address, and every lock-carrying event against [[0, max_lock]].
+      Decoders call this once per batch at the trust boundary, so
+      consumers can index page tables, dense per-thread state and
+      lockset memo keys with the raw fields and no per-access guard.
+      @raise Invalid_argument on the first out-of-range field. *)
+  val validate : t -> unit
 
   val tag_of_event : event -> int
 

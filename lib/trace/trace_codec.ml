@@ -160,12 +160,13 @@ let step_record ~read_byte ~read_string ~define b =
     false
   | tag -> bad "unknown record tag %d" tag
 
-(* Decoded bytes are untrusted; downstream tools index shadow pages with
-   raw addresses and no per-access guard, so the batch edge is where
-   negative addresses must die.  Every fill site calls this once per
-   refilled batch. *)
+(* Decoded bytes are untrusted; downstream tools index shadow pages,
+   dense per-thread state and lockset memo keys with the raw fields and
+   no per-access guard, so the batch edge is where negative addresses
+   and out-of-range thread/lock ids must die.  Every fill site calls
+   this once per refilled batch. *)
 let validate_batch b =
-  try Batch.validate_addrs b
+  try Batch.validate b
   with Invalid_argument msg -> bad "%s" msg
 
 let fill_batch ~read_byte ~read_string ~define b =

@@ -27,26 +27,29 @@ let gen_event =
   let* a = gen_payload in
   let* b = gen_payload in
   let* c = gen_payload in
-  (* Decoders validate addresses at the batch edge, so address fields
-     must be non-negative for a round trip; masking keeps the extreme
-     magnitudes.  Non-address payloads still sweep the full int range. *)
+  (* Decoders validate at the batch edge — addresses non-negative, tids
+     in [0, max_tid], locks in [0, max_lock] — so those fields must be
+     in range for a round trip; masking keeps the extreme magnitudes.
+     Unconstrained payloads still sweep the full int range. *)
   let addr = b land max_int in
+  let tid = a land Event.max_tid in
+  let lock = b land Event.max_lock in
   return
     (match tag with
-    | 1 -> Event.Call { tid = a; routine = b }
-    | 2 -> Event.Return { tid = a }
-    | 3 -> Event.Read { tid = a; addr }
-    | 4 -> Event.Write { tid = a; addr }
-    | 5 -> Event.Block { tid = a; units = b }
-    | 6 -> Event.User_to_kernel { tid = a; addr; len = c }
-    | 7 -> Event.Kernel_to_user { tid = a; addr; len = c }
-    | 8 -> Event.Acquire { tid = a; lock = b }
-    | 9 -> Event.Release { tid = a; lock = b }
-    | 10 -> Event.Alloc { tid = a; addr; len = c }
-    | 11 -> Event.Free { tid = a; addr; len = c }
-    | 12 -> Event.Thread_start { tid = a }
-    | 13 -> Event.Thread_exit { tid = a }
-    | _ -> Event.Switch_thread { tid = a })
+    | 1 -> Event.Call { tid; routine = b }
+    | 2 -> Event.Return { tid }
+    | 3 -> Event.Read { tid; addr }
+    | 4 -> Event.Write { tid; addr }
+    | 5 -> Event.Block { tid; units = b }
+    | 6 -> Event.User_to_kernel { tid; addr; len = c }
+    | 7 -> Event.Kernel_to_user { tid; addr; len = c }
+    | 8 -> Event.Acquire { tid; lock }
+    | 9 -> Event.Release { tid; lock }
+    | 10 -> Event.Alloc { tid; addr; len = c }
+    | 11 -> Event.Free { tid; addr; len = c }
+    | 12 -> Event.Thread_start { tid }
+    | 13 -> Event.Thread_exit { tid }
+    | _ -> Event.Switch_thread { tid })
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -219,6 +222,52 @@ let rejects_negative_addrs () =
       (Vec.length tr = 1 && Event.equal (Vec.get tr 0) ev)
   | Error msg -> Alcotest.failf "negative units rejected: %s" msg
 
+(* Out-of-range thread and lock ids die at the same edge: tools keep
+   per-thread state dense in the tid (and pack it into 16-bit epochs),
+   and lockset memo keys pack the lock id below bit 31, so a tid or lock
+   the encoder happily zigzags must be refused on decode — as a decode
+   error, not an Invalid_argument from inside a tool mid-replay. *)
+let rejects_bad_ids () =
+  List.iter
+    (fun (name, sub, ev) ->
+      match Codec.of_string (Codec.to_string (Vec.of_list [ ev ])) with
+      | Ok _ -> Alcotest.failf "%s: out-of-range id was accepted" name
+      | Error msg ->
+        Alcotest.(check bool)
+          (name ^ ": error names the field") true (contains ~sub msg))
+    [
+      ("negative tid", "thread id", Event.Read { tid = -1; addr = 0 });
+      ( "tid beyond max_tid",
+        "thread id",
+        Event.Write { tid = Event.max_tid + 1; addr = 0 } );
+      ("huge tid", "thread id", Event.Thread_start { tid = max_int });
+      ("negative lock", "lock id", Event.Acquire { tid = 0; lock = -1 });
+      ( "lock beyond max_lock",
+        "lock id",
+        Event.Release { tid = 0; lock = Event.max_lock + 1 } );
+    ];
+  (* The text edge rejects identically. *)
+  List.iter
+    (fun (line, sub) ->
+      match Event.of_line line with
+      | Error msg ->
+        Alcotest.(check bool)
+          (line ^ ": text error names the field") true (contains ~sub msg)
+      | Ok _ -> Alcotest.failf "%S: text decode accepted an out-of-range id" line)
+    [
+      ("L -1 0", "thread id");
+      (Printf.sprintf "S %d 0" (Event.max_tid + 1), "thread id");
+      ("A 0 -1", "lock id");
+      (Printf.sprintf "E 0 %d" (Event.max_lock + 1), "lock id");
+    ];
+  (* The bounds themselves are admissible. *)
+  let ev = Event.Acquire { tid = Event.max_tid; lock = Event.max_lock } in
+  match Codec.of_string (Codec.to_string (Vec.of_list [ ev ])) with
+  | Ok (tr, _) ->
+    Alcotest.(check bool) "boundary ids survive" true
+      (Vec.length tr = 1 && Event.equal (Vec.get tr 0) ev)
+  | Error msg -> Alcotest.failf "boundary ids rejected: %s" msg
+
 (* --- shard index ------------------------------------------------------ *)
 
 let sample_trace seed =
@@ -373,6 +422,8 @@ let suite =
     Alcotest.test_case "malformed input is rejected" `Quick rejects_garbage;
     Alcotest.test_case "negative addresses rejected at the decode edge"
       `Quick rejects_negative_addrs;
+    Alcotest.test_case "out-of-range thread/lock ids rejected at the decode edge"
+      `Quick rejects_bad_ids;
     Alcotest.test_case "shard index round trip" `Quick shard_index_round_trip;
     Alcotest.test_case "seek_chunk reads exactly one chunk" `Quick
       seek_chunk_reads_one_chunk;

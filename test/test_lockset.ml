@@ -45,14 +45,34 @@ let test_hash_consing () =
   Alcotest.(check int) "remove reaches interned id" a via_remove;
   Alcotest.(check int) "inter reaches interned id" a via_inter
 
-let test_rejects_negative () =
+(* Out-of-range lock ids would alias other pairs' memo slots (keys pack
+   the lock into 31 bits), so every raw-lock entry point must reject
+   them — [remove] included, which is where a stray Release id would
+   otherwise corrupt a thread's held set silently. *)
+let test_rejects_bad_lock_ids () =
   let t = Lockset.create () in
+  let huge = Lockset.max_lock + 1 in
   Alcotest.check_raises "intern negative"
-    (Invalid_argument "Lockset.intern: negative lock id") (fun () ->
+    (Invalid_argument "Lockset.intern: lock id -3 out of range") (fun () ->
       ignore (Lockset.intern t [ -3 ]));
   Alcotest.check_raises "add negative"
-    (Invalid_argument "Lockset.add: negative lock id") (fun () ->
-      ignore (Lockset.add t Lockset.empty (-1)))
+    (Invalid_argument "Lockset.add: lock id -1 out of range") (fun () ->
+      ignore (Lockset.add t Lockset.empty (-1)));
+  Alcotest.check_raises "remove negative"
+    (Invalid_argument "Lockset.remove: lock id -1 out of range") (fun () ->
+      ignore (Lockset.remove t Lockset.empty (-1)));
+  Alcotest.check_raises "add beyond max_lock"
+    (Invalid_argument
+       (Printf.sprintf "Lockset.add: lock id %d out of range" huge))
+    (fun () -> ignore (Lockset.add t Lockset.empty huge));
+  Alcotest.check_raises "remove beyond max_lock"
+    (Invalid_argument
+       (Printf.sprintf "Lockset.remove: lock id %d out of range" huge))
+    (fun () -> ignore (Lockset.remove t Lockset.empty huge));
+  (* max_lock itself is admissible. *)
+  let id = Lockset.add t Lockset.empty Lockset.max_lock in
+  Alcotest.(check int) "remove max_lock round-trips" Lockset.empty
+    (Lockset.remove t id Lockset.max_lock)
 
 (* --- qcheck vs a naive sorted-list oracle ----------------------------
    Random operation programs over a small lock universe, interpreted in
@@ -123,7 +143,8 @@ let suite =
     Alcotest.test_case "add/remove/inter" `Quick test_operations;
     Alcotest.test_case "hash-consing across operation chains" `Quick
       test_hash_consing;
-    Alcotest.test_case "negative lock ids rejected" `Quick test_rejects_negative;
+    Alcotest.test_case "out-of-range lock ids rejected" `Quick
+      test_rejects_bad_lock_ids;
     QCheck_alcotest.to_alcotest
       (QCheck2.Test.make ~count:300 ~name:"lockset = sorted-list oracle"
          ~print:print_ops gen_ops model_agreement);

@@ -64,6 +64,28 @@ let test_helgrind_detects_race () =
        (fun ra -> ra.Aprof_tools.Helgrind_lite.kind = `Write_write)
        races)
 
+(* An out-of-range tid handed straight to the API (bypassing the decode
+   edge, which rejects it) must hit the range check in [thread], not the
+   same-epoch fast path's unsafe [epochs] read — a negative tid passes
+   the upper-bound check alone on any address that already has a cell. *)
+let test_helgrind_rejects_bad_tid () =
+  let t = Aprof_tools.Helgrind_lite.create () in
+  (* Leave the cell with both a write epoch and a read epoch so the bad
+     tid reaches each same-epoch guard rather than an empty-state path. *)
+  Aprof_tools.Helgrind_lite.on_event t (Event.Write { tid = 0; addr = 5 });
+  Aprof_tools.Helgrind_lite.on_event t (Event.Read { tid = 0; addr = 5 });
+  List.iter
+    (fun tid ->
+      List.iter
+        (fun ev ->
+          Alcotest.check_raises
+            (Printf.sprintf "tid %d rejected" tid)
+            (Invalid_argument
+               (Printf.sprintf "Helgrind_lite: thread id %d out of range" tid))
+            (fun () -> Aprof_tools.Helgrind_lite.on_event t ev))
+        [ Event.Read { tid; addr = 5 }; Event.Write { tid; addr = 5 } ])
+    [ -1; min_int; Event.max_tid + 1 ]
+
 let test_helgrind_lock_prevents_race () =
   let clean =
     let* cell = alloc 1 in
@@ -269,6 +291,8 @@ let suite =
     Alcotest.test_case "helgrind: detects race" `Quick test_helgrind_detects_race;
     Alcotest.test_case "helgrind: mutex prevents race" `Quick
       test_helgrind_lock_prevents_race;
+    Alcotest.test_case "helgrind: out-of-range tid rejected" `Quick
+      test_helgrind_rejects_bad_tid;
     Alcotest.test_case "memcheck: uninitialized" `Quick test_memcheck_uninitialized;
     Alcotest.test_case "memcheck: use after free" `Quick
       test_memcheck_use_after_free;
