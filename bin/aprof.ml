@@ -426,8 +426,63 @@ let record_cmd =
       const run $ workload_arg $ threads_term $ scale_term $ seed_term
       $ scheduler_term $ output_term $ format_term)
 
+(* JSON output is hand-rolled — a flat summary object, no dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let replay_json (result : Aprof_tools.Replay_driver.t) =
+  let buf = Buffer.create 1024 in
+  let file (r : Aprof_tools.Replay_driver.file_report) =
+    let status =
+      match (r.error, r.drops) with
+      | Some _, _ -> "failed"
+      | None, _ :: _ -> "salvaged"
+      | None, [] -> "ok"
+    in
+    Printf.bprintf buf "    {\"path\": \"%s\", \"status\": \"%s\", \"events\": %d"
+      (json_escape r.path) status r.events;
+    (match r.error with
+    | Some e -> Printf.bprintf buf ", \"error\": \"%s\"" (json_escape e)
+    | None -> ());
+    Printf.bprintf buf ", \"drops\": [";
+    List.iteri
+      (fun i (d : Codec.drop) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Printf.bprintf buf
+          "{\"chunk\": %d, \"offset\": %d, \"bytes\": %d, \"events\": %d, \
+           \"reason\": \"%s\"}"
+          d.Codec.drop_chunk d.Codec.drop_offset d.Codec.drop_bytes
+          d.Codec.drop_events
+          (json_escape d.Codec.drop_reason))
+      r.drops;
+    Buffer.add_string buf "]}"
+  in
+  Printf.bprintf buf "{\n  \"events\": %d,\n  \"failed\": %b,\n  \"files\": [\n"
+    result.Aprof_tools.Replay_driver.events
+    result.Aprof_tools.Replay_driver.failed;
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      file r)
+    result.Aprof_tools.Replay_driver.files;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
 let replay_cmd =
-  let run paths profiler with_tools jobs =
+  let run paths profiler with_tools jobs keep_going json =
     (* Streams are single-use: every consumer re-opens the file and decodes
        incrementally, so replay memory stays bounded by the I/O chunk.
        Binary traces decode and dispatch a packed batch at a time — the
@@ -440,200 +495,80 @@ let replay_cmd =
        or the tool's broadcast events, and the partial states merge at
        the join.  Globally-ordered analyses (drms, naive, helgrind) keep
        a sequential replay per trace; several trace files parallelize
-       across files instead, merging the resulting profiles. *)
+       across files instead, merging the resulting profiles.
+
+       The actual replay lives in {!Aprof_tools.Replay_driver}; this
+       command only routes its buffered output: profile report and tool
+       summaries to stdout, rates / drop reports / errors to stderr,
+       and the machine-readable summary to [--json]. *)
     if jobs < 1 then begin
       Printf.eprintf "invalid job count %d\n" jobs;
       exit 2
     end;
-    let pool = Aprof_util.Par.create ~jobs () in
-    (* The file being decoded when an error surfaces. *)
-    let current = ref (List.hd paths) in
-    let sequential_batches ic =
-      match Codec.detect ic with
-      | `Binary -> Codec.batch_reader ic
-      | `Text ->
-        (Hashtbl.create 1, Stream.batches_of_events (Stream.of_text_channel ic))
+    (match paths with
+    | [ path ] when jobs > 1 && profiler <> `Rms ->
+      Printf.eprintf
+        "note: this profiler needs the global event order; replaying %s \
+         sequentially (use --profiler rms or several trace files for \
+         parallel replay)\n"
+        path
+    | _ -> ());
+    let result =
+      Aprof_tools.Replay_driver.replay ~jobs ~profiler ~with_tools ~keep_going
+        ~now paths
     in
-    let drain batches on_batch =
-      let rec loop n =
-        match batches () with
-        | None -> n
-        | Some b ->
-          on_batch b;
-          loop (n + Batch.length b)
-      in
-      loop 0
-    in
-    let union_names tables =
-      let out = Hashtbl.create 64 in
-      List.iter (Hashtbl.iter (fun k v -> Hashtbl.replace out k v)) tables;
-      out
-    in
-    let name_of names id =
-      match Hashtbl.find_opt names id with
+    let name_of id =
+      match Hashtbl.find_opt result.Aprof_tools.Replay_driver.names id with
       | Some n -> n
       | None -> Printf.sprintf "routine_%d" id
     in
-    (* Worker-private source over [path] for a tool whose broadcast mask
-       is [broadcast]: skip whole chunks via the index when there is
-       one, else decode the full stream (the event-level shard filter in
-       {!Aprof_tools.Tool.replay_parallel} stays authoritative either
-       way).  Slot [worker] of [channels]/[name_tbls] records what this
-       worker opened — arrays, not a shared list, because workers run
-       concurrently. *)
-    let open_shard_source ~path ~broadcast ~channels ~name_tbls ~worker =
-      let ic = In_channel.open_bin path in
-      channels.(worker) <- Some ic;
-      match Codec.detect ic with
-      | `Text -> Stream.batches_of_events (Stream.of_text_channel ic)
-      | `Binary -> (
-        match Codec.shards ~path ic with
-        | Some shs when jobs > 1 ->
-          let select (sh : Codec.shard) =
-            sh.Codec.tag_mask land broadcast <> 0
-            || Array.exists (fun tid -> tid mod jobs = worker) sh.Codec.tids
-          in
-          let names, src = Codec.sharded_reader ~path ic shs ~select in
-          name_tbls.(worker) <- Some names;
-          src
-        | _ ->
-          In_channel.seek ic 0L;
-          let names, src = Codec.batch_reader ic in
-          name_tbls.(worker) <- Some names;
-          src)
-    in
-    let close_slots channels =
-      Array.iter (Option.iter In_channel.close) channels
-    in
-    (* One trace file through one fresh profiler instance, sequentially. *)
-    let sequential_profile path =
-      current := path;
-      In_channel.with_open_bin path (fun ic ->
-          let names, batches = sequential_batches ic in
-          let n, profile =
-            match profiler with
-            | `Drms ->
-              let p = Aprof_core.Drms_profiler.create () in
-              let n = drain batches (Aprof_core.Drms_profiler.on_batch p) in
-              (n, Aprof_core.Drms_profiler.finish p)
-            | `Rms ->
-              let p = Aprof_core.Rms_profiler.create () in
-              let n = drain batches (Aprof_core.Rms_profiler.on_batch p) in
-              (n, Aprof_core.Rms_profiler.finish p)
-            | `Naive ->
-              let p = Aprof_core.Naive_drms.create () in
-              let n = ref 0 in
-              Aprof_core.Naive_drms.run_stream p
-                (Stream.map
-                   (fun ev ->
-                     incr n;
-                     ev)
-                   (Stream.events_of_batches batches));
-              (!n, Aprof_core.Naive_drms.finish p)
-          in
-          (n, profile, names))
-    in
-    (* The rms profiler thread-shards (see DESIGN.md); one file, [jobs]
-       workers. *)
-    let parallel_rms path =
-      current := path;
-      let module M = Aprof_tools.Aprof_adapters.Rms_mergeable in
-      let channels = Array.make jobs None in
-      let name_tbls = Array.make jobs None in
-      let open_source ~worker =
-        open_shard_source ~path ~broadcast:M.broadcast ~channels ~name_tbls
-          ~worker
-      in
-      let p, n =
-        Aprof_tools.Tool.replay_parallel ~pool ~jobs ~open_source (module M)
-      in
-      close_slots channels;
-      let names =
-        union_names (List.filter_map Fun.id (Array.to_list name_tbls))
-      in
-      (n, Aprof_core.Rms_profiler.finish p, names)
-    in
-    try
-      let t0 = now () in
-      let events, profile, names =
-        match paths with
-        | [ path ] ->
-          if jobs > 1 && profiler <> `Rms then
-            Printf.eprintf
-              "note: this profiler needs the global event order; replaying %s \
-               sequentially (use --profiler rms or several trace files for \
-               parallel replay)\n"
-              path;
-          if jobs > 1 && profiler = `Rms then parallel_rms path
-          else sequential_profile path
-        | paths ->
-          (* Several traces: one worker per file, merge the profiles. *)
-          let files = Array.of_list paths in
-          let out = Array.make (Array.length files) None in
-          Aprof_util.Par.run pool
-            (Array.mapi
-               (fun i path () -> out.(i) <- Some (sequential_profile path))
-               files);
-          let parts = List.filter_map Fun.id (Array.to_list out) in
-          let events = List.fold_left (fun a (n, _, _) -> a + n) 0 parts in
-          let profile = Aprof_core.Profile.create () in
-          List.iter
-            (fun (_, p, _) -> Aprof_core.Profile.merge_into ~into:profile p)
-            parts;
-          (events, profile, union_names (List.map (fun (_, _, t) -> t) parts))
-      in
-      let dt = now () -. t0 in
-      print_string
-        (Aprof_core.Profile_io.render_report ~routine_name:(name_of names)
-           profile);
-      rate_line "replayed" events dt;
-      if with_tools then begin
-        let mergeables = Aprof_tools.Harness.standard_mergeable () in
-        let find_mergeable name =
-          List.find_opt
-            (fun (Aprof_tools.Harness.Mergeable (module M)) -> M.name = name)
-            mergeables
-        in
+    (* Diagnostics first, on stderr: what salvage dropped, what failed. *)
+    List.iter
+      (fun (r : Aprof_tools.Replay_driver.file_report) ->
         List.iter
-          (fun path ->
-            current := path;
-            List.iter
-              (fun f ->
-                let tool_name = f.Aprof_tools.Tool.tool_name in
-                match if jobs > 1 then find_mergeable tool_name else None with
-                | Some (Aprof_tools.Harness.Mergeable (module M)) ->
-                  let channels = Array.make jobs None in
-                  let name_tbls = Array.make jobs None in
-                  let open_source ~worker =
-                    open_shard_source ~path ~broadcast:M.broadcast ~channels
-                      ~name_tbls ~worker
-                  in
-                  let t0 = now () in
-                  let st, n =
-                    Aprof_tools.Tool.replay_parallel ~pool ~jobs ~open_source
-                      (module M)
-                  in
-                  let dt = now () -. t0 in
-                  close_slots channels;
-                  let tool = M.tool st in
-                  Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ());
-                  rate_line "replayed" n dt
-                | None ->
-                  In_channel.with_open_bin path (fun ic ->
-                      let _, batches = sequential_batches ic in
-                      let tool = f.Aprof_tools.Tool.create () in
-                      let t0 = now () in
-                      let n = Aprof_tools.Tool.replay_batches tool batches in
-                      let dt = now () -. t0 in
-                      Printf.printf "%s\n" (tool.Aprof_tools.Tool.summary ());
-                      rate_line "replayed" n dt))
-              (Aprof_tools.Harness.standard_factories ()))
-          paths
-      end
-    with
-    | Stream.Decode_error msg | Sys_error msg ->
-      Printf.eprintf "cannot replay %s: %s\n" !current msg;
-      exit 2
+          (fun (d : Codec.drop) ->
+            Printf.eprintf "salvage: %s: dropped chunk %s (offset %d%s): %s\n"
+              r.path
+              (if d.Codec.drop_chunk < 0 then "?"
+               else string_of_int d.Codec.drop_chunk)
+              d.Codec.drop_offset
+              (if d.Codec.drop_events < 0 then ""
+               else Printf.sprintf ", ~%d events" d.Codec.drop_events)
+              d.Codec.drop_reason)
+          r.drops;
+        match r.error with
+        | Some msg -> Printf.eprintf "cannot replay %s: %s\n" r.path msg
+        | None -> ())
+      result.Aprof_tools.Replay_driver.files;
+    (* The profile report covers the files that decoded; nothing is
+       printed for a file that failed mid-replay, so a truncated input
+       can never masquerade as a complete report. *)
+    let any_ok =
+      List.exists
+        (fun (r : Aprof_tools.Replay_driver.file_report) -> r.error = None)
+        result.Aprof_tools.Replay_driver.files
+    in
+    if any_ok then begin
+      print_string
+        (Aprof_core.Profile_io.render_report ~routine_name:name_of
+           result.Aprof_tools.Replay_driver.profile);
+      rate_line "replayed" result.Aprof_tools.Replay_driver.events
+        result.Aprof_tools.Replay_driver.seconds;
+      List.iter
+        (fun (r : Aprof_tools.Replay_driver.file_report) ->
+          List.iter
+            (fun (t : Aprof_tools.Replay_driver.tool_run) ->
+              Printf.printf "%s\n" t.summary;
+              rate_line "replayed" t.tool_events t.tool_seconds)
+            r.tool_runs)
+        result.Aprof_tools.Replay_driver.files
+    end;
+    (match json with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (replay_json result))
+    | None -> ());
+    if result.Aprof_tools.Replay_driver.failed then exit 2
   in
   let paths_arg =
     Arg.(
@@ -666,10 +601,35 @@ let replay_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let keep_going_term =
+    let doc =
+      "Salvage damaged binary traces instead of failing them: corrupt or \
+       truncated chunks are skipped (re-synchronizing at the next chunk \
+       boundary via the shard index or the v2 frame lengths) and each \
+       dropped region is reported on stderr as $(b,salvage: FILE: dropped \
+       chunk N (offset B, ~K events): REASON) and in the $(b,--json) \
+       summary.  Files stay isolated either way: a failure in one never \
+       aborts the others, and any failed file makes the exit status \
+       nonzero."
+    in
+    Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+  in
+  let json_term =
+    let doc =
+      "Write a machine-readable replay summary to $(docv): total events, \
+       overall failure flag, and per file its status \
+       (ok/salvaged/failed), event count, error, and dropped regions \
+       (chunk ordinal, byte offset, payload bytes, event count, reason; \
+       -1 marks an unknown field)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Stream recorded trace file(s) through a profiler (and tools)")
-    Term.(const run $ paths_arg $ profiler_term $ tools_term $ jobs_term)
+    Term.(
+      const run $ paths_arg $ profiler_term $ tools_term $ jobs_term
+      $ keep_going_term $ json_term)
 
 (* ----- merge ----------------------------------------------------------- *)
 

@@ -1,0 +1,269 @@
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+module Batch = Aprof_trace.Event.Batch
+module Profile = Aprof_core.Profile
+
+type profiler = [ `Drms | `Rms | `Naive ]
+
+type tool_run = {
+  tool_name : string;
+  summary : string;
+  tool_events : int;
+  tool_seconds : float;
+}
+
+type file_report = {
+  path : string;
+  events : int;
+  seconds : float;
+  drops : Codec.drop list;
+  error : string option;
+  tool_runs : tool_run list;
+}
+
+type t = {
+  files : file_report list;
+  profile : Profile.t;
+  names : (int, string) Hashtbl.t;
+  events : int;
+  seconds : float;
+  failed : bool;
+}
+
+let union_names tables =
+  let out = Hashtbl.create 64 in
+  List.iter (Hashtbl.iter (fun k v -> Hashtbl.replace out k v)) tables;
+  out
+
+let drain batches on_batch =
+  let rec loop n =
+    match batches () with
+    | None -> n
+    | Some b ->
+      on_batch b;
+      loop (n + Batch.length b)
+  in
+  loop 0
+
+(* Per-file source selection.  [drops] collects what salvage skipped;
+   in [`Fail] mode it stays empty and the first malformation raises. *)
+let open_batches ~keep_going ~drops path ic =
+  match Codec.detect ic with
+  | `Binary ->
+    let on_corrupt =
+      if keep_going then `Skip (fun d -> drops := d :: !drops) else `Fail
+    in
+    Codec.read ~path ~on_corrupt ic
+  | `Text ->
+    (Hashtbl.create 1, Stream.batches_of_events (Stream.of_text_channel ic))
+
+(* One trace file through one fresh profiler instance, sequentially. *)
+let sequential_profile ~keep_going ~profiler ~drops path =
+  In_channel.with_open_bin path (fun ic ->
+      let names, batches = open_batches ~keep_going ~drops path ic in
+      let n, profile =
+        match profiler with
+        | `Drms ->
+          let p = Aprof_core.Drms_profiler.create () in
+          let n = drain batches (Aprof_core.Drms_profiler.on_batch p) in
+          (n, Aprof_core.Drms_profiler.finish p)
+        | `Rms ->
+          let p = Aprof_core.Rms_profiler.create () in
+          let n = drain batches (Aprof_core.Rms_profiler.on_batch p) in
+          (n, Aprof_core.Rms_profiler.finish p)
+        | `Naive ->
+          let p = Aprof_core.Naive_drms.create () in
+          let n = ref 0 in
+          Aprof_core.Naive_drms.run_stream p
+            (Stream.map
+               (fun ev ->
+                 incr n;
+                 ev)
+               (Stream.events_of_batches batches));
+          (!n, Aprof_core.Naive_drms.finish p)
+      in
+      (n, profile, names))
+
+(* Worker-private source over [path] for a tool whose broadcast mask is
+   [broadcast]: skip whole chunks via the index when there is one, else
+   decode the full stream (the event-level shard filter in
+   {!Tool.replay_parallel} stays authoritative either way).  Slot
+   [worker] of [channels]/[name_tbls] records what this worker opened —
+   arrays, not a shared list, because workers run concurrently. *)
+let open_shard_source ~jobs ~path ~broadcast ~channels ~name_tbls ~worker =
+  let ic = In_channel.open_bin path in
+  channels.(worker) <- Some ic;
+  match Codec.detect ic with
+  | `Text -> Stream.batches_of_events (Stream.of_text_channel ic)
+  | `Binary -> (
+    match Codec.shards ~path ic with
+    | Some shs when jobs > 1 ->
+      let select (sh : Codec.shard) =
+        sh.Codec.tag_mask land broadcast <> 0
+        || Array.exists (fun tid -> tid mod jobs = worker) sh.Codec.tids
+      in
+      let names, src = Codec.sharded_reader ~path ic shs ~select in
+      name_tbls.(worker) <- Some names;
+      src
+    | _ ->
+      In_channel.seek ic 0L;
+      let names, src = Codec.batch_reader ic in
+      name_tbls.(worker) <- Some names;
+      src)
+
+let close_slots channels = Array.iter (Option.iter In_channel.close) channels
+
+(* The rms profiler thread-shards (see DESIGN.md); one file, [jobs]
+   workers. *)
+let parallel_rms ~pool ~jobs path =
+  let module M = Aprof_adapters.Rms_mergeable in
+  let channels = Array.make jobs None in
+  let name_tbls = Array.make jobs None in
+  let open_source ~worker =
+    open_shard_source ~jobs ~path ~broadcast:M.broadcast ~channels ~name_tbls
+      ~worker
+  in
+  let p, n = Tool.replay_parallel ~pool ~jobs ~open_source (module M) in
+  close_slots channels;
+  let names = union_names (List.filter_map Fun.id (Array.to_list name_tbls)) in
+  (n, Aprof_core.Rms_profiler.finish p, names)
+
+(* Everything a tool prints is buffered here and only surfaced once the
+   file has replayed completely: a decode error halfway through must not
+   leave a half-report on stdout that looks like a full one. *)
+let run_tools ~now ~pool ~jobs ~keep_going path =
+  let mergeables = Harness.standard_mergeable () in
+  let find_mergeable name =
+    List.find_opt
+      (fun (Harness.Mergeable (module M)) -> M.name = name)
+      mergeables
+  in
+  List.map
+    (fun f ->
+      let tool_name = f.Tool.tool_name in
+      match
+        (* Salvage is a sequential read path; under [--keep-going] every
+           tool replays the salvaged stream, not the shard index. *)
+        if jobs > 1 && not keep_going then find_mergeable tool_name else None
+      with
+      | Some (Harness.Mergeable (module M)) ->
+        let channels = Array.make jobs None in
+        let name_tbls = Array.make jobs None in
+        let open_source ~worker =
+          open_shard_source ~jobs ~path ~broadcast:M.broadcast ~channels
+            ~name_tbls ~worker
+        in
+        let t0 = now () in
+        let st, n = Tool.replay_parallel ~pool ~jobs ~open_source (module M) in
+        let dt = now () -. t0 in
+        close_slots channels;
+        let tool = M.tool st in
+        {
+          tool_name;
+          summary = tool.Tool.summary ();
+          tool_events = n;
+          tool_seconds = dt;
+        }
+      | None ->
+        In_channel.with_open_bin path (fun ic ->
+            (* Drops were already reported by the profile pass over the
+               same bytes; discard the duplicates. *)
+            let tool_drops = ref [] in
+            let _, batches = open_batches ~keep_going ~drops:tool_drops path ic in
+            let tool = f.Tool.create () in
+            let t0 = now () in
+            let n = Tool.replay_batches tool batches in
+            let dt = now () -. t0 in
+            {
+              tool_name;
+              summary = tool.Tool.summary ();
+              tool_events = n;
+              tool_seconds = dt;
+            }))
+    (Harness.standard_factories ())
+
+let replay ?(jobs = 1) ?(profiler = (`Drms : profiler)) ?(with_tools = false)
+    ?(keep_going = false) ~now paths =
+  if jobs < 1 then invalid_arg "Replay_driver.replay: jobs < 1";
+  let pool = Aprof_util.Par.create ~jobs () in
+  let t0 = now () in
+  (* Phase 1: one profiler instance per file.  Failures are contained to
+     the file that raised: its partial state is discarded, every other
+     file still replays, and the error travels in the report. *)
+  let profile_file path =
+    let fstart = now () in
+    let drops = ref [] in
+    match
+      if jobs > 1 && profiler = `Rms && (not keep_going)
+         && List.compare_length_with paths 1 = 0
+      then parallel_rms ~pool ~jobs path
+      else sequential_profile ~keep_going ~profiler ~drops path
+    with
+    | n, profile, names ->
+      ( {
+          path;
+          events = n;
+          seconds = now () -. fstart;
+          drops = List.rev !drops;
+          error = None;
+          tool_runs = [];
+        },
+        Some (profile, names) )
+    | exception (Stream.Decode_error msg | Sys_error msg) ->
+      ( {
+          path;
+          events = 0;
+          seconds = now () -. fstart;
+          drops = List.rev !drops;
+          error = Some msg;
+          tool_runs = [];
+        },
+        None )
+  in
+  let files = Array.of_list paths in
+  let out = Array.map (fun path () -> profile_file path) files in
+  let results = Array.make (Array.length files) None in
+  (match files with
+  | [| path |] -> results.(0) <- Some (profile_file path)
+  | _ ->
+    (* Several traces: one worker per file, merge the profiles. *)
+    Aprof_util.Par.run pool
+      (Array.mapi (fun i task () -> results.(i) <- Some (task ())) out));
+  let results = Array.map Option.get results in
+  (* Phase 2: tools, sequentially per file, skipping files whose profile
+     pass already failed (the same bytes would fail again). *)
+  let results =
+    if not with_tools then results
+    else
+      Array.map
+        (fun (report, payload) ->
+          match payload with
+          | None -> (report, payload)
+          | Some _ -> (
+            match run_tools ~now ~pool ~jobs ~keep_going report.path with
+            | tool_runs -> ({ report with tool_runs }, payload)
+            | exception (Stream.Decode_error msg | Sys_error msg) ->
+              ({ report with error = Some msg; tool_runs = [] }, None)))
+        results
+  in
+  let merged = Profile.create () in
+  let tables = ref [] in
+  let events = ref 0 in
+  Array.iter
+    (fun ((report : file_report), payload) ->
+      match payload with
+      | None -> ()
+      | Some (profile, names) ->
+        Profile.merge_into ~into:merged profile;
+        tables := names :: !tables;
+        events := !events + report.events)
+    results;
+  let reports = Array.to_list (Array.map fst results) in
+  {
+    files = reports;
+    profile = merged;
+    names = union_names (List.rev !tables);
+    events = !events;
+    seconds = now () -. t0;
+    failed = List.exists (fun r -> r.error <> None) reports;
+  }

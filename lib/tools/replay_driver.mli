@@ -1,0 +1,70 @@
+(** Trace-file replay, factored out of the [aprof replay] command so the
+    failure-isolation and salvage behavior is testable as a library.
+
+    The driver replays one or more recorded trace files (binary or text,
+    auto-detected) through a profiler — and optionally through every
+    standard analysis tool — and returns everything as data: profiles
+    merged over the files that decoded, per-file drop reports from
+    salvage mode, buffered tool summaries, and per-file errors.  It
+    never writes to any channel, so a caller can order and route the
+    output after the fact — in particular, nothing of a file that failed
+    mid-replay is ever surfaced as if it were complete.
+
+    Failure isolation: a {!Aprof_trace.Trace_stream.Decode_error} or
+    [Sys_error] while replaying one file discards that file's partial
+    state and is recorded in its {!file_report}; every other file still
+    replays.  [keep_going] additionally salvages damaged binary files
+    chunk-by-chunk ({!Aprof_trace.Trace_codec.read}), recording what was
+    dropped instead of failing the file. *)
+
+type profiler = [ `Drms | `Naive | `Rms ]
+
+(** One tool's buffered result on one file. *)
+type tool_run = {
+  tool_name : string;
+  summary : string;  (** the summary line(s), unprinted *)
+  tool_events : int;
+  tool_seconds : float;
+}
+
+(** What happened to one input file.  [error = Some _] means the file
+    contributed nothing to the merged profile (and ran no tools);
+    [drops] are the regions salvage skipped, in file order — a file can
+    have drops and still no error, which is a successful salvage. *)
+type file_report = {
+  path : string;
+  events : int;
+  seconds : float;
+  drops : Aprof_trace.Trace_codec.drop list;
+  error : string option;
+  tool_runs : tool_run list;
+}
+
+type t = {
+  files : file_report list;  (** in input order *)
+  profile : Aprof_core.Profile.t;  (** merged over the files that decoded *)
+  names : (int, string) Hashtbl.t;
+  events : int;  (** total events profiled *)
+  seconds : float;
+  failed : bool;  (** some file has [error = Some _] *)
+}
+
+(** [replay ~now paths] replays every file in [paths].
+
+    [jobs] (default 1) bounds parallelism: several files replay
+    concurrently (one profiler instance per file, profiles merged), and
+    a single-file [`Rms] replay thread-shards across workers via the
+    shard index.  [keep_going] (default false) switches damaged binary
+    files to chunk salvage instead of failing them; salvage is a
+    sequential read path, so it also disables the sharded tool replay.
+    [now] supplies wall-clock timestamps (e.g. [Unix.gettimeofday]) —
+    a parameter because this library does not link unix.
+    @raise Invalid_argument when [jobs < 1]. *)
+val replay :
+  ?jobs:int ->
+  ?profiler:profiler ->
+  ?with_tools:bool ->
+  ?keep_going:bool ->
+  now:(unit -> float) ->
+  string list ->
+  t

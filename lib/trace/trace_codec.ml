@@ -1,15 +1,27 @@
 module Vec = Aprof_util.Vec
+module Crc32c = Aprof_util.Crc32c
 module Batch = Event.Batch
 
 let magic = "ATRC"
-let version = 1
+
+(* Version 2 frames every flushed chunk with its byte length and a
+   CRC32C of the payload, so readers verify integrity before any varint
+   decoding touches the bytes; version 1 (a bare record stream) remains
+   readable.  Writers emit version 2 unless asked otherwise. *)
+let version = 2
 let default_chunk = 64 * 1024
+
+(* A frame length takes at most ten varint bytes, but anything near
+   that is corruption, not a trace: cap what a reader will allocate. *)
+let max_chunk_payload = 1 lsl 30
 
 (* The shard-index footer appended after the end-of-trace marker; see
    the .mli for the layout.  Its own magic differs from the header's so
-   a footer can never be mistaken for the start of a trace. *)
+   a footer can never be mistaken for the start of a trace.  The index
+   version always equals the trace version: version-2 entries carry the
+   chunk's CRC32C so a seeking reader needs no second look at the chunk
+   frame header. *)
 let index_magic = "ATRI"
-let index_version = 1
 let index_trailer_bytes = 8 + 4 (* LE64 footer offset + magic *)
 
 let bad fmt =
@@ -39,16 +51,30 @@ let rec add_varint_rest buf v =
 let add_varint buf n =
   add_varint_rest buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
 
+(* Decoding rejects every encoding the encoder above cannot produce, so
+   the byte representation of a value is unique (the byte-diffability
+   contract: distinct byte streams decode to distinct traces).  Two
+   guards, both checked before the shift so no [lsl] ever runs with an
+   out-of-range count: a byte whose significant bits would fall off the
+   top of the int overflows, and a terminating byte that contributes no
+   bits (a redundant [0x80 0x00]-style tail) is non-canonical. *)
+
+let[@inline] check_varint_bits bits shift =
+  if
+    shift >= Sys.int_size
+    || (shift > Sys.int_size - 7 && bits lsr (Sys.int_size - shift) <> 0)
+  then bad "varint overflows the int range"
+
 (* [read_byte] yields the next byte or -1 at end of input. *)
 let rec read_varint_rest read_byte shift acc =
   match read_byte () with
   | -1 -> bad "truncated varint"
   | b ->
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 <> 0 then begin
-      if shift > Sys.int_size then bad "varint too long";
-      read_varint_rest read_byte (shift + 7) acc
-    end
+    let bits = b land 0x7f in
+    check_varint_bits bits shift;
+    let acc = acc lor (bits lsl shift) in
+    if b land 0x80 <> 0 then read_varint_rest read_byte (shift + 7) acc
+    else if bits = 0 && shift > 0 then bad "non-canonical varint encoding"
     else acc
 
 let read_varint read_byte =
@@ -57,17 +83,19 @@ let read_varint read_byte =
 
 (* Same decode, but straight off a byte buffer through a position ref —
    the chunked reader's fast path.  Callers must guarantee the buffer
-   holds a complete varint starting at [!pos]; the [shift] guard bounds
-   a varint at 11 bytes, which is what makes the caller's margin check
-   sufficient for [unsafe_get]. *)
+   holds a complete varint starting at [!pos]; the [check_varint_bits]
+   guard bounds a varint at ten bytes, which is what makes the caller's
+   margin check sufficient for [unsafe_get].  Only entered from the
+   second byte on (shift >= 7), so a zero terminating byte is always
+   non-canonical here. *)
 let rec read_varint_bytes_rest chunk pos shift acc =
   let b = Char.code (Bytes.unsafe_get chunk !pos) in
   incr pos;
-  let acc = acc lor ((b land 0x7f) lsl shift) in
-  if b land 0x80 <> 0 then begin
-    if shift > Sys.int_size then bad "varint too long";
-    read_varint_bytes_rest chunk pos (shift + 7) acc
-  end
+  let bits = b land 0x7f in
+  check_varint_bits bits shift;
+  let acc = acc lor (bits lsl shift) in
+  if b land 0x80 <> 0 then read_varint_bytes_rest chunk pos (shift + 7) acc
+  else if bits = 0 then bad "non-canonical varint encoding"
   else acc
 
 (* One-byte varints — small tids, small deltas — are the overwhelmingly
@@ -80,8 +108,56 @@ let[@inline always] read_varint_bytes_fast chunk pos =
     let v = read_varint_bytes_rest chunk pos 7 (b0 land 0x7f) in
     (v lsr 1) lxor (- (v land 1))
 
-(* A record is at most 1 tag byte + 3 varints of at most 11 bytes. *)
+(* A record is at most 1 tag byte + 3 varints of at most 10 bytes (a
+   canonical varint of a 63-bit int is 9 bytes; 10 is a safe margin). *)
 let max_record_bytes = 34
+
+(* Plain (non-zigzag) varints frame the version-2 chunks. *)
+let rec add_uvarint buf v =
+  if v < 0x80 then Buffer.add_char buf (Char.unsafe_chr v)
+  else begin
+    Buffer.add_char buf (Char.unsafe_chr (v land 0x7f lor 0x80));
+    add_uvarint buf (v lsr 7)
+  end
+
+let rec output_uvarint oc v =
+  if v < 0x80 then output_char oc (Char.unsafe_chr v)
+  else begin
+    output_char oc (Char.unsafe_chr (v land 0x7f lor 0x80));
+    output_uvarint oc (v lsr 7)
+  end
+
+let rec uvarint_size v = if v < 0x80 then 1 else 1 + uvarint_size (v lsr 7)
+
+(* [read_byte] convention as above; canonical, like the record varints. *)
+let read_uvarint read_byte =
+  let rec go shift acc =
+    match read_byte () with
+    | -1 -> bad "truncated chunk header"
+    | b ->
+      let bits = b land 0x7f in
+      check_varint_bits bits shift;
+      let acc = acc lor (bits lsl shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc
+      else if bits = 0 && shift > 0 then bad "non-canonical chunk length"
+      else acc
+  in
+  go 0 0
+
+let add_le32 buf n =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let output_le32 oc n =
+  for i = 0 to 3 do
+    output_char oc (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let add_le64 buf n =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
+  done
 
 (* ----- records -------------------------------------------------------- *)
 
@@ -117,16 +193,12 @@ let encoder buf ~routine_name =
     end;
     add_record buf ~tag ~tid ~arg ~len
 
-(* The single decoder: refill a cleared batch with raw records until it
-   is full or the end-of-trace marker is consumed, feeding definition
-   records to [define].  Returns [true] when the marker was seen.
-   [read_string n] must return exactly [n] bytes.  Plain end of input is
-   a truncation — a complete trace always carries the marker, which is
-   what lets truncation at a record boundary be told apart from a
-   genuine end. *)
 (* Consume exactly one record through the generic byte source, pushing
    event records into [b].  Returns [true] when the record was the
-   end-of-trace marker. *)
+   end-of-trace marker.  [read_string n] must return exactly [n] bytes.
+   Plain end of input is a truncation — a complete trace always carries
+   the marker, which is what lets truncation at a record boundary be
+   told apart from a genuine end. *)
 let step_record ~read_byte ~read_string ~define b =
   match read_byte () with
   | -1 -> bad "truncated trace (missing end-of-trace marker)"
@@ -159,6 +231,25 @@ let step_record ~read_byte ~read_string ~define b =
     Batch.unsafe_push b ~tag ~tid ~arg ~len;
     false
   | tag -> bad "unknown record tag %d" tag
+
+(* One record off a chunk's byte range.  A chunk never contains the
+   end-of-trace marker, so tag 0 falls through to the error arm. *)
+let chunk_step ~read_byte ~read_string ~define b =
+  match read_byte () with
+  | -1 -> true (* chunk exhausted at a record boundary *)
+  | tag when tag = def_tag ->
+    let id = read_varint read_byte in
+    let len = read_varint read_byte in
+    if len < 0 then bad "negative name length";
+    define id (read_string len);
+    false
+  | tag when tag >= 1 && tag <= Batch.max_tag ->
+    let tid = read_varint read_byte in
+    let arg = if Batch.tag_has_arg tag then read_varint read_byte else 0 in
+    let len = if Batch.tag_has_len tag then read_varint read_byte else 0 in
+    Batch.unsafe_push b ~tag ~tid ~arg ~len;
+    false
+  | tag -> bad "unknown record tag %d in chunk" tag
 
 (* Decoded bytes are untrusted; downstream tools index shadow pages,
    dense per-thread state and lockset memo keys with the raw fields and
@@ -217,46 +308,44 @@ let fill_batch_bytes b chunk pos limit =
   Batch.unsafe_set_length b !i;
   pos := !p
 
-let check_header read_byte =
-  String.iter
-    (fun c ->
-      match read_byte () with
-      | b when b = Char.code c -> ()
-      | -1 -> bad "truncated header"
-      | _ -> bad "bad magic: not a binary trace")
-    magic;
-  match read_byte () with
-  | v when v = version -> ()
-  | -1 -> bad "truncated header"
-  | v -> bad "unsupported trace format version %d (expected %d)" v version
+(* Header validation shared by the channel and string entry points;
+   returns the format version (1 or 2). *)
+let parse_header hdr =
+  if String.length hdr < 5 then bad "truncated header";
+  if String.sub hdr 0 4 <> magic then bad "bad magic: not a binary trace";
+  match Char.code hdr.[4] with
+  | (1 | 2) as v -> v
+  | v -> bad "unsupported trace format version %d (expected 1..%d)" v version
+
+let input_header ic =
+  match really_input_string ic 5 with
+  | hdr -> parse_header hdr
+  | exception End_of_file -> bad "truncated header"
 
 let default_routine_name id = Printf.sprintf "routine_%d" id
 
 (* ----- streaming writer ----------------------------------------------- *)
 
 (* What the writer remembers about one flushed chunk, to be serialized
-   into the footer on close. *)
+   into the footer on close.  [c_crc] is -1 for version-1 output. *)
 type chunk_entry = {
   c_bytes : int;
   c_events : int;
   c_tag_mask : int;
+  c_crc : int;
   c_tids : int array; (* distinct, ascending *)
 }
 
-let add_le64 buf n =
-  for i = 0 to 7 do
-    Buffer.add_char buf (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
-  done
-
-let add_footer buf chunks =
+let add_footer buf ~format_version chunks =
   Buffer.add_string buf index_magic;
-  Buffer.add_char buf (Char.chr index_version);
+  Buffer.add_char buf (Char.chr format_version);
   add_varint buf (List.length chunks);
   List.iter
     (fun c ->
       add_varint buf c.c_bytes;
       add_varint buf c.c_events;
       add_varint buf c.c_tag_mask;
+      if format_version >= 2 then add_varint buf c.c_crc;
       add_varint buf (Array.length c.c_tids);
       (* Ascending tids delta-encode into one byte each in practice. *)
       let prev = ref 0 in
@@ -267,13 +356,19 @@ let add_footer buf chunks =
         c.c_tids)
     chunks
 
+let check_format_version v =
+  if v < 1 || v > version then
+    invalid_arg
+      (Printf.sprintf "Trace_codec: cannot write format version %d (1..%d)" v
+         version)
+
 let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
-    ?(routine_name = default_routine_name) oc =
+    ?(format_version = version) ?(routine_name = default_routine_name) oc =
+  check_format_version format_version;
   (* The header goes straight to the channel so that the buffer — and
-     therefore each recorded chunk length — holds record bytes only:
-     chunk [i]'s first byte sits at [5 + sum of earlier chunk lengths]. *)
+     therefore each recorded chunk length — holds record bytes only. *)
   output_string oc magic;
-  output_char oc (Char.chr version);
+  output_char oc (Char.chr format_version);
   let buf = Buffer.create (chunk_bytes + 256) in
   let encode = encoder buf ~routine_name in
   (* Per-chunk stats for the index.  The last-tid cache keeps the table
@@ -290,11 +385,18 @@ let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
         Hashtbl.fold (fun tid () acc -> tid :: acc) tid_set []
         |> List.sort compare |> Array.of_list
       in
+      let payload = Buffer.to_bytes buf in
+      let nbytes = Bytes.length payload in
+      let crc =
+        if format_version >= 2 then Crc32c.digest payload ~pos:0 ~len:nbytes
+        else -1
+      in
       chunks :=
         {
-          c_bytes = Buffer.length buf;
+          c_bytes = nbytes;
           c_events = !events;
           c_tag_mask = !tag_mask;
+          c_crc = crc;
           c_tids = tids;
         }
         :: !chunks;
@@ -302,7 +404,11 @@ let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
       tag_mask := 0;
       Hashtbl.reset tid_set;
       last_tid := min_int;
-      Buffer.output_buffer oc buf;
+      if format_version >= 2 then begin
+        output_uvarint oc nbytes;
+        output_le32 oc crc
+      end;
+      output_bytes oc payload;
       Buffer.clear buf
     end
   in
@@ -321,11 +427,17 @@ let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
   in
   let close_batch () =
     flush_chunk ();
-    let marker_off = 5 + List.fold_left (fun a c -> a + c.c_bytes) 0 !chunks in
+    (* Chunk [i]'s payload starts at [5 + earlier frames]; a version-2
+       frame adds a length varint and a 4-byte CRC before the payload. *)
+    let frame_bytes c =
+      if format_version >= 2 then uvarint_size c.c_bytes + 4 + c.c_bytes
+      else c.c_bytes
+    in
+    let marker_off = 5 + List.fold_left (fun a c -> a + frame_bytes c) 0 !chunks in
     output_char oc (Char.chr end_tag);
     if index then begin
       let footer_off = marker_off + 1 in
-      add_footer buf (List.rev !chunks);
+      add_footer buf ~format_version (List.rev !chunks);
       add_le64 buf footer_off;
       Buffer.add_string buf index_magic;
       Buffer.output_buffer oc buf;
@@ -334,13 +446,16 @@ let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
   in
   { Trace_stream.emit_batch; close_batch }
 
-let writer ?chunk_bytes ?index ?routine_name oc =
-  Trace_stream.sink_of_batches (batch_writer ?chunk_bytes ?index ?routine_name oc)
+let writer ?chunk_bytes ?index ?format_version ?routine_name oc =
+  Trace_stream.sink_of_batches
+    (batch_writer ?chunk_bytes ?index ?format_version ?routine_name oc)
 
 (* ----- streaming reader ----------------------------------------------- *)
 
-let batch_reader ?(chunk_bytes = default_chunk)
-    ?(batch_size = Batch.default_capacity) ic =
+(* Version 1: a bare record stream read through a sliding window of
+   [chunk_bytes]; nothing in the format marks the writer's flush
+   boundaries, so the window is just an I/O buffer. *)
+let batch_reader_v1 ~chunk_bytes ~batch_size ic =
   let chunk = Bytes.create (max 1 chunk_bytes) in
   let pos = ref 0 in
   let len = ref 0 in
@@ -372,7 +487,6 @@ let batch_reader ?(chunk_bytes = default_chunk)
     done;
     Bytes.unsafe_to_string b
   in
-  check_header read_byte;
   let names = Hashtbl.create 64 in
   let define id name = Hashtbl.replace names id name in
   let b = Batch.create ~capacity:batch_size () in
@@ -396,6 +510,172 @@ let batch_reader ?(chunk_bytes = default_chunk)
         if Batch.is_empty b then None else Some b
       end )
 
+(* Version 2: the stream is a sequence of length-prefixed, checksummed
+   frames.  Each frame's payload is read whole and verified against its
+   CRC32C *before* any record decoding, so the [unsafe_get] fast path
+   never runs over corrupt bytes; records never span frames. *)
+let batch_reader_v2 ~batch_size ic =
+  let names = Hashtbl.create 64 in
+  let define id name = Hashtbl.replace names id name in
+  let b = Batch.create ~capacity:batch_size () in
+  let chunk = ref Bytes.empty in
+  let pos = ref 0 in
+  let len = ref 0 in
+  let file_off = ref 5 in
+  let ordinal = ref (-1) in
+  let frames_done = ref false in
+  (* (payload bytes, crc) of every frame streamed so far, newest first:
+     cross-checked against the index footer at the end of the trace. *)
+  let frames = ref [] in
+  let input_byte () =
+    match In_channel.input_byte ic with
+    | Some c ->
+      incr file_off;
+      c
+    | None -> -1
+  in
+  let skip_footer () =
+    (* After the marker: end of file, or an index footer.  A duplicated,
+       deleted or reordered frame is internally self-consistent — its
+       own checksum still matches — so the streamed frame sequence is
+       verified against the footer, the one record of what the writer
+       actually flushed.  (The seekable paths re-validate the footer
+       themselves in {!shards}.) *)
+    let footer_off = !file_off in
+    match input_byte () with
+    | -1 -> ()
+    | c when c = Char.code index_magic.[0] ->
+      for i = 1 to 3 do
+        if input_byte () <> Char.code index_magic.[i] then
+          bad "trailing data after end-of-trace marker"
+      done;
+      let rb () =
+        match input_byte () with
+        | -1 -> bad "truncated shard index footer"
+        | b -> b
+      in
+      (match rb () with
+      | 2 -> ()
+      | v -> bad "shard index version %d does not match trace version 2" v);
+      let streamed = Array.of_list (List.rev !frames) in
+      let nchunks = read_varint rb in
+      if nchunks <> Array.length streamed then
+        bad "shard index describes %d chunks, the stream carried %d" nchunks
+          (Array.length streamed);
+      for k = 0 to nchunks - 1 do
+        let bytes = read_varint rb in
+        (* events and tag_mask steer seeking readers, not this one. *)
+        let _events = read_varint rb in
+        let _tag_mask = read_varint rb in
+        let crc = read_varint rb in
+        let ntids = read_varint rb in
+        if ntids < 0 || ntids > 0x10000 then
+          bad "corrupt shard index entry %d" k;
+        for _ = 1 to ntids do
+          ignore (read_varint rb)
+        done;
+        let sbytes, scrc = streamed.(k) in
+        if bytes <> sbytes || crc <> scrc then
+          bad "chunk %d does not match its shard index entry" k
+      done;
+      let off = ref 0 in
+      for i = 0 to 7 do
+        off := !off lor (rb () lsl (8 * i))
+      done;
+      if !off <> footer_off then
+        bad "shard index trailer points at byte %d, footer is at byte %d" !off
+          footer_off;
+      for i = 0 to 3 do
+        if rb () <> Char.code index_magic.[i] then
+          bad "bad shard index trailer magic"
+      done;
+      if input_byte () <> -1 then bad "trailing data after shard index"
+    | _ -> bad "trailing data after end-of-trace marker"
+  in
+  (* Pull the next frame into [chunk]; false once the marker is seen. *)
+  let advance () =
+    let frame_off = !file_off in
+    let paylen =
+      try read_uvarint input_byte
+      with Trace_stream.Decode_error _ when !file_off = frame_off ->
+        bad "truncated trace (missing end-of-trace marker)"
+    in
+    if paylen = 0 then begin
+      skip_footer ();
+      frames_done := true;
+      false
+    end
+    else begin
+      if paylen > max_chunk_payload then
+        bad "chunk %d at byte %d: implausible length %d" (!ordinal + 1)
+          frame_off paylen;
+      let stored = ref 0 in
+      for i = 0 to 3 do
+        match input_byte () with
+        | -1 -> bad "chunk %d at byte %d: truncated header" (!ordinal + 1) frame_off
+        | c -> stored := !stored lor (c lsl (8 * i))
+      done;
+      if Bytes.length !chunk < paylen then chunk := Bytes.create paylen;
+      (try really_input ic !chunk 0 paylen
+       with End_of_file ->
+         bad "chunk %d at byte %d: truncated payload" (!ordinal + 1) frame_off);
+      file_off := !file_off + paylen;
+      incr ordinal;
+      let computed = Crc32c.digest !chunk ~pos:0 ~len:paylen in
+      if computed <> !stored then
+        bad "chunk %d at byte %d: checksum mismatch (stored %08x, computed %08x)"
+          !ordinal frame_off !stored computed;
+      frames := (paylen, !stored) :: !frames;
+      pos := 0;
+      len := paylen;
+      true
+    end
+  in
+  let read_byte () =
+    if !pos >= !len then -1
+    else begin
+      let c = Char.code (Bytes.unsafe_get !chunk !pos) in
+      incr pos;
+      c
+    end
+  in
+  let read_string n =
+    if !pos + n > !len then bad "truncated name";
+    let s = Bytes.sub_string !chunk !pos n in
+    pos := !pos + n;
+    s
+  in
+  let fill () =
+    Batch.clear b;
+    let fin = ref false in
+    while (not !fin) && not (Batch.is_full b) do
+      if !pos >= !len then begin
+        if !frames_done || not (advance ()) then fin := true
+      end
+      else begin
+        fill_batch_bytes b !chunk pos !len;
+        if (not (Batch.is_full b)) && !pos < !len then
+          ignore (chunk_step ~read_byte ~read_string ~define b)
+      end
+    done;
+    validate_batch b;
+    !fin
+  in
+  let finished = ref false in
+  ( names,
+    fun () ->
+      if !finished then None
+      else begin
+        finished := fill ();
+        if Batch.is_empty b then None else Some b
+      end )
+
+let batch_reader ?(chunk_bytes = default_chunk)
+    ?(batch_size = Batch.default_capacity) ic =
+  match input_header ic with
+  | 1 -> batch_reader_v1 ~chunk_bytes ~batch_size ic
+  | _ -> batch_reader_v2 ~batch_size ic
+
 let reader ?chunk_bytes ic =
   let names, batches = batch_reader ?chunk_bytes ic in
   (names, Trace_stream.events_of_batches batches)
@@ -407,10 +687,13 @@ type shard = {
   bytes : int;
   events : int;
   tag_mask : int;
+  crc : int;
   tids : int array;
 }
 
 let shards ?(path = "trace") ic =
+  In_channel.seek ic 0L;
+  let trace_version = input_header ic in
   let total = Int64.to_int (In_channel.length ic) in
   (* Smallest indexed trace: header, marker, footer magic+version+count,
      trailer.  Anything shorter is an old index-less (or text) file. *)
@@ -450,10 +733,12 @@ let shards ?(path = "trace") ic =
               (footer_off + !pos - 1))
         index_magic;
       (match read_byte () with
-      | v when v = index_version -> ()
+      | v when v = trace_version -> ()
       | v ->
-        bad "cannot read shard index of %s: unsupported index version %d" path
-          v);
+        bad
+          "cannot read shard index of %s: index version %d does not match \
+           trace version %d"
+          path v trace_version);
       let nchunks = read_varint read_byte in
       if nchunks < 0 || nchunks > footer_len then
         bad "cannot read shard index of %s: implausible chunk count %d" path
@@ -465,8 +750,12 @@ let shards ?(path = "trace") ic =
         let bytes = read_varint read_byte in
         let events = read_varint read_byte in
         let tag_mask = read_varint read_byte in
+        let crc = if trace_version >= 2 then read_varint read_byte else -1 in
         let ntids = read_varint read_byte in
-        if bytes < 0 || events < 0 || ntids < 0 || ntids > footer_len then
+        if
+          bytes < 0 || events < 0 || ntids < 0 || ntids > footer_len
+          || (trace_version >= 2 && (crc < 0 || crc > 0xFFFFFFFF))
+        then
           bad "cannot read shard index of %s: corrupt chunk entry at byte %d"
             path
             (footer_off + !pos);
@@ -476,8 +765,13 @@ let shards ?(path = "trace") ic =
           prev := !prev + read_varint read_byte;
           tids.(i) <- !prev
         done;
-        out := { offset = !off; bytes; events; tag_mask; tids } :: !out;
-        off := !off + bytes
+        (* [offset]/[bytes] delimit the records; a version-2 frame puts
+           a length varint and 4 CRC bytes in front of them. *)
+        let payload_off =
+          if trace_version >= 2 then !off + uvarint_size bytes + 4 else !off
+        in
+        out := { offset = payload_off; bytes; events; tag_mask; crc; tids } :: !out;
+        off := payload_off + bytes
       done;
       let out = Array.of_list (List.rev !out) in
       if !pos <> footer_len then
@@ -492,25 +786,6 @@ let shards ?(path = "trace") ic =
       Some out
     end
   end
-
-(* One record off a chunk's byte range.  A chunk never contains the
-   end-of-trace marker, so tag 0 falls through to the error arm. *)
-let chunk_step ~read_byte ~read_string ~define b =
-  match read_byte () with
-  | -1 -> true (* chunk exhausted at a record boundary *)
-  | tag when tag = def_tag ->
-    let id = read_varint read_byte in
-    let len = read_varint read_byte in
-    if len < 0 then bad "negative name length";
-    define id (read_string len);
-    false
-  | tag when tag >= 1 && tag <= Batch.max_tag ->
-    let tid = read_varint read_byte in
-    let arg = if Batch.tag_has_arg tag then read_varint read_byte else 0 in
-    let len = if Batch.tag_has_len tag then read_varint read_byte else 0 in
-    Batch.unsafe_push b ~tag ~tid ~arg ~len;
-    false
-  | tag -> bad "unknown record tag %d in indexed chunk" tag
 
 let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
     shs ~select =
@@ -531,6 +806,15 @@ let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
       (try really_input ic c 0 sh.bytes
        with End_of_file ->
          bad "cannot replay %s: chunk at byte %d truncated" path sh.offset);
+      (* Verify before decoding: the fast path trusts these bytes. *)
+      if sh.crc >= 0 then begin
+        let computed = Crc32c.digest c ~pos:0 ~len:sh.bytes in
+        if computed <> sh.crc then
+          bad
+            "cannot replay %s: chunk at byte %d: checksum mismatch (stored \
+             %08x, computed %08x)"
+            path sh.offset sh.crc computed
+      end;
       chunk := c;
       pos := 0;
       len := sh.bytes;
@@ -578,27 +862,298 @@ let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
 let seek_chunk ?path ?batch_size ic sh =
   sharded_reader ?path ?batch_size ic [| sh |] ~select:(fun _ -> true)
 
+(* ----- salvage reader -------------------------------------------------- *)
+
+type drop = {
+  drop_chunk : int;
+  drop_offset : int;
+  drop_bytes : int;
+  drop_events : int;
+  drop_reason : string;
+}
+
+(* Decode the whole payload [chunk[0..n)] into [stage] (grown to hold
+   every possible record: the smallest event record is two bytes), so a
+   chunk is delivered all-or-nothing.  Definitions are staged into
+   [defs] and only committed by the caller once the chunk decodes
+   cleanly.  Raises [Decode_error] on any malformation. *)
+let decode_whole_chunk ~stage ~defs chunk n =
+  let need = (n / 2) + 1 in
+  if Batch.capacity !stage < need then stage := Batch.create ~capacity:need ();
+  let b = !stage in
+  Batch.clear b;
+  let pos = ref 0 in
+  let read_byte () =
+    if !pos >= n then -1
+    else begin
+      let c = Char.code (Bytes.unsafe_get chunk !pos) in
+      incr pos;
+      c
+    end
+  in
+  let read_string k =
+    if !pos + k > n then bad "truncated name";
+    let s = Bytes.sub_string chunk !pos k in
+    pos := !pos + k;
+    s
+  in
+  let define id name = defs := (id, name) :: !defs in
+  let fin = ref false in
+  while not !fin do
+    fill_batch_bytes b chunk pos n;
+    if !pos >= n then fin := true
+    else ignore (chunk_step ~read_byte ~read_string ~define b)
+  done;
+  validate_batch b;
+  b
+
+(* Salvage over a usable index: every chunk's boundaries are known, so a
+   corrupt chunk is skipped exactly and the next one re-synchronizes the
+   stream.  The footer's own CRC (version 2) is authoritative; on
+   version-1 files detection falls back to decode errors and the
+   index's event count. *)
+let salvage_indexed ~report ic shs =
+  let names = Hashtbl.create 64 in
+  let stage = ref (Batch.create ~capacity:1024 ()) in
+  let buf = ref Bytes.empty in
+  let idx = ref 0 in
+  let rec next () =
+    if !idx >= Array.length shs then None
+    else begin
+      let ordinal = !idx in
+      let sh = shs.(ordinal) in
+      incr idx;
+      let drop reason =
+        report
+          {
+            drop_chunk = ordinal;
+            drop_offset = sh.offset;
+            drop_bytes = sh.bytes;
+            drop_events = sh.events;
+            drop_reason = reason;
+          };
+        next ()
+      in
+      In_channel.seek ic (Int64.of_int sh.offset);
+      if Bytes.length !buf < sh.bytes then buf := Bytes.create sh.bytes;
+      match really_input ic !buf 0 sh.bytes with
+      | exception End_of_file -> drop "chunk truncated"
+      | () ->
+        let checksum_ok =
+          sh.crc < 0 || Crc32c.digest !buf ~pos:0 ~len:sh.bytes = sh.crc
+        in
+        if not checksum_ok then
+          drop
+            (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+               sh.crc
+               (Crc32c.digest !buf ~pos:0 ~len:sh.bytes))
+        else begin
+          let defs = ref [] in
+          match decode_whole_chunk ~stage ~defs !buf sh.bytes with
+          | exception Trace_stream.Decode_error msg -> drop msg
+          | b ->
+            if Batch.length b <> sh.events then
+              drop
+                (Printf.sprintf "decoded %d events where the index says %d"
+                   (Batch.length b) sh.events)
+            else begin
+              List.iter
+                (fun (id, name) -> Hashtbl.replace names id name)
+                (List.rev !defs);
+              Some b
+            end
+        end
+    end
+  in
+  (names, next)
+
+(* Salvage without an index, version 2: the frames are self-delimiting,
+   so a checksum or record failure inside a frame skips exactly that
+   frame.  Once the framing itself breaks (a corrupt length, a truncated
+   payload) there is no boundary left to re-synchronize on: the rest of
+   the file is reported as a single terminal drop. *)
+let salvage_frames_v2 ~report ic =
+  In_channel.seek ic 5L;
+  let names = Hashtbl.create 64 in
+  let stage = ref (Batch.create ~capacity:1024 ()) in
+  let buf = ref Bytes.empty in
+  let file_off = ref 5 in
+  let ordinal = ref (-1) in
+  let finished = ref false in
+  let input_byte () =
+    match In_channel.input_byte ic with
+    | Some c ->
+      incr file_off;
+      c
+    | None -> -1
+  in
+  let terminal offset reason =
+    finished := true;
+    report
+      {
+        drop_chunk = !ordinal + 1;
+        drop_offset = offset;
+        drop_bytes = -1;
+        drop_events = -1;
+        drop_reason = reason;
+      };
+    None
+  in
+  let rec next () =
+    if !finished then None
+    else begin
+      let frame_off = !file_off in
+      match read_uvarint input_byte with
+      | exception Trace_stream.Decode_error msg -> terminal frame_off msg
+      | 0 ->
+        finished := true;
+        (* Trailing bytes after the marker are the footer (already known
+           to be unusable, or absent) — nothing left to salvage. *)
+        None
+      | paylen when paylen > max_chunk_payload ->
+        terminal frame_off (Printf.sprintf "implausible chunk length %d" paylen)
+      | paylen -> (
+        let stored = ref 0 in
+        let truncated = ref false in
+        for i = 0 to 3 do
+          match input_byte () with
+          | -1 -> truncated := true
+          | c -> stored := !stored lor (c lsl (8 * i))
+        done;
+        if !truncated then terminal frame_off "truncated chunk header"
+        else begin
+          if Bytes.length !buf < paylen then buf := Bytes.create paylen;
+          match really_input ic !buf 0 paylen with
+          | exception End_of_file -> terminal frame_off "truncated payload"
+          | () ->
+            file_off := !file_off + paylen;
+            incr ordinal;
+            let skip reason =
+              report
+                {
+                  drop_chunk = !ordinal;
+                  drop_offset = frame_off;
+                  drop_bytes = paylen;
+                  drop_events = -1;
+                  drop_reason = reason;
+                };
+              next ()
+            in
+            let computed = Crc32c.digest !buf ~pos:0 ~len:paylen in
+            if computed <> !stored then
+              skip
+                (Printf.sprintf
+                   "checksum mismatch (stored %08x, computed %08x)" !stored
+                   computed)
+            else begin
+              let defs = ref [] in
+              match decode_whole_chunk ~stage ~defs !buf paylen with
+              | exception Trace_stream.Decode_error msg -> skip msg
+              | b ->
+                List.iter
+                  (fun (id, name) -> Hashtbl.replace names id name)
+                  (List.rev !defs);
+                Some b
+            end
+        end)
+    end
+  in
+  (names, next)
+
+(* Salvage of a version-1 stream without an index: there are no chunk
+   boundaries to re-synchronize on, so the first malformation drops the
+   rest of the file as one terminal region.  Batches delivered before
+   the failure stand. *)
+let salvage_v1_stream ~report ~chunk_bytes ~batch_size ic =
+  In_channel.seek ic 5L;
+  let names, src = batch_reader_v1 ~chunk_bytes ~batch_size ic in
+  let finished = ref false in
+  ( names,
+    fun () ->
+      if !finished then None
+      else
+        match src () with
+        | batch -> batch
+        | exception Trace_stream.Decode_error msg ->
+          finished := true;
+          report
+            {
+              drop_chunk = -1;
+              drop_offset = -1;
+              drop_bytes = -1;
+              drop_events = -1;
+              drop_reason = msg;
+            };
+          None )
+
+let read ?(chunk_bytes = default_chunk) ?(batch_size = Batch.default_capacity)
+    ?path ~on_corrupt ic =
+  match on_corrupt with
+  | `Fail -> batch_reader ~chunk_bytes ~batch_size ic
+  | `Skip report -> (
+    let trace_version = input_header ic in
+    let total = Int64.to_int (In_channel.length ic) in
+    let has_trailer =
+      total >= 5 + 1 + 6 + index_trailer_bytes
+      && begin
+           In_channel.seek ic (Int64.of_int (total - 4));
+           match really_input_string ic 4 with
+           | s -> s = index_magic
+           | exception End_of_file -> false
+         end
+    in
+    if has_trailer then
+      (* The trailer promises an index; it is the authority on chunk
+         boundaries, so an unreadable footer is fatal even in salvage
+         mode — without trusted boundaries a skip could deliver
+         re-framed garbage as events. *)
+      match shards ?path ic with
+      | Some shs -> salvage_indexed ~report ic shs
+      | None ->
+        bad "cannot salvage %s: trailer present but index unreadable"
+          (Option.value path ~default:"trace")
+    else if trace_version >= 2 then salvage_frames_v2 ~report ic
+    else salvage_v1_stream ~report ~chunk_bytes ~batch_size ic)
+
 (* ----- whole-trace convenience ---------------------------------------- *)
 
-let to_string ?(routine_name = default_routine_name) (tr : Event.t Vec.t) =
-  let buf = Buffer.create (16 + (4 * Vec.length tr)) in
-  Buffer.add_string buf magic;
-  Buffer.add_char buf (Char.chr version);
+let to_string ?(format_version = version)
+    ?(routine_name = default_routine_name) (tr : Event.t Vec.t) =
+  check_format_version format_version;
+  let out = Buffer.create (16 + (4 * Vec.length tr)) in
+  Buffer.add_string out magic;
+  Buffer.add_char out (Char.chr format_version);
+  let buf = Buffer.create 4096 in
   let encode = encoder buf ~routine_name in
+  let flush_frame () =
+    if format_version >= 2 && Buffer.length buf > 0 then begin
+      let payload = Buffer.contents buf in
+      let n = String.length payload in
+      add_uvarint out n;
+      add_le32 out (Crc32c.digest_string payload ~pos:0 ~len:n);
+      Buffer.add_string out payload;
+      Buffer.clear buf
+    end
+  in
   let batches = Trace_stream.batches_of_trace tr in
   let rec loop () =
     match batches () with
     | None -> ()
     | Some b ->
-      Batch.iter encode b;
+      Batch.iter
+        (fun tag tid arg len ->
+          encode tag tid arg len;
+          if Buffer.length buf >= default_chunk then flush_frame ())
+        b;
       loop ()
   in
   loop ();
-  Buffer.add_char buf (Char.chr end_tag);
-  Buffer.contents buf
+  if format_version >= 2 then flush_frame () else Buffer.add_buffer out buf;
+  Buffer.add_char out (Char.chr end_tag);
+  Buffer.contents out
 
-let of_string s =
-  let pos = ref 0 in
+let of_string_v1 s =
+  let pos = ref 5 in
   let read_byte () =
     if !pos >= String.length s then -1
     else begin
@@ -613,19 +1168,83 @@ let of_string s =
     pos := !pos + n;
     sub
   in
-  try
-    check_header read_byte;
-    let names = ref [] in
-    let define id name = names := (id, name) :: !names in
-    let out = Vec.create () in
-    let b = Batch.create () in
-    let finished = ref false in
-    while not !finished do
-      Batch.clear b;
-      finished := fill_batch ~read_byte ~read_string ~define b;
+  let names = ref [] in
+  let define id name = names := (id, name) :: !names in
+  let out = Vec.create () in
+  let b = Batch.create () in
+  let finished = ref false in
+  while not !finished do
+    Batch.clear b;
+    finished := fill_batch ~read_byte ~read_string ~define b;
+    Batch.iter_events (Vec.push out) b
+  done;
+  (out, List.rev !names)
+
+let of_string_v2 s =
+  let total = String.length s in
+  let pos = ref 5 in
+  let read_byte () =
+    if !pos >= total then -1
+    else begin
+      let b = Char.code (String.unsafe_get s !pos) in
+      incr pos;
+      b
+    end
+  in
+  let names = ref [] in
+  let out = Vec.create () in
+  let stage = ref (Batch.create ~capacity:1024 ()) in
+  let finished = ref false in
+  while not !finished do
+    let frame_off = !pos in
+    match read_uvarint read_byte with
+    | exception Trace_stream.Decode_error _ when !pos = frame_off ->
+      bad "truncated trace (missing end-of-trace marker)"
+    | 0 ->
+      (* End marker; accept end of input or a skipped footer. *)
+      (match read_byte () with
+      | -1 -> ()
+      | c when c = Char.code index_magic.[0] ->
+        for i = 1 to 3 do
+          if read_byte () <> Char.code index_magic.[i] then
+            bad "trailing data after end-of-trace marker"
+        done;
+        pos := total
+      | _ -> bad "trailing data after end-of-trace marker");
+      finished := true
+    | paylen ->
+      if paylen > max_chunk_payload then
+        bad "chunk at byte %d: implausible length %d" frame_off paylen;
+      if !pos + 4 + paylen > total then
+        bad "chunk at byte %d: truncated" frame_off;
+      let stored = ref 0 in
+      for i = 0 to 3 do
+        stored := !stored lor (Char.code s.[!pos + i] lsl (8 * i))
+      done;
+      pos := !pos + 4;
+      let computed = Crc32c.digest_string s ~pos:!pos ~len:paylen in
+      if computed <> !stored then
+        bad "chunk at byte %d: checksum mismatch (stored %08x, computed %08x)"
+          frame_off !stored computed;
+      let defs = ref [] in
+      let b =
+        decode_whole_chunk ~stage ~defs
+          (Bytes.unsafe_of_string (String.sub s !pos paylen))
+          paylen
+      in
+      pos := !pos + paylen;
+      (* [!defs] is newest-first within the chunk; prepending keeps the
+         whole accumulator newest-first, undone by the final [rev]. *)
+      names := !defs @ !names;
       Batch.iter_events (Vec.push out) b
-    done;
-    Ok (out, List.rev !names)
+  done;
+  (out, List.rev !names)
+
+let of_string s =
+  try
+    match parse_header s with
+    | 1 -> Ok (of_string_v1 s)
+    | _ -> Ok (of_string_v2 s)
   with Trace_stream.Decode_error msg -> Error msg
 
 let detect ic =

@@ -1,10 +1,10 @@
 (** Compact binary trace format.
 
     The wire format is a 5-byte versioned header (magic ["ATRC"] plus a
-    version byte) followed by a flat sequence of records.  Every record
-    starts with a one-byte tag: tags 1–14 are the {!Event.t} variants,
-    whose integer fields are zigzag varints (LEB128, so small values —
-    the common case for thread ids and interned routine ids — cost one
+    version byte) followed by the record region.  Every record starts
+    with a one-byte tag: tags 1–14 are the {!Event.t} variants, whose
+    integer fields are zigzag varints (LEB128, so small values — the
+    common case for thread ids and interned routine ids — cost one
     byte); tag 15 is a routine-name definition [(id, name)] binding an
     interned routine id to its name.  Definitions are interleaved with
     the events — the writer emits one immediately before the first
@@ -14,35 +14,60 @@
 
     Integers round-trip over the full [int] range (zigzag encoding);
     names round-trip byte-exactly, including empty and non-ASCII ones.
+    Varints are canonical — a redundant zero continuation group is
+    rejected — so each trace has exactly one byte representation.
 
-    A complete trace ends with a one-byte end-of-trace marker (tag 0),
-    so truncation is detected even when it falls exactly on a record
-    boundary.  Any malformation — a missing marker, a truncated record,
-    trailing bytes after the marker, an unknown tag, a bad header —
-    raises {!Trace_stream.Decode_error}.
+    {2 Version 2: checksummed chunk frames}
+
+    In format version 2 (the default output), the record region is a
+    sequence of self-delimiting frames, each one writer flush unit:
+
+    {v
+    frame := paylen:uvarint crc32c:le32 payload[paylen]
+    v}
+
+    [paylen] is a plain (non-zigzag) canonical varint and is never 0;
+    [crc32c] is the CRC32C of the payload bytes; records never span
+    frames.  Readers verify the checksum {e before} any varint decoding,
+    so the [unsafe_get] decode fast path never touches corrupt bytes.
+    The end-of-trace marker is a single 0 byte where the next frame
+    length would be (the same byte as the version-1 marker).  Version-1
+    files — a bare record stream, no frames or checksums — remain fully
+    readable; writers can still produce them via [?format_version].
+
+    A complete trace ends with the end-of-trace marker, so truncation is
+    detected even when it falls exactly on a record boundary.  Any
+    malformation — a missing marker, a truncated record, a checksum
+    mismatch, trailing bytes after the marker, an unknown tag, a bad
+    header — raises {!Trace_stream.Decode_error}.
 
     {2 Shard index}
 
     After the end-of-trace marker, {!batch_writer} appends a seekable
     shard-index footer describing every flushed chunk (its byte length,
-    event count, the set of record tags present, and the set of thread
-    ids present), so a parallel replay can decide which chunks concern
-    it and seek straight to them.  The footer layout is:
+    event count, the set of record tags present, its CRC32C in version
+    2, and the set of thread ids present), so a parallel replay can
+    decide which chunks concern it and seek straight to them.  The
+    footer layout is:
 
     {v
     "ATRI" version:byte nchunks:varint chunk*   ; the footer body
     footer_offset:le64 "ATRI"                   ; fixed 12-byte trailer
     chunk := bytes:varint events:varint tag_mask:varint
+             [crc:varint]                       ; version >= 2 only
              ntids:varint tid_delta:varint*     ; tids ascending
     v}
 
-    The fixed-size trailer lets a reader find the footer from the end
-    of the file; a file without the trailing magic is an old index-less
-    trace and still reads normally (the footer is likewise skipped by
-    the sequential readers, so indexed files stay readable by old-style
-    streaming consumers of this module). *)
+    The index version byte always equals the trace version.  The fixed
+    trailer lets a reader find the footer from the end of the file; a
+    file without the trailing magic is an index-less trace and still
+    reads normally (the footer is likewise skipped by the sequential
+    readers, so indexed files stay readable by old-style streaming
+    consumers of this module). *)
 
 val magic : string
+
+(** The format version writers emit by default (2). *)
 val version : int
 
 (** {1 Streaming}
@@ -57,10 +82,15 @@ val version : int
 (** [batch_writer oc] is a batch sink encoding packed events into [oc].
     Same format, buffering, and close contract as {!writer}.
     @param index write the shard-index footer on close (default [true];
-    pass [false] for an old-style index-less trace). *)
+    pass [false] for an old-style index-less trace).
+    @param format_version wire format to emit, [1] or [2] (default
+    {!version}); version-1 output is byte-identical to what pre-checksum
+    writers produced.
+    @raise Invalid_argument on an unsupported [format_version]. *)
 val batch_writer :
   ?chunk_bytes:int ->
   ?index:bool ->
+  ?format_version:int ->
   ?routine_name:(int -> string) ->
   out_channel ->
   Trace_stream.batch_sink
@@ -68,9 +98,15 @@ val batch_writer :
 (** [batch_reader ic] validates the header and returns the routine-name
     table together with a batch source decoding up to [batch_size]
     events per pull into a recycled batch (valid until the next pull).
-    The table fills in as batches are pulled.
+    The table fills in as batches are pulled.  Both format versions are
+    accepted; on version 2 each chunk's checksum is verified before its
+    records are decoded, the streamed frame sequence is cross-checked
+    against the index footer when one is present (catching duplicated,
+    deleted, or reordered frames, which are individually
+    self-consistent), and [chunk_bytes] (the version-1 I/O buffer size)
+    is ignored because the frames delimit themselves.
     @raise Trace_stream.Decode_error on a bad header; the source raises
-    it on malformed records. *)
+    it on malformed records or a checksum mismatch. *)
 val batch_reader :
   ?chunk_bytes:int ->
   ?batch_size:int ->
@@ -87,6 +123,7 @@ val batch_reader :
 val writer :
   ?chunk_bytes:int ->
   ?index:bool ->
+  ?format_version:int ->
   ?routine_name:(int -> string) ->
   out_channel ->
   Trace_stream.sink
@@ -94,8 +131,8 @@ val writer :
 (** [reader ic] validates the header and returns the routine-name table
     together with the event stream.  The table fills in as the stream is
     consumed (definitions decode in stream order); it is complete once
-    the stream returns [None].  Reads are buffered [chunk_bytes] at a
-    time, so peak live memory is bounded by the chunk, not the trace.
+    the stream returns [None].  Reads are buffered, so peak live memory
+    is bounded by the chunk, not the trace.
     @raise Trace_stream.Decode_error on a bad header; the returned
     stream raises it on malformed records. *)
 val reader :
@@ -106,15 +143,18 @@ val reader :
 (** {1 Shard index} *)
 
 (** One writer flush unit, as described by the index footer.  [offset]
-    and [bytes] delimit its records in the file; [events] counts event
-    records (definition records excluded); [tag_mask] has bit [t] set
-    iff a record with tag [t] is present; [tids] are the distinct
-    thread ids appearing in the chunk, ascending. *)
+    and [bytes] delimit its record payload in the file (excluding the
+    version-2 frame header); [events] counts event records (definition
+    records excluded); [tag_mask] has bit [t] set iff a record with tag
+    [t] is present; [crc] is the payload's CRC32C, or [-1] in a
+    version-1 file; [tids] are the distinct thread ids appearing in the
+    chunk, ascending. *)
 type shard = {
   offset : int;
   bytes : int;
   events : int;
   tag_mask : int;
+  crc : int;
   tids : int array;
 }
 
@@ -130,12 +170,14 @@ val shards : ?path:string -> in_channel -> shard array option
 
 (** [sharded_reader ic shards ~select] is a batch source decoding, in
     file order, exactly the chunks of [shards] that [select] accepts,
-    seeking over the rest.  Because routine-name definition records
-    live in the chunk holding the routine's first [Call], the returned
-    name table only covers the selected chunks — a parallel replay
-    unions the tables of its workers to recover the full one.
+    seeking over the rest.  On version-2 files each selected chunk's
+    checksum is verified before its bytes are decoded.  Because
+    routine-name definition records live in the chunk holding the
+    routine's first [Call], the returned name table only covers the
+    selected chunks — a parallel replay unions the tables of its
+    workers to recover the full one.
     @raise Trace_stream.Decode_error (from the source) on malformed
-    chunk contents, naming [path]. *)
+    chunk contents or a checksum mismatch, naming [path]. *)
 val sharded_reader :
   ?path:string ->
   ?batch_size:int ->
@@ -152,15 +194,72 @@ val seek_chunk :
   shard ->
   (int, string) Hashtbl.t * Trace_stream.batch_source
 
+(** {1 Salvage}
+
+    Reading with [~on_corrupt:(`Skip report)] trades completeness for
+    progress: instead of aborting on the first malformed chunk, the
+    reader skips it, reports exactly what was dropped, and
+    re-synchronizes at the next chunk boundary. *)
+
+(** One skipped region of a damaged trace.  [drop_chunk] is the chunk
+    ordinal (0-based; [-1] when the damaged file offers no chunk
+    structure to count by), [drop_offset] the file byte offset of the
+    dropped region ([-1] if unknown), [drop_bytes] its payload length
+    ([-1] if unknown), [drop_events] the event count according to the
+    shard index ([-1] when no index is available), and [drop_reason] a
+    human-readable cause. *)
+type drop = {
+  drop_chunk : int;
+  drop_offset : int;
+  drop_bytes : int;
+  drop_events : int;
+  drop_reason : string;
+}
+
+(** [read ~on_corrupt ic] reads a binary trace from a seekable channel.
+
+    With [`Fail] this is exactly {!batch_reader}.
+
+    With [`Skip report], damaged regions are skipped and [report] is
+    called once per skipped region, in file order, as reading
+    progresses.  Chunks are delivered all-or-nothing: a chunk either
+    decodes completely (and arrives as one batch) or is dropped whole,
+    so a surviving prefix of a damaged chunk can never leak into the
+    profile.  Re-synchronization uses, in order of preference: the ATRI
+    shard index (exact boundaries, exact dropped-event counts — also the
+    only way duplicated or reordered chunk frames are detected), the
+    version-2 frame lengths (the remainder of the file is dropped once
+    the framing itself is damaged), or — for an index-less version-1
+    file, which has no boundaries to re-synchronize on — nothing: the
+    first malformation drops the rest of the file as one terminal
+    region.
+
+    Even under [`Skip] some damage is beyond salvage and raises
+    {!Trace_stream.Decode_error}: an unreadable header, and a file whose
+    trailer promises an index that then fails to parse (the boundary
+    authority itself is untrustworthy).
+    @param path the file name used in error messages (default ["trace"]). *)
+val read :
+  ?chunk_bytes:int ->
+  ?batch_size:int ->
+  ?path:string ->
+  on_corrupt:[ `Fail | `Skip of drop -> unit ] ->
+  in_channel ->
+  (int, string) Hashtbl.t * Trace_stream.batch_source
+
 (** {1 Whole-trace convenience} *)
 
-(** [to_string ?routine_name tr] encodes an in-memory trace. *)
+(** [to_string ?routine_name tr] encodes an in-memory trace (without a
+    shard index). *)
 val to_string :
-  ?routine_name:(int -> string) -> Event.t Aprof_util.Vec.t -> string
+  ?format_version:int ->
+  ?routine_name:(int -> string) ->
+  Event.t Aprof_util.Vec.t ->
+  string
 
-(** [of_string s] decodes a full binary trace, returning the events and
-    the embedded routine-name table (in definition order).  All decode
-    failures are reported as [Error]. *)
+(** [of_string s] decodes a full binary trace of either version,
+    returning the events and the embedded routine-name table (in
+    definition order).  All decode failures are reported as [Error]. *)
 val of_string :
   string -> (Event.t Aprof_util.Vec.t * (int * string) list, string) result
 

@@ -1,0 +1,46 @@
+(* CRC32C (Castagnoli).
+
+   The hot entry point is a C stub: the polynomial has hardware support
+   on x86-64 (SSE4.2 crc32) and ARMv8 (CRC32 extension) — that is why
+   the codec uses this CRC and not zlib's — and the stub falls back to a
+   slicing-by-8 table kernel in C on other hosts.  Dispatch happens once
+   at runtime inside the stub.
+
+   [digest_bytewise] is the executable specification: the textbook
+   byte-at-a-time reflected CRC, kept in OCaml and obviously correct.
+   The test suite pins the stub to it on random inputs, and both to the
+   published check vectors. *)
+
+external unsafe_digest : Bytes.t -> int -> int -> int -> int
+  = "aprof_crc32c_digest"
+  [@@noalloc]
+
+let digest ?(crc = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bytes.length b - len then
+    invalid_arg "Crc32c.digest: invalid range";
+  unsafe_digest b pos len crc
+
+let digest_string ?crc s ~pos ~len =
+  digest ?crc (Bytes.unsafe_of_string s) ~pos ~len
+
+let poly = 0x82F63B78
+
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then (!c lsr 1) lxor poly else !c lsr 1
+         done;
+         !c))
+
+let digest_bytewise ?(crc = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bytes.length b - len then
+    invalid_arg "Crc32c.digest_bytewise: invalid range";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := Array.unsafe_get t ((!c lxor Char.code (Bytes.get b i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

@@ -1,0 +1,33 @@
+(** CRC32C (Castagnoli) checksums.
+
+    The polynomial is the iSCSI/ext4 one (0x1EDC6F41, reflected form
+    0x82F63B78), chosen over CRC32 (zlib) both for its better
+    error-detection properties on short messages and because commodity
+    CPUs compute it in hardware — the trace codec checksums each I/O
+    chunk with it before any record decoding touches the bytes, so the
+    checksum must stay a small fraction of the varint-decode cost.
+
+    {!digest} dispatches (once, at runtime) to the SSE4.2 [crc32]
+    instruction on x86-64 or the ARMv8 CRC32 extension, falling back to
+    a slicing-by-8 table kernel elsewhere; {!digest_bytewise} is the
+    byte-at-a-time executable specification the fast paths are tested
+    against.
+
+    Digests are plain non-negative [int]s in [0, 0xFFFF_FFFF].
+    Checksums compose incrementally: [digest ~crc:(digest b) b'] equals
+    the digest of the concatenation of [b] and [b']. *)
+
+(** [digest ?crc b ~pos ~len] is the CRC32C of bytes
+    [pos .. pos+len-1] of [b], continuing from [crc] (default: the empty
+    digest, 0).
+    @raise Invalid_argument when [pos]/[len] do not delimit a valid
+    range of [b]. *)
+val digest : ?crc:int -> Bytes.t -> pos:int -> len:int -> int
+
+(** [digest_string ?crc s ~pos ~len] is {!digest} over a string. *)
+val digest_string : ?crc:int -> string -> pos:int -> len:int -> int
+
+(** [digest_bytewise ?crc b ~pos ~len] is {!digest}, computed one byte
+    at a time in OCaml — the specification the optimized paths are
+    differentially tested against.  Slow; use {!digest}. *)
+val digest_bytewise : ?crc:int -> Bytes.t -> pos:int -> len:int -> int

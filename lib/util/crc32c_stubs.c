@@ -1,0 +1,147 @@
+/* CRC32C (Castagnoli).
+ *
+ * The polynomial was chosen for the trace codec precisely because
+ * commodity CPUs compute it in hardware: SSE4.2 crc32 on x86-64 and the
+ * ARMv8 CRC32 extension both implement this exact (reflected)
+ * polynomial.  The hardware path runs an order of magnitude faster than
+ * any table kernel, which is what keeps per-chunk checksum verification
+ * a small fraction of trace decode time (see `bench -e faults`).
+ *
+ * Dispatch is decided once at runtime; hosts without the instruction
+ * fall back to a slicing-by-8 table kernel in C.  The OCaml side keeps
+ * a byte-at-a-time implementation of the same function as the
+ * executable specification, and the test suite checks the two agree on
+ * random inputs.
+ *
+ * The stub is [@@noalloc] and touches no OCaml heap values beyond
+ * reading the bytes, so it needs no CAMLparam bookkeeping; bounds are
+ * validated on the OCaml side before the call.
+ */
+
+#include <stdint.h>
+#include <stddef.h>
+#include <string.h>
+
+#include <caml/mlvalues.h>
+
+/* ------------------------------------------------------------------ */
+/* Table fallback: slicing-by-8, initialized on first use.            */
+
+#define POLY 0x82F63B78u
+
+static uint32_t slice_tables[8][256];
+static int tables_ready = 0;
+
+static void init_tables(void)
+{
+  for (int i = 0; i < 256; i++) {
+    uint32_t c = (uint32_t)i;
+    for (int k = 0; k < 8; k++)
+      c = (c & 1) ? (c >> 1) ^ POLY : c >> 1;
+    slice_tables[0][i] = c;
+  }
+  for (int k = 1; k < 8; k++)
+    for (int i = 0; i < 256; i++) {
+      uint32_t prev = slice_tables[k - 1][i];
+      slice_tables[k][i] = (prev >> 8) ^ slice_tables[0][prev & 0xff];
+    }
+  tables_ready = 1;
+}
+
+static uint32_t crc_tables(uint32_t crc, const unsigned char *p, size_t len)
+{
+  if (!tables_ready) init_tables();
+  while (len >= 8) {
+    uint32_t lo, hi;
+    memcpy(&lo, p, 4);
+    memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = slice_tables[7][lo & 0xff]
+        ^ slice_tables[6][(lo >> 8) & 0xff]
+        ^ slice_tables[5][(lo >> 16) & 0xff]
+        ^ slice_tables[4][lo >> 24]
+        ^ slice_tables[3][hi & 0xff]
+        ^ slice_tables[2][(hi >> 8) & 0xff]
+        ^ slice_tables[1][(hi >> 16) & 0xff]
+        ^ slice_tables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len--) {
+    crc = (crc >> 8) ^ slice_tables[0][(crc ^ *p++) & 0xff];
+  }
+  return crc;
+}
+
+/* ------------------------------------------------------------------ */
+/* Hardware paths.                                                    */
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#include <nmmintrin.h>
+
+__attribute__((target("sse4.2")))
+static uint32_t crc_hw(uint32_t crc, const unsigned char *p, size_t len)
+{
+  uint64_t c = crc;
+  while (len >= 8) {
+    uint64_t w;
+    memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    len -= 8;
+  }
+  crc = (uint32_t)c;
+  while (len--)
+    crc = _mm_crc32_u8(crc, *p++);
+  return crc;
+}
+
+static int hw_available(void) { return __builtin_cpu_supports("sse4.2"); }
+
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+
+#include <arm_acle.h>
+
+static uint32_t crc_hw(uint32_t crc, const unsigned char *p, size_t len)
+{
+  while (len >= 8) {
+    uint64_t w;
+    memcpy(&w, p, 8);
+    crc = __crc32cd(crc, w);
+    p += 8;
+    len -= 8;
+  }
+  while (len--)
+    crc = __crc32cb(crc, *p++);
+  return crc;
+}
+
+static int hw_available(void) { return 1; }
+
+#else
+
+static uint32_t crc_hw(uint32_t crc, const unsigned char *p, size_t len)
+{
+  return crc_tables(crc, p, len);
+}
+
+static int hw_available(void) { return 0; }
+
+#endif
+
+/* -1 = undecided, 0 = tables, 1 = hardware.  Races are benign: every
+ * thread computes the same answer. */
+static int use_hw = -1;
+
+CAMLprim value aprof_crc32c_digest(value vbuf, value vpos, value vlen,
+                                   value vcrc)
+{
+  const unsigned char *p =
+      (const unsigned char *)Bytes_val(vbuf) + Long_val(vpos);
+  size_t len = (size_t)Long_val(vlen);
+  uint32_t crc = (uint32_t)Long_val(vcrc) ^ 0xFFFFFFFFu;
+  if (use_hw < 0) use_hw = hw_available();
+  crc = use_hw ? crc_hw(crc, p, len) : crc_tables(crc, p, len);
+  return Val_long((long)(crc ^ 0xFFFFFFFFu));
+}

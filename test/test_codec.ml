@@ -275,9 +275,9 @@ let sample_trace seed =
 
 (* Small chunks and batches so even the generator's short traces span
    several index entries. *)
-let write_binary ?(index = true) trace file =
+let write_binary ?(index = true) ?format_version trace file =
   Out_channel.with_open_bin file (fun oc ->
-      let sink = Codec.batch_writer ~chunk_bytes:128 ~index oc in
+      let sink = Codec.batch_writer ~chunk_bytes:128 ~index ?format_version oc in
       let batches = Stream.batches_of_trace ~batch_size:16 trace in
       let rec loop () =
         match batches () with
@@ -291,6 +291,8 @@ let write_binary ?(index = true) trace file =
 
 let decode_source src = Stream.to_trace (Stream.events_of_batches src)
 
+let rec uvarint_size v = if v < 0x80 then 1 else 1 + uvarint_size (v lsr 7)
+
 let shard_index_round_trip () =
   let trace = sample_trace 11 in
   let file = Filename.temp_file "aprof_test" ".atrc" in
@@ -300,13 +302,18 @@ let shard_index_round_trip () =
       | None -> Alcotest.fail "indexed file reports no shard index"
       | Some shs ->
         Alcotest.(check bool) "several chunks" true (Array.length shs >= 2);
-        (* Chunks tile the record region, starting right after the
-           5-byte header. *)
+        (* Chunk payloads tile the record region, starting right after
+           the 5-byte header; each version-2 frame puts a length varint
+           and 4 CRC bytes in front of its payload. *)
         let off = ref 5 in
         Array.iter
           (fun (sh : Codec.shard) ->
-            Alcotest.(check int) "contiguous offsets" !off sh.Codec.offset;
-            off := !off + sh.Codec.bytes)
+            Alcotest.(check int) "contiguous offsets"
+              (!off + uvarint_size sh.Codec.bytes + 4)
+              sh.Codec.offset;
+            Alcotest.(check bool) "index carries the payload checksum" true
+              (sh.Codec.crc >= 0);
+            off := sh.Codec.offset + sh.Codec.bytes)
           shs;
         Alcotest.(check int) "every event accounted for" (Vec.length trace)
           (Array.fold_left (fun acc sh -> acc + sh.Codec.events) 0 shs);
@@ -411,6 +418,197 @@ let corrupt_footer_is_named () =
     ^ String.sub bytes (footer_off + 7) (total - footer_off - 7));
   Sys.remove file
 
+(* --- format versions -------------------------------------------------- *)
+
+(* The version-1 byte stream is frozen: pre-checksum readers and files
+   must keep interoperating, so the writer's v1 output is pinned to a
+   hand-assembled golden vector. *)
+let v1_golden_bytes () =
+  let trace =
+    Vec.of_list [ Event.Call { tid = 0; routine = 0 }; Event.Return { tid = 0 } ]
+  in
+  let s =
+    Codec.to_string ~format_version:1 ~routine_name:(fun _ -> "f") trace
+  in
+  (* header, def(0,"f"), Call(0,0), Return(0), end marker *)
+  Alcotest.(check string) "v1 golden"
+    "ATRC\x01\x0f\x00\x02f\x01\x00\x00\x02\x00\x00" s;
+  (* And the same trace in version 2: one frame of the same 9 record
+     bytes, length-prefixed and checksummed. *)
+  let payload = "\x0f\x00\x02f\x01\x00\x00\x02\x00" in
+  let crc =
+    Aprof_util.Crc32c.digest_string payload ~pos:0 ~len:(String.length payload)
+  in
+  let le32 =
+    String.init 4 (fun i -> Char.chr ((crc lsr (8 * i)) land 0xff))
+  in
+  let v2 = Codec.to_string ~routine_name:(fun _ -> "f") trace in
+  Alcotest.(check string) "v2 golden"
+    ("ATRC\x02\x09" ^ le32 ^ payload ^ "\x00")
+    v2
+
+let v1_compat () =
+  let trace = sample_trace 15 in
+  let file = Filename.temp_file "aprof_v1" ".atrc" in
+  write_binary ~format_version:1 trace file;
+  (* A version-1 file replays identically through every read path. *)
+  In_channel.with_open_bin file (fun ic ->
+      let _, src = Codec.batch_reader ic in
+      trace_equal "v1 streaming read" (decode_source src) trace);
+  In_channel.with_open_bin file (fun ic ->
+      match Codec.shards ~path:file ic with
+      | None -> Alcotest.fail "v1 indexed file reports no shard index"
+      | Some shs ->
+        (* v1 chunks have no frame headers and no stored checksum. *)
+        let off = ref 5 in
+        Array.iter
+          (fun (sh : Codec.shard) ->
+            Alcotest.(check int) "v1 contiguous offsets" !off sh.Codec.offset;
+            Alcotest.(check int) "v1 has no checksum" (-1) sh.Codec.crc;
+            off := !off + sh.Codec.bytes)
+          shs;
+        let _, src =
+          Codec.sharded_reader ~path:file ic shs ~select:(fun _ -> true)
+        in
+        trace_equal "v1 sharded read" (decode_source src) trace);
+  (* Writing the same trace twice yields the same bytes (v1 and v2). *)
+  let read_all f = In_channel.with_open_bin f In_channel.input_all in
+  let first = read_all file in
+  write_binary ~format_version:1 trace file;
+  Alcotest.(check bool) "v1 deterministic" true (read_all file = first);
+  write_binary trace file;
+  let v2_first = read_all file in
+  write_binary trace file;
+  Alcotest.(check bool) "v2 deterministic" true (read_all file = v2_first);
+  Sys.remove file
+
+(* --- canonical varints ------------------------------------------------ *)
+
+(* Every value has exactly one encoding: a redundant zero continuation
+   tail (0x80 0x00) decodes to the same value through a lax reader, so
+   it must be rejected — otherwise two distinct byte streams compare
+   unequal yet replay identically, breaking byte-diffability. *)
+let rejects_noncanonical_varints () =
+  let check_error name expect s =
+    match Codec.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected decode error" name
+    | Error msg ->
+      Alcotest.(check bool)
+        (name ^ ": error says " ^ expect)
+        true (contains ~sub:expect msg)
+  in
+  (* Return{tid=0} is tag 0x02 then tid varint; canonical tid 0 is a
+     single 0x00 byte. *)
+  let v1 body = "ATRC\x01" ^ body ^ "\x00" in
+  check_error "overlong zero tid" "non-canonical"
+    (v1 "\x02\x80\x00");
+  check_error "doubly overlong tid" "non-canonical"
+    (v1 "\x02\x80\x80\x00");
+  check_error "overlong tid 1" "non-canonical" (v1 "\x02\x82\x80\x00");
+  (* Ten continuation groups shift past the int width: overflow, not
+     Invalid_argument from a wild [lsl]. *)
+  check_error "varint overflow" "overflows"
+    (v1 ("\x02" ^ String.make 9 '\xff' ^ "\x7f"));
+  (* A canonical 9-byte varint fills the 63-bit int exactly; a tenth
+     group always falls off the top. *)
+  check_error "ten-group overflow" "overflows"
+    (v1 ("\x02" ^ String.make 9 '\x81' ^ "\x01"));
+  (* The same bytes inside a correctly-checksummed v2 frame must die in
+     the record decoder, not sneak past the CRC. *)
+  let v2_frame payload =
+    let crc =
+      Aprof_util.Crc32c.digest_string payload ~pos:0
+        ~len:(String.length payload)
+    in
+    "ATRC\x02"
+    ^ String.make 1 (Char.chr (String.length payload))
+    ^ String.init 4 (fun i -> Char.chr ((crc lsr (8 * i)) land 0xff))
+    ^ payload ^ "\x00"
+  in
+  check_error "overlong varint inside a valid v2 frame" "non-canonical"
+    (v2_frame "\x02\x80\x00");
+  (* Canonical encodings at the width boundary still round trip. *)
+  List.iter
+    (fun v ->
+      let ev = Event.Block { tid = 0; units = v } in
+      match Codec.of_string (Codec.to_string (Vec.of_list [ ev ])) with
+      | Ok (tr, _) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "boundary value %d survives" v)
+          true
+          (Vec.length tr = 1 && Event.equal (Vec.get tr 0) ev)
+      | Error msg -> Alcotest.failf "boundary value %d rejected: %s" v msg)
+    [ max_int; min_int; max_int asr 1; min_int asr 1; 1 lsl 55; -(1 lsl 55) ]
+
+(* --- checksums -------------------------------------------------------- *)
+
+(* A flipped payload byte must be caught by the CRC before any record
+   decoding — both in the streaming reader and the seeking one. *)
+let checksum_mismatch_detected () =
+  let trace = sample_trace 16 in
+  let file = Filename.temp_file "aprof_crc" ".atrc" in
+  write_binary trace file;
+  let bytes = In_channel.with_open_bin file In_channel.input_all in
+  let shs =
+    In_channel.with_open_bin file (fun ic ->
+        Option.get (Codec.shards ~path:file ic))
+  in
+  let sh = shs.(Array.length shs / 2) in
+  (* Flip a byte in the middle of that chunk's payload. *)
+  let i = sh.Codec.offset + (sh.Codec.bytes / 2) in
+  let corrupt =
+    String.mapi
+      (fun j c -> if j = i then Char.chr (Char.code c lxor 0x40) else c)
+      bytes
+  in
+  Out_channel.with_open_bin file (fun oc -> output_string oc corrupt);
+  (match
+     In_channel.with_open_bin file (fun ic ->
+         let _, src = Codec.batch_reader ic in
+         ignore (decode_source src))
+   with
+  | exception Stream.Decode_error msg ->
+    Alcotest.(check bool) "streaming read names the checksum" true
+      (contains ~sub:"checksum" msg)
+  | () -> Alcotest.fail "streaming read accepted a corrupt chunk");
+  (match
+     In_channel.with_open_bin file (fun ic ->
+         let _, src =
+           Codec.sharded_reader ~path:file ic shs ~select:(fun _ -> true)
+         in
+         ignore (decode_source src))
+   with
+  | exception Stream.Decode_error msg ->
+    Alcotest.(check bool) "sharded read names the checksum" true
+      (contains ~sub:"checksum" msg && contains ~sub:file msg)
+  | () -> Alcotest.fail "sharded read accepted a corrupt chunk");
+  (* Salvage mode recovers every other chunk and reports the drop. *)
+  let drops = ref [] in
+  let names, src =
+    In_channel.with_open_bin file (fun ic ->
+        let names, src =
+          Codec.read ~path:file ~on_corrupt:(`Skip (fun d -> drops := d :: !drops)) ic
+        in
+        (names, decode_source src))
+  in
+  ignore names;
+  (match !drops with
+  | [ d ] ->
+    Alcotest.(check int) "dropped the corrupt chunk"
+      (Array.length shs / 2) d.Codec.drop_chunk;
+    Alcotest.(check int) "drop names the offset" sh.Codec.offset
+      d.Codec.drop_offset;
+    Alcotest.(check int) "drop advertises the event count" sh.Codec.events
+      d.Codec.drop_events;
+    Alcotest.(check bool) "drop names the cause" true
+      (contains ~sub:"checksum" d.Codec.drop_reason)
+  | ds -> Alcotest.failf "expected exactly one drop, got %d" (List.length ds));
+  Alcotest.(check int) "salvage recovers the other chunks"
+    (Array.fold_left (fun acc (s : Codec.shard) -> acc + s.Codec.events) 0 shs
+    - sh.Codec.events)
+    (Vec.length src);
+  Sys.remove file
+
 let suite =
   [
     event_round_trip;
@@ -431,4 +629,10 @@ let suite =
       index_compat;
     Alcotest.test_case "corrupt shard index names file and offset" `Quick
       corrupt_footer_is_named;
+    Alcotest.test_case "v1/v2 byte streams are pinned" `Quick v1_golden_bytes;
+    Alcotest.test_case "version-1 files stay fully readable" `Quick v1_compat;
+    Alcotest.test_case "non-canonical varints are rejected" `Quick
+      rejects_noncanonical_varints;
+    Alcotest.test_case "chunk checksum mismatches are caught and salvageable"
+      `Quick checksum_mismatch_detected;
   ]

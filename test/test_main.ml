@@ -6,6 +6,7 @@ let () =
       ("trace", Test_trace.suite);
       ("stream", Test_stream.suite);
       ("codec", Test_codec.suite);
+      ("fault-inject", Fault_inject.suite);
       ("batch", Test_batch.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("differential", Test_differential.suite);
@@ -14,6 +15,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("vm", Test_vm.suite);
       ("tools", Test_tools.suite);
+      ("replay-driver", Test_replay_driver.suite);
       ("lockset", Test_lockset.suite);
       ("helgrind-diff", Test_helgrind_diff.suite);
       ("core-units", Test_core_units.suite);

@@ -1,0 +1,155 @@
+(* Failure isolation and output buffering in the replay driver.
+
+   The two regressions pinned here: (1) one corrupt file in a multi-file
+   replay must not abort the other files — it is reported, everything
+   else replays, and the run is marked failed; (2) a decode error
+   surfacing mid-file must not leak a partial tool summary — the driver
+   buffers everything per file and returns nothing for a file that
+   failed. *)
+
+module Event = Aprof_trace.Event
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+module Driver = Aprof_tools.Replay_driver
+module Vec = Aprof_util.Vec
+
+let now = Sys.time
+
+(* A well-formed trace: balanced activations over two threads, with
+   reads so the profile has input sizes. *)
+let mk_trace n =
+  let v = Vec.create () in
+  for i = 0 to n - 1 do
+    let tid = i mod 2 in
+    Vec.push v (Event.Call { tid; routine = i mod 4 });
+    Vec.push v (Event.Read { tid; addr = i * 7 });
+    Vec.push v (Event.Write { tid; addr = (i * 7) + 1 });
+    Vec.push v (Event.Return { tid })
+  done;
+  v
+
+let write_trace trace file =
+  Out_channel.with_open_bin file (fun oc ->
+      let sink = Codec.batch_writer ~chunk_bytes:128 oc in
+      let batches = Stream.batches_of_trace ~batch_size:16 trace in
+      let rec loop () =
+        match batches () with
+        | None -> ()
+        | Some b ->
+          sink.Stream.emit_batch b;
+          loop ()
+      in
+      loop ();
+      sink.Stream.close_batch ())
+
+(* Flip one byte inside chunk [k]'s payload (counted from the end when
+   negative). *)
+let corrupt_chunk file k =
+  let shs =
+    In_channel.with_open_bin file (fun ic ->
+        Option.get (Codec.shards ~path:file ic))
+  in
+  let k = if k < 0 then Array.length shs + k else k in
+  let sh = shs.(k) in
+  let i = sh.Codec.offset + (sh.Codec.bytes / 2) in
+  let bytes = In_channel.with_open_bin file In_channel.input_all in
+  Out_channel.with_open_bin file (fun oc ->
+      output_string oc
+        (String.mapi
+           (fun j c -> if j = i then Char.chr (Char.code c lxor 0x10) else c)
+           bytes));
+  sh.Codec.events
+
+let with_files n f =
+  let files = List.init n (fun _ -> Filename.temp_file "aprof_rd" ".atrc") in
+  Fun.protect ~finally:(fun () -> List.iter Sys.remove files) (fun () -> f files)
+
+let report_for (result : Driver.t) path =
+  List.find (fun (r : Driver.file_report) -> r.path = path) result.files
+
+let two_files_one_corrupt () =
+  with_files 2 (fun files ->
+      let good, bad = match files with [ a; b ] -> (a, b) | _ -> assert false in
+      let trace = mk_trace 300 in
+      write_trace trace good;
+      write_trace trace bad;
+      ignore (corrupt_chunk bad 1);
+      (* Corrupt file first: the failure must not take the rest down. *)
+      let result = Driver.replay ~now [ bad; good ] in
+      Alcotest.(check bool) "run marked failed" true result.failed;
+      let rb = report_for result bad and rg = report_for result good in
+      Alcotest.(check bool) "corrupt file reports its error" true
+        (match rb.error with Some _ -> true | None -> false);
+      Alcotest.(check int) "corrupt file contributed nothing" 0 rb.events;
+      Alcotest.(check (option string)) "good file has no error" None rg.error;
+      Alcotest.(check int) "good file fully replayed" (Vec.length trace)
+        rg.events;
+      (* The merged profile is exactly the good file's. *)
+      let solo = Driver.replay ~now [ good ] in
+      Alcotest.(check string) "profile = good file alone"
+        (Aprof_core.Profile_io.render_report
+           ~routine_name:string_of_int solo.profile)
+        (Aprof_core.Profile_io.render_report
+           ~routine_name:string_of_int result.profile))
+
+let corrupt_tail_buffers_summaries () =
+  with_files 1 (fun files ->
+      let file = List.hd files in
+      let trace = mk_trace 300 in
+      write_trace trace file;
+      (* Pristine file first: every tool returns a buffered summary. *)
+      let ok = Driver.replay ~now ~with_tools:true [ file ] in
+      let n_tools =
+        List.length (report_for ok file).Driver.tool_runs
+      in
+      Alcotest.(check bool) "tools ran on the pristine file" true (n_tools > 0);
+      List.iter
+        (fun (t : Driver.tool_run) ->
+          Alcotest.(check bool)
+            (t.tool_name ^ " summary buffered, not printed")
+            true
+            (String.length t.summary > 0))
+        (report_for ok file).Driver.tool_runs;
+      (* Corrupt the tail: the file decodes for a while and then fails —
+         no tool summary may surface, not even a partial one. *)
+      ignore (corrupt_chunk file (-1));
+      let result = Driver.replay ~now ~with_tools:true [ file ] in
+      let r = report_for result file in
+      Alcotest.(check bool) "tail corruption detected" true result.failed;
+      Alcotest.(check (list string)) "no tool summaries for the failed file"
+        []
+        (List.map (fun (t : Driver.tool_run) -> t.tool_name) r.tool_runs);
+      Alcotest.(check int) "failed file contributed no events" 0 r.events)
+
+let keep_going_salvages () =
+  with_files 1 (fun files ->
+      let file = List.hd files in
+      let trace = mk_trace 300 in
+      write_trace trace file;
+      let dropped = corrupt_chunk file 1 in
+      let result =
+        Driver.replay ~now ~keep_going:true ~with_tools:true [ file ]
+      in
+      let r = report_for result file in
+      Alcotest.(check bool) "salvage succeeds" false result.failed;
+      Alcotest.(check (option string)) "no error" None r.error;
+      (match r.drops with
+      | [ d ] ->
+        Alcotest.(check int) "drop advertises the chunk" 1 d.Codec.drop_chunk;
+        Alcotest.(check int) "drop advertises the event count" dropped
+          d.Codec.drop_events
+      | ds -> Alcotest.failf "expected one drop, got %d" (List.length ds));
+      Alcotest.(check int) "salvaged events + dropped events = total"
+        (Vec.length trace) (r.events + dropped);
+      Alcotest.(check bool) "tools still ran on the salvaged stream" true
+        (r.tool_runs <> []))
+
+let suite =
+  [
+    Alcotest.test_case "two files, one corrupt: isolation" `Quick
+      two_files_one_corrupt;
+    Alcotest.test_case "corrupt tail: summaries stay buffered" `Quick
+      corrupt_tail_buffers_summaries;
+    Alcotest.test_case "--keep-going salvages with accurate drops" `Quick
+      keep_going_salvages;
+  ]

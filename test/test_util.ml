@@ -108,6 +108,47 @@ let test_shuffle_permutes =
          Rng.shuffle (Rng.create 3) a;
          List.sort compare (Array.to_list a) = List.sort compare l))
 
+let test_crc32c_vectors () =
+  let crc s = Aprof_util.Crc32c.digest_string s ~pos:0 ~len:(String.length s) in
+  (* Published CRC32C (iSCSI) test vectors. *)
+  Alcotest.(check int) "empty" 0 (crc "");
+  Alcotest.(check int) "123456789" 0xE3069283 (crc "123456789");
+  Alcotest.(check int) "32 zero bytes" 0x8A9136AA (crc (String.make 32 '\x00'));
+  Alcotest.(check int) "fox"
+    0x22620404
+    (crc "The quick brown fox jumps over the lazy dog");
+  (* Sub-range addressing. *)
+  Alcotest.(check int) "pos/len window" (crc "123456789")
+    (Aprof_util.Crc32c.digest_string "xx123456789yy" ~pos:2 ~len:9);
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Crc32c.digest: invalid range") (fun () ->
+      ignore (Aprof_util.Crc32c.digest (Bytes.create 4) ~pos:2 ~len:3))
+
+let test_crc32c_incremental =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"crc32c composes incrementally" ~count:300
+       QCheck2.Gen.(pair string string)
+       (fun (a, b) ->
+         let digest ?crc s =
+           Aprof_util.Crc32c.digest_string ?crc s ~pos:0
+             ~len:(String.length s)
+         in
+         digest ~crc:(digest a) b = digest (a ^ b)))
+
+(* The stub (hardware or C tables, picked at runtime) against the
+   byte-at-a-time OCaml specification, over random windows so every
+   tail-length path of the 8-byte kernels is exercised. *)
+let test_crc32c_matches_spec =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"crc32c stub matches bytewise spec" ~count:500
+       QCheck2.Gen.(triple string small_nat small_nat)
+       (fun (s, skip, cut) ->
+         let b = Bytes.of_string s in
+         let pos = min skip (Bytes.length b) in
+         let len = max 0 (min (Bytes.length b - pos) (Bytes.length b - cut)) in
+         Aprof_util.Crc32c.digest b ~pos ~len
+         = Aprof_util.Crc32c.digest_bytewise b ~pos ~len))
+
 let suite =
   [
     Alcotest.test_case "vec basics" `Quick test_vec_basics;
@@ -121,4 +162,7 @@ let suite =
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     test_rng_bounds;
     test_shuffle_permutes;
+    Alcotest.test_case "crc32c known vectors" `Quick test_crc32c_vectors;
+    test_crc32c_incremental;
+    test_crc32c_matches_spec;
   ]
