@@ -489,13 +489,16 @@ let replay_cmd =
        allocation-free path; the text format goes through the per-event
        decoder lifted into batches.
 
-       With [-j N], thread-shardable analyses replay in parallel: each
-       worker opens its own channel, uses the shard index (when the file
-       carries one) to visit only the chunks holding its threads' events
-       or the tool's broadcast events, and the partial states merge at
-       the join.  Globally-ordered analyses (drms, naive, helgrind) keep
-       a sequential replay per trace; several trace files parallelize
-       across files instead, merging the resulting profiles.
+       With [-j N], a single binary trace replays through the
+       work-stealing engine ({!Aprof_tools.Tool.replay_parallel}): the
+       chunk index partitions the trace's threads over up to N shards,
+       workers claim chunks from per-worker steal-half deques, and the
+       shard states merge at the join.  Every profiler — drms, rms and
+       naive — shards this way; of the tools only helgrind keeps a
+       sequential replay (its lockset analysis needs the interleaved
+       global order).  Several trace files parallelize across files
+       instead, merging the resulting profiles.  Text traces and
+       index-less files also fall back to sequential replay.
 
        The actual replay lives in {!Aprof_tools.Replay_driver}; this
        command only routes its buffered output: profile report and tool
@@ -505,14 +508,6 @@ let replay_cmd =
       Printf.eprintf "invalid job count %d\n" jobs;
       exit 2
     end;
-    (match paths with
-    | [ path ] when jobs > 1 && profiler <> `Rms ->
-      Printf.eprintf
-        "note: this profiler needs the global event order; replaying %s \
-         sequentially (use --profiler rms or several trace files for \
-         parallel replay)\n"
-        path
-    | _ -> ());
     let result =
       Aprof_tools.Replay_driver.replay ~jobs ~profiler ~with_tools ~keep_going
         ~now paths
@@ -595,9 +590,11 @@ let replay_cmd =
   in
   let jobs_term =
     let doc =
-      "Replay with $(docv) parallel workers.  Thread-shardable analyses \
-       (rms, nulgrind, memcheck, callgrind) partition the trace by thread \
-       id; globally-ordered ones replay sequentially per trace."
+      "Replay with $(docv) parallel workers.  A binary trace's chunk \
+       index partitions its threads over the workers, which rebalance by \
+       stealing chunks; every profiler (drms, rms, naive) and every \
+       standard tool except helgrind shards this way, with results \
+       identical to $(b,-j 1).  Text traces replay sequentially."
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in

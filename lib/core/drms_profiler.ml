@@ -58,6 +58,18 @@ type t = {
   contexts : (Cct.t * Profile.t) option;
   mutable renumberings : int;
   mutable finished : bool;
+  (* Shard-owner predicate for parallel replay.  [None] (the default)
+     is the sequential profiler.  With [Some owns] the instance expects
+     the shard-filtered substream — every event of its own threads plus
+     every broadcast-tag event ({!shard_broadcast}) — and processes
+     foreign events for their global effects only: a foreign call or
+     thread switch ticks the counter, a foreign write stamps [wts], and
+     kernel fills / frees run in full.  Because every event that ticks
+     the counter is broadcast, the instance's clock assigns each of its
+     own accesses a stamp order-isomorphic to the sequential clock's,
+     which makes the sharded profile exactly the sequential one
+     restricted to the owned threads (see DESIGN.md 4c). *)
+  mutable owner : (int -> bool) option;
 }
 
 let create ?(overflow_limit = max_int - 1) ?(mode = `Both)
@@ -81,7 +93,24 @@ let create ?(overflow_limit = max_int - 1) ?(mode = `Both)
       (if track_contexts then Some (Cct.create (), Profile.create ()) else None);
     renumberings = 0;
     finished = false;
+    owner = None;
   }
+
+let set_owner t owns =
+  if t.count > 0 || Hashtbl.length t.threads > 0 then
+    invalid_arg "Drms_profiler.set_owner: profiler already fed";
+  t.owner <- Some owns
+
+(* The tags a sharded instance must see from every thread: everything
+   that ticks the global counter (Call, Switch_thread, Kernel_to_user)
+   plus everything that mutates the global write-timestamp shadow
+   (Write, Kernel_to_user, Free). *)
+let shard_broadcast =
+  let module B = Event.Batch in
+  (1 lsl B.tag_call) lor (1 lsl B.tag_write)
+  lor (1 lsl B.tag_kernel_to_user)
+  lor (1 lsl B.tag_free)
+  lor (1 lsl B.tag_switch_thread)
 
 (* [Hashtbl.find] rather than [find_opt]: this lookup runs once per
    event, and the hot path must not box a [Some] each time. *)
@@ -330,10 +359,18 @@ let on_free t addr len =
   end;
   Hashtbl.iter (fun _ st -> Shadow.set_range st.ts_local ~addr ~len 0) t.threads
 
+(* A write by a thread this instance does not own: stamp [wts] exactly
+   as {!on_write} would, but touch no thread-local state — the foreign
+   thread's [ts_local] only feeds that thread's own reads, which its
+   owning shard replays. *)
+let on_foreign_write t addr =
+  if t.use_combined then Shadow.set t.wts_max addr (t.count lsl 1)
+  else Shadow.set t.wts_thread addr t.count
+
 (* Cost bumps (the basic-block model of {!Cost_model}) happen at
    dispatch, riding the thread-state lookup the handler needs anyway:
    calls, reads and writes count 1, a [Block] counts its units. *)
-let on_event t e =
+let on_event_own t e =
   if t.finished then invalid_arg "Drms_profiler: event after finish";
   match e with
   | Event.Call { tid; routine } ->
@@ -360,6 +397,24 @@ let on_event t e =
   | Event.Acquire _ | Event.Release _ | Event.Alloc _ | Event.Thread_start _
   | Event.Thread_exit _ ->
     ()
+
+(* Foreign events carrying a global effect.  Kernel fills, frees and
+   thread switches run identically to the owned path; only calls
+   (tick-without-frame) and writes (stamp-without-[ts_local]) differ. *)
+let on_event_foreign t e =
+  if t.finished then invalid_arg "Drms_profiler: event after finish";
+  match e with
+  | Event.Call _ | Event.Switch_thread _ -> tick t
+  | Event.Write { addr; _ } -> on_foreign_write t addr
+  | Event.Kernel_to_user { addr; len; _ } -> on_kernel_to_user t addr len
+  | Event.Free { addr; len; _ } -> on_free t addr len
+  | _ -> ()
+
+let on_event t e =
+  match t.owner with
+  | None -> on_event_own t e
+  | Some owns ->
+    if owns (Event.tid e) then on_event_own t e else on_event_foreign t e
 
 (* The packed-field twin of [on_event]: dispatch on the int tag (an
    OCaml integer match compiles to a jump table) and hand the raw fields
@@ -391,16 +446,43 @@ let on_raw t ~tag ~tid ~arg ~len =
   | 14 -> tick t
   | _ -> ()
 
+(* {!on_raw} restricted to foreign events (sharded replay).  Tags 7, 11
+   and 14 take the same global path as the owned dispatch; foreign
+   reads, returns, blocks and syscall reads never reach a non-owner
+   (they are not broadcast), so they have no case here. *)
+let on_raw_foreign t ~tag ~arg ~len =
+  if t.finished then invalid_arg "Drms_profiler: event after finish";
+  match tag with
+  | 1 | 14 -> tick t
+  | 4 -> on_foreign_write t arg
+  | 7 -> on_kernel_to_user t arg len
+  | 11 -> on_free t arg len
+  | _ -> ()
+
 (* Direct loop over the field arrays rather than [Batch.iter]: the
    closure indirection per event is measurable at this path's speed.
-   Indices below [length b] are in bounds for all four arrays. *)
+   Indices below [length b] are in bounds for all four arrays.  The
+   owner check branches once per batch, so the sequential hot loop is
+   exactly what it was before sharding existed. *)
 let on_batch t b =
   let tags = Event.Batch.tags b and tids = Event.Batch.tids b in
   let args = Event.Batch.args b and lens = Event.Batch.lens b in
-  for i = 0 to Event.Batch.length b - 1 do
-    on_raw t ~tag:(Array.unsafe_get tags i) ~tid:(Array.unsafe_get tids i)
-      ~arg:(Array.unsafe_get args i) ~len:(Array.unsafe_get lens i)
-  done
+  match t.owner with
+  | None ->
+    for i = 0 to Event.Batch.length b - 1 do
+      on_raw t ~tag:(Array.unsafe_get tags i) ~tid:(Array.unsafe_get tids i)
+        ~arg:(Array.unsafe_get args i) ~len:(Array.unsafe_get lens i)
+    done
+  | Some owns ->
+    for i = 0 to Event.Batch.length b - 1 do
+      let tid = Array.unsafe_get tids i in
+      if owns tid then
+        on_raw t ~tag:(Array.unsafe_get tags i) ~tid
+          ~arg:(Array.unsafe_get args i) ~len:(Array.unsafe_get lens i)
+      else
+        on_raw_foreign t ~tag:(Array.unsafe_get tags i)
+          ~arg:(Array.unsafe_get args i) ~len:(Array.unsafe_get lens i)
+    done
 
 let run t trace = Vec.iter (on_event t) trace
 

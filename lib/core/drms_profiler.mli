@@ -54,6 +54,27 @@ val create :
   unit ->
   t
 
+(** [set_owner t owns] puts [t] in shard mode for parallel replay:
+    [owns tid] says whether this instance owns thread [tid].  The
+    instance must then be fed the shard-filtered substream — every event
+    of its owned threads plus every event whose tag is in
+    {!shard_broadcast}, in trace order.  Foreign events are replayed for
+    their global effects only: calls and thread switches tick the
+    counter, writes stamp the write-timestamp shadow, kernel fills and
+    frees run in full.  Every counter tick is broadcast, so the sharded
+    clock stamps each owned access in the same relative order as the
+    sequential clock, and the resulting profile is exactly the
+    sequential profile restricted to the owned threads; disjoint shards
+    then combine with {!merge_into} (see DESIGN.md 4c).
+    @raise Invalid_argument if [t] has already been fed events. *)
+val set_owner : t -> (int -> bool) -> unit
+
+(** The {!Aprof_trace.Event.Batch} tag mask a sharded instance must
+    observe regardless of owner: [Call], [Write], [Kernel_to_user],
+    [Free] and [Switch_thread] — the counter-ticking and
+    write-shadow-mutating events. *)
+val shard_broadcast : int
+
 (** [on_event t e] processes one trace event. *)
 val on_event : t -> Aprof_trace.Event.t -> unit
 
@@ -86,12 +107,12 @@ val finish : t -> Profile.t
 val profile : t -> Profile.t
 
 (** [merge_into ~into src] finishes both profilers and merges [src]'s
-    profile into [into]'s ({!Profile.merge_into}).  Sound for combining
-    profiles of *separate traces* (different runs, or one trace per
-    worker): the drms of one trace depends on the global write-timestamp
-    order of that whole trace, so a single trace cannot be split between
-    two drms profilers — parallelize across traces and tools instead
-    (see DESIGN.md). *)
+    profile into [into]'s ({!Profile.merge_into}).  Sound when the two
+    instances saw disjoint sets of activations: profiles of separate
+    traces, or shards of one trace under the {!set_owner} contract
+    (owned threads disjoint, broadcast events replayed by both) —
+    profile cells are keyed by (thread, routine), so disjoint owners
+    touch disjoint cells and the merge is exact. *)
 val merge_into : into:t -> t -> unit
 
 (** [renumber_count t] is the number of timestamp renumberings performed

@@ -6,9 +6,22 @@ val aprof_rms : Tool.factory
 
 (** Thread-sharded parallel replay of the rms profiler: broadcast is
     [Free] only (the one cross-thread rms effect).  Merging finishes
-    both profilers.  The drms profiler has no such module — its
-    write-timestamp order is global, see DESIGN.md. *)
+    both profilers. *)
 module Rms_mergeable : Tool.S with type state = Aprof_core.Rms_profiler.t
 
 (** The full drms profiler (the paper's [aprof-drms] column). *)
 val aprof_drms : Tool.factory
+
+(** Thread-sharded parallel replay of the drms profiler.  The global
+    write-timestamp order is preserved by broadcasting every event that
+    ticks the counter or stamps the write shadow
+    ({!Aprof_core.Drms_profiler.shard_broadcast}); each shard then
+    computes exactly the sequential profile of its own threads — see
+    {!Aprof_core.Drms_profiler.set_owner} for the argument.  [-j N ≡
+    -j 1] is enforced by the parallel differential suite. *)
+module Drms_mergeable : Tool.S with type state = Aprof_core.Drms_profiler.t
+
+(** Thread-sharded parallel replay of the naive set-based drms oracle
+    (broadcast: writes, kernel fills, frees — it keeps no clock), so
+    [replay --profiler naive -j N] shards too. *)
+module Naive_mergeable : Tool.S with type state = Aprof_core.Naive_drms.t

@@ -210,4 +210,6 @@ module Mergeable = struct
   (* Calls, returns and cost charges are all keyed by the event's own
      thread; nothing crosses threads. *)
   let broadcast = 0
+  let sharding = `By_thread
+  let set_owner _ _ = ()
 end

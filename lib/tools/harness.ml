@@ -28,10 +28,10 @@ let standard_mergeable () =
     Mergeable (module Memcheck_lite.Mergeable);
     Mergeable (module Callgrind_lite.Mergeable);
     Mergeable (module Aprof_adapters.Rms_mergeable);
+    Mergeable (module Aprof_adapters.Drms_mergeable);
   ]
 
-let global_factories () =
-  [ Helgrind_lite.factory; Aprof_adapters.aprof_drms ]
+let global_factories () = [ Helgrind_lite.factory ]
 
 (* Mean CPU seconds of [f] per call, repeating until [min_time] total. *)
 let time_of ~min_time f =

@@ -32,12 +32,12 @@ val standard_factories : unit -> Tool.factory list
 (** A packed mergeable tool, for heterogeneous lists. *)
 type mergeable = Mergeable : (module Tool.S with type state = 'a) -> mergeable
 
-(** [standard_mergeable ()] is the subset of the standard tools whose
-    analysis shards by thread (see {!Tool.S}): nulgrind, memcheck,
-    callgrind, aprof.  {!global_factories} are the rest — helgrind and
-    aprof-drms, whose analyses depend on the global event order and
-    replay sequentially (parallelize those across tools and traces
-    instead). *)
+(** [standard_mergeable ()] is the subset of the standard tools that
+    shard within a trace (see {!Tool.S}): nulgrind (by chunk), memcheck,
+    callgrind, aprof and aprof-drms (by thread).  {!global_factories}
+    is the rest — helgrind alone, whose lockset intersections depend on
+    the interleaved global event order and replay sequentially
+    (parallelize it across tools and traces instead). *)
 val standard_mergeable : unit -> mergeable list
 
 val global_factories : unit -> Tool.factory list

@@ -133,4 +133,7 @@ module Mergeable = struct
     let module B = Aprof_trace.Event.Batch in
     (1 lsl B.tag_write) lor (1 lsl B.tag_alloc) lor (1 lsl B.tag_free)
     lor (1 lsl B.tag_kernel_to_user)
+
+  let sharding = `By_thread
+  let set_owner _ _ = ()
 end

@@ -31,4 +31,9 @@ module Mergeable = struct
   (* No broadcast: every event must reach exactly one worker or the
      merged count would double. *)
   let broadcast = 0
+
+  (* Counting is order-independent, so any worker may take any chunk —
+     the only tool that load-balances below thread granularity. *)
+  let sharding = `By_chunk
+  let set_owner _ _ = ()
 end

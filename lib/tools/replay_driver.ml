@@ -84,49 +84,36 @@ let sequential_profile ~keep_going ~profiler ~drops path =
       in
       (n, profile, names))
 
-(* Worker-private source over [path] for a tool whose broadcast mask is
-   [broadcast]: skip whole chunks via the index when there is one, else
-   decode the full stream (the event-level shard filter in
-   {!Tool.replay_parallel} stays authoritative either way).  Slot
-   [worker] of [channels]/[name_tbls] records what this worker opened —
-   arrays, not a shared list, because workers run concurrently. *)
-let open_shard_source ~jobs ~path ~broadcast ~channels ~name_tbls ~worker =
-  let ic = In_channel.open_bin path in
-  channels.(worker) <- Some ic;
-  match Codec.detect ic with
-  | `Text -> Stream.batches_of_events (Stream.of_text_channel ic)
-  | `Binary -> (
-    match Codec.shards ~path ic with
-    | Some shs when jobs > 1 ->
-      let select (sh : Codec.shard) =
-        sh.Codec.tag_mask land broadcast <> 0
-        || Array.exists (fun tid -> tid mod jobs = worker) sh.Codec.tids
-      in
-      let names, src = Codec.sharded_reader ~path ic shs ~select in
-      name_tbls.(worker) <- Some names;
-      src
-    | _ ->
-      In_channel.seek ic 0L;
-      let names, src = Codec.batch_reader ic in
-      name_tbls.(worker) <- Some names;
-      src)
+(* One trace file through the work-stealing engine (see
+   {!Tool.replay_parallel}); all three profilers have mergeable
+   adapters, so any [--profiler] choice shards within the file. *)
+let parallel_profile ~pool ~jobs ~profiler shards =
+  match profiler with
+  | `Drms ->
+    let p, n, names =
+      Tool.replay_parallel ~pool ~jobs ~shards
+        (module Aprof_adapters.Drms_mergeable)
+    in
+    (n, Aprof_core.Drms_profiler.finish p, names)
+  | `Rms ->
+    let p, n, names =
+      Tool.replay_parallel ~pool ~jobs ~shards
+        (module Aprof_adapters.Rms_mergeable)
+    in
+    (n, Aprof_core.Rms_profiler.finish p, names)
+  | `Naive ->
+    let p, n, names =
+      Tool.replay_parallel ~pool ~jobs ~shards
+        (module Aprof_adapters.Naive_mergeable)
+    in
+    (n, Aprof_core.Naive_drms.finish p, names)
 
-let close_slots channels = Array.iter (Option.iter In_channel.close) channels
-
-(* The rms profiler thread-shards (see DESIGN.md); one file, [jobs]
-   workers. *)
-let parallel_rms ~pool ~jobs path =
-  let module M = Aprof_adapters.Rms_mergeable in
-  let channels = Array.make jobs None in
-  let name_tbls = Array.make jobs None in
-  let open_source ~worker =
-    open_shard_source ~jobs ~path ~broadcast:M.broadcast ~channels ~name_tbls
-      ~worker
-  in
-  let p, n = Tool.replay_parallel ~pool ~jobs ~open_source (module M) in
-  close_slots channels;
-  let names = union_names (List.filter_map Fun.id (Array.to_list name_tbls)) in
-  (n, Aprof_core.Rms_profiler.finish p, names)
+(* Sharding needs the chunk index: binary traces with an ATRI footer
+   only, and never under salvage ([--keep-going] replays the salvaged
+   sequential stream).  Text traces and index-less files return [None]
+   here and take the sequential path. *)
+let shards_of ~jobs ~keep_going path =
+  if jobs > 1 && not keep_going then Tool.Shards.of_file path else None
 
 (* Everything a tool prints is buffered here and only surfaced once the
    file has replayed completely: a decode error halfway through must not
@@ -138,25 +125,22 @@ let run_tools ~now ~pool ~jobs ~keep_going path =
       (fun (Harness.Mergeable (module M)) -> M.name = name)
       mergeables
   in
+  (* The chunk index is probed once per file; every mergeable tool
+     reuses it (each opens its own read sessions). *)
+  let shards = shards_of ~jobs ~keep_going path in
   List.map
     (fun f ->
       let tool_name = f.Tool.tool_name in
       match
-        (* Salvage is a sequential read path; under [--keep-going] every
-           tool replays the salvaged stream, not the shard index. *)
-        if jobs > 1 && not keep_going then find_mergeable tool_name else None
+        match shards with
+        | Some _ -> find_mergeable tool_name
+        | None -> None
       with
       | Some (Harness.Mergeable (module M)) ->
-        let channels = Array.make jobs None in
-        let name_tbls = Array.make jobs None in
-        let open_source ~worker =
-          open_shard_source ~jobs ~path ~broadcast:M.broadcast ~channels
-            ~name_tbls ~worker
-        in
+        let shards = Option.get shards in
         let t0 = now () in
-        let st, n = Tool.replay_parallel ~pool ~jobs ~open_source (module M) in
+        let st, n, _names = Tool.replay_parallel ~pool ~jobs ~shards (module M) in
         let dt = now () -. t0 in
-        close_slots channels;
         let tool = M.tool st in
         {
           tool_name;
@@ -194,10 +178,13 @@ let replay ?(jobs = 1) ?(profiler = (`Drms : profiler)) ?(with_tools = false)
     let fstart = now () in
     let drops = ref [] in
     match
-      if jobs > 1 && profiler = `Rms && (not keep_going)
-         && List.compare_length_with paths 1 = 0
-      then parallel_rms ~pool ~jobs path
-      else sequential_profile ~keep_going ~profiler ~drops path
+      match
+        if jobs > 1 && List.compare_length_with paths 1 = 0 then
+          shards_of ~jobs ~keep_going path
+        else None
+      with
+      | Some shards -> parallel_profile ~pool ~jobs ~profiler shards
+      | None -> sequential_profile ~keep_going ~profiler ~drops path
     with
     | n, profile, names ->
       ( {

@@ -53,10 +53,12 @@ type t = {
 
     [jobs] (default 1) bounds parallelism: several files replay
     concurrently (one profiler instance per file, profiles merged), and
-    a single-file [`Rms] replay thread-shards across workers via the
-    shard index.  [keep_going] (default false) switches damaged binary
-    files to chunk salvage instead of failing them; salvage is a
-    sequential read path, so it also disables the sharded tool replay.
+    a single binary file with a chunk index shards across workers
+    through the work-stealing engine ({!Tool.replay_parallel}) for
+    every profiler — drms, rms and naive all have mergeable adapters.
+    [keep_going] (default false) switches damaged binary files to chunk
+    salvage instead of failing them; salvage is a sequential read path,
+    so it also disables the sharded replay.
     [now] supplies wall-clock timestamps (e.g. [Unix.gettimeofday]) —
     a parameter because this library does not link unix.
     @raise Invalid_argument when [jobs < 1]. *)

@@ -58,21 +58,24 @@ val batch_sink : t -> Aprof_trace.Trace_stream.batch_sink
 (** {1 Mergeable tools}
 
     A mergeable tool exposes its state so that several instances can
-    each replay a *part* of a trace and be combined afterwards: the
-    trace is sharded by thread ([tid mod jobs] picks the owning
-    worker), every worker replays its own threads' events plus the
-    tool's broadcast events, and [merge] folds the partial states.
+    each replay a *part* of a trace and be combined afterwards.  How the
+    trace is split is the tool's {!sharding} mode:
+
+    - [`By_chunk]: any instance may replay any chunk of the trace, in
+      any order — only valid for order-independent analyses (nulgrind's
+      event count).  [broadcast] must be 0.
+    - [`By_thread]: threads are partitioned over the instances; each
+      instance replays its own threads' events, in trace order, plus
+      every event whose tag is in [broadcast] — the events carrying
+      cross-thread effects (e.g. [Free] for the rms profiler, the
+      counter-ticking and write-stamping tags for the drms profiler).
+      {!set_owner} tells a state which threads it owns before replay
+      begins; tools whose handlers never need to distinguish foreign
+      events (they are either harmless or intended globally) implement
+      it as a no-op.
 
     [merge] must be associative, with a fresh [create ()] as identity,
-    over states produced from thread-disjoint event streams — exactly
-    what the shard filter yields.  [broadcast] is the bit mask (over
-    {!Aprof_trace.Event.Batch} tags) of the events carrying cross-thread
-    effects, which every worker must observe regardless of the owning
-    thread: e.g. [Free] for the rms profiler (a free clears every
-    thread's shadow stamps), nothing at all for nulgrind (whose count
-    would otherwise double).  Globally-ordered tools (helgrind,
-    aprof-drms) cannot be sharded this way and provide no such module —
-    see DESIGN.md for the ordering argument. *)
+    over states produced from such complementary part-streams. *)
 module type S = sig
   type state
 
@@ -84,27 +87,83 @@ module type S = sig
 
   val merge : into:state -> state -> unit
 
-  (** Tag mask of events every worker must see. *)
+  (** Tag mask of events every worker must see ([`By_thread] only). *)
   val broadcast : int
+
+  val sharding : [ `By_chunk | `By_thread ]
+
+  (** [set_owner st owns] tells [st] which threads it owns, before any
+      event is fed.  A no-op for tools that need no distinction. *)
+  val set_owner : state -> (int -> bool) -> unit
 end
 
-(** [shard_keep ~jobs ~worker ~broadcast] is the per-event filter of
-    worker [worker]: keep events of its own threads plus broadcast
-    ones. *)
-val shard_keep : jobs:int -> worker:int -> broadcast:int -> int -> int -> bool
+type sharding = [ `By_chunk | `By_thread ]
 
-(** [replay_parallel ~pool ~jobs ~open_source (module M)] replays a
-    trace through [jobs] instances of [M], each draining its own batch
-    source from [open_source ~worker] (workers run on [pool], so the
-    source must be private to the worker — typically a separate channel
-    on the same file), filtering with {!shard_keep}, and merges the
-    partial states into the first.  Returns the merged state and the
-    total number of events delivered post-filter (broadcast events
-    count once per worker).  With [jobs = 1] this is exactly a
-    sequential {!replay_batches}. *)
+(** [shard_keep ~owns ~broadcast] is the per-event filter of a
+    [`By_thread] shard: keep events of the owned threads plus broadcast
+    ones. *)
+val shard_keep : owns:(int -> bool) -> broadcast:int -> int -> int -> bool
+
+(** {1 Chunked trace sources}
+
+    The parallel engine schedules work in chunks — the unit of recorded
+    I/O (and of the ATRI shard index) for trace files, a fixed event
+    count for in-memory traces.  A {!Shards.t} describes the chunks
+    (event count, tag mask, thread set — enough to plan a shard) and
+    opens independent read sessions over them. *)
+module Shards : sig
+  type chunk = { events : int; tag_mask : int; tids : int array }
+
+  (** One independent reader over the chunk source.  [read i] returns a
+      batch source draining chunk [i] alone; it must be exhausted before
+      the next [read] on the same session (sessions recycle one buffer).
+      [names] accumulates the routine-name definitions seen by this
+      session's reads.  Sessions are single-domain; open one per
+      worker. *)
+  type session = {
+    names : (int, string) Hashtbl.t;
+    read : int -> Aprof_trace.Trace_stream.batch_source;
+    close : unit -> unit;
+  }
+
+  (** [open_session ?keep ()] opens an independent reader.  [keep tag
+      tid] is applied inside the decode loop: events failing it are
+      parsed but never surface in a batch — the [`By_thread] engine
+      passes {!shard_keep} here so a shard's foreign, non-broadcast
+      events are parse-only rather than filtered after the fact. *)
+  type t = {
+    chunks : chunk array;
+    open_session : ?keep:(int -> int -> bool) -> unit -> session;
+  }
+
+  (** [of_file path] describes an indexed binary trace via its ATRI
+      footer; sessions seek ({!Aprof_trace.Trace_codec.chunk_session}).
+      [None] for text or index-less traces — callers fall back to
+      sequential replay. *)
+  val of_file : string -> t option
+
+  (** [of_trace trace] slices an in-memory trace into synthetic chunks
+      of [chunk_events] events (default 4096) — the test harness's way
+      to drive the parallel engine without a file. *)
+  val of_trace : ?chunk_events:int -> Aprof_trace.Trace.t -> t
+end
+
+(** [replay_parallel ~pool ~jobs ~shards (module M)] replays the trace
+    behind [shards] through up to [jobs] instances of [M], scheduled by
+    work stealing at chunk granularity ({!Aprof_util.Par.Ws}): an idle
+    worker steals queued chunks ([`By_chunk]) or the remainder of
+    another shard ([`By_thread]) instead of waiting behind a skewed
+    thread.  Partial states merge into the first; partial name tables
+    union.  Returns [(state, events, names)] where [events] counts each
+    trace event exactly once — broadcast copies replayed for their side
+    effects are not counted — so the total is independent of [jobs].
+    With [jobs = 1] (or an empty chunk list) this is exactly a
+    sequential {!replay_batches} over the chunks in file order: no
+    filtering, no reordering — the [-j N ≡ -j 1] differential suite
+    relies on it. *)
 val replay_parallel :
   pool:Aprof_util.Par.t ->
   jobs:int ->
-  open_source:(worker:int -> Aprof_trace.Trace_stream.batch_source) ->
+  shards:Shards.t ->
   (module S with type state = 'a) ->
-  'a * int
+  'a * int * (int, string) Hashtbl.t

@@ -108,6 +108,23 @@ let[@inline always] read_varint_bytes_fast chunk pos =
     let v = read_varint_bytes_rest chunk pos 7 (b0 land 0x7f) in
     (v lsr 1) lxor (- (v land 1))
 
+(* Advance past one varint without assembling its value — the fields of
+   events the keep filter discards.  Bounded like the strict reader (a
+   canonical 63-bit varint is at most 9 bytes); canonicality itself is
+   not checked, which is covered by the chunk checksum and by the
+   sequential path validating every event. *)
+let[@inline always] skip_varint_bytes chunk pos =
+  if Char.code (Bytes.unsafe_get chunk !pos) < 0x80 then incr pos
+  else begin
+    let stop = !pos + 10 in
+    incr pos;
+    while Char.code (Bytes.unsafe_get chunk !pos) >= 0x80 do
+      incr pos;
+      if !pos >= stop then bad "varint too long"
+    done;
+    incr pos
+  end
+
 (* A record is at most 1 tag byte + 3 varints of at most 10 bytes (a
    canonical varint of a 63-bit int is 9 bytes; 10 is a safe margin). *)
 let max_record_bytes = 34
@@ -233,8 +250,11 @@ let step_record ~read_byte ~read_string ~define b =
   | tag -> bad "unknown record tag %d" tag
 
 (* One record off a chunk's byte range.  A chunk never contains the
-   end-of-trace marker, so tag 0 falls through to the error arm. *)
-let chunk_step ~read_byte ~read_string ~define b =
+   end-of-trace marker, so tag 0 falls through to the error arm.  With
+   [?keep], event records failing [keep tag tid] are parsed (the cursor
+   always advances past them) but not stored; definitions are always
+   processed. *)
+let chunk_step ?keep ~read_byte ~read_string ~define b =
   match read_byte () with
   | -1 -> true (* chunk exhausted at a record boundary *)
   | tag when tag = def_tag ->
@@ -247,7 +267,10 @@ let chunk_step ~read_byte ~read_string ~define b =
     let tid = read_varint read_byte in
     let arg = if Batch.tag_has_arg tag then read_varint read_byte else 0 in
     let len = if Batch.tag_has_len tag then read_varint read_byte else 0 in
-    Batch.unsafe_push b ~tag ~tid ~arg ~len;
+    (match keep with
+    | None -> Batch.unsafe_push b ~tag ~tid ~arg ~len
+    | Some keep ->
+      if keep tag tid then Batch.unsafe_push b ~tag ~tid ~arg ~len);
     false
   | tag -> bad "unknown record tag %d in chunk" tag
 
@@ -302,6 +325,53 @@ let fill_batch_bytes b chunk pos limit =
       Array.unsafe_set args j arg;
       Array.unsafe_set lens j len;
       i := j + 1
+    end
+    else stop := true
+  done;
+  Batch.unsafe_set_length b !i;
+  pos := !p
+
+(* Keep-filtered twin of [fill_batch_bytes]: every record is parsed at
+   full speed, but only those satisfying [keep tag tid] are stored into
+   the batch.  The parallel replay engine pushes its per-shard filter
+   down here so that a foreign, non-broadcast event costs only its
+   varint decode — it is never materialized, validated, or re-filtered
+   from the batch afterwards. *)
+let fill_batch_bytes_keep b chunk pos limit ~keep =
+  let tags = Batch.tags b and tids = Batch.tids b in
+  let args = Batch.args b and lens = Batch.lens b in
+  let cap = Array.length tags in
+  let arg_mask = Batch.arg_mask and len_mask = Batch.len_mask in
+  let last_start = limit - max_record_bytes in
+  let i = ref (Batch.length b) in
+  let p = ref !pos in
+  let stop = ref false in
+  while (not !stop) && !i < cap && !p <= last_start do
+    let tag = Char.code (Bytes.unsafe_get chunk !p) in
+    if tag >= 1 && tag <= Batch.max_tag then begin
+      incr p;
+      let tid = read_varint_bytes_fast chunk p in
+      if keep tag tid then begin
+        let arg =
+          if (arg_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
+          else 0
+        in
+        let len =
+          if (len_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
+          else 0
+        in
+        let j = !i in
+        Array.unsafe_set tags j tag;
+        Array.unsafe_set tids j tid;
+        Array.unsafe_set args j arg;
+        Array.unsafe_set lens j len;
+        i := j + 1
+      end
+      else begin
+        (* Discarded: step over the remaining fields without decoding. *)
+        if (arg_mask lsr tag) land 1 = 1 then skip_varint_bytes chunk p;
+        if (len_mask lsr tag) land 1 = 1 then skip_varint_bytes chunk p
+      end
     end
     else stop := true
   done;
@@ -861,6 +931,70 @@ let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
 
 let seek_chunk ?path ?batch_size ic sh =
   sharded_reader ?path ?batch_size ic [| sh |] ~select:(fun _ -> true)
+
+(* [sharded_reader] with the chunk list supplied one chunk at a time,
+   and the batch / byte buffer / name table reused across chunks: the
+   work-stealing engine does not know its chunk sequence up front, and a
+   fresh seek_chunk per claimed chunk would re-allocate all three. *)
+let chunk_session ?(batch_size = Batch.default_capacity) ?keep ic =
+  let names = Hashtbl.create 64 in
+  let define id name = Hashtbl.replace names id name in
+  let b = Batch.create ~capacity:batch_size () in
+  let buf = ref Bytes.empty in
+  let pos = ref 0 in
+  let len = ref 0 in
+  let read_byte () =
+    if !pos >= !len then -1
+    else begin
+      let c = Char.code (Bytes.unsafe_get !buf !pos) in
+      incr pos;
+      c
+    end
+  in
+  let read_string n =
+    if !pos + n > !len then bad "truncated name";
+    let s = Bytes.sub_string !buf !pos n in
+    pos := !pos + n;
+    s
+  in
+  let fill () =
+    Batch.clear b;
+    let fin = ref false in
+    while (not !fin) && not (Batch.is_full b) do
+      if !pos >= !len then fin := true
+      else begin
+        (match keep with
+        | None -> fill_batch_bytes b !buf pos !len
+        | Some keep -> fill_batch_bytes_keep b !buf pos !len ~keep);
+        if (not (Batch.is_full b)) && !pos < !len then
+          ignore (chunk_step ?keep ~read_byte ~read_string ~define b)
+      end
+    done;
+    validate_batch b;
+    !fin
+  in
+  let read (sh : shard) =
+    if Bytes.length !buf < sh.bytes then buf := Bytes.create sh.bytes;
+    In_channel.seek ic (Int64.of_int sh.offset);
+    (try really_input ic !buf 0 sh.bytes
+     with End_of_file -> bad "chunk at byte %d truncated" sh.offset);
+    if sh.crc >= 0 then begin
+      let computed = Crc32c.digest !buf ~pos:0 ~len:sh.bytes in
+      if computed <> sh.crc then
+        bad "chunk at byte %d: checksum mismatch (stored %08x, computed %08x)"
+          sh.offset sh.crc computed
+    end;
+    pos := 0;
+    len := sh.bytes;
+    let finished = ref false in
+    fun () ->
+      if !finished then None
+      else begin
+        finished := fill ();
+        if Batch.is_empty b then None else Some b
+      end
+  in
+  (names, read)
 
 (* ----- salvage reader -------------------------------------------------- *)
 

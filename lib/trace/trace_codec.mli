@@ -194,6 +194,30 @@ val seek_chunk :
   shard ->
   (int, string) Hashtbl.t * Trace_stream.batch_source
 
+(** [chunk_session ic] is the repeated-seek variant of {!seek_chunk} for
+    callers that claim chunks dynamically (the work-stealing replay
+    engine): [read sh] seeks to, checksums, and decodes the single
+    chunk [sh], reusing one batch, one byte buffer, and one name table
+    across calls — so visiting a chunk costs no allocation beyond the
+    first, largest chunk.  The name table accumulates the definitions of
+    every chunk read so far.  A source returned by [read] must be
+    drained (or abandoned) before [read] is called again: it shares the
+    session's buffers.
+
+    [keep tag tid] filters event records *inside* the decode loop: a
+    record failing it is parsed (and covered by the chunk checksum) but
+    never stored into a batch, so skipped events cost only their varint
+    decode.  Definition records are always processed.  The parallel
+    replay engine uses this to make a shard's foreign, non-broadcast
+    events parse-only.  Note that a filtered event also bypasses batch
+    validation — the strict sequential path still validates every
+    event. *)
+val chunk_session :
+  ?batch_size:int ->
+  ?keep:(int -> int -> bool) ->
+  in_channel ->
+  (int, string) Hashtbl.t * (shard -> Trace_stream.batch_source)
+
 (** {1 Salvage}
 
     Reading with [~on_corrupt:(`Skip report)] trades completeness for

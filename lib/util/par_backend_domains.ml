@@ -4,6 +4,10 @@
 
 let available () = Domain.recommended_domain_count ()
 
+let is_parallel = true
+
+let relax = Domain.cpu_relax
+
 (* Workers pull task indices from a shared atomic counter, so uneven
    task costs balance without any pre-partitioning.  Domains are
    spawned per run: a replay task is milliseconds to seconds, spawn is

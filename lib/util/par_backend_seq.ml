@@ -4,6 +4,11 @@
 
 let available () = 1
 
+let is_parallel = false
+
+(* No other runner to yield to. *)
+let relax () = ()
+
 let run ~jobs:_ (tasks : (unit -> unit) array) : exn option =
   try
     Array.iter (fun f -> f ()) tasks;

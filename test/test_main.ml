@@ -22,6 +22,8 @@ let () =
       ("comm", Test_comm.suite);
       ("reuse", Test_reuse.suite);
       ("merge", Test_merge.suite);
+      ("work-stealing", Test_par_ws.suite);
+      ("parallel-differential", Test_parallel_differential.suite);
       ("profile-io", Test_profile_io.suite);
       ("modes", Test_modes.suite);
       ("cct", Test_cct.suite);

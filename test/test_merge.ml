@@ -76,14 +76,15 @@ let registry_trace name =
   in
   r.Interp.trace
 
-(* Every worker gets a fresh batch source over the whole trace; the
+(* Synthetic chunking over the in-memory trace (small chunks, so every
+   trace spans many chunks and the deques actually migrate work); the
    engine's shard filter does the partitioning. *)
-let replay_jobs (type a) (module M : Tool.S with type state = a) trace jobs :
-    a * int =
+let replay_jobs (type a) ?(chunk_events = 256)
+    (module M : Tool.S with type state = a) trace jobs : a * int =
   let pool = Par.create ~jobs () in
-  Tool.replay_parallel ~pool ~jobs
-    ~open_source:(fun ~worker:_ -> Stream.batches_of_trace trace)
-    (module M)
+  let shards = Tool.Shards.of_trace ~chunk_events trace in
+  let st, n, _names = Tool.replay_parallel ~pool ~jobs ~shards (module M) in
+  (st, n)
 
 let test_parallel_nulgrind () =
   List.iter
@@ -187,6 +188,155 @@ let test_parallel_rms () =
       check_ops_equal (name ^ ": op counters agree") p1 p3)
     workloads
 
+let test_parallel_drms () =
+  List.iter
+    (fun name ->
+      let trace = registry_trace name in
+      let st3, n3 =
+        replay_jobs (module Aprof_tools.Aprof_adapters.Drms_mergeable) trace 3
+      in
+      Alcotest.(check int)
+        (name ^ ": unique events = trace length")
+        (Vec.length trace) n3;
+      let p3 = Aprof_core.Drms_profiler.finish st3 in
+      let p1 = run_drms trace in
+      check_profiles_equal (name ^ ": drms parallel = sequential") p1 p3;
+      check_ops_equal (name ^ ": op counters agree") p1 p3)
+    workloads
+
+let test_parallel_naive () =
+  List.iter
+    (fun name ->
+      let trace = registry_trace name in
+      let st3, _ =
+        replay_jobs (module Aprof_tools.Aprof_adapters.Naive_mergeable) trace 3
+      in
+      let p3 = Aprof_core.Naive_drms.finish st3 in
+      let p1 = run_naive trace in
+      check_profiles_equal (name ^ ": naive parallel = sequential") p1 p3)
+    workloads
+
+(* --- sharded drms merge laws ------------------------------------------ *)
+
+module Drms = Aprof_core.Drms_profiler
+module Event = Aprof_trace.Event
+
+(* A drms shard built by hand: the profiler owns the threads [owns]
+   selects and is fed its own threads' events plus every
+   broadcast-tagged event, in trace order — exactly the substream
+   {!Tool.replay_parallel} delivers. *)
+let drms_shard ?overflow_limit owns trace =
+  let p = Drms.create ?overflow_limit () in
+  Drms.set_owner p owns;
+  Vec.iter
+    (fun ev ->
+      let tag = Event.Batch.tag_of_event ev in
+      if (Drms.shard_broadcast lsr tag) land 1 = 1 || owns (Event.tid ev) then
+        Drms.on_event p ev)
+    trace;
+  p
+
+let shard_agree msg expected merged =
+  check_profiles_equal msg expected merged;
+  check_ops_equal (msg ^ " (ops)") expected merged
+
+(* The shard merge is commutative: merging odd-owner into even-owner
+   equals the reverse, and both equal sequential replay.  Run once with
+   a tiny overflow limit, so the law holds up to (repeated) timestamp
+   renumbering of each shard's clock. *)
+let sharded_merge_commutative =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sharded drms merge is commutative" ~count:25
+       (Gen_trace.gen ())
+       (fun t ->
+         let sequential = run_drms t in
+         let even tid = tid mod 2 = 0 and odd tid = tid mod 2 = 1 in
+         List.iter
+           (fun overflow_limit ->
+             let shard owns = drms_shard ?overflow_limit owns t in
+             let a = shard even and b = shard odd in
+             Drms.merge_into ~into:a b;
+             shard_agree "even <- odd = sequential" sequential
+               (Drms.profile a);
+             let a = shard even and b = shard odd in
+             Drms.merge_into ~into:b a;
+             shard_agree "odd <- even = sequential" sequential
+               (Drms.profile b))
+           [ None; Some 64 ];
+         true))
+
+let sharded_merge_associative =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sharded drms merge is associative" ~count:25
+       (Gen_trace.gen ())
+       (fun t ->
+         let sequential = run_drms t in
+         let shard r = drms_shard (fun tid -> tid mod 3 = r) t in
+         (* (a <- b) <- c ... *)
+         let a = shard 0 and b = shard 1 and c = shard 2 in
+         Drms.merge_into ~into:a b;
+         Drms.merge_into ~into:a c;
+         shard_agree "(a+b)+c = sequential" sequential (Drms.profile a);
+         (* ... versus a <- (b <- c). *)
+         let a = shard 0 and b = shard 1 and c = shard 2 in
+         Drms.merge_into ~into:b c;
+         Drms.merge_into ~into:a b;
+         shard_agree "a+(b+c) = sequential" sequential (Drms.profile a);
+         true))
+
+let sharded_merge_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"empty shard is the drms merge identity"
+       ~count:25 (Gen_trace.gen ())
+       (fun t ->
+         let sequential = run_drms t in
+         (* A shard owning no thread still replays the broadcast events;
+            its profile is empty and merging it changes nothing. *)
+         let all = drms_shard (fun _ -> true) t in
+         let none = drms_shard (fun _ -> false) t in
+         Drms.merge_into ~into:all none;
+         shard_agree "all <- none = sequential" sequential (Drms.profile all);
+         let all = drms_shard (fun _ -> true) t in
+         let none = drms_shard (fun _ -> false) t in
+         Drms.merge_into ~into:none all;
+         shard_agree "none <- all = sequential" sequential
+           (Drms.profile none);
+         true))
+
+(* Merged-wts renumbering inside shards must preserve the paper's
+   rms-vs-drms distinction: the producer-consumer consumer still shows
+   rms = 1, drms = n after a parallel replay whose shards renumbered
+   their clocks many times mid-trace. *)
+let test_renumbering_preserves_distinction () =
+  let n = 25 in
+  let result =
+    run_workload (Aprof_workloads.Patterns.producer_consumer ~n)
+  in
+  let trace = result.Interp.trace in
+  let tbl = result.Interp.routines in
+  let module M = struct
+    include Aprof_tools.Aprof_adapters.Drms_mergeable
+
+    let create () = Drms.create ~overflow_limit:32 ()
+  end in
+  let st, _ = replay_jobs ~chunk_events:64 (module M) trace 3 in
+  Alcotest.(check bool) "shard renumbered at least once" true
+    (Drms.renumber_count st > 0);
+  let profile = Drms.finish st in
+  let consumer = routine_id tbl "consumer" in
+  let keys =
+    List.filter (fun k -> k.Profile.routine = consumer) (Profile.keys profile)
+  in
+  match keys with
+  | [ k ] ->
+    Alcotest.(check (list int))
+      "consumer rms = 1" [ 1 ]
+      (rms_values profile ~tid:k.Profile.tid ~routine:consumer);
+    Alcotest.(check (list int))
+      "consumer drms = n" [ n ]
+      (drms_values profile ~tid:k.Profile.tid ~routine:consumer)
+  | _ -> Alcotest.fail "expected exactly one consumer activation key"
+
 (* --- the job pool itself ---------------------------------------------- *)
 
 let test_par_map () =
@@ -230,6 +380,13 @@ let suite =
     Alcotest.test_case "parallel memcheck = sequential" `Quick
       test_parallel_memcheck;
     Alcotest.test_case "parallel rms = sequential" `Quick test_parallel_rms;
+    Alcotest.test_case "parallel drms = sequential" `Quick test_parallel_drms;
+    Alcotest.test_case "parallel naive = sequential" `Quick test_parallel_naive;
+    sharded_merge_commutative;
+    sharded_merge_associative;
+    sharded_merge_identity;
+    Alcotest.test_case "renumbering keeps rms < drms on producer-consumer"
+      `Quick test_renumbering_preserves_distinction;
     Alcotest.test_case "par: map matches sequential map" `Quick test_par_map;
     Alcotest.test_case "par: deterministic exception" `Quick test_par_exceptions;
   ]
