@@ -117,5 +117,86 @@ let run ~quick ppf =
   Format.fprintf ppf
     "streaming decode peak extra live: %d words (trace itself: ~%d words)@."
     extra_live (3 * n_events);
+  (* --- format versions: v1 / v2 / v3 --------------------------------
+
+     The same trace through every container version.  v1 is the raw
+     record stream, v2 adds CRC framing and the shard index, v3 packs
+     each chunk (tid runs, address deltas, dictionary-coded patterns,
+     repeat suppression) and optionally entropy-codes the payload — the
+     "v3-raw" row isolates the packing gain from the Huffman pass.  The
+     compression column is v2 bytes over this format's bytes, i.e. how
+     many times smaller than the checksummed default the file is. *)
+  Format.fprintf ppf "@.format versions (same %d-event trace):@." n_events;
+  Format.fprintf ppf "  %-8s %12s %9s %8s %11s %11s@." "format" "bytes"
+    "B/event" "vs v2" "enc Mev/s" "dec Mev/s";
+  (* Regenerate the trace (deterministic per seed) instead of holding
+     the first section's vector live across its sampled decode: the
+     live-words samples up there walk the whole heap, and keeping tens
+     of megabytes of trace reachable would bill that walk to the binary
+     decode being measured. *)
+  let result = Workload.run_spec spec ~threads:4 ~scale ~seed:42 in
+  let trace = result.Aprof_vm.Interp.trace in
+  let routine_name =
+    Aprof_trace.Routine_table.name result.Aprof_vm.Interp.routines
+  in
+  (* The v2 baseline for the ratio column: the binary file from the
+     first section is the default (v2) encoding of the same trace. *)
+  let v2_bytes = ref bin_bytes in
+  List.iter
+    (fun (label, format_version, entropy) ->
+      let file = tmp ".atrc" in
+      let enc_s, () =
+        time (fun () ->
+            Out_channel.with_open_bin file (fun oc ->
+                let n =
+                  Stream.connect_batches
+                    (Stream.batches_of_trace trace)
+                    (Codec.batch_writer ~format_version ~entropy ~routine_name
+                       oc)
+                in
+                if n <> n_events then
+                  failwith "codec bench: format encode count mismatch"))
+      in
+      let bytes = file_size file in
+      if label = "v2" then v2_bytes := bytes;
+      let dec_s, dec_n =
+        time (fun () ->
+            In_channel.with_open_bin file (fun ic ->
+                let _names, batches = Codec.batch_reader ic in
+                let count = ref 0 in
+                let rec loop () =
+                  match batches () with
+                  | None -> !count
+                  | Some b ->
+                    count := !count + Aprof_trace.Event.Batch.length b;
+                    loop ()
+                in
+                loop ()))
+      in
+      if dec_n <> n_events then
+        failwith "codec bench: format decode count mismatch";
+      let bpe = float_of_int bytes /. float_of_int n_events in
+      let ratio = float_of_int !v2_bytes /. float_of_int bytes in
+      Format.fprintf ppf "  %-8s %12d %9.2f %7.2fx %11.1f %11.1f@." label bytes
+        bpe ratio (rate n_events enc_s) (rate n_events dec_s);
+      Exp_common.emit_row ~experiment:"codec"
+        [
+          ("format", Exp_common.String label);
+          ("format_version", Exp_common.Int format_version);
+          ("entropy", Exp_common.Int (if entropy then 1 else 0));
+          ("events", Exp_common.Int n_events);
+          ("bytes", Exp_common.Int bytes);
+          ("bytes_per_event", Exp_common.Float bpe);
+          ("compression_vs_v2", Exp_common.Float ratio);
+          ("encode_mev_per_s", Exp_common.Float (rate n_events enc_s));
+          ("decode_mev_per_s", Exp_common.Float (rate n_events dec_s));
+        ];
+      Sys.remove file)
+    [
+      ("v1", 1, false);
+      ("v2", 2, false);
+      ("v3", 3, true);
+      ("v3-raw", 3, false);
+    ];
   Sys.remove text_file;
   Sys.remove bin_file

@@ -74,12 +74,16 @@ let run ~quick ppf =
   let v2_file = Filename.temp_file "aprof_faults" ".atrc" in
   let v1_file = Filename.temp_file "aprof_faults_v1" ".atrc" in
   let mutant = Filename.temp_file "aprof_faults_mut" ".atrc" in
+  let v3_file = Filename.temp_file "aprof_faults_v3" ".atrc" in
   record trace routines ~format_version:Codec.version v2_file;
   record trace routines ~format_version:1 v1_file;
+  record trace routines ~format_version:3 v3_file;
   let pristine = In_channel.with_open_bin v2_file In_channel.input_all in
+  let pristine_v3 = In_channel.with_open_bin v3_file In_channel.input_all in
   let total = String.length pristine in
-  Format.fprintf ppf "trace: %d events, %d bytes (v2)@." (Vec.length trace)
-    total;
+  Format.fprintf ppf "trace: %d events, %d bytes (v2), %d bytes (v3)@."
+    (Vec.length trace) total
+    (String.length pristine_v3);
 
   (* --- integrity cost: v1 vs v2 decode throughput -------------------
 
@@ -118,17 +122,22 @@ let run ~quick ppf =
     (dt /. float_of_int iters, n)
   in
   let v1_best = ref infinity and v2_best = ref infinity in
+  let v3_best = ref infinity in
   let v1_count = ref 0 and v2_count = ref 0 in
   for _ = 1 to reps do
     let s1, n1 = sample v1_file in
     let s2, n2 = sample v2_file in
+    let s3, n3 = sample v3_file in
     if s1 < !v1_best then v1_best := s1;
     if s2 < !v2_best then v2_best := s2;
+    if s3 < !v3_best then v3_best := s3;
     v1_count := n1;
-    v2_count := n2
+    v2_count := n2;
+    assert (n3 = n2)
   done;
   let v1_s, v1_count = (!v1_best, !v1_count) in
   let v2_s, v2_count = (!v2_best, !v2_count) in
+  let v3_s = !v3_best in
   assert (v1_count = v2_count);
   let ref_count, ref_crc =
     In_channel.with_open_bin v2_file (fun ic ->
@@ -147,14 +156,23 @@ let run ~quick ppf =
   in
   Format.fprintf ppf "crc32c alone: %.0f MB/s@."
     (float_of_int (total * reps) /. crc_s /. 1e6);
-  Format.fprintf ppf "v1 decode: %.2fM events/s; v2 decode: %.2fM events/s@."
-    (rate ref_count v1_s) (rate ref_count v2_s);
+  Format.fprintf ppf
+    "v1 decode: %.2fM events/s; v2 decode: %.2fM events/s; v3 decode: %.2fM \
+     events/s@."
+    (rate ref_count v1_s) (rate ref_count v2_s) (rate ref_count v3_s);
   Format.fprintf ppf "checksum overhead: %+.1f%% decode time@."
     ((v2_s -. v1_s) /. v1_s *. 100.);
 
-  (* --- randomized fault sweep --------------------------------------- *)
+  (* --- randomized fault sweep ---------------------------------------
+
+     Run once per container version: v3's transform layer (packed
+     chunks, optional entropy coding) sits below the same CRC framing,
+     so the trichotomy must hold through it just as it does for plain
+     v2 record chunks. *)
   let rng = Rng.create 4242 in
-  let n_faults = if quick then 400 else 2000 in
+  let n_faults = if quick then 200 else 1000 in
+  let sweep ~label pristine =
+  let total = String.length pristine in
   let strict_identical = ref 0 in
   let strict_clean = ref 0 in
   let salvage_identical = ref 0 in
@@ -216,17 +234,22 @@ let run ~quick ppf =
       Format.fprintf ppf "FAILURE: salvage leaked %s@." (Printexc.to_string e)
   done;
   Format.fprintf ppf
-    "%d faults: strict %d identical / %d clean errors / %d WRONG@." n_faults
-    !strict_identical !strict_clean !wrong;
+    "%s: %d faults: strict %d identical / %d clean errors / %d WRONG@." label
+    n_faults !strict_identical !strict_clean !wrong;
   Format.fprintf ppf
-    "salvage: %d intact, %d recovered with drops, %d beyond salvage; %.1f%% \
-     of events recovered; %.2fM events/s while salvaging@."
-    !salvage_identical !salvaged !salvage_refused
+    "%s salvage: %d intact, %d recovered with drops, %d beyond salvage; \
+     %.1f%% of events recovered; %.2fM events/s while salvaging@."
+    label !salvage_identical !salvaged !salvage_refused
     (100. *. float_of_int !events_recovered /. float_of_int !events_total)
     (rate !events_recovered !salvage_time);
   if !wrong > 0 then
-    Format.fprintf ppf "FAILURE: %d faults produced a wrong decode@." !wrong
-  else Format.fprintf ppf "trichotomy held on every fault@.";
+    Format.fprintf ppf "FAILURE: %d %s faults produced a wrong decode@." !wrong
+      label
+  else Format.fprintf ppf "%s: trichotomy held on every fault@." label
+  in
+  sweep ~label:"v2" pristine;
+  sweep ~label:"v3" pristine_v3;
   Sys.remove v2_file;
   Sys.remove v1_file;
+  Sys.remove v3_file;
   Sys.remove mutant

@@ -82,53 +82,94 @@ let run ~quick ppf =
       in
       loop ();
       sink.Stream.close_batch ());
+  (* The v3 copy of the same trace is written here, next to the v2 one,
+     so the trace vector is dead before any timed replay below — held
+     live it would be marked by every major slice inside a measurement. *)
+  let path_v3 = Filename.temp_file "aprof_parallel_v3" ".atrc" in
+  Out_channel.with_open_bin path_v3 (fun oc ->
+      let sink =
+        Codec.batch_writer ~format_version:3
+          ~routine_name:(Aprof_trace.Routine_table.name routines)
+          oc
+      in
+      let batches = Stream.batches_of_trace trace in
+      let rec loop () =
+        match batches () with
+        | None -> ()
+        | Some b ->
+          sink.Stream.emit_batch b;
+          loop ()
+      in
+      loop ();
+      sink.Stream.close_batch ());
   let reps = if quick then 1 else 3 in
   let shards =
     match Tool.Shards.of_file path with
     | Some shards -> shards
     | None -> failwith "recorded trace has no chunk index"
   in
-  let replay_at (module M : Tool.S) jobs =
-    let pool = Par.create ~jobs () in
-    let one () =
-      let seconds, (_, events, _) =
-        wall (fun () -> Tool.replay_parallel ~pool ~jobs ~shards (module M))
+  let scaling_rows ~label ~shards (module M : Tool.S) =
+    let replay_at jobs =
+      let pool = Par.create ~jobs () in
+      let one () =
+        let seconds, (_, events, _) =
+          wall (fun () -> Tool.replay_parallel ~pool ~jobs ~shards (module M))
+        in
+        (seconds, events)
       in
-      (seconds, events)
+      (* Best of [reps]: replay times are short enough to jitter. *)
+      let best = ref (one ()) in
+      for _ = 2 to reps do
+        let r = one () in
+        if fst r < fst !best then best := r
+      done;
+      !best
     in
-    (* Best of [reps]: replay times are short enough to jitter. *)
-    let best = ref (one ()) in
-    for _ = 2 to reps do
-      let r = one () in
-      if fst r < fst !best then best := r
-    done;
-    !best
+    let base = ref 0. in
+    for jobs = 1 to max_jobs do
+      let seconds, events = replay_at jobs in
+      if jobs = 1 then base := seconds;
+      let mev = float_of_int events /. seconds /. 1e6 in
+      let speedup = !base /. seconds in
+      Format.fprintf ppf
+        "  %-13s jobs=%d  %8d events  %.3fs  %6.2fM ev/s  speedup %.2fx@."
+        label jobs events seconds mev speedup;
+      Exp_common.emit_row ~experiment:"parallel"
+        [
+          ("tool", Exp_common.String label);
+          ("jobs", Exp_common.Int jobs);
+          ("cores", Exp_common.Int cores);
+          ( "domains",
+            (* Domains the pool actually runs on: the 4.14 backend has
+               no Domain module and executes every task on the caller. *)
+            Exp_common.Int (if Par.parallel_backend then jobs else 1) );
+          ("events", Exp_common.Int events);
+          ("seconds", Exp_common.Float seconds);
+          ("mev_per_s", Exp_common.Float mev);
+          ("speedup_vs_j1", Exp_common.Float speedup);
+        ]
+    done
   in
   List.iter
     (fun (Harness.Mergeable (module M)) ->
-      let base = ref 0. in
-      for jobs = 1 to max_jobs do
-        let seconds, events = replay_at (module M) jobs in
-        if jobs = 1 then base := seconds;
-        let mev = float_of_int events /. seconds /. 1e6 in
-        let speedup = !base /. seconds in
-        Format.fprintf ppf
-          "  %-10s jobs=%d  %8d events  %.3fs  %6.2fM ev/s  speedup %.2fx@."
-          M.name jobs events seconds mev speedup;
-        Exp_common.emit_row ~experiment:"parallel"
-          [
-            ("tool", Exp_common.String M.name);
-            ("jobs", Exp_common.Int jobs);
-            ("cores", Exp_common.Int cores);
-            ( "domains",
-              (* Domains the pool actually runs on: the 4.14 backend has
-                 no Domain module and executes every task on the caller. *)
-              Exp_common.Int (if Par.parallel_backend then jobs else 1) );
-            ("events", Exp_common.Int events);
-            ("seconds", Exp_common.Float seconds);
-            ("mev_per_s", Exp_common.Float mev);
-            ("speedup_vs_j1", Exp_common.Float speedup);
-          ]
-      done)
+      scaling_rows ~label:M.name ~shards (module M))
     (Harness.standard_mergeable ());
+  (* The same trace as a v3 (packed) file through the drms profiler:
+     work-stealing claims whole chunks, and a v3 chunk decodes through
+     the transform layer inside each worker's session — the row labels
+     carry a "-v3" suffix so per-format curves stay distinguishable. *)
+  (match
+     List.find_opt
+       (fun (Harness.Mergeable (module M)) -> M.name = "aprof-drms")
+       (Harness.standard_mergeable ())
+   with
+  | Some (Harness.Mergeable (module M)) ->
+    let shards_v3 =
+      match Tool.Shards.of_file path_v3 with
+      | Some shards -> shards
+      | None -> failwith "v3 trace has no chunk index"
+    in
+    scaling_rows ~label:(M.name ^ "-v3") ~shards:shards_v3 (module M)
+  | None -> failwith "aprof-drms mergeable missing");
+  Sys.remove path_v3;
   Sys.remove path

@@ -132,4 +132,86 @@ let run ~quick ppf =
     (List.filter
        (fun f -> Exp_common.keep_tool f.Tool.tool_name)
        (Harness.standard_factories ()));
+  (* --- trace-format sweep: batch replay per container version --------
+
+     The same trace replayed off a v2 and a v3 file through the batch
+     hot path.  v3 must not lose throughput: its chunks are an order of
+     magnitude smaller and the repeat decoder replays memoized template
+     rows instead of re-parsing varints, so the bytes saved must show
+     up as events per second, not just disk.  The entropy-coded variant
+     is included to price the archival option. *)
+  Format.fprintf ppf "@.trace formats (batch replay):@.";
+  Format.fprintf ppf "  %-12s %-8s %12s %12s@." "tool" "format" "bytes"
+    "Mev/s";
+  (* Regenerate the trace (deterministic per seed) rather than holding
+     the vector live across the per-tool measurements above: a live
+     multi-megaword trace would be marked by every major slice landing
+     inside a timed replay. *)
+  let result = Workload.run_spec spec ~threads:4 ~scale ~seed:42 in
+  let trace = result.Aprof_vm.Interp.trace in
+  let routine_name =
+    Aprof_trace.Routine_table.name result.Aprof_vm.Interp.routines
+  in
+  let formats = [ ("v2", 2, false); ("v3", 3, false); ("v3+ent", 3, true) ] in
+  let files =
+    List.map
+      (fun (label, format_version, entropy) ->
+        let file = Filename.temp_file "aprof_replay_fmt" ".atrc" in
+        let encoded =
+          Out_channel.with_open_bin file (fun oc ->
+              Stream.connect_batches
+                (Stream.batches_of_trace trace)
+                (Codec.batch_writer ~format_version ~entropy ~routine_name oc))
+        in
+        if encoded <> n_events then
+          failwith "replay bench: format encode count mismatch";
+        (label, file))
+      formats
+  in
+  let replay_file factory file =
+    let tool = factory.Tool.create () in
+    Gc.compact ();
+    In_channel.with_open_bin file (fun ic ->
+        let seconds, n =
+          time (fun () ->
+              let _names, batches = Codec.batch_reader ic in
+              Tool.replay_batches tool batches)
+        in
+        if n <> n_events then failwith "replay bench: format replay mismatch";
+        seconds)
+  in
+  List.iter
+    (fun tool_name ->
+      match
+        List.find_opt
+          (fun f -> f.Tool.tool_name = tool_name)
+          (Harness.standard_factories ())
+      with
+      | Some factory when Exp_common.keep_tool tool_name ->
+        List.iter
+          (fun (label, file) ->
+            let best = ref (replay_file factory file) in
+            let reps = if quick then 1 else 5 in
+            for _ = 2 to reps do
+              let s = replay_file factory file in
+              if s < !best then best := s
+            done;
+            let bytes =
+              Int64.to_int (In_channel.with_open_bin file In_channel.length)
+            in
+            Format.fprintf ppf "  %-12s %-8s %12d %12.1f@." tool_name label
+              bytes (rate !best);
+            Exp_common.emit_row ~experiment:"replay"
+              [
+                ("tool", Exp_common.String tool_name);
+                ("format", Exp_common.String label);
+                ("events", Exp_common.Int n_events);
+                ("bytes", Exp_common.Int bytes);
+                ("batch_seconds", Exp_common.Float !best);
+                ("batch_mev_per_s", Exp_common.Float (rate !best));
+              ])
+          files
+      | _ -> ())
+    [ "nulgrind"; "aprof-drms" ];
+  List.iter (fun (_, file) -> Sys.remove file) files;
   Sys.remove bin_file

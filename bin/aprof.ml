@@ -353,7 +353,7 @@ let rate_line verb events seconds =
 let now () = Unix.gettimeofday ()
 
 let record_cmd =
-  let run name threads scale seed scheduler output format =
+  let run name threads scale seed scheduler output format trace_format entropy =
     let spec = find_spec name in
     let w = spec.Aprof_workloads.Workload.make ~threads ~scale ~seed in
     let t0 = now () in
@@ -374,7 +374,7 @@ let record_cmd =
                 Aprof_workloads.Workload.run_batched ~scheduler w ~seed
                   ~tool:(fun routines ->
                     let s =
-                      Codec.batch_writer
+                      Codec.batch_writer ~format_version:trace_format ~entropy
                         ~routine_name:(Aprof_trace.Routine_table.name routines)
                         oc
                     in
@@ -417,6 +417,26 @@ let record_cmd =
       & opt (enum [ ("binary", `Binary); ("text", `Text) ]) `Binary
       & info [ "format" ] ~docv:"FMT" ~doc)
   in
+  let trace_format_term =
+    let doc =
+      "Binary trace format version to write: $(b,1) (bare records), $(b,2) \
+       (checksummed chunk frames, the default), or $(b,3) \
+       (redundancy-suppressed chunks: delta/pattern packed).  Ignored \
+       with $(b,--format text)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("1", 1); ("2", 2); ("3", 3) ]) Codec.version
+      & info [ "trace-format" ] ~docv:"V" ~doc)
+  in
+  let entropy_term =
+    let doc =
+      "With $(b,--trace-format 3), entropy-code each chunk (canonical \
+       Huffman): roughly half the bytes again, at some decode-speed cost. \
+       Meant for archival traces rather than replay working sets."
+    in
+    Arg.(value & flag & info [ "entropy" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "record"
        ~doc:
@@ -424,7 +444,8 @@ let record_cmd =
           materializing it")
     Term.(
       const run $ workload_arg $ threads_term $ scale_term $ seed_term
-      $ scheduler_term $ output_term $ format_term)
+      $ scheduler_term $ output_term $ format_term $ trace_format_term
+      $ entropy_term)
 
 (* JSON output is hand-rolled — a flat summary object, no dependency. *)
 let json_escape s =
@@ -452,8 +473,10 @@ let replay_json (result : Aprof_tools.Replay_driver.t) =
       | None, _ :: _ -> "salvaged"
       | None, [] -> "ok"
     in
-    Printf.bprintf buf "    {\"path\": \"%s\", \"status\": \"%s\", \"events\": %d"
-      (json_escape r.path) status r.events;
+    Printf.bprintf buf
+      "    {\"path\": \"%s\", \"format\": \"%s\", \"status\": \"%s\", \
+       \"events\": %d"
+      (json_escape r.path) (json_escape r.format) status r.events;
     (match r.error with
     | Some e -> Printf.bprintf buf ", \"error\": \"%s\"" (json_escape e)
     | None -> ());
@@ -614,10 +637,10 @@ let replay_cmd =
   let json_term =
     let doc =
       "Write a machine-readable replay summary to $(docv): total events, \
-       overall failure flag, and per file its status \
-       (ok/salvaged/failed), event count, error, and dropped regions \
-       (chunk ordinal, byte offset, payload bytes, event count, reason; \
-       -1 marks an unknown field)."
+       overall failure flag, and per file its detected format (text, \
+       binary-v1/v2/v3, or unknown), status (ok/salvaged/failed), event \
+       count, error, and dropped regions (chunk ordinal, byte offset, \
+       payload bytes, event count, reason; -1 marks an unknown field)."
     in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in

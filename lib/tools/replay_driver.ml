@@ -14,6 +14,7 @@ type tool_run = {
 
 type file_report = {
   path : string;
+  format : string;
   events : int;
   seconds : float;
   drops : Codec.drop list;
@@ -30,6 +31,19 @@ type t = {
   failed : bool;
 }
 
+(* What encoding a file carries, for the reports: the text format, or
+   "binary-vN".  Unreadable or headerless files report "unknown" — the
+   replay itself surfaces the actual error. *)
+let trace_format path =
+  match
+    In_channel.with_open_bin path (fun ic ->
+        match Codec.detect ic with
+        | `Text -> "text"
+        | `Binary -> Printf.sprintf "binary-v%d" (Codec.file_version ic))
+  with
+  | s -> s
+  | exception (Stream.Decode_error _ | Sys_error _ | End_of_file) -> "unknown"
+
 let union_names tables =
   let out = Hashtbl.create 64 in
   List.iter (Hashtbl.iter (fun k v -> Hashtbl.replace out k v)) tables;
@@ -45,15 +59,61 @@ let drain batches on_batch =
   in
   loop 0
 
+(* A dropped chunk can swallow the [Call]s whose activations a later
+   chunk closes; the orphaned [Return]s would then pop an empty shadow
+   stack and abort every profiler.  Those returns belong to the regions
+   the drop report already advertises, so salvage filters them out of
+   the stream — compacting each batch in place, tracking per-thread
+   call depth across the whole file.  On an undamaged file every return
+   is matched and the stream passes through unchanged. *)
+let drop_unmatched_returns batches =
+  let depth = Hashtbl.create 8 in
+  fun () ->
+    match batches () with
+    | None -> None
+    | Some b ->
+      let tags = Batch.tags b and tids = Batch.tids b in
+      let args = Batch.args b and lens = Batch.lens b in
+      let kept = ref 0 in
+      for i = 0 to Batch.length b - 1 do
+        let tag = Array.unsafe_get tags i in
+        let tid = Array.unsafe_get tids i in
+        let keep =
+          if tag = Batch.tag_call then (
+            Hashtbl.replace depth tid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt depth tid));
+            true)
+          else if tag = Batch.tag_return then (
+            match Hashtbl.find_opt depth tid with
+            | Some d when d > 0 ->
+              Hashtbl.replace depth tid (d - 1);
+              true
+            | _ -> false)
+          else true
+        in
+        if keep then (
+          let j = !kept in
+          if j < i then (
+            Array.unsafe_set tags j tag;
+            Array.unsafe_set tids j tid;
+            Array.unsafe_set args j (Array.unsafe_get args i);
+            Array.unsafe_set lens j (Array.unsafe_get lens i));
+          incr kept)
+      done;
+      Batch.unsafe_set_length b !kept;
+      Some b
+
 (* Per-file source selection.  [drops] collects what salvage skipped;
    in [`Fail] mode it stays empty and the first malformation raises. *)
 let open_batches ~keep_going ~drops path ic =
   match Codec.detect ic with
   | `Binary ->
-    let on_corrupt =
-      if keep_going then `Skip (fun d -> drops := d :: !drops) else `Fail
-    in
-    Codec.read ~path ~on_corrupt ic
+    if keep_going then (
+      let names, batches =
+        Codec.read ~path ~on_corrupt:(`Skip (fun d -> drops := d :: !drops)) ic
+      in
+      (names, drop_unmatched_returns batches))
+    else Codec.read ~path ~on_corrupt:`Fail ic
   | `Text ->
     (Hashtbl.create 1, Stream.batches_of_events (Stream.of_text_channel ic))
 
@@ -176,6 +236,7 @@ let replay ?(jobs = 1) ?(profiler = (`Drms : profiler)) ?(with_tools = false)
      file still replays, and the error travels in the report. *)
   let profile_file path =
     let fstart = now () in
+    let format = trace_format path in
     let drops = ref [] in
     match
       match
@@ -189,6 +250,7 @@ let replay ?(jobs = 1) ?(profiler = (`Drms : profiler)) ?(with_tools = false)
     | n, profile, names ->
       ( {
           path;
+          format;
           events = n;
           seconds = now () -. fstart;
           drops = List.rev !drops;
@@ -199,6 +261,7 @@ let replay ?(jobs = 1) ?(profiler = (`Drms : profiler)) ?(with_tools = false)
     | exception (Stream.Decode_error msg | Sys_error msg) ->
       ( {
           path;
+          format;
           events = 0;
           seconds = now () -. fstart;
           drops = List.rev !drops;

@@ -33,6 +33,9 @@ type tool_run = {
     have drops and still no error, which is a successful salvage. *)
 type file_report = {
   path : string;
+  format : string;
+      (** what the file carries: ["text"], ["binary-vN"] (the trace
+          format version), or ["unknown"] when the header is unreadable *)
   events : int;
   seconds : float;
   drops : Aprof_trace.Trace_codec.drop list;

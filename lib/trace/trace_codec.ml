@@ -1,469 +1,82 @@
+(* Facade over the layered trace codec.  The layers, bottom up:
+
+     {!Trace_wire}       varints, little-endian fields, [Decode_error]
+     {!Trace_frame}      length + CRC32C framing of chunk payloads
+     {!Trace_transform}  version-3 payload transforms (packing + entropy)
+     {!Trace_record}     plain event records (versions 1 and 2)
+     {!Trace_packed}     packed event coding (version 3)
+     {!Trace_container}  header/version negotiation, ATRI shard index
+
+   This module wires them into the public reader/writer surface and owns
+   the policies that cut across layers: when chunks flush, how salvage
+   re-synchronizes, and how the version dispatch picks an event layer.
+   Formats 1 and 2 are byte-for-byte what the pre-split codec produced
+   (pinned by the golden tests); format 3 reuses the v2 framing and
+   index around transformed payloads. *)
+
 module Vec = Aprof_util.Vec
 module Crc32c = Aprof_util.Crc32c
 module Batch = Event.Batch
 
-let magic = "ATRC"
+let magic = Trace_container.magic
+let version = Trace_container.version
+let max_version = Trace_container.max_version
+let default_chunk = Trace_frame.default_chunk
+let max_chunk_payload = Trace_frame.max_chunk_payload
+let index_magic = Trace_container.index_magic
+let index_trailer_bytes = Trace_container.index_trailer_bytes
+let bad = Trace_wire.bad
+let read_uvarint = Trace_wire.read_uvarint
+let uvarint_size = Trace_wire.uvarint_size
+let end_tag = Trace_record.end_tag
+let step_record = Trace_record.step_record
+let chunk_step = Trace_record.chunk_step
+let validate_batch = Trace_record.validate_batch
+let fill_batch = Trace_record.fill_batch
+let fill_batch_bytes = Trace_record.fill_batch_bytes
+let fill_batch_bytes_keep = Trace_record.fill_batch_bytes_keep
+let parse_header = Trace_container.parse_header
+let input_header = Trace_container.input_header
+let default_routine_name = Trace_record.default_routine_name
+let file_version ic =
+  In_channel.seek ic 0L;
+  input_header ic
 
-(* Version 2 frames every flushed chunk with its byte length and a
-   CRC32C of the payload, so readers verify integrity before any varint
-   decoding touches the bytes; version 1 (a bare record stream) remains
-   readable.  Writers emit version 2 unless asked otherwise. *)
-let version = 2
-let default_chunk = 64 * 1024
-
-(* A frame length takes at most ten varint bytes, but anything near
-   that is corruption, not a trace: cap what a reader will allocate. *)
-let max_chunk_payload = 1 lsl 30
-
-(* The shard-index footer appended after the end-of-trace marker; see
-   the .mli for the layout.  Its own magic differs from the header's so
-   a footer can never be mistaken for the start of a trace.  The index
-   version always equals the trace version: version-2 entries carry the
-   chunk's CRC32C so a seeking reader needs no second look at the chunk
-   frame header. *)
-let index_magic = "ATRI"
-let index_trailer_bytes = 8 + 4 (* LE64 footer offset + magic *)
-
-let bad fmt =
-  Printf.ksprintf (fun s -> raise (Trace_stream.Decode_error s)) fmt
-
-(* ----- varints ------------------------------------------------------- *)
-
-(* Zigzag maps the signed int onto the non-negative range so that values
-   of small magnitude — the common case — encode in one byte, while the
-   full [min_int, max_int] range still round-trips: the shifted value is
-   treated as an unsigned machine word ([lsr] is logical). *)
-
-(* Both directions run a few times per event, so they are written as
-   top-level tail recursions over plain int arguments: an inner closure
-   (capturing the byte source) or a local [ref] would cost a minor
-   allocation per call and dominate the decode profile. *)
-
-let rec add_varint_rest buf v =
-  let b = v land 0x7f in
-  let v = v lsr 7 in
-  if v = 0 then Buffer.add_char buf (Char.unsafe_chr b)
-  else begin
-    Buffer.add_char buf (Char.unsafe_chr (b lor 0x80));
-    add_varint_rest buf v
-  end
-
-let add_varint buf n =
-  add_varint_rest buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
-
-(* Decoding rejects every encoding the encoder above cannot produce, so
-   the byte representation of a value is unique (the byte-diffability
-   contract: distinct byte streams decode to distinct traces).  Two
-   guards, both checked before the shift so no [lsl] ever runs with an
-   out-of-range count: a byte whose significant bits would fall off the
-   top of the int overflows, and a terminating byte that contributes no
-   bits (a redundant [0x80 0x00]-style tail) is non-canonical. *)
-
-let[@inline] check_varint_bits bits shift =
-  if
-    shift >= Sys.int_size
-    || (shift > Sys.int_size - 7 && bits lsr (Sys.int_size - shift) <> 0)
-  then bad "varint overflows the int range"
-
-(* [read_byte] yields the next byte or -1 at end of input. *)
-let rec read_varint_rest read_byte shift acc =
-  match read_byte () with
-  | -1 -> bad "truncated varint"
-  | b ->
-    let bits = b land 0x7f in
-    check_varint_bits bits shift;
-    let acc = acc lor (bits lsl shift) in
-    if b land 0x80 <> 0 then read_varint_rest read_byte (shift + 7) acc
-    else if bits = 0 && shift > 0 then bad "non-canonical varint encoding"
-    else acc
-
-let read_varint read_byte =
-  let v = read_varint_rest read_byte 0 0 in
-  (v lsr 1) lxor (- (v land 1))
-
-(* Same decode, but straight off a byte buffer through a position ref —
-   the chunked reader's fast path.  Callers must guarantee the buffer
-   holds a complete varint starting at [!pos]; the [check_varint_bits]
-   guard bounds a varint at ten bytes, which is what makes the caller's
-   margin check sufficient for [unsafe_get].  Only entered from the
-   second byte on (shift >= 7), so a zero terminating byte is always
-   non-canonical here. *)
-let rec read_varint_bytes_rest chunk pos shift acc =
-  let b = Char.code (Bytes.unsafe_get chunk !pos) in
-  incr pos;
-  let bits = b land 0x7f in
-  check_varint_bits bits shift;
-  let acc = acc lor (bits lsl shift) in
-  if b land 0x80 <> 0 then read_varint_bytes_rest chunk pos (shift + 7) acc
-  else if bits = 0 then bad "non-canonical varint encoding"
-  else acc
-
-(* One-byte varints — small tids, small deltas — are the overwhelmingly
-   common case, so decode them without entering the loop. *)
-let[@inline always] read_varint_bytes_fast chunk pos =
-  let b0 = Char.code (Bytes.unsafe_get chunk !pos) in
-  incr pos;
-  if b0 < 0x80 then (b0 lsr 1) lxor (- (b0 land 1))
-  else
-    let v = read_varint_bytes_rest chunk pos 7 (b0 land 0x7f) in
-    (v lsr 1) lxor (- (v land 1))
-
-(* Advance past one varint without assembling its value — the fields of
-   events the keep filter discards.  Bounded like the strict reader (a
-   canonical 63-bit varint is at most 9 bytes); canonicality itself is
-   not checked, which is covered by the chunk checksum and by the
-   sequential path validating every event. *)
-let[@inline always] skip_varint_bytes chunk pos =
-  if Char.code (Bytes.unsafe_get chunk !pos) < 0x80 then incr pos
-  else begin
-    let stop = !pos + 10 in
-    incr pos;
-    while Char.code (Bytes.unsafe_get chunk !pos) >= 0x80 do
-      incr pos;
-      if !pos >= stop then bad "varint too long"
-    done;
-    incr pos
-  end
-
-(* A record is at most 1 tag byte + 3 varints of at most 10 bytes (a
-   canonical varint of a 63-bit int is 9 bytes; 10 is a safe margin). *)
-let max_record_bytes = 34
-
-(* Plain (non-zigzag) varints frame the version-2 chunks. *)
-let rec add_uvarint buf v =
-  if v < 0x80 then Buffer.add_char buf (Char.unsafe_chr v)
-  else begin
-    Buffer.add_char buf (Char.unsafe_chr (v land 0x7f lor 0x80));
-    add_uvarint buf (v lsr 7)
-  end
-
-let rec output_uvarint oc v =
-  if v < 0x80 then output_char oc (Char.unsafe_chr v)
-  else begin
-    output_char oc (Char.unsafe_chr (v land 0x7f lor 0x80));
-    output_uvarint oc (v lsr 7)
-  end
-
-let rec uvarint_size v = if v < 0x80 then 1 else 1 + uvarint_size (v lsr 7)
-
-(* [read_byte] convention as above; canonical, like the record varints. *)
-let read_uvarint read_byte =
-  let rec go shift acc =
-    match read_byte () with
-    | -1 -> bad "truncated chunk header"
-    | b ->
-      let bits = b land 0x7f in
-      check_varint_bits bits shift;
-      let acc = acc lor (bits lsl shift) in
-      if b land 0x80 <> 0 then go (shift + 7) acc
-      else if bits = 0 && shift > 0 then bad "non-canonical chunk length"
-      else acc
-  in
-  go 0 0
-
-let add_le32 buf n =
-  for i = 0 to 3 do
-    Buffer.add_char buf (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
-  done
-
-let output_le32 oc n =
-  for i = 0 to 3 do
-    output_char oc (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
-  done
-
-let add_le64 buf n =
-  for i = 0 to 7 do
-    Buffer.add_char buf (Char.unsafe_chr ((n lsr (8 * i)) land 0xff))
-  done
-
-(* ----- records -------------------------------------------------------- *)
-
-let def_tag = 15
-let end_tag = 0
-
-(* Event record tags are exactly {!Event.Batch}'s tags (1–14), so both
-   encode and decode work on the raw packed fields: tid always, then the
-   primary payload when the kind has one, then the length when it has
-   one.  This is the single encoder; every writer entry point funnels
-   into it. *)
-let add_record buf ~tag ~tid ~arg ~len =
-  Buffer.add_char buf (Char.unsafe_chr tag);
-  add_varint buf tid;
-  if Batch.tag_has_arg tag then add_varint buf arg;
-  if Batch.tag_has_len tag then add_varint buf len
-
-let add_def buf id name =
-  Buffer.add_char buf (Char.unsafe_chr def_tag);
-  add_varint buf id;
-  add_varint buf (String.length name);
-  Buffer.add_string buf name
-
-(* [encoder buf ~routine_name] is the raw per-record encoder, interning
-   routine names: the first [Call] of each routine is preceded by its
-   definition record.  Matches {!Event.Batch.iter}'s field order. *)
-let encoder buf ~routine_name =
-  let defined = Hashtbl.create 64 in
-  fun tag tid arg len ->
-    if tag = Batch.tag_call && not (Hashtbl.mem defined arg) then begin
-      Hashtbl.add defined arg ();
-      add_def buf arg (routine_name arg)
-    end;
-    add_record buf ~tag ~tid ~arg ~len
-
-(* Consume exactly one record through the generic byte source, pushing
-   event records into [b].  Returns [true] when the record was the
-   end-of-trace marker.  [read_string n] must return exactly [n] bytes.
-   Plain end of input is a truncation — a complete trace always carries
-   the marker, which is what lets truncation at a record boundary be
-   told apart from a genuine end. *)
-let step_record ~read_byte ~read_string ~define b =
-  match read_byte () with
-  | -1 -> bad "truncated trace (missing end-of-trace marker)"
-  | tag when tag = end_tag ->
-    (match read_byte () with
-    | -1 -> ()
-    | b when b = Char.code index_magic.[0] ->
-      (* A shard-index footer may follow the marker.  Sequential readers
-         check its magic and skip the rest; the seekable path ({!shards})
-         is the one that validates and uses it. *)
-      for i = 1 to 3 do
-        if read_byte () <> Char.code index_magic.[i] then
-          bad "trailing data after end-of-trace marker"
-      done;
-      while read_byte () <> -1 do
-        ()
-      done
-    | _ -> bad "trailing data after end-of-trace marker");
-    true
-  | tag when tag = def_tag ->
-    let id = read_varint read_byte in
-    let len = read_varint read_byte in
-    if len < 0 then bad "negative name length";
-    define id (read_string len);
-    false
-  | tag when tag >= 1 && tag <= Batch.max_tag ->
-    let tid = read_varint read_byte in
-    let arg = if Batch.tag_has_arg tag then read_varint read_byte else 0 in
-    let len = if Batch.tag_has_len tag then read_varint read_byte else 0 in
-    Batch.unsafe_push b ~tag ~tid ~arg ~len;
-    false
-  | tag -> bad "unknown record tag %d" tag
-
-(* One record off a chunk's byte range.  A chunk never contains the
-   end-of-trace marker, so tag 0 falls through to the error arm.  With
-   [?keep], event records failing [keep tag tid] are parsed (the cursor
-   always advances past them) but not stored; definitions are always
-   processed. *)
-let chunk_step ?keep ~read_byte ~read_string ~define b =
-  match read_byte () with
-  | -1 -> true (* chunk exhausted at a record boundary *)
-  | tag when tag = def_tag ->
-    let id = read_varint read_byte in
-    let len = read_varint read_byte in
-    if len < 0 then bad "negative name length";
-    define id (read_string len);
-    false
-  | tag when tag >= 1 && tag <= Batch.max_tag ->
-    let tid = read_varint read_byte in
-    let arg = if Batch.tag_has_arg tag then read_varint read_byte else 0 in
-    let len = if Batch.tag_has_len tag then read_varint read_byte else 0 in
-    (match keep with
-    | None -> Batch.unsafe_push b ~tag ~tid ~arg ~len
-    | Some keep ->
-      if keep tag tid then Batch.unsafe_push b ~tag ~tid ~arg ~len);
-    false
-  | tag -> bad "unknown record tag %d in chunk" tag
-
-(* Decoded bytes are untrusted; downstream tools index shadow pages,
-   dense per-thread state and lockset memo keys with the raw fields and
-   no per-access guard, so the batch edge is where negative addresses
-   and out-of-range thread/lock ids must die.  Every fill site calls
-   this once per refilled batch. *)
-let validate_batch b =
-  try Batch.validate b
-  with Invalid_argument msg -> bad "%s" msg
-
-let fill_batch ~read_byte ~read_string ~define b =
-  let finished = ref false in
-  while (not !finished) && not (Batch.is_full b) do
-    finished := step_record ~read_byte ~read_string ~define b
-  done;
-  validate_batch b;
-  !finished
-
-(* Bulk fast path over a chunk: decode plain event records directly off
-   the bytes while a whole record is guaranteed to fit below [limit],
-   without going through the [read_byte] closure.  Stops — leaving [pos]
-   on the offending tag — at definition records, the end marker, or any
-   malformed tag, which the generic [step_record] then handles. *)
-let fill_batch_bytes b chunk pos limit =
-  let tags = Batch.tags b and tids = Batch.tids b in
-  let args = Batch.args b and lens = Batch.lens b in
-  let cap = Array.length tags in
-  let arg_mask = Batch.arg_mask and len_mask = Batch.len_mask in
-  (* [!p <= last_start] guarantees a whole record fits before [limit]. *)
-  let last_start = limit - max_record_bytes in
-  let i = ref (Batch.length b) in
-  let p = ref !pos in
-  let stop = ref false in
-  while (not !stop) && !i < cap && !p <= last_start do
-    let tag = Char.code (Bytes.unsafe_get chunk !p) in
-    if tag >= 1 && tag <= Batch.max_tag then begin
-      incr p;
-      let tid = read_varint_bytes_fast chunk p in
-      let arg =
-        if (arg_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
-        else 0
-      in
-      let len =
-        if (len_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
-        else 0
-      in
-      let j = !i in
-      Array.unsafe_set tags j tag;
-      Array.unsafe_set tids j tid;
-      Array.unsafe_set args j arg;
-      Array.unsafe_set lens j len;
-      i := j + 1
-    end
-    else stop := true
-  done;
-  Batch.unsafe_set_length b !i;
-  pos := !p
-
-(* Keep-filtered twin of [fill_batch_bytes]: every record is parsed at
-   full speed, but only those satisfying [keep tag tid] are stored into
-   the batch.  The parallel replay engine pushes its per-shard filter
-   down here so that a foreign, non-broadcast event costs only its
-   varint decode — it is never materialized, validated, or re-filtered
-   from the batch afterwards. *)
-let fill_batch_bytes_keep b chunk pos limit ~keep =
-  let tags = Batch.tags b and tids = Batch.tids b in
-  let args = Batch.args b and lens = Batch.lens b in
-  let cap = Array.length tags in
-  let arg_mask = Batch.arg_mask and len_mask = Batch.len_mask in
-  let last_start = limit - max_record_bytes in
-  let i = ref (Batch.length b) in
-  let p = ref !pos in
-  let stop = ref false in
-  while (not !stop) && !i < cap && !p <= last_start do
-    let tag = Char.code (Bytes.unsafe_get chunk !p) in
-    if tag >= 1 && tag <= Batch.max_tag then begin
-      incr p;
-      let tid = read_varint_bytes_fast chunk p in
-      if keep tag tid then begin
-        let arg =
-          if (arg_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
-          else 0
-        in
-        let len =
-          if (len_mask lsr tag) land 1 = 1 then read_varint_bytes_fast chunk p
-          else 0
-        in
-        let j = !i in
-        Array.unsafe_set tags j tag;
-        Array.unsafe_set tids j tid;
-        Array.unsafe_set args j arg;
-        Array.unsafe_set lens j len;
-        i := j + 1
-      end
-      else begin
-        (* Discarded: step over the remaining fields without decoding. *)
-        if (arg_mask lsr tag) land 1 = 1 then skip_varint_bytes chunk p;
-        if (len_mask lsr tag) land 1 = 1 then skip_varint_bytes chunk p
-      end
-    end
-    else stop := true
-  done;
-  Batch.unsafe_set_length b !i;
-  pos := !p
-
-(* Header validation shared by the channel and string entry points;
-   returns the format version (1 or 2). *)
-let parse_header hdr =
-  if String.length hdr < 5 then bad "truncated header";
-  if String.sub hdr 0 4 <> magic then bad "bad magic: not a binary trace";
-  match Char.code hdr.[4] with
-  | (1 | 2) as v -> v
-  | v -> bad "unsupported trace format version %d (expected 1..%d)" v version
-
-let input_header ic =
-  match really_input_string ic 5 with
-  | hdr -> parse_header hdr
-  | exception End_of_file -> bad "truncated header"
-
-let default_routine_name id = Printf.sprintf "routine_%d" id
+(* A version-3 chunk also flushes on event count: repeat suppression can
+   swallow millions of events into a few bytes, and an unbounded chunk
+   would destroy the granularity the work-stealing replay shards by.
+   The decode side caps how far one chunk may expand, bounding what a
+   corrupt repeat count can make a reader allocate. *)
+let v3_chunk_events = 1 lsl 16
+let max_chunk_events = 1 lsl 27
 
 (* ----- streaming writer ----------------------------------------------- *)
 
-(* What the writer remembers about one flushed chunk, to be serialized
-   into the footer on close.  [c_crc] is -1 for version-1 output. *)
-type chunk_entry = {
-  c_bytes : int;
-  c_events : int;
-  c_tag_mask : int;
-  c_crc : int;
-  c_tids : int array; (* distinct, ascending *)
-}
-
-let add_footer buf ~format_version chunks =
-  Buffer.add_string buf index_magic;
-  Buffer.add_char buf (Char.chr format_version);
-  add_varint buf (List.length chunks);
-  List.iter
-    (fun c ->
-      add_varint buf c.c_bytes;
-      add_varint buf c.c_events;
-      add_varint buf c.c_tag_mask;
-      if format_version >= 2 then add_varint buf c.c_crc;
-      add_varint buf (Array.length c.c_tids);
-      (* Ascending tids delta-encode into one byte each in practice. *)
-      let prev = ref 0 in
-      Array.iter
-        (fun tid ->
-          add_varint buf (tid - !prev);
-          prev := tid)
-        c.c_tids)
-    chunks
-
-let check_format_version v =
-  if v < 1 || v > version then
-    invalid_arg
-      (Printf.sprintf "Trace_codec: cannot write format version %d (1..%d)" v
-         version)
-
-let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
-    ?(format_version = version) ?(routine_name = default_routine_name) oc =
-  check_format_version format_version;
-  (* The header goes straight to the channel so that the buffer — and
-     therefore each recorded chunk length — holds record bytes only. *)
+(* Version 3: events flow through the packed encoder; each flushed chunk
+   is sealed by the transform layer and framed exactly like a version-2
+   chunk, so the index entries describe the *stored* payload. *)
+let batch_writer_v3 ~chunk_bytes ~index ~entropy ~routine_name oc =
   output_string oc magic;
-  output_char oc (Char.chr format_version);
-  let buf = Buffer.create (chunk_bytes + 256) in
-  let encode = encoder buf ~routine_name in
-  (* Per-chunk stats for the index.  The last-tid cache keeps the table
-     lookup off the hot path: consecutive events of one thread are the
-     overwhelmingly common case. *)
+  output_char oc (Char.chr 3);
+  let enc = Trace_packed.create_encoder () in
+  let defined = Hashtbl.create 64 in
   let chunks = ref [] in
   let events = ref 0 in
   let tag_mask = ref 0 in
   let tid_set : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let last_tid = ref min_int in
   let flush_chunk () =
-    if Buffer.length buf > 0 then begin
+    if !events > 0 then begin
       let tids =
         Hashtbl.fold (fun tid () acc -> tid :: acc) tid_set []
         |> List.sort compare |> Array.of_list
       in
-      let payload = Buffer.to_bytes buf in
-      let nbytes = Bytes.length payload in
-      let crc =
-        if format_version >= 2 then Crc32c.digest payload ~pos:0 ~len:nbytes
-        else -1
-      in
+      let packed = Trace_packed.take_chunk enc in
+      let stored = Trace_transform.seal ~entropy packed in
+      let crc = Trace_frame.output_frame oc stored in
       chunks :=
         {
-          c_bytes = nbytes;
+          Trace_container.c_bytes = Bytes.length stored;
           c_events = !events;
           c_tag_mask = !tag_mask;
           c_crc = crc;
@@ -473,52 +86,144 @@ let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
       events := 0;
       tag_mask := 0;
       Hashtbl.reset tid_set;
-      last_tid := min_int;
-      if format_version >= 2 then begin
-        output_uvarint oc nbytes;
-        output_le32 oc crc
-      end;
-      output_bytes oc payload;
-      Buffer.clear buf
+      last_tid := min_int
     end
   in
   let emit_batch b =
     Batch.iter
       (fun tag tid arg len ->
-        encode tag tid arg len;
+        if tag = Batch.tag_call && not (Hashtbl.mem defined arg) then begin
+          Hashtbl.add defined arg ();
+          Trace_packed.add_def enc arg (routine_name arg)
+        end;
+        Trace_packed.add_event enc ~tag ~tid ~arg ~len;
         incr events;
         tag_mask := !tag_mask lor (1 lsl tag);
         if tid <> !last_tid then begin
           last_tid := tid;
           Hashtbl.replace tid_set tid ()
         end;
-        if Buffer.length buf >= chunk_bytes then flush_chunk ())
+        if
+          Trace_packed.chunk_length enc >= chunk_bytes
+          || !events >= v3_chunk_events
+        then flush_chunk ())
       b
   in
   let close_batch () =
     flush_chunk ();
-    (* Chunk [i]'s payload starts at [5 + earlier frames]; a version-2
-       frame adds a length varint and a 4-byte CRC before the payload. *)
-    let frame_bytes c =
-      if format_version >= 2 then uvarint_size c.c_bytes + 4 + c.c_bytes
-      else c.c_bytes
+    let frame_bytes (c : Trace_container.chunk_entry) =
+      uvarint_size c.c_bytes + 4 + c.c_bytes
     in
-    let marker_off = 5 + List.fold_left (fun a c -> a + frame_bytes c) 0 !chunks in
+    let marker_off =
+      5 + List.fold_left (fun a c -> a + frame_bytes c) 0 !chunks
+    in
     output_char oc (Char.chr end_tag);
     if index then begin
       let footer_off = marker_off + 1 in
-      add_footer buf ~format_version (List.rev !chunks);
-      add_le64 buf footer_off;
+      let buf = Buffer.create 512 in
+      Trace_container.add_footer buf ~format_version:3 (List.rev !chunks);
+      Trace_wire.add_le64 buf footer_off;
       Buffer.add_string buf index_magic;
-      Buffer.output_buffer oc buf;
-      Buffer.clear buf
+      Buffer.output_buffer oc buf
     end
   in
   { Trace_stream.emit_batch; close_batch }
 
-let writer ?chunk_bytes ?index ?format_version ?routine_name oc =
+let batch_writer ?(chunk_bytes = default_chunk) ?(index = true)
+    ?(format_version = version) ?(entropy = false)
+    ?(routine_name = default_routine_name) oc =
+  Trace_container.check_format_version format_version;
+  if format_version >= 3 then
+    batch_writer_v3 ~chunk_bytes ~index ~entropy ~routine_name oc
+  else begin
+    (* The header goes straight to the channel so that the buffer — and
+       therefore each recorded chunk length — holds record bytes only. *)
+    output_string oc magic;
+    output_char oc (Char.chr format_version);
+    let buf = Buffer.create (chunk_bytes + 256) in
+    let encode = Trace_record.encoder buf ~routine_name in
+    (* Per-chunk stats for the index.  The last-tid cache keeps the table
+       lookup off the hot path: consecutive events of one thread are the
+       overwhelmingly common case. *)
+    let chunks = ref [] in
+    let events = ref 0 in
+    let tag_mask = ref 0 in
+    let tid_set : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let last_tid = ref min_int in
+    let flush_chunk () =
+      if Buffer.length buf > 0 then begin
+        let tids =
+          Hashtbl.fold (fun tid () acc -> tid :: acc) tid_set []
+          |> List.sort compare |> Array.of_list
+        in
+        let payload = Buffer.to_bytes buf in
+        let nbytes = Bytes.length payload in
+        let crc =
+          if format_version >= 2 then Crc32c.digest payload ~pos:0 ~len:nbytes
+          else -1
+        in
+        chunks :=
+          {
+            Trace_container.c_bytes = nbytes;
+            c_events = !events;
+            c_tag_mask = !tag_mask;
+            c_crc = crc;
+            c_tids = tids;
+          }
+          :: !chunks;
+        events := 0;
+        tag_mask := 0;
+        Hashtbl.reset tid_set;
+        last_tid := min_int;
+        if format_version >= 2 then begin
+          Trace_wire.output_uvarint oc nbytes;
+          Trace_wire.output_le32 oc crc
+        end;
+        output_bytes oc payload;
+        Buffer.clear buf
+      end
+    in
+    let emit_batch b =
+      Batch.iter
+        (fun tag tid arg len ->
+          encode tag tid arg len;
+          incr events;
+          tag_mask := !tag_mask lor (1 lsl tag);
+          if tid <> !last_tid then begin
+            last_tid := tid;
+            Hashtbl.replace tid_set tid ()
+          end;
+          if Buffer.length buf >= chunk_bytes then flush_chunk ())
+        b
+    in
+    let close_batch () =
+      flush_chunk ();
+      (* Chunk [i]'s payload starts at [5 + earlier frames]; a version-2
+         frame adds a length varint and a 4-byte CRC before the payload. *)
+      let frame_bytes (c : Trace_container.chunk_entry) =
+        if format_version >= 2 then uvarint_size c.c_bytes + 4 + c.c_bytes
+        else c.c_bytes
+      in
+      let marker_off =
+        5 + List.fold_left (fun a c -> a + frame_bytes c) 0 !chunks
+      in
+      output_char oc (Char.chr end_tag);
+      if index then begin
+        let footer_off = marker_off + 1 in
+        Trace_container.add_footer buf ~format_version (List.rev !chunks);
+        Trace_wire.add_le64 buf footer_off;
+        Buffer.add_string buf index_magic;
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      end
+    in
+    { Trace_stream.emit_batch; close_batch }
+  end
+
+let writer ?chunk_bytes ?index ?format_version ?entropy ?routine_name oc =
   Trace_stream.sink_of_batches
-    (batch_writer ?chunk_bytes ?index ?format_version ?routine_name oc)
+    (batch_writer ?chunk_bytes ?index ?format_version ?entropy ?routine_name
+       oc)
 
 (* ----- streaming reader ----------------------------------------------- *)
 
@@ -604,64 +309,6 @@ let batch_reader_v2 ~batch_size ic =
       c
     | None -> -1
   in
-  let skip_footer () =
-    (* After the marker: end of file, or an index footer.  A duplicated,
-       deleted or reordered frame is internally self-consistent — its
-       own checksum still matches — so the streamed frame sequence is
-       verified against the footer, the one record of what the writer
-       actually flushed.  (The seekable paths re-validate the footer
-       themselves in {!shards}.) *)
-    let footer_off = !file_off in
-    match input_byte () with
-    | -1 -> ()
-    | c when c = Char.code index_magic.[0] ->
-      for i = 1 to 3 do
-        if input_byte () <> Char.code index_magic.[i] then
-          bad "trailing data after end-of-trace marker"
-      done;
-      let rb () =
-        match input_byte () with
-        | -1 -> bad "truncated shard index footer"
-        | b -> b
-      in
-      (match rb () with
-      | 2 -> ()
-      | v -> bad "shard index version %d does not match trace version 2" v);
-      let streamed = Array.of_list (List.rev !frames) in
-      let nchunks = read_varint rb in
-      if nchunks <> Array.length streamed then
-        bad "shard index describes %d chunks, the stream carried %d" nchunks
-          (Array.length streamed);
-      for k = 0 to nchunks - 1 do
-        let bytes = read_varint rb in
-        (* events and tag_mask steer seeking readers, not this one. *)
-        let _events = read_varint rb in
-        let _tag_mask = read_varint rb in
-        let crc = read_varint rb in
-        let ntids = read_varint rb in
-        if ntids < 0 || ntids > 0x10000 then
-          bad "corrupt shard index entry %d" k;
-        for _ = 1 to ntids do
-          ignore (read_varint rb)
-        done;
-        let sbytes, scrc = streamed.(k) in
-        if bytes <> sbytes || crc <> scrc then
-          bad "chunk %d does not match its shard index entry" k
-      done;
-      let off = ref 0 in
-      for i = 0 to 7 do
-        off := !off lor (rb () lsl (8 * i))
-      done;
-      if !off <> footer_off then
-        bad "shard index trailer points at byte %d, footer is at byte %d" !off
-          footer_off;
-      for i = 0 to 3 do
-        if rb () <> Char.code index_magic.[i] then
-          bad "bad shard index trailer magic"
-      done;
-      if input_byte () <> -1 then bad "trailing data after shard index"
-    | _ -> bad "trailing data after end-of-trace marker"
-  in
   (* Pull the next frame into [chunk]; false once the marker is seen. *)
   let advance () =
     let frame_off = !file_off in
@@ -671,7 +318,8 @@ let batch_reader_v2 ~batch_size ic =
         bad "truncated trace (missing end-of-trace marker)"
     in
     if paylen = 0 then begin
-      skip_footer ();
+      Trace_container.check_streamed_footer ~trace_version:2 ~input_byte
+        ~footer_off:!file_off ~frames:(List.rev !frames);
       frames_done := true;
       false
     end
@@ -682,7 +330,8 @@ let batch_reader_v2 ~batch_size ic =
       let stored = ref 0 in
       for i = 0 to 3 do
         match input_byte () with
-        | -1 -> bad "chunk %d at byte %d: truncated header" (!ordinal + 1) frame_off
+        | -1 ->
+          bad "chunk %d at byte %d: truncated header" (!ordinal + 1) frame_off
         | c -> stored := !stored lor (c lsl (8 * i))
       done;
       if Bytes.length !chunk < paylen then chunk := Bytes.create paylen;
@@ -693,7 +342,8 @@ let batch_reader_v2 ~batch_size ic =
       incr ordinal;
       let computed = Crc32c.digest !chunk ~pos:0 ~len:paylen in
       if computed <> !stored then
-        bad "chunk %d at byte %d: checksum mismatch (stored %08x, computed %08x)"
+        bad
+          "chunk %d at byte %d: checksum mismatch (stored %08x, computed %08x)"
           !ordinal frame_off !stored computed;
       frames := (paylen, !stored) :: !frames;
       pos := 0;
@@ -740,11 +390,103 @@ let batch_reader_v2 ~batch_size ic =
         if Batch.is_empty b then None else Some b
       end )
 
+(* Version 3: same frame walk as version 2, but each verified payload is
+   opened by the transform layer and decoded by the packed event layer,
+   which keeps its own cursor — the fill loop just alternates between
+   "drain the open chunk into the batch" and "advance to the next
+   frame". *)
+let batch_reader_v3 ~batch_size ic =
+  let names = Hashtbl.create 64 in
+  let define id name = Hashtbl.replace names id name in
+  let b = Batch.create ~capacity:(max batch_size Trace_packed.pat_kmax) () in
+  let dec = Trace_packed.create_decoder () in
+  let scratch = ref Bytes.empty in
+  let chunk = ref Bytes.empty in
+  let file_off = ref 5 in
+  let ordinal = ref (-1) in
+  let frames_done = ref false in
+  let chunk_active = ref false in
+  let frames = ref [] in
+  let input_byte () =
+    match In_channel.input_byte ic with
+    | Some c ->
+      incr file_off;
+      c
+    | None -> -1
+  in
+  let advance () =
+    let frame_off = !file_off in
+    let paylen =
+      try read_uvarint input_byte
+      with Trace_stream.Decode_error _ when !file_off = frame_off ->
+        bad "truncated trace (missing end-of-trace marker)"
+    in
+    if paylen = 0 then begin
+      Trace_container.check_streamed_footer ~trace_version:3 ~input_byte
+        ~footer_off:!file_off ~frames:(List.rev !frames);
+      frames_done := true;
+      false
+    end
+    else begin
+      if paylen > max_chunk_payload then
+        bad "chunk %d at byte %d: implausible length %d" (!ordinal + 1)
+          frame_off paylen;
+      let stored = ref 0 in
+      for i = 0 to 3 do
+        match input_byte () with
+        | -1 ->
+          bad "chunk %d at byte %d: truncated header" (!ordinal + 1) frame_off
+        | c -> stored := !stored lor (c lsl (8 * i))
+      done;
+      if Bytes.length !chunk < paylen then chunk := Bytes.create paylen;
+      (try really_input ic !chunk 0 paylen
+       with End_of_file ->
+         bad "chunk %d at byte %d: truncated payload" (!ordinal + 1) frame_off);
+      file_off := !file_off + paylen;
+      incr ordinal;
+      let computed = Crc32c.digest !chunk ~pos:0 ~len:paylen in
+      if computed <> !stored then
+        bad
+          "chunk %d at byte %d: checksum mismatch (stored %08x, computed %08x)"
+          !ordinal frame_off !stored computed;
+      frames := (paylen, !stored) :: !frames;
+      let pbuf, ppos, plen =
+        Trace_transform.open_payload !chunk ~pos:0 ~len:paylen ~scratch
+      in
+      Trace_packed.start_chunk dec pbuf ~pos:ppos ~len:plen;
+      chunk_active := true;
+      true
+    end
+  in
+  let fill () =
+    Batch.clear b;
+    let fin = ref false in
+    let full = ref false in
+    while (not !fin) && not !full do
+      if !chunk_active then begin
+        if Trace_packed.fill dec ~define b then chunk_active := false
+        else full := true
+      end
+      else if !frames_done || not (advance ()) then fin := true
+    done;
+    validate_batch b;
+    !fin
+  in
+  let finished = ref false in
+  ( names,
+    fun () ->
+      if !finished then None
+      else begin
+        finished := fill ();
+        if Batch.is_empty b then None else Some b
+      end )
+
 let batch_reader ?(chunk_bytes = default_chunk)
     ?(batch_size = Batch.default_capacity) ic =
   match input_header ic with
   | 1 -> batch_reader_v1 ~chunk_bytes ~batch_size ic
-  | _ -> batch_reader_v2 ~batch_size ic
+  | 2 -> batch_reader_v2 ~batch_size ic
+  | _ -> batch_reader_v3 ~batch_size ic
 
 let reader ?chunk_bytes ic =
   let names, batches = batch_reader ?chunk_bytes ic in
@@ -752,7 +494,7 @@ let reader ?chunk_bytes ic =
 
 (* ----- shard index ----------------------------------------------------- *)
 
-type shard = {
+type shard = Trace_container.shard = {
   offset : int;
   bytes : int;
   events : int;
@@ -761,104 +503,10 @@ type shard = {
   tids : int array;
 }
 
-let shards ?(path = "trace") ic =
-  In_channel.seek ic 0L;
-  let trace_version = input_header ic in
-  let total = Int64.to_int (In_channel.length ic) in
-  (* Smallest indexed trace: header, marker, footer magic+version+count,
-     trailer.  Anything shorter is an old index-less (or text) file. *)
-  if total < 5 + 1 + 6 + index_trailer_bytes then None
-  else begin
-    In_channel.seek ic (Int64.of_int (total - index_trailer_bytes));
-    let trailer = really_input_string ic index_trailer_bytes in
-    if String.sub trailer 8 4 <> index_magic then None
-    else begin
-      let footer_off = ref 0 in
-      for i = 7 downto 0 do
-        footer_off := (!footer_off lsl 8) lor Char.code trailer.[i]
-      done;
-      let footer_off = !footer_off in
-      let footer_len = total - index_trailer_bytes - footer_off in
-      if footer_off < 5 + 1 || footer_len < 6 then
-        bad "cannot read shard index of %s: bad footer offset %d" path
-          footer_off;
-      In_channel.seek ic (Int64.of_int footer_off);
-      let footer = really_input_string ic footer_len in
-      let pos = ref 0 in
-      let read_byte () =
-        if !pos >= footer_len then
-          bad "cannot read shard index of %s: truncated at byte %d" path
-            (footer_off + !pos)
-        else begin
-          let b = Char.code (String.unsafe_get footer !pos) in
-          incr pos;
-          b
-        end
-      in
-      String.iter
-        (fun c ->
-          if read_byte () <> Char.code c then
-            bad "cannot read shard index of %s: bad footer magic at byte %d"
-              path
-              (footer_off + !pos - 1))
-        index_magic;
-      (match read_byte () with
-      | v when v = trace_version -> ()
-      | v ->
-        bad
-          "cannot read shard index of %s: index version %d does not match \
-           trace version %d"
-          path v trace_version);
-      let nchunks = read_varint read_byte in
-      if nchunks < 0 || nchunks > footer_len then
-        bad "cannot read shard index of %s: implausible chunk count %d" path
-          nchunks;
-      let off = ref 5 in
-      (* Explicit loops: the parse order must match the byte order. *)
-      let out = ref [] in
-      for _ = 1 to nchunks do
-        let bytes = read_varint read_byte in
-        let events = read_varint read_byte in
-        let tag_mask = read_varint read_byte in
-        let crc = if trace_version >= 2 then read_varint read_byte else -1 in
-        let ntids = read_varint read_byte in
-        if
-          bytes < 0 || events < 0 || ntids < 0 || ntids > footer_len
-          || (trace_version >= 2 && (crc < 0 || crc > 0xFFFFFFFF))
-        then
-          bad "cannot read shard index of %s: corrupt chunk entry at byte %d"
-            path
-            (footer_off + !pos);
-        let tids = Array.make ntids 0 in
-        let prev = ref 0 in
-        for i = 0 to ntids - 1 do
-          prev := !prev + read_varint read_byte;
-          tids.(i) <- !prev
-        done;
-        (* [offset]/[bytes] delimit the records; a version-2 frame puts
-           a length varint and 4 CRC bytes in front of them. *)
-        let payload_off =
-          if trace_version >= 2 then !off + uvarint_size bytes + 4 else !off
-        in
-        out := { offset = payload_off; bytes; events; tag_mask; crc; tids } :: !out;
-        off := payload_off + bytes
-      done;
-      let out = Array.of_list (List.rev !out) in
-      if !pos <> footer_len then
-        bad "cannot read shard index of %s: %d trailing bytes at byte %d" path
-          (footer_len - !pos)
-          (footer_off + !pos);
-      (* The chunks plus the end-of-trace marker must account for every
-         byte up to the footer. *)
-      if !off + 1 <> footer_off then
-        bad "cannot read shard index of %s: chunks cover %d bytes, footer at %d"
-          path !off footer_off;
-      Some out
-    end
-  end
+let shards = Trace_container.shards
 
-let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
-    shs ~select =
+(* Version <= 2 seeking reader over an explicit chunk list. *)
+let sharded_reader_v2 ~path ~batch_size ic shs ~select =
   let names = Hashtbl.create 64 in
   let define id name = Hashtbl.replace names id name in
   let b = Batch.create ~capacity:batch_size () in
@@ -929,6 +577,70 @@ let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
         if Batch.is_empty b then None else Some b
       end )
 
+(* Version 3 twin: payloads go through the transform layer and the
+   packed decoder between the seek and the batch. *)
+let sharded_reader_v3 ~path ~batch_size ic shs ~select =
+  let names = Hashtbl.create 64 in
+  let define id name = Hashtbl.replace names id name in
+  let b = Batch.create ~capacity:(max batch_size Trace_packed.pat_kmax) () in
+  let dec = Trace_packed.create_decoder () in
+  let scratch = ref Bytes.empty in
+  let remaining = ref (List.filter select (Array.to_list shs)) in
+  let chunk_active = ref false in
+  let advance () =
+    match !remaining with
+    | [] -> false
+    | sh :: rest ->
+      remaining := rest;
+      In_channel.seek ic (Int64.of_int sh.offset);
+      let c = Bytes.create sh.bytes in
+      (try really_input ic c 0 sh.bytes
+       with End_of_file ->
+         bad "cannot replay %s: chunk at byte %d truncated" path sh.offset);
+      if sh.crc >= 0 then begin
+        let computed = Crc32c.digest c ~pos:0 ~len:sh.bytes in
+        if computed <> sh.crc then
+          bad
+            "cannot replay %s: chunk at byte %d: checksum mismatch (stored \
+             %08x, computed %08x)"
+            path sh.offset sh.crc computed
+      end;
+      let pbuf, ppos, plen =
+        Trace_transform.open_payload c ~pos:0 ~len:sh.bytes ~scratch
+      in
+      Trace_packed.start_chunk dec pbuf ~pos:ppos ~len:plen;
+      chunk_active := true;
+      true
+  in
+  let fill () =
+    Batch.clear b;
+    let fin = ref false in
+    let full = ref false in
+    while (not !fin) && not !full do
+      if !chunk_active then begin
+        if Trace_packed.fill dec ~define b then chunk_active := false
+        else full := true
+      end
+      else if not (advance ()) then fin := true
+    done;
+    validate_batch b;
+    !fin
+  in
+  let finished = ref false in
+  ( names,
+    fun () ->
+      if !finished then None
+      else begin
+        finished := fill ();
+        if Batch.is_empty b then None else Some b
+      end )
+
+let sharded_reader ?(path = "trace") ?(batch_size = Batch.default_capacity) ic
+    shs ~select =
+  let trace_version = file_version ic in
+  if trace_version >= 3 then sharded_reader_v3 ~path ~batch_size ic shs ~select
+  else sharded_reader_v2 ~path ~batch_size ic shs ~select
+
 let seek_chunk ?path ?batch_size ic sh =
   sharded_reader ?path ?batch_size ic [| sh |] ~select:(fun _ -> true)
 
@@ -936,7 +648,7 @@ let seek_chunk ?path ?batch_size ic sh =
    and the batch / byte buffer / name table reused across chunks: the
    work-stealing engine does not know its chunk sequence up front, and a
    fresh seek_chunk per claimed chunk would re-allocate all three. *)
-let chunk_session ?(batch_size = Batch.default_capacity) ?keep ic =
+let chunk_session_v2 ~batch_size ?keep ic =
   let names = Hashtbl.create 64 in
   let define id name = Hashtbl.replace names id name in
   let b = Batch.create ~capacity:batch_size () in
@@ -996,6 +708,45 @@ let chunk_session ?(batch_size = Batch.default_capacity) ?keep ic =
   in
   (names, read)
 
+let chunk_session_v3 ~batch_size ?keep ic =
+  let names = Hashtbl.create 64 in
+  let define id name = Hashtbl.replace names id name in
+  let b = Batch.create ~capacity:(max batch_size Trace_packed.pat_kmax) () in
+  let dec = Trace_packed.create_decoder () in
+  let scratch = ref Bytes.empty in
+  let buf = ref Bytes.empty in
+  let read (sh : shard) =
+    if Bytes.length !buf < sh.bytes then buf := Bytes.create sh.bytes;
+    In_channel.seek ic (Int64.of_int sh.offset);
+    (try really_input ic !buf 0 sh.bytes
+     with End_of_file -> bad "chunk at byte %d truncated" sh.offset);
+    if sh.crc >= 0 then begin
+      let computed = Crc32c.digest !buf ~pos:0 ~len:sh.bytes in
+      if computed <> sh.crc then
+        bad "chunk at byte %d: checksum mismatch (stored %08x, computed %08x)"
+          sh.offset sh.crc computed
+    end;
+    let pbuf, ppos, plen =
+      Trace_transform.open_payload !buf ~pos:0 ~len:sh.bytes ~scratch
+    in
+    Trace_packed.start_chunk dec pbuf ~pos:ppos ~len:plen;
+    let finished = ref false in
+    fun () ->
+      if !finished then None
+      else begin
+        Batch.clear b;
+        finished := Trace_packed.fill dec ?keep ~define b;
+        validate_batch b;
+        if Batch.is_empty b then None else Some b
+      end
+  in
+  (names, read)
+
+let chunk_session ?(batch_size = Batch.default_capacity) ?keep ic =
+  let trace_version = file_version ic in
+  if trace_version >= 3 then chunk_session_v3 ~batch_size ?keep ic
+  else chunk_session_v2 ~batch_size ?keep ic
+
 (* ----- salvage reader -------------------------------------------------- *)
 
 type drop = {
@@ -1006,9 +757,9 @@ type drop = {
   drop_reason : string;
 }
 
-(* Decode the whole payload [chunk[0..n)] into [stage] (grown to hold
-   every possible record: the smallest event record is two bytes), so a
-   chunk is delivered all-or-nothing.  Definitions are staged into
+(* Decode the whole plain payload [chunk[0..n)] into [stage] (grown to
+   hold every possible record: the smallest event record is two bytes),
+   so a chunk is delivered all-or-nothing.  Definitions are staged into
    [defs] and only committed by the caller once the chunk decodes
    cleanly.  Raises [Decode_error] on any malformation. *)
 let decode_whole_chunk ~stage ~defs chunk n =
@@ -1041,14 +792,66 @@ let decode_whole_chunk ~stage ~defs chunk n =
   validate_batch b;
   b
 
+(* Version-3 twin: open the transform envelope, then drain the packed
+   decoder into [stage], doubling it as repeats expand — up to a hard
+   cap, so a corrupt repeat count cannot make salvage allocate without
+   bound. *)
+let decode_whole_chunk_v3 ~dec ~scratch ~stage ~defs ~events_hint chunk n =
+  let pbuf, ppos, plen =
+    Trace_transform.open_payload chunk ~pos:0 ~len:n ~scratch
+  in
+  Trace_packed.start_chunk dec pbuf ~pos:ppos ~len:plen;
+  let want =
+    if events_hint > 0 then min events_hint max_chunk_events else 1024
+  in
+  if Batch.capacity !stage < max want 1024 then
+    stage := Batch.create ~capacity:(max want 1024) ();
+  Batch.clear !stage;
+  let define id name = defs := (id, name) :: !defs in
+  let fin = ref false in
+  while not !fin do
+    if Trace_packed.fill dec ~define !stage then fin := true
+    else begin
+      let b = !stage in
+      let cap = Batch.capacity b in
+      if cap >= max_chunk_events then
+        bad "packed chunk decodes to more than %d events" max_chunk_events;
+      let grown =
+        Batch.create ~capacity:(min (2 * cap) max_chunk_events) ()
+      in
+      let len = Batch.length b in
+      Array.blit (Batch.tags b) 0 (Batch.tags grown) 0 len;
+      Array.blit (Batch.tids b) 0 (Batch.tids grown) 0 len;
+      Array.blit (Batch.args b) 0 (Batch.args grown) 0 len;
+      Array.blit (Batch.lens b) 0 (Batch.lens grown) 0 len;
+      Batch.unsafe_set_length grown len;
+      stage := grown
+    end
+  done;
+  validate_batch !stage;
+  !stage
+
+(* [decode ~defs chunk n ~events_hint] closures bind the right event
+   layer (and its reusable buffers) for the trace version being
+   salvaged. *)
+let v2_chunk_decoder () =
+  let stage = ref (Batch.create ~capacity:1024 ()) in
+  fun ~defs chunk n ~events_hint:_ -> decode_whole_chunk ~stage ~defs chunk n
+
+let v3_chunk_decoder () =
+  let dec = Trace_packed.create_decoder () in
+  let scratch = ref Bytes.empty in
+  let stage = ref (Batch.create ~capacity:1024 ()) in
+  fun ~defs chunk n ~events_hint ->
+    decode_whole_chunk_v3 ~dec ~scratch ~stage ~defs ~events_hint chunk n
+
 (* Salvage over a usable index: every chunk's boundaries are known, so a
    corrupt chunk is skipped exactly and the next one re-synchronizes the
-   stream.  The footer's own CRC (version 2) is authoritative; on
+   stream.  The footer's own CRC (version >= 2) is authoritative; on
    version-1 files detection falls back to decode errors and the
    index's event count. *)
-let salvage_indexed ~report ic shs =
+let salvage_indexed ~report ~decode ic shs =
   let names = Hashtbl.create 64 in
-  let stage = ref (Batch.create ~capacity:1024 ()) in
   let buf = ref Bytes.empty in
   let idx = ref 0 in
   let rec next () =
@@ -1083,7 +886,7 @@ let salvage_indexed ~report ic shs =
                (Crc32c.digest !buf ~pos:0 ~len:sh.bytes))
         else begin
           let defs = ref [] in
-          match decode_whole_chunk ~stage ~defs !buf sh.bytes with
+          match decode ~defs !buf sh.bytes ~events_hint:sh.events with
           | exception Trace_stream.Decode_error msg -> drop msg
           | b ->
             if Batch.length b <> sh.events then
@@ -1101,15 +904,15 @@ let salvage_indexed ~report ic shs =
   in
   (names, next)
 
-(* Salvage without an index, version 2: the frames are self-delimiting,
-   so a checksum or record failure inside a frame skips exactly that
-   frame.  Once the framing itself breaks (a corrupt length, a truncated
-   payload) there is no boundary left to re-synchronize on: the rest of
-   the file is reported as a single terminal drop. *)
-let salvage_frames_v2 ~report ic =
+(* Salvage without an index, version >= 2: the frames are
+   self-delimiting, so a checksum or payload failure inside a frame
+   skips exactly that frame.  Once the framing itself breaks (a corrupt
+   length, a truncated payload) there is no boundary left to
+   re-synchronize on: the rest of the file is reported as a single
+   terminal drop. *)
+let salvage_frames ~report ~decode ic =
   In_channel.seek ic 5L;
   let names = Hashtbl.create 64 in
-  let stage = ref (Batch.create ~capacity:1024 ()) in
   let buf = ref Bytes.empty in
   let file_off = ref 5 in
   let ordinal = ref (-1) in
@@ -1181,7 +984,7 @@ let salvage_frames_v2 ~report ic =
                    computed)
             else begin
               let defs = ref [] in
-              match decode_whole_chunk ~stage ~defs !buf paylen with
+              match decode ~defs !buf paylen ~events_hint:(-1) with
               | exception Trace_stream.Decode_error msg -> skip msg
               | b ->
                 List.iter
@@ -1236,55 +1039,97 @@ let read ?(chunk_bytes = default_chunk) ?(batch_size = Batch.default_capacity)
            | exception End_of_file -> false
          end
     in
+    let decode =
+      if trace_version >= 3 then v3_chunk_decoder () else v2_chunk_decoder ()
+    in
     if has_trailer then
       (* The trailer promises an index; it is the authority on chunk
          boundaries, so an unreadable footer is fatal even in salvage
          mode — without trusted boundaries a skip could deliver
          re-framed garbage as events. *)
       match shards ?path ic with
-      | Some shs -> salvage_indexed ~report ic shs
+      | Some shs -> salvage_indexed ~report ~decode ic shs
       | None ->
         bad "cannot salvage %s: trailer present but index unreadable"
           (Option.value path ~default:"trace")
-    else if trace_version >= 2 then salvage_frames_v2 ~report ic
+    else if trace_version >= 2 then salvage_frames ~report ~decode ic
     else salvage_v1_stream ~report ~chunk_bytes ~batch_size ic)
 
 (* ----- whole-trace convenience ---------------------------------------- *)
 
-let to_string ?(format_version = version)
+let to_string ?(format_version = version) ?(entropy = false)
     ?(routine_name = default_routine_name) (tr : Event.t Vec.t) =
-  check_format_version format_version;
-  let out = Buffer.create (16 + (4 * Vec.length tr)) in
-  Buffer.add_string out magic;
-  Buffer.add_char out (Char.chr format_version);
-  let buf = Buffer.create 4096 in
-  let encode = encoder buf ~routine_name in
-  let flush_frame () =
-    if format_version >= 2 && Buffer.length buf > 0 then begin
-      let payload = Buffer.contents buf in
-      let n = String.length payload in
-      add_uvarint out n;
-      add_le32 out (Crc32c.digest_string payload ~pos:0 ~len:n);
-      Buffer.add_string out payload;
-      Buffer.clear buf
-    end
-  in
-  let batches = Trace_stream.batches_of_trace tr in
-  let rec loop () =
-    match batches () with
-    | None -> ()
-    | Some b ->
-      Batch.iter
-        (fun tag tid arg len ->
-          encode tag tid arg len;
-          if Buffer.length buf >= default_chunk then flush_frame ())
-        b;
-      loop ()
-  in
-  loop ();
-  if format_version >= 2 then flush_frame () else Buffer.add_buffer out buf;
-  Buffer.add_char out (Char.chr end_tag);
-  Buffer.contents out
+  Trace_container.check_format_version format_version;
+  if format_version >= 3 then begin
+    let out = Buffer.create (16 + (4 * Vec.length tr)) in
+    Buffer.add_string out magic;
+    Buffer.add_char out (Char.chr 3);
+    let enc = Trace_packed.create_encoder () in
+    let defined = Hashtbl.create 64 in
+    let events = ref 0 in
+    let flush_frame () =
+      if !events > 0 then begin
+        let packed = Trace_packed.take_chunk enc in
+        let stored = Trace_transform.seal ~entropy packed in
+        Trace_frame.add_frame out (Bytes.unsafe_to_string stored);
+        events := 0
+      end
+    in
+    let batches = Trace_stream.batches_of_trace tr in
+    let rec loop () =
+      match batches () with
+      | None -> ()
+      | Some b ->
+        Batch.iter
+          (fun tag tid arg len ->
+            if tag = Batch.tag_call && not (Hashtbl.mem defined arg) then begin
+              Hashtbl.add defined arg ();
+              Trace_packed.add_def enc arg (routine_name arg)
+            end;
+            Trace_packed.add_event enc ~tag ~tid ~arg ~len;
+            incr events;
+            if
+              Trace_packed.chunk_length enc >= default_chunk
+              || !events >= v3_chunk_events
+            then flush_frame ())
+          b;
+        loop ()
+    in
+    loop ();
+    flush_frame ();
+    Buffer.add_char out (Char.chr end_tag);
+    Buffer.contents out
+  end
+  else begin
+    let out = Buffer.create (16 + (4 * Vec.length tr)) in
+    Buffer.add_string out magic;
+    Buffer.add_char out (Char.chr format_version);
+    let buf = Buffer.create 4096 in
+    let encode = Trace_record.encoder buf ~routine_name in
+    let flush_frame () =
+      if format_version >= 2 && Buffer.length buf > 0 then begin
+        let payload = Buffer.contents buf in
+        Trace_frame.add_frame out payload;
+        Buffer.clear buf
+      end
+    in
+    let batches = Trace_stream.batches_of_trace tr in
+    let rec loop () =
+      match batches () with
+      | None -> ()
+      | Some b ->
+        Batch.iter
+          (fun tag tid arg len ->
+            encode tag tid arg len;
+            if Buffer.length buf >= default_chunk then flush_frame ())
+          b;
+        loop ()
+    in
+    loop ();
+    if format_version >= 2 then flush_frame () else Buffer.add_buffer out buf;
+    Buffer.add_char out (Char.chr end_tag);
+    Buffer.contents out
+  end
 
 let of_string_v1 s =
   let pos = ref 5 in
@@ -1314,7 +1159,7 @@ let of_string_v1 s =
   done;
   (out, List.rev !names)
 
-let of_string_v2 s =
+let of_string_framed ~decode s =
   let total = String.length s in
   let pos = ref 5 in
   let read_byte () =
@@ -1327,7 +1172,6 @@ let of_string_v2 s =
   in
   let names = ref [] in
   let out = Vec.create () in
-  let stage = ref (Batch.create ~capacity:1024 ()) in
   let finished = ref false in
   while not !finished do
     let frame_off = !pos in
@@ -1362,9 +1206,9 @@ let of_string_v2 s =
           frame_off !stored computed;
       let defs = ref [] in
       let b =
-        decode_whole_chunk ~stage ~defs
+        decode ~defs
           (Bytes.unsafe_of_string (String.sub s !pos paylen))
-          paylen
+          paylen ~events_hint:(-1)
       in
       pos := !pos + paylen;
       (* [!defs] is newest-first within the chunk; prepending keeps the
@@ -1378,7 +1222,8 @@ let of_string s =
   try
     match parse_header s with
     | 1 -> Ok (of_string_v1 s)
-    | _ -> Ok (of_string_v2 s)
+    | 2 -> Ok (of_string_framed ~decode:(v2_chunk_decoder ()) s)
+    | _ -> Ok (of_string_framed ~decode:(v3_chunk_decoder ()) s)
   with Trace_stream.Decode_error msg -> Error msg
 
 let detect ic =

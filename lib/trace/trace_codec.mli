@@ -41,6 +41,38 @@
     mismatch, trailing bytes after the marker, an unknown tag, a bad
     header — raises {!Trace_stream.Decode_error}.
 
+    {2 Version 3: redundancy-suppressed chunks}
+
+    Format version 3 keeps the version-2 container byte-for-byte — the
+    same header, frames, end marker, and shard index — but each frame's
+    payload is a {e stored} chunk produced by two extra layers:
+
+    {v
+    stored := enc:byte body
+    enc    := 0x01                   ; packed event stream, raw
+            | 0x03                   ; packed event stream, entropy-coded
+    v}
+
+    The packed event stream replaces the per-record [tid] with a current
+    thread id (opcode 16 switches it), delta-encodes address arguments
+    against a per-(chunk, thread) register, collapses repeated event
+    groups into a repeat opcode (17: replay the previous [L] bytes [n]
+    more times), and dictionary-codes recurring event-tag sequences
+    (18 defines a pattern, 19 / short opcodes 32–255 instantiate one).
+    All coding context resets at each chunk boundary, so chunks stay
+    independently decodable and the shard index, salvage, and the
+    seeking readers work unchanged on the stored bytes.  The optional
+    entropy stage is an order-0 canonical Huffman pass over the packed
+    bytes, applied only when it shrinks the chunk.
+
+    The frame CRC32C covers the stored payload exactly as written, and
+    the index entries describe the stored byte ranges, while [events]
+    still counts decoded events.  Version-3 writers additionally flush a
+    chunk after 65536 events, so repeat suppression cannot collapse the
+    whole trace into one shard and starve the parallel replay of work
+    units.  Writers emit version 2 unless [?format_version:3] is
+    given.
+
     {2 Shard index}
 
     After the end-of-trace marker, {!batch_writer} appends a seekable
@@ -70,6 +102,14 @@ val magic : string
 (** The format version writers emit by default (2). *)
 val version : int
 
+(** The newest format version this module reads and writes (3). *)
+val max_version : int
+
+(** [file_version ic] seeks to the start of [ic] and returns the trace's
+    format version.
+    @raise Trace_stream.Decode_error on a bad header. *)
+val file_version : in_channel -> int
+
 (** {1 Streaming}
 
     The batch entry points are the primitive ones — they encode/decode a
@@ -83,14 +123,19 @@ val version : int
     Same format, buffering, and close contract as {!writer}.
     @param index write the shard-index footer on close (default [true];
     pass [false] for an old-style index-less trace).
-    @param format_version wire format to emit, [1] or [2] (default
-    {!version}); version-1 output is byte-identical to what pre-checksum
-    writers produced.
+    @param format_version wire format to emit, [1]..[3] (default
+    {!version}); version-1 and version-2 output is byte-identical to
+    what pre-split writers produced.
+    @param entropy version 3 only: entropy-code each chunk when that
+    makes it smaller (default [false]: the Huffman pass roughly halves
+    the packed bytes again but costs decode throughput, so it is opt-in
+    for archival traces rather than replay working sets).
     @raise Invalid_argument on an unsupported [format_version]. *)
 val batch_writer :
   ?chunk_bytes:int ->
   ?index:bool ->
   ?format_version:int ->
+  ?entropy:bool ->
   ?routine_name:(int -> string) ->
   out_channel ->
   Trace_stream.batch_sink
@@ -124,6 +169,7 @@ val writer :
   ?chunk_bytes:int ->
   ?index:bool ->
   ?format_version:int ->
+  ?entropy:bool ->
   ?routine_name:(int -> string) ->
   out_channel ->
   Trace_stream.sink
@@ -277,11 +323,12 @@ val read :
     shard index). *)
 val to_string :
   ?format_version:int ->
+  ?entropy:bool ->
   ?routine_name:(int -> string) ->
   Event.t Aprof_util.Vec.t ->
   string
 
-(** [of_string s] decodes a full binary trace of either version,
+(** [of_string s] decodes a full binary trace of any version,
     returning the events and the embedded routine-name table (in
     definition order).  All decode failures are reported as [Error]. *)
 val of_string :

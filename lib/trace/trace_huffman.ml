@@ -1,0 +1,240 @@
+(* Order-0 canonical Huffman coding of a chunk payload — the optional
+   entropy stage of the version-3 transform layer.  The coded form is
+
+     lengths[128]  code length of each byte value, packed two 4-bit
+                   nibbles per byte (value 2i low, 2i+1 high; 0 = absent)
+     raw_len       zigzag varint, length of the decoded payload
+     bitstream     canonical codes, MSB-first, zero-padded to a byte
+
+   Code lengths are capped at 15 so they pack into nibbles and so the
+   decoder's prefix table stays small; a distribution whose optimal tree
+   is deeper is flattened by frequency halving until it fits
+   ({!limited_code_lengths}), so every chunk gets *a* code — the
+   transform layer still stores raw when the coded form is not smaller.
+   Canonical assignment makes the bytes a pure function of the length
+   table, which keeps the format byte-diffable: equal payloads code to
+   equal bytes. *)
+
+let bad = Trace_wire.bad
+let max_code_len = 15
+
+(* Encoding is refused below this size: the 128-byte length table would
+   dominate, and the transform layer falls back to storing raw. *)
+let min_encode_len = 64
+
+(* ----- code length computation ----------------------------------------- *)
+
+(* Plain Huffman merge over the live symbols with O(n^2) min selection —
+   at most 256 leaves, so the scan cost is noise next to the frequency
+   count.  Returns the depth of every leaf, or [None] if any depth
+   exceeds [max_code_len]. *)
+let code_lengths freq =
+  let nsym = 256 in
+  (* node arrays: leaves 0..255, internal nodes appended after. *)
+  let nf = Array.make (2 * nsym) 0 in
+  let parent = Array.make (2 * nsym) (-1) in
+  let live = ref [] in
+  for s = 0 to nsym - 1 do
+    if freq.(s) > 0 then begin
+      nf.(s) <- freq.(s);
+      live := s :: !live
+    end
+  done;
+  let lengths = Array.make nsym 0 in
+  match !live with
+  | [] -> Some lengths (* empty payload: no codes *)
+  | [ s ] ->
+    lengths.(s) <- 1;
+    Some lengths
+  | _ ->
+    let active = ref !live in
+    let next = ref nsym in
+    while List.length !active > 1 do
+      (* take the two smallest-frequency nodes *)
+      let take lst =
+        let best =
+          List.fold_left
+            (fun acc n ->
+              match acc with
+              | None -> Some n
+              | Some m -> if nf.(n) < nf.(m) then Some n else acc)
+            None lst
+        in
+        match best with
+        | None -> assert false
+        | Some n -> (n, List.filter (fun m -> m <> n) lst)
+      in
+      let a, rest = take !active in
+      let b, rest = take rest in
+      let id = !next in
+      incr next;
+      nf.(id) <- nf.(a) + nf.(b);
+      parent.(a) <- id;
+      parent.(b) <- id;
+      active := id :: rest
+    done;
+    let too_deep = ref false in
+    List.iter
+      (fun s ->
+        let d = ref 0 in
+        let n = ref s in
+        while parent.(!n) >= 0 do
+          incr d;
+          n := parent.(!n)
+        done;
+        if !d > max_code_len then too_deep := true else lengths.(s) <- !d)
+      !live;
+    if !too_deep then None else Some lengths
+
+(* Length-limited lengths: when the optimal tree is deeper than
+   [max_code_len] (a heavily skewed chunk), flatten the distribution by
+   halving every live frequency and retry — the standard zlib trick.
+   Halving keeps every live symbol live (minimum stays 1) and strictly
+   shrinks the spread, so the loop reaches an all-ones distribution
+   (depth <= 8 for 256 symbols) in the worst case and always returns. *)
+let rec limited_code_lengths freq =
+  match code_lengths freq with
+  | Some lengths -> lengths
+  | None -> limited_code_lengths (Array.map (fun f -> (f + 1) / 2) freq)
+
+(* Canonical codes from lengths: symbols sorted by (length, value) get
+   consecutive codes, shifted left when the length steps up. *)
+let canonical_codes lengths =
+  let count = Array.make (max_code_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then count.(l) <- count.(l) + 1) lengths;
+  let first = Array.make (max_code_len + 2) 0 in
+  for l = 1 to max_code_len do
+    first.(l + 1) <- (first.(l) + count.(l)) lsl 1
+  done;
+  let codes = Array.make 256 0 in
+  let next = Array.copy first in
+  for s = 0 to 255 do
+    let l = lengths.(s) in
+    if l > 0 then begin
+      let c = next.(l) in
+      if c lsr l <> 0 then bad "invalid Huffman code lengths";
+      codes.(s) <- c;
+      next.(l) <- c + 1
+    end
+  done;
+  codes
+
+(* ----- encode ----------------------------------------------------------- *)
+
+let encode src ~pos ~len =
+  if len < min_encode_len then None
+  else begin
+    let freq = Array.make 256 0 in
+    for i = pos to pos + len - 1 do
+      let c = Char.code (Bytes.unsafe_get src i) in
+      freq.(c) <- freq.(c) + 1
+    done;
+    let lengths = limited_code_lengths freq in
+    let codes = canonical_codes lengths in
+    let out = Buffer.create (len / 2) in
+    for i = 0 to 127 do
+      Buffer.add_char out
+        (Char.unsafe_chr (lengths.(2 * i) lor (lengths.((2 * i) + 1) lsl 4)))
+    done;
+    Trace_wire.add_varint out len;
+    let bitbuf = ref 0 in
+    let bitcnt = ref 0 in
+    for i = pos to pos + len - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      let l = lengths.(s) in
+      bitbuf := (!bitbuf lsl l) lor codes.(s);
+      bitcnt := !bitcnt + l;
+      while !bitcnt >= 8 do
+        bitcnt := !bitcnt - 8;
+        Buffer.add_char out
+          (Char.unsafe_chr ((!bitbuf lsr !bitcnt) land 0xff))
+      done
+    done;
+    if !bitcnt > 0 then
+      Buffer.add_char out
+        (Char.unsafe_chr ((!bitbuf lsl (8 - !bitcnt)) land 0xff));
+    Some (Buffer.contents out)
+  end
+
+(* ----- decode ----------------------------------------------------------- *)
+
+(* Decode the coded region [src[pos..pos+len)] into [!scratch] (grown as
+   needed), returning the decoded length.  All malformations raise
+   {!Trace_stream.Decode_error}: the coded bytes sit behind the frame
+   CRC, so a failure here means the *writer* never produced them. *)
+let decode src ~pos ~len ~scratch =
+  if len < 129 then bad "truncated entropy-coded chunk";
+  let lengths = Array.make 256 0 in
+  let maxlen = ref 0 in
+  for i = 0 to 127 do
+    let b = Char.code (Bytes.unsafe_get src (pos + i)) in
+    let l0 = b land 0xf and l1 = b lsr 4 in
+    lengths.(2 * i) <- l0;
+    lengths.((2 * i) + 1) <- l1;
+    if l0 > !maxlen then maxlen := l0;
+    if l1 > !maxlen then maxlen := l1
+  done;
+  let p = ref (pos + 128) in
+  let limit = pos + len in
+  let raw_len = Trace_wire.read_varint_bytes_checked src p limit in
+  if raw_len < 0 || raw_len > Trace_frame.max_chunk_payload then
+    bad "entropy-coded chunk: implausible decoded length %d" raw_len;
+  if raw_len = 0 then 0
+  else begin
+    let maxlen = !maxlen in
+    if maxlen = 0 then bad "entropy-coded chunk: empty code table";
+    (* Prefix table: every [maxlen]-bit window maps to (symbol, length).
+       Canonical order fills it densely; overlap or overflow means the
+       length table is not a prefix code. *)
+    let table = Array.make (1 lsl maxlen) (-1) in
+    let codes = canonical_codes lengths in
+    for s = 0 to 255 do
+      let l = lengths.(s) in
+      if l > 0 then begin
+        let span = 1 lsl (maxlen - l) in
+        let base = codes.(s) lsl (maxlen - l) in
+        if base + span > Array.length table then
+          bad "invalid Huffman code lengths";
+        for j = base to base + span - 1 do
+          if table.(j) <> -1 then bad "invalid Huffman code lengths";
+          table.(j) <- (s lsl 4) lor l
+        done
+      end
+    done;
+    if Bytes.length !scratch < raw_len then
+      scratch := Bytes.create (max raw_len (2 * Bytes.length !scratch));
+    let dst = !scratch in
+    let bitbuf = ref 0 in
+    let bitcnt = ref 0 in
+    let total_bits = (limit - !p) * 8 in
+    let used_bits = ref 0 in
+    for i = 0 to raw_len - 1 do
+      while !bitcnt < maxlen do
+        (* zero-pad past the end; the bit budget check below catches a
+           genuinely truncated stream. *)
+        let b =
+          if !p < limit then begin
+            let c = Char.code (Bytes.unsafe_get src !p) in
+            incr p;
+            c
+          end
+          else 0
+        in
+        bitbuf := ((!bitbuf lsl 8) lor b) land 0x3FFFFFFF;
+        bitcnt := !bitcnt + 8
+      done;
+      let peek = (!bitbuf lsr (!bitcnt - maxlen)) land ((1 lsl maxlen) - 1) in
+      let entry = table.(peek) in
+      if entry < 0 then bad "entropy-coded chunk: invalid code";
+      let l = entry land 0xf in
+      bitcnt := !bitcnt - l;
+      used_bits := !used_bits + l;
+      if !used_bits > total_bits then bad "entropy-coded chunk: truncated";
+      Bytes.unsafe_set dst i (Char.unsafe_chr (entry lsr 4))
+    done;
+    (* Everything after the last code must be padding within the final
+       byte — trailing coded bytes would make the stored form ambiguous. *)
+    if total_bits - !used_bits >= 8 then
+      bad "entropy-coded chunk: trailing bytes";
+    raw_len
+  end

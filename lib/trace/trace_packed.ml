@@ -1,0 +1,845 @@
+(* Packed event coding — the version-3 event layer.  One packed chunk is
+   a self-contained stream of groups over a small per-chunk context
+   (current thread, per-thread address registers, pattern dictionary),
+   so salvage, the shard index and parallel chunk replay need nothing
+   beyond chunk boundaries.  The grammar (first byte of each group):
+
+     1..14        literal event: tag byte, then the operand fields of
+                  that tag for the *current* thread — address-bearing
+                  args as a zigzag delta against the *second*-most-recent
+                  address the thread touched, other args and lengths as
+                  absolute zigzags.  Depth-2 history instead of
+                  last-address delta because instrumented code revisits
+                  on a two-beat: read a / read b / write a / write b
+                  (annealing swaps, element exchanges) and alternating
+                  src/dst streams (copy loops) both land the delta base
+                  exactly two accesses back, turning their operands into
+                  zero deltas where a depth-1 register thrashes
+     15           routine definition: id, name length, name bytes
+     16           set current thread: zigzag tid
+     17           repeat: zigzag L, zigzag n — re-decode the L bytes
+                  immediately preceding this token n more times
+     18           define pattern: zigzag k (2..16), then k tag bytes;
+                  pattern ids are assigned sequentially per chunk
+     19           use pattern: zigzag id, then the operand fields of
+                  every pattern event (tags come from the dictionary)
+     32..255      use pattern id (byte - 32), same operands
+     0, 20..31    invalid
+
+   Three redundancy mechanisms compose: address deltas make regular
+   strides small and repetitive; the tag-pattern dictionary replaces a
+   recurring tag sequence (a basic block's instrumentation burst) with
+   one token; and the repeat token collapses byte-identical group runs —
+   after delta coding, a constant-stride loop iteration *is* byte
+   identical.  Correctness of repeat suppression rests on a strict rule:
+   the encoder swallows a group into a repeat only when the bytes it
+   just produced from the live context equal the region bytes at the
+   current phase.  Decoding is deterministic given (bytes, context) and
+   the context evolves identically either way, so replaying the region
+   reproduces exactly the swallowed events. *)
+
+module Batch = Event.Batch
+
+let bad = Trace_wire.bad
+let op_def = 15
+let op_set_tid = 16
+let op_repeat = 17
+let op_defpat = 18
+let op_usepat = 19
+let first_short_usepat = 32
+let pat_kmin = 2
+let pat_kmax = 16
+let max_pats = 4096
+
+(* Tandem detection windows: how many trailing groups the encoder can
+   fold into one repeat region, and how many trailing tags it scans for
+   a recurring pattern. *)
+let rep_kmax = 32
+let ring_cap = 64 (* 2 * rep_kmax, power of two *)
+let hist_cap = 32 (* 2 * pat_kmax, power of two *)
+
+(* A region shorter than the repeat token itself is not worth a token. *)
+let min_region_bytes = 4
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+
+(* ===== encoder ========================================================= *)
+
+type encoder = {
+  mutable out : Bytes.t;
+  mutable olen : int;
+  (* chunk-local event context (mirrored by the decoder) *)
+  mutable e_cur_tid : int;
+  (* per-tid address history, depth 2: [e_prev2] (the delta base) holds
+     the second-most-recent address, [e_prev] the most recent *)
+  e_prev : int array;
+  e_prev2 : int array;
+  e_epoch : int array; (* history valid iff epoch matches *)
+  mutable e_cur_epoch : int;
+  (* pattern dictionary, reset per chunk *)
+  mutable pats : int array array;
+  mutable npats : int;
+  pat_by_first : int array; (* first tag -> latest pattern id, -1 none *)
+  pat_dict : (string, unit) Hashtbl.t;
+  (* tag history ring for pattern detection *)
+  hist : int array;
+  mutable hist_n : int;
+  (* active pattern instance (at most one: any interleaving event from
+     another thread must flush it to preserve global event order) *)
+  mutable inst_pat : int; (* -1 none *)
+  mutable inst_phase : int;
+  mutable inst_tid : int;
+  inst_arg : int array;
+  inst_len : int array;
+  (* group ring + repeat mode *)
+  ring : int array; (* start offsets of recent groups *)
+  mutable ring_n : int;
+  mutable r_active : bool;
+  mutable r_start : int; (* repeat region [r_start, r_start + r_len) *)
+  mutable r_len : int;
+  mutable r_phase : int; (* matched bytes of the current iteration *)
+  mutable r_count : int; (* whole iterations swallowed so far *)
+}
+
+let create_encoder () =
+  {
+    out = Bytes.create 4096;
+    olen = 0;
+    e_cur_tid = 0;
+    e_prev = Array.make (Event.max_tid + 1) 0;
+    e_prev2 = Array.make (Event.max_tid + 1) 0;
+    e_epoch = Array.make (Event.max_tid + 1) 0;
+    e_cur_epoch = 1;
+    pats = Array.make 64 [||];
+    npats = 0;
+    pat_by_first = Array.make 16 (-1);
+    pat_dict = Hashtbl.create 32;
+    hist = Array.make hist_cap 0;
+    hist_n = 0;
+    inst_pat = -1;
+    inst_phase = 0;
+    inst_tid = 0;
+    inst_arg = Array.make pat_kmax 0;
+    inst_len = Array.make pat_kmax 0;
+    ring = Array.make ring_cap 0;
+    ring_n = 0;
+    r_active = false;
+    r_start = 0;
+    r_len = 0;
+    r_phase = 0;
+    r_count = 0;
+  }
+
+let chunk_length e = e.olen
+
+let ensure e n =
+  if e.olen + n > Bytes.length e.out then begin
+    let cap = ref (2 * Bytes.length e.out) in
+    while e.olen + n > !cap do
+      cap := 2 * !cap
+    done;
+    let out = Bytes.create !cap in
+    Bytes.blit e.out 0 out 0 e.olen;
+    e.out <- out
+  end
+
+let[@inline] put_byte e b =
+  ensure e 1;
+  Bytes.unsafe_set e.out e.olen (Char.unsafe_chr b);
+  e.olen <- e.olen + 1
+
+let put_varint e n =
+  ensure e 10;
+  (* The zigzag value is an unsigned word — for [min_int]-magnitude
+     inputs it has the top bit set — so the loop test must be the
+     logical shift, never a signed comparison. *)
+  let v = ref (zigzag n) in
+  let p = ref e.olen in
+  while !v lsr 7 <> 0 do
+    Bytes.unsafe_set e.out !p (Char.unsafe_chr (!v land 0x7f lor 0x80));
+    incr p;
+    v := !v lsr 7
+  done;
+  Bytes.unsafe_set e.out !p (Char.unsafe_chr !v);
+  e.olen <- !p + 1
+
+let[@inline] prev2_get e tid =
+  if e.e_epoch.(tid) = e.e_cur_epoch then e.e_prev2.(tid) else 0
+
+let[@inline] prev_shift e tid v =
+  if e.e_epoch.(tid) = e.e_cur_epoch then e.e_prev2.(tid) <- e.e_prev.(tid)
+  else begin
+    e.e_epoch.(tid) <- e.e_cur_epoch;
+    e.e_prev2.(tid) <- 0
+  end;
+  e.e_prev.(tid) <- v
+
+let bytes_eq b p1 p2 n =
+  let i = ref 0 in
+  while !i < n && Bytes.unsafe_get b (p1 + !i) = Bytes.unsafe_get b (p2 + !i) do
+    incr i
+  done;
+  !i = n
+
+(* Close the open repeat: emit the token, then re-emit the matched
+   prefix of the unfinished iteration literally.  [out] ends exactly at
+   the region end whenever repeat mode is on, so the token lands right
+   after the region. *)
+let finalize_repeat e =
+  if e.r_active then begin
+    e.r_active <- false;
+    let start = e.r_start and phase = e.r_phase in
+    put_byte e op_repeat;
+    put_varint e e.r_len;
+    put_varint e e.r_count;
+    if phase > 0 then begin
+      ensure e phase;
+      Bytes.blit e.out start e.out e.olen phase;
+      e.olen <- e.olen + phase
+    end;
+    e.ring_n <- 0
+  end
+
+(* Emitting a group that cannot participate in repeats (definitions,
+   pattern definitions): close the repeat and empty the detection ring
+   so no region ever spans the barrier. *)
+let barrier e =
+  finalize_repeat e;
+  e.ring_n <- 0
+
+(* Look for a tandem in the trailing groups: the last [k] groups
+   byte-equal to the [k] before them.  Smallest [k] first — the tightest
+   period swallows the most per token. *)
+let detect_tandem e =
+  let k = ref 1 in
+  let found = ref 0 in
+  while !found = 0 && !k <= rep_kmax && 2 * !k <= e.ring_n do
+    let off2 = e.ring.((e.ring_n - !k) land (ring_cap - 1)) in
+    let off1 = e.ring.((e.ring_n - (2 * !k)) land (ring_cap - 1)) in
+    let len1 = off2 - off1 in
+    if
+      len1 >= min_region_bytes
+      && e.olen - off2 = len1
+      && bytes_eq e.out off1 off2 len1
+    then found := !k
+    else incr k
+  done;
+  if !found > 0 then begin
+    let off2 = e.ring.((e.ring_n - !found) land (ring_cap - 1)) in
+    let off1 = e.ring.((e.ring_n - (2 * !found)) land (ring_cap - 1)) in
+    e.olen <- off2 (* drop the second copy; the region stands for it *);
+    e.r_active <- true;
+    e.r_start <- off1;
+    e.r_len <- off2 - off1;
+    e.r_phase <- 0;
+    e.r_count <- 1;
+    e.ring_n <- 0
+  end
+
+(* A group's bytes were just written at [gstart..olen).  In repeat mode,
+   swallow it if it extends the byte-identical run; otherwise close the
+   repeat and re-append it after the token.  Outside repeat mode, enter
+   the detection ring. *)
+let commit_group e gstart =
+  if e.r_active then begin
+    let glen = e.olen - gstart in
+    if
+      glen <= e.r_len - e.r_phase
+      && bytes_eq e.out (e.r_start + e.r_phase) gstart glen
+    then begin
+      e.olen <- gstart;
+      e.r_phase <- e.r_phase + glen;
+      if e.r_phase = e.r_len then begin
+        e.r_count <- e.r_count + 1;
+        e.r_phase <- 0
+      end
+    end
+    else begin
+      (* The token will overwrite [gstart..]; save the group first. *)
+      let tail = Bytes.sub e.out gstart glen in
+      e.olen <- gstart;
+      finalize_repeat e;
+      let g2 = e.olen in
+      ensure e glen;
+      Bytes.blit tail 0 e.out e.olen glen;
+      e.olen <- e.olen + glen;
+      e.ring.(e.ring_n land (ring_cap - 1)) <- g2;
+      e.ring_n <- e.ring_n + 1
+    end
+  end
+  else begin
+    e.ring.(e.ring_n land (ring_cap - 1)) <- gstart;
+    e.ring_n <- e.ring_n + 1;
+    detect_tandem e
+  end
+
+let put_operands e ~tag ~tid ~arg ~len =
+  if (Batch.arg_mask lsr tag) land 1 = 1 then
+    if (Batch.addr_mask lsr tag) land 1 = 1 then begin
+      put_varint e (arg - prev2_get e tid);
+      prev_shift e tid arg
+    end
+    else put_varint e arg;
+  if (Batch.len_mask lsr tag) land 1 = 1 then put_varint e len
+
+(* After each literal tag, look for a fresh tag tandem and, when found,
+   publish it as a pattern (a barrier group).  Deduplicated per chunk;
+   later occurrences then flow through the instance matcher. *)
+let maybe_define_pattern e =
+  if e.npats < max_pats then begin
+    let n = e.hist_n in
+    let k = ref pat_kmin in
+    let found = ref 0 in
+    while !found = 0 && !k <= pat_kmax && 2 * !k <= min n hist_cap do
+      let i = ref 0 in
+      while
+        !i < !k
+        && e.hist.((n - 1 - !i) land (hist_cap - 1))
+           = e.hist.((n - 1 - !k - !i) land (hist_cap - 1))
+      do
+        incr i
+      done;
+      if !i = !k then found := !k else incr k
+    done;
+    if !found > 0 then begin
+      let k = !found in
+      let tags = Array.init k (fun i -> e.hist.((n - k + i) land (hist_cap - 1))) in
+      let key = String.init k (fun i -> Char.chr tags.(i)) in
+      if not (Hashtbl.mem e.pat_dict key) then begin
+        Hashtbl.add e.pat_dict key ();
+        if e.npats >= Array.length e.pats then begin
+          let grown = Array.make (2 * Array.length e.pats) [||] in
+          Array.blit e.pats 0 grown 0 e.npats;
+          e.pats <- grown
+        end;
+        let id = e.npats in
+        e.pats.(id) <- tags;
+        e.npats <- id + 1;
+        e.pat_by_first.(tags.(0)) <- id;
+        barrier e;
+        put_byte e op_defpat;
+        put_varint e k;
+        for i = 0 to k - 1 do
+          put_byte e tags.(i)
+        done
+      end
+    end
+  end
+
+let emit_literal e ~tag ~tid ~arg ~len =
+  let g = e.olen in
+  if tid <> e.e_cur_tid then begin
+    put_byte e op_set_tid;
+    put_varint e tid;
+    e.e_cur_tid <- tid
+  end;
+  put_byte e tag;
+  put_operands e ~tag ~tid ~arg ~len;
+  commit_group e g;
+  e.hist.(e.hist_n land (hist_cap - 1)) <- tag;
+  e.hist_n <- e.hist_n + 1;
+  maybe_define_pattern e
+
+let complete_instance e =
+  let id = e.inst_pat in
+  let tags = e.pats.(id) in
+  let k = Array.length tags in
+  let tid = e.inst_tid in
+  e.inst_pat <- -1;
+  let g = e.olen in
+  if tid <> e.e_cur_tid then begin
+    put_byte e op_set_tid;
+    put_varint e tid;
+    e.e_cur_tid <- tid
+  end;
+  if id < 256 - first_short_usepat then put_byte e (first_short_usepat + id)
+  else begin
+    put_byte e op_usepat;
+    put_varint e id
+  end;
+  for i = 0 to k - 1 do
+    put_operands e ~tag:tags.(i) ~tid ~arg:e.inst_arg.(i) ~len:e.inst_len.(i)
+  done;
+  commit_group e g
+
+(* Flush a dead instance attempt back out as the literal events it
+   buffered; they re-enter history/detection but not instance matching
+   ([inst_pat] is already cleared, and [emit_literal] never matches). *)
+let abort_instance e =
+  if e.inst_pat >= 0 then begin
+    let tags = e.pats.(e.inst_pat) in
+    let phase = e.inst_phase and tid = e.inst_tid in
+    e.inst_pat <- -1;
+    for i = 0 to phase - 1 do
+      emit_literal e ~tag:tags.(i) ~tid ~arg:e.inst_arg.(i)
+        ~len:e.inst_len.(i)
+    done
+  end
+
+let process_event e ~tag ~tid ~arg ~len =
+  let pid = e.pat_by_first.(tag) in
+  if pid >= 0 then begin
+    (* Patterns are at least two tags long, so the instance cannot
+       complete on its first event. *)
+    e.inst_pat <- pid;
+    e.inst_tid <- tid;
+    e.inst_phase <- 1;
+    e.inst_arg.(0) <- arg;
+    e.inst_len.(0) <- len
+  end
+  else emit_literal e ~tag ~tid ~arg ~len
+
+let add_event e ~tag ~tid ~arg ~len =
+  if tid < 0 || tid > Event.max_tid then
+    invalid_arg
+      (Printf.sprintf "Trace_codec: tid %d out of range for format version 3"
+         tid);
+  if e.inst_pat >= 0 then begin
+    let tags = e.pats.(e.inst_pat) in
+    if tid = e.inst_tid && tag = tags.(e.inst_phase) then begin
+      e.inst_arg.(e.inst_phase) <- arg;
+      e.inst_len.(e.inst_phase) <- len;
+      e.inst_phase <- e.inst_phase + 1;
+      if e.inst_phase = Array.length tags then complete_instance e
+    end
+    else begin
+      abort_instance e;
+      process_event e ~tag ~tid ~arg ~len
+    end
+  end
+  else process_event e ~tag ~tid ~arg ~len
+
+let add_def e id name =
+  abort_instance e;
+  barrier e;
+  put_byte e op_def;
+  put_varint e id;
+  let n = String.length name in
+  put_varint e n;
+  ensure e n;
+  Bytes.blit_string name 0 e.out e.olen n;
+  e.olen <- e.olen + n
+
+(* Seal the current chunk: flush everything pending, hand the packed
+   payload out, and reset the per-chunk context so the next chunk is
+   independently decodable. *)
+let take_chunk e =
+  abort_instance e;
+  barrier e;
+  let chunk = Bytes.sub e.out 0 e.olen in
+  e.olen <- 0;
+  e.e_cur_tid <- 0;
+  e.e_cur_epoch <- e.e_cur_epoch + 1;
+  e.npats <- 0;
+  Hashtbl.reset e.pat_dict;
+  Array.fill e.pat_by_first 0 16 (-1);
+  e.hist_n <- 0;
+  e.ring_n <- 0;
+  chunk
+
+(* ===== decoder ========================================================= *)
+
+type decoder = {
+  mutable src : Bytes.t;
+  pos : int ref;
+  mutable start : int;
+  mutable limit : int;
+  mutable d_cur_tid : int;
+  (* per-tid address history, depth 2, mirroring the encoder *)
+  d_prev : int array;
+  d_prev2 : int array;
+  d_epoch : int array;
+  mutable d_cur_epoch : int;
+  mutable d_pats : int array array;
+  mutable d_npats : int;
+  mutable rep_on : bool;
+  mutable rep_rem : int;
+  mutable rep_resume : int;
+  (* Repeat template: the region is parsed ONCE into rows of
+     (tag, tid, operand kind, operand, len) and every iteration replays
+     the rows — a few array moves per event instead of a varint re-parse
+     per iteration.  [t_kind] is 1 when the operand is an address delta
+     to apply against the thread register, 0 when it is stored verbatim.
+     [t_idx] is the row cursor, persisted so replay resumes after a
+     batch fills mid-iteration; [t_end_tid] is the current-thread value
+     after one pass, installed when the repeat completes. *)
+  mutable t_tags : int array;
+  mutable t_tids : int array;
+  mutable t_kind : int array;
+  mutable t_args : int array;
+  mutable t_lens : int array;
+  mutable t_n : int;
+  mutable t_idx : int;
+  mutable t_end_tid : int;
+}
+
+let create_decoder () =
+  {
+    src = Bytes.empty;
+    pos = ref 0;
+    start = 0;
+    limit = 0;
+    d_cur_tid = 0;
+    d_prev = Array.make (Event.max_tid + 1) 0;
+    d_prev2 = Array.make (Event.max_tid + 1) 0;
+    d_epoch = Array.make (Event.max_tid + 1) 0;
+    d_cur_epoch = 1;
+    d_pats = Array.make 64 [||];
+    d_npats = 0;
+    rep_on = false;
+    rep_rem = 0;
+    rep_resume = 0;
+    t_tags = Array.make 64 0;
+    t_tids = Array.make 64 0;
+    t_kind = Array.make 64 0;
+    t_args = Array.make 64 0;
+    t_lens = Array.make 64 0;
+    t_n = 0;
+    t_idx = 0;
+    t_end_tid = 0;
+  }
+
+let start_chunk d src ~pos ~len =
+  d.src <- src;
+  d.pos := pos;
+  d.start <- pos;
+  d.limit <- pos + len;
+  d.d_cur_tid <- 0;
+  d.d_cur_epoch <- d.d_cur_epoch + 1;
+  d.d_npats <- 0;
+  d.rep_on <- false
+
+let[@inline] dprev2_get d tid =
+  if d.d_epoch.(tid) = d.d_cur_epoch then d.d_prev2.(tid) else 0
+
+let[@inline] dprev_shift d tid v =
+  if d.d_epoch.(tid) = d.d_cur_epoch then d.d_prev2.(tid) <- d.d_prev.(tid)
+  else begin
+    d.d_epoch.(tid) <- d.d_cur_epoch;
+    d.d_prev2.(tid) <- 0
+  end;
+  d.d_prev.(tid) <- v
+
+(* Decode the operand fields of one event.  [el] is the effective limit
+   (the repeat region end while parsing a template); [fast] means a
+   whole record is known to fit below it, entitling the unchecked
+   varint path. *)
+let[@inline] read_field d el fast =
+  if fast then Trace_wire.read_varint_bytes_fast d.src d.pos
+  else Trace_wire.read_varint_bytes_checked d.src d.pos el
+
+let ensure_template d k =
+  if d.t_n + k > Array.length d.t_tags then begin
+    let cap = ref (Array.length d.t_tags) in
+    while d.t_n + k > !cap do
+      cap := !cap * 2
+    done;
+    let grow a =
+      let g = Array.make !cap 0 in
+      Array.blit a 0 g 0 d.t_n;
+      g
+    in
+    d.t_tags <- grow d.t_tags;
+    d.t_tids <- grow d.t_tids;
+    d.t_kind <- grow d.t_kind;
+    d.t_args <- grow d.t_args;
+    d.t_lens <- grow d.t_lens
+  end
+
+let[@inline] push_row d ~tag ~tid ~kind ~arg ~len =
+  ensure_template d 1;
+  let i = d.t_n in
+  d.t_tags.(i) <- tag;
+  d.t_tids.(i) <- tid;
+  d.t_kind.(i) <- kind;
+  d.t_args.(i) <- arg;
+  d.t_lens.(i) <- len;
+  d.t_n <- i + 1
+
+(* Parse a repeat region into the template — once, with full validation,
+   so the replay loop can trust every row.  Registers are NOT touched:
+   address operands are stored as raw deltas and applied per iteration.
+   The template's thread ids start from the live current thread, which
+   is exactly the byte-replay state: after the region's literal pass the
+   current thread either never changed (no [set_tid] inside) or equals
+   the region's last [set_tid] — in both cases the value each iteration
+   observes at entry. *)
+let build_template d lo hi =
+  d.t_n <- 0;
+  let cur = ref d.d_cur_tid in
+  let p = ref lo in
+  let src = d.src in
+  while !p < hi do
+    let op_pos = !p in
+    let op = Char.code (Bytes.unsafe_get src op_pos) in
+    incr p;
+    let field fast =
+      if fast then Trace_wire.read_varint_bytes_fast src p
+      else Trace_wire.read_varint_bytes_checked src p hi
+    in
+    let fast = op_pos <= hi - Trace_wire.max_record_bytes in
+    if op >= 1 && op <= Batch.max_tag then begin
+      let kind = ref 0 in
+      let arg =
+        if (Batch.arg_mask lsr op) land 1 = 1 then
+          if (Batch.addr_mask lsr op) land 1 = 1 then begin
+            kind := 1;
+            field fast
+          end
+          else field fast
+        else 0
+      in
+      let len = if (Batch.len_mask lsr op) land 1 = 1 then field fast else 0 in
+      push_row d ~tag:op ~tid:!cur ~kind:!kind ~arg ~len
+    end
+    else if op >= first_short_usepat || op = op_usepat then begin
+      let id =
+        if op >= first_short_usepat then op - first_short_usepat
+        else field fast
+      in
+      if id < 0 || id >= d.d_npats then
+        bad "packed chunk: undefined pattern %d" id;
+      let ptags = d.d_pats.(id) in
+      for i = 0 to Array.length ptags - 1 do
+        let tag = ptags.(i) in
+        let fast = !p <= hi - Trace_wire.max_record_bytes in
+        let kind = ref 0 in
+        let arg =
+          if (Batch.arg_mask lsr tag) land 1 = 1 then
+            if (Batch.addr_mask lsr tag) land 1 = 1 then begin
+              kind := 1;
+              field fast
+            end
+            else field fast
+          else 0
+        in
+        let len =
+          if (Batch.len_mask lsr tag) land 1 = 1 then field fast else 0
+        in
+        push_row d ~tag ~tid:!cur ~kind:!kind ~arg ~len
+      done
+    end
+    else if op = op_set_tid then begin
+      let tid = field fast in
+      if tid < 0 || tid > Event.max_tid then
+        bad "packed chunk: thread id %d out of range" tid;
+      cur := tid
+    end
+    else if op = op_def then bad "packed chunk: definition inside repeat region"
+    else if op = op_repeat then bad "packed chunk: nested repeat"
+    else if op = op_defpat then
+      bad "packed chunk: pattern definition inside repeat region"
+    else bad "unknown packed opcode %d" op
+  done;
+  d.t_end_tid <- !cur
+
+(* Fill [b] from the current chunk until the batch is full or the chunk
+   is exhausted; returns [true] on exhaustion.  Resumable: repeat state
+   and the stream cursor live in [d], so the caller just calls again
+   with a fresh batch.  [b]'s capacity must be at least [pat_kmax].
+   With [?keep], operands are always decoded (the registers must stay in
+   step) but events failing [keep tag tid] are not stored. *)
+let fill d ?keep ~define b =
+  let cap = Batch.capacity b in
+  let tags_a = Batch.tags b and tids_a = Batch.tids b in
+  let args_a = Batch.args b and lens_a = Batch.lens b in
+  let pos = d.pos in
+  let n = ref (Batch.length b) in
+  (* 0 = running, 1 = batch full (deliver), 2 = chunk exhausted. *)
+  let state = ref 0 in
+  while !state = 0 do
+    if d.rep_on then begin
+      (* Template replay: the hot path of a repeat-heavy trace. *)
+      let t_tags = d.t_tags and t_tids = d.t_tids in
+      let t_kind = d.t_kind and t_args = d.t_args and t_lens = d.t_lens in
+      let tn = d.t_n in
+      let i = ref d.t_idx in
+      let looping = ref true in
+      while !looping do
+        if !i >= tn then begin
+          d.rep_rem <- d.rep_rem - 1;
+          i := 0;
+          if d.rep_rem <= 0 then begin
+            d.rep_on <- false;
+            d.d_cur_tid <- d.t_end_tid;
+            pos := d.rep_resume;
+            looping := false
+          end
+        end
+        else if !n >= cap then begin
+          looping := false;
+          state := 1
+        end
+        else begin
+          let tag = Array.unsafe_get t_tags !i in
+          let tid = Array.unsafe_get t_tids !i in
+          let v = Array.unsafe_get t_args !i in
+          let arg =
+            if Array.unsafe_get t_kind !i = 1 then begin
+              let a = dprev2_get d tid + v in
+              dprev_shift d tid a;
+              a
+            end
+            else v
+          in
+          let store =
+            match keep with None -> true | Some keep -> keep tag tid
+          in
+          if store then begin
+            let j = !n in
+            Array.unsafe_set tags_a j tag;
+            Array.unsafe_set tids_a j tid;
+            Array.unsafe_set args_a j arg;
+            Array.unsafe_set lens_a j (Array.unsafe_get t_lens !i);
+            n := j + 1
+          end;
+          incr i
+        end
+      done;
+      d.t_idx <- !i
+    end
+    else if !n >= cap then state := 1
+    else begin
+      let el = d.limit in
+      if !pos >= el then state := 2
+      else begin
+        let op_pos = !pos in
+        let op = Char.code (Bytes.unsafe_get d.src op_pos) in
+        incr pos;
+        let fast = op_pos <= el - Trace_wire.max_record_bytes in
+        if op >= 1 && op <= Batch.max_tag then begin
+          let tid = d.d_cur_tid in
+          let arg =
+            if (Batch.arg_mask lsr op) land 1 = 1 then
+              if (Batch.addr_mask lsr op) land 1 = 1 then begin
+                let a = dprev2_get d tid + read_field d el fast in
+                dprev_shift d tid a;
+                a
+              end
+              else read_field d el fast
+            else 0
+          in
+          let len =
+            if (Batch.len_mask lsr op) land 1 = 1 then read_field d el fast
+            else 0
+          in
+          let store =
+            match keep with None -> true | Some keep -> keep op tid
+          in
+          if store then begin
+            let j = !n in
+            Array.unsafe_set tags_a j op;
+            Array.unsafe_set tids_a j tid;
+            Array.unsafe_set args_a j arg;
+            Array.unsafe_set lens_a j len;
+            n := j + 1
+          end
+        end
+        else if op >= first_short_usepat || op = op_usepat then begin
+          let id =
+            if op >= first_short_usepat then op - first_short_usepat
+            else read_field d el fast
+          in
+          if id < 0 || id >= d.d_npats then
+            bad "packed chunk: undefined pattern %d" id;
+          let ptags = d.d_pats.(id) in
+          let k = Array.length ptags in
+          if cap - !n < k then begin
+            if !n = 0 then
+              bad "batch capacity %d below pattern length %d" cap k;
+            (* Not enough room: rewind to the token and deliver. *)
+            pos := op_pos;
+            state := 1
+          end
+          else begin
+            let tid = d.d_cur_tid in
+            for i = 0 to k - 1 do
+              let tag = ptags.(i) in
+              let fast = !pos <= el - Trace_wire.max_record_bytes in
+              let arg =
+                if (Batch.arg_mask lsr tag) land 1 = 1 then
+                  if (Batch.addr_mask lsr tag) land 1 = 1 then begin
+                    let a = dprev2_get d tid + read_field d el fast in
+                    dprev_shift d tid a;
+                    a
+                  end
+                  else read_field d el fast
+                else 0
+              in
+              let len =
+                if (Batch.len_mask lsr tag) land 1 = 1 then
+                  read_field d el fast
+                else 0
+              in
+              let store =
+                match keep with None -> true | Some keep -> keep tag tid
+              in
+              if store then begin
+                let j = !n in
+                Array.unsafe_set tags_a j tag;
+                Array.unsafe_set tids_a j tid;
+                Array.unsafe_set args_a j arg;
+                Array.unsafe_set lens_a j len;
+                n := j + 1
+              end
+            done
+          end
+        end
+        else if op = op_set_tid then begin
+          let tid = read_field d el fast in
+          if tid < 0 || tid > Event.max_tid then
+            bad "packed chunk: thread id %d out of range" tid;
+          d.d_cur_tid <- tid
+        end
+        else if op = op_def then begin
+          let id = read_field d el fast in
+          let nlen = read_field d el fast in
+          if nlen < 0 then bad "negative name length";
+          if !pos + nlen > el then bad "truncated name";
+          define id (Bytes.sub_string d.src !pos nlen);
+          pos := !pos + nlen
+        end
+        else if op = op_repeat then begin
+          let l = read_field d el fast in
+          let count = read_field d el fast in
+          if l < 1 || op_pos - l < d.start then
+            bad "packed chunk: repeat region length %d out of range" l;
+          if count < 1 || count > 1 lsl 40 then
+            bad "packed chunk: implausible repeat count %d" count;
+          d.rep_resume <- !pos;
+          build_template d (op_pos - l) op_pos;
+          (* An event-free region (only thread switches) is idempotent:
+             one pass installs the end state, so replaying it [count]
+             times would only spin. *)
+          d.rep_rem <- (if d.t_n = 0 then 1 else count);
+          d.t_idx <- 0;
+          d.rep_on <- true
+        end
+        else if op = op_defpat then begin
+          let k = read_field d el fast in
+          if k < 1 || k > pat_kmax then
+            bad "packed chunk: pattern length %d out of range" k;
+          if d.d_npats >= max_pats then bad "packed chunk: too many patterns";
+          if !pos + k > el then bad "packed chunk: truncated pattern";
+          let tags =
+            Array.init k (fun i ->
+                let t = Char.code (Bytes.unsafe_get d.src (!pos + i)) in
+                if t < 1 || t > Batch.max_tag then
+                  bad "packed chunk: invalid tag %d in pattern" t;
+                t)
+          in
+          pos := !pos + k;
+          if d.d_npats >= Array.length d.d_pats then begin
+            let grown = Array.make (2 * Array.length d.d_pats) [||] in
+            Array.blit d.d_pats 0 grown 0 d.d_npats;
+            d.d_pats <- grown
+          end;
+          d.d_pats.(d.d_npats) <- tags;
+          d.d_npats <- d.d_npats + 1
+        end
+        else bad "unknown packed opcode %d" op
+      end
+    end
+  done;
+  Batch.unsafe_set_length b !n;
+  !state = 2

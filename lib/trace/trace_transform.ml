@@ -1,0 +1,57 @@
+(* Payload-transform layer (format version 3): the pluggable stage
+   between the frame layer and the event layer.  A stored v3 payload is
+
+     stored := enc:byte body
+
+   where [enc] is a bitmask of applied transforms over the packed event
+   stream ({!Trace_packed}):
+
+     0x01   packed stream, stored raw
+     0x03   packed stream, entropy-coded ({!Trace_huffman})
+
+   The frame CRC covers [stored] exactly as written, so integrity is
+   checked before this layer runs, and salvage / the shard index /
+   seeking readers treat the payload as an opaque byte range. *)
+
+let bad = Trace_wire.bad
+let enc_packed = 0x01
+let enc_entropy = 0x02
+
+(* [seal ~entropy packed] wraps one packed chunk payload for storage,
+   entropy-coding it when [entropy] is set *and* the coded form is
+   actually smaller — tiny or incompressible chunks store raw, so the
+   option never costs bytes. *)
+let seal ~entropy packed =
+  let n = Bytes.length packed in
+  let raw () =
+    let out = Bytes.create (n + 1) in
+    Bytes.unsafe_set out 0 (Char.unsafe_chr enc_packed);
+    Bytes.blit packed 0 out 1 n;
+    out
+  in
+  if not entropy then raw ()
+  else
+    match Trace_huffman.encode packed ~pos:0 ~len:n with
+    | Some coded when String.length coded < n ->
+      let out = Bytes.create (String.length coded + 1) in
+      Bytes.unsafe_set out 0 (Char.unsafe_chr (enc_packed lor enc_entropy));
+      Bytes.blit_string coded 0 out 1 (String.length coded);
+      out
+    | _ -> raw ()
+
+(* [open_payload bytes ~pos ~len ~scratch] peels the transform envelope
+   off a stored payload, returning the packed stream as [(buf, pos,
+   len)] — either a window into [bytes] itself (raw) or into [!scratch]
+   (entropy-decoded; grown as needed and reused across chunks). *)
+let open_payload bytes ~pos ~len ~scratch =
+  if len < 1 then bad "empty chunk payload";
+  let enc = Char.code (Bytes.unsafe_get bytes pos) in
+  if enc land enc_packed = 0 || enc land lnot (enc_packed lor enc_entropy) <> 0
+  then bad "unknown payload transform 0x%02x" enc;
+  if enc land enc_entropy = 0 then (bytes, pos + 1, len - 1)
+  else begin
+    let raw_len =
+      Trace_huffman.decode bytes ~pos:(pos + 1) ~len:(len - 1) ~scratch
+    in
+    (!scratch, 0, raw_len)
+  end

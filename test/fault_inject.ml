@@ -46,10 +46,10 @@ let reference_trace =
 
 let routine_name id = Printf.sprintf "fault_routine_%d" id
 
-let write_trace ?index ?format_version file =
+let write_trace ?index ?format_version ?entropy file =
   Out_channel.with_open_bin file (fun oc ->
       let sink =
-        Codec.batch_writer ~chunk_bytes:128 ?index ?format_version
+        Codec.batch_writer ~chunk_bytes:128 ?index ?format_version ?entropy
           ~routine_name oc
       in
       let batches = Stream.batches_of_trace ~batch_size:16 reference_trace in
@@ -157,10 +157,10 @@ let assert_no_crash ~fault file =
   (match strict_outcome ~fault file with _ -> ());
   match salvage_outcome ~fault file with _ -> ()
 
-let with_pristine ?index ?format_version f =
+let with_pristine ?index ?format_version ?entropy f =
   let src = Filename.temp_file "aprof_fault_src" ".atrc" in
   let dst = Filename.temp_file "aprof_fault" ".atrc" in
-  write_trace ?index ?format_version src;
+  write_trace ?index ?format_version ?entropy src;
   let bytes = read_all src in
   Sys.remove src;
   Fun.protect ~finally:(fun () -> Sys.remove dst) (fun () -> f bytes dst)
@@ -253,6 +253,148 @@ let frame_splices_v2 () =
       done;
       splice "reverse all chunks" (List.rev all))
 
+(* --- version 3: faults through the transform layer -------------------- *)
+
+(* The v3 trichotomy is the same promise as v2's — the container framing
+   is identical and every stored payload sits behind the frame CRC, so a
+   flip anywhere in a chunk is caught before the transform or packed
+   layers ever run.  The campaigns re-run the full battery over v3
+   files, entropy on (transform byte 0x03 paths) and off (0x01). *)
+
+let byte_flips_v3 () =
+  List.iter
+    (fun entropy ->
+      with_pristine ~format_version:3 ~entropy (fun bytes file ->
+          write_all file bytes;
+          assert_trichotomy ~fault:"pristine v3" file;
+          String.iteri
+            (fun i _ ->
+              List.iter
+                (fun mask ->
+                  write_all file (flip bytes i mask);
+                  assert_trichotomy
+                    ~fault:
+                      (Printf.sprintf "v3 flip byte %d mask %#x (entropy %b)"
+                         i mask entropy)
+                    file)
+                [ 0x01; 0x80 ])
+            bytes))
+    [ true; false ]
+
+let truncations_v3 () =
+  with_pristine ~format_version:3 (fun bytes file ->
+      for n = 0 to String.length bytes - 1 do
+        write_all file (String.sub bytes 0 n);
+        assert_trichotomy
+          ~fault:(Printf.sprintf "v3 truncate to %d bytes" n)
+          file
+      done)
+
+let frame_splices_v3 () =
+  with_pristine ~format_version:3 (fun bytes file ->
+      write_all file bytes;
+      let shs =
+        In_channel.with_open_bin file (fun ic ->
+            Option.get (Codec.shards ~path:file ic))
+      in
+      let rec usize v = if v < 0x80 then 1 else 1 + usize (v lsr 7) in
+      let frame k =
+        let sh = shs.(k) in
+        let start = sh.Codec.offset - usize sh.Codec.bytes - 4 in
+        (start, sh.Codec.offset + sh.Codec.bytes)
+      in
+      let nchunks = Array.length shs in
+      let _, last_stop = frame (nchunks - 1) in
+      let tail = String.sub bytes last_stop (String.length bytes - last_stop) in
+      let slice (a, b) = String.sub bytes a (b - a) in
+      let rebuild frames =
+        String.sub bytes 0 5 ^ String.concat "" frames ^ tail
+      in
+      let all = List.init nchunks (fun k -> slice (frame k)) in
+      let splice name frames =
+        write_all file (rebuild frames);
+        assert_trichotomy ~fault:name file
+      in
+      for k = 0 to nchunks - 1 do
+        splice
+          (Printf.sprintf "v3 duplicate chunk %d" k)
+          (List.concat_map
+             (fun j ->
+               if j = k then [ List.nth all j; List.nth all j ]
+               else [ List.nth all j ])
+             (List.init nchunks Fun.id));
+        splice
+          (Printf.sprintf "v3 delete chunk %d" k)
+          (List.filteri (fun j _ -> j <> k) all)
+      done;
+      splice "v3 reverse all chunks" (List.rev all))
+
+(* Deep faults below the checksum: flip a stored payload byte and
+   re-stamp the frame CRC, simulating a writer that produced garbage.
+   The checksum no longer vouches for the bytes, so wrong-but-decodable
+   events are possible (as in v1) — what must still hold is that the
+   transform and packed decoders map arbitrary garbage to
+   [Decode_error], never to a crash, a wild [unsafe_get], or an
+   out-of-range batch. *)
+let packed_garbage_no_crash () =
+  List.iter
+    (fun entropy ->
+      with_pristine ~format_version:3 ~index:false ~entropy
+        (fun bytes file ->
+          let n = String.length bytes in
+          (* Walk the frames: header at 5, each [len:uvarint crc:le32
+             payload], a zero length byte is the end marker. *)
+          let pos = ref 5 in
+          let continue = ref true in
+          while !continue do
+            let p0 = !pos in
+            let paylen = ref 0 in
+            let shift = ref 0 in
+            let more = ref true in
+            while !more do
+              let b = Char.code bytes.[!pos] in
+              incr pos;
+              paylen := !paylen lor ((b land 0x7f) lsl !shift);
+              shift := !shift + 7;
+              more := b land 0x80 <> 0
+            done;
+            if !paylen = 0 then continue := false
+            else begin
+              let crc_off = !pos in
+              let body_off = crc_off + 4 in
+              (* Flip a spread of payload bytes; re-stamp the CRC. *)
+              let step = max 1 (!paylen / 13) in
+              let k = ref 0 in
+              while !k < !paylen do
+                let damaged =
+                  flip (String.sub bytes 0 n) (body_off + !k) 0x11
+                in
+                let crc =
+                  Aprof_util.Crc32c.digest_string damaged ~pos:body_off
+                    ~len:!paylen
+                in
+                let restamped =
+                  String.mapi
+                    (fun j c ->
+                      if j >= crc_off && j < body_off then
+                        Char.chr ((crc lsr (8 * (j - crc_off))) land 0xff)
+                      else c)
+                    damaged
+                in
+                write_all file restamped;
+                assert_no_crash
+                  ~fault:
+                    (Printf.sprintf
+                       "v3 packed garbage at frame %d + %d (entropy %b)" p0 !k
+                       entropy)
+                  file;
+                k := !k + step
+              done;
+              pos := body_off + !paylen
+            end
+          done))
+    [ true; false ]
+
 let v1_no_crash () =
   with_pristine ~format_version:1 (fun bytes file ->
       (* Pristine v1 must decode identically — the compat guarantee. *)
@@ -286,5 +428,11 @@ let suite =
     Alcotest.test_case "duplicated/deleted/reordered chunks" `Quick
       frame_splices_v2;
     Alcotest.test_case "v1 faults never crash" `Quick v1_no_crash;
+    Alcotest.test_case "byte flips, indexed v3" `Quick byte_flips_v3;
+    Alcotest.test_case "truncation at every offset, v3" `Quick truncations_v3;
+    Alcotest.test_case "duplicated/deleted/reordered chunks, v3" `Quick
+      frame_splices_v3;
+    Alcotest.test_case "packed garbage below the checksum never crashes"
+      `Quick packed_garbage_no_crash;
     Alcotest.test_case "fault budget" `Quick enough_faults;
   ]

@@ -1,0 +1,321 @@
+(* Differential battery for format version 3, the redundancy-suppressed
+   trace encoding: on every trace we can generate — random event
+   vectors, every registered workload, 50 random VM programs — the v3
+   encode/decode cycle must agree event-for-event (and name-for-name)
+   with both the in-memory trace and the v2 cycle, with and without the
+   entropy stage, through the in-memory, streaming-file, seeking, and
+   keep-filtered read paths, and parallel replay of a v3 file must equal
+   sequential replay.  The v3 byte stream for a tiny trace is pinned so
+   the packed grammar cannot drift silently. *)
+
+module Event = Aprof_trace.Event
+module Batch = Event.Batch
+module Stream = Aprof_trace.Trace_stream
+module Codec = Aprof_trace.Trace_codec
+module Vec = Aprof_util.Vec
+module Workload = Aprof_workloads.Workload
+module Registry = Aprof_workloads.Registry
+module Interp = Aprof_vm.Interp
+module Tool = Aprof_tools.Tool
+
+let decode_exn = Test_codec.decode_exn
+let trace_equal = Test_codec.trace_equal
+let decode_source = Test_codec.decode_source
+
+let write_v3 ?(chunk_bytes = 256) ?(entropy = true) ?routine_name trace file =
+  Out_channel.with_open_bin file (fun oc ->
+      let sink =
+        Codec.batch_writer ~chunk_bytes ~format_version:3 ~entropy
+          ?routine_name oc
+      in
+      let batches = Stream.batches_of_trace ~batch_size:16 trace in
+      let rec loop () =
+        match batches () with
+        | None -> ()
+        | Some b ->
+          sink.Stream.emit_batch b;
+          loop ()
+      in
+      loop ();
+      sink.Stream.close_batch ())
+
+let with_tmp f =
+  let file = Filename.temp_file "aprof_v3" ".atrc" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+(* The three-way check at the heart of the battery: trace = decode(v2) =
+   decode(v3, entropy) = decode(v3, raw), names identical across
+   versions. *)
+let check_trace ~label ?routine_name trace =
+  let s2 = Codec.to_string ?routine_name trace in
+  let s3 = Codec.to_string ~format_version:3 ?routine_name trace in
+  let s3r =
+    Codec.to_string ~format_version:3 ~entropy:false ?routine_name trace
+  in
+  let t2, n2 = decode_exn s2 in
+  let t3, n3 = decode_exn s3 in
+  let t3r, n3r = decode_exn s3r in
+  trace_equal (label ^ ": v2 = trace") t2 trace;
+  trace_equal (label ^ ": v3 = trace") t3 trace;
+  trace_equal (label ^ ": v3 raw = trace") t3r trace;
+  Alcotest.(check (list (pair int string)))
+    (label ^ ": v3 names = v2 names")
+    n2 n3;
+  Alcotest.(check (list (pair int string)))
+    (label ^ ": v3 raw names = v2 names")
+    n2 n3r
+
+(* Same trace through the on-disk streaming path with small chunks, so
+   the per-chunk context resets, the repeat/pattern state machine and
+   the footer cross-check all fire. *)
+let check_file ~label ?routine_name trace =
+  List.iter
+    (fun entropy ->
+      with_tmp (fun file ->
+          write_v3 ~entropy ?routine_name trace file;
+          In_channel.with_open_bin file (fun ic ->
+              Alcotest.(check int)
+                (label ^ ": file version") 3 (Codec.file_version ic));
+          In_channel.with_open_bin file (fun ic ->
+              let _, src = Codec.batch_reader ic in
+              trace_equal
+                (Printf.sprintf "%s: v3 file (entropy %b) = trace" label
+                   entropy)
+                (decode_source src) trace);
+          (* And through the shard index, chunk by chunk. *)
+          In_channel.with_open_bin file (fun ic ->
+              match Codec.shards ~path:file ic with
+              | None -> Alcotest.failf "%s: v3 file has no shard index" label
+              | Some shs ->
+                let total =
+                  Array.fold_left (fun a sh -> a + sh.Codec.events) 0 shs
+                in
+                Alcotest.(check int)
+                  (label ^ ": index event total")
+                  (Vec.length trace) total;
+                let _, src =
+                  Codec.sharded_reader ~path:file ic shs ~select:(fun _ ->
+                      true)
+                in
+                trace_equal
+                  (label ^ ": v3 sharded read = trace")
+                  (decode_source src) trace)))
+    [ true; false ]
+
+(* --- random event vectors --------------------------------------------- *)
+
+let gen_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"v3 = v2 = trace on random traces" ~count:150
+       ~print:Gen_trace.print
+       (Gen_trace.gen ())
+       (fun trace ->
+         check_trace ~label:"gen" trace;
+         true))
+
+let single_events_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"v3 round-trips every event variant"
+       ~count:1000 ~print:Event.to_string Test_codec.gen_event (fun ev ->
+         let tr, _ =
+           decode_exn (Codec.to_string ~format_version:3 (Vec.of_list [ ev ]))
+         in
+         Vec.length tr = 1 && Event.equal (Vec.get tr 0) ev))
+
+(* --- workload registry ------------------------------------------------ *)
+
+let registry_differential () =
+  List.iter
+    (fun (spec : Workload.spec) ->
+      let result = Workload.run_spec spec ~threads:2 ~scale:60 ~seed:11 in
+      let trace = result.Interp.trace in
+      let routine_name =
+        Aprof_trace.Routine_table.name result.Interp.routines
+      in
+      check_trace ~label:spec.Workload.name ~routine_name trace)
+    Registry.all
+
+(* One workload also goes through the file path: the in-memory
+   [to_string] shares the encoder but not the flush/footer plumbing. *)
+let registry_files () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Registry.find name) in
+      let result = Workload.run_spec spec ~threads:3 ~scale:80 ~seed:3 in
+      let routine_name =
+        Aprof_trace.Routine_table.name result.Interp.routines
+      in
+      check_file ~label:name ~routine_name result.Interp.trace)
+    [ "canneal"; "dedup"; "mysqlslap" ]
+
+(* --- random VM programs ----------------------------------------------- *)
+
+let program_differential () =
+  for seed = 0 to 49 do
+    let w =
+      { Workload.programs = Test_vm_differential.gen_program seed; devices = [] }
+    in
+    let result =
+      Workload.run ~scheduler:(Aprof_vm.Scheduler.Round_robin { slice = 8 }) w
+        ~seed
+    in
+    check_trace ~label:(Printf.sprintf "program %d" seed) result.Interp.trace
+  done;
+  (* A few of them through the chunked file path too. *)
+  for seed = 0 to 9 do
+    let w =
+      { Workload.programs = Test_vm_differential.gen_program seed; devices = [] }
+    in
+    let result =
+      Workload.run ~scheduler:(Aprof_vm.Scheduler.Round_robin { slice = 8 }) w
+        ~seed
+    in
+    check_file ~label:(Printf.sprintf "program %d" seed) result.Interp.trace
+  done
+
+(* --- keep-filtered session reads -------------------------------------- *)
+
+(* The work-stealing engine pushes its shard filter into the decoder;
+   on v3 the filter must skip events without desynchronizing the delta
+   registers.  Events kept through [chunk_session ~keep] must equal the
+   plain filter over the decoded trace. *)
+let keep_filter_session () =
+  let spec = Option.get (Registry.find "dedup") in
+  let result = Workload.run_spec spec ~threads:3 ~scale:80 ~seed:9 in
+  let trace = result.Interp.trace in
+  let keep tag tid = tid mod 2 = 0 || tag = Batch.tag_call in
+  let expected = ref [] in
+  let batches = Stream.batches_of_trace trace in
+  let rec loop () =
+    match batches () with
+    | None -> ()
+    | Some b ->
+      Batch.iter
+        (fun tag tid arg len ->
+          if keep tag tid then expected := (tag, tid, arg, len) :: !expected)
+        b;
+      loop ()
+  in
+  loop ();
+  let expected = List.rev !expected in
+  with_tmp (fun file ->
+      write_v3 trace file;
+      In_channel.with_open_bin file (fun ic ->
+          let shs =
+            match Codec.shards ~path:file ic with
+            | Some shs -> shs
+            | None -> Alcotest.fail "no shard index"
+          in
+          let _, read = Codec.chunk_session ~keep ic in
+          let got = ref [] in
+          Array.iter
+            (fun sh ->
+              let src = read sh in
+              let rec drain () =
+                match src () with
+                | None -> ()
+                | Some b ->
+                  Batch.iter
+                    (fun tag tid arg len ->
+                      got := (tag, tid, arg, len) :: !got)
+                    b;
+                  drain ()
+              in
+              drain ())
+            shs;
+          let got = List.rev !got in
+          Alcotest.(check int)
+            "kept event count" (List.length expected) (List.length got);
+          if got <> expected then
+            Alcotest.fail "keep-filtered v3 session diverges from plain filter"))
+
+(* --- parallel replay on v3 files -------------------------------------- *)
+
+let parallel_v3_files () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Registry.find name) in
+      let result =
+        Workload.run_spec
+          ~scheduler:
+            (Aprof_vm.Scheduler.Random_preemptive
+               { min_slice = 4; max_slice = 32 })
+          spec ~threads:3 ~scale:120 ~seed:5
+      in
+      let trace = result.Interp.trace in
+      with_tmp (fun file ->
+          write_v3 ~chunk_bytes:1024
+            ~routine_name:
+              (Aprof_trace.Routine_table.name result.Interp.routines)
+            trace file;
+          match Tool.Shards.of_file file with
+          | None -> Alcotest.failf "%s: v3 file has no chunk index" name
+          | Some shards ->
+            Test_parallel_differential.check_shards
+              ~label:(name ^ " (v3 file)")
+              ~trace_events:(Vec.length trace) shards))
+    [ "mysqlslap"; "dedup" ]
+
+(* --- byte pin --------------------------------------------------------- *)
+
+(* The packed grammar for a tiny trace, assembled by hand: def(0,"f") is
+   opcode 15 + id + name-length + bytes, Call rides the implicit current
+   tid (no set_tid at tid 0) with an absolute routine argument, Return is
+   its bare tag.  The stored payload prepends the transform byte 0x01
+   (packed, raw: 8 bytes is far below the entropy threshold), and the
+   frame is the v2 layout over those stored bytes. *)
+let v3_golden_bytes () =
+  let trace =
+    Vec.of_list [ Event.Call { tid = 0; routine = 0 }; Event.Return { tid = 0 } ]
+  in
+  let stored = "\x01\x0f\x00\x02f\x01\x00\x02" in
+  let crc =
+    Aprof_util.Crc32c.digest_string stored ~pos:0 ~len:(String.length stored)
+  in
+  let le32 = String.init 4 (fun i -> Char.chr ((crc lsr (8 * i)) land 0xff)) in
+  let s =
+    Codec.to_string ~format_version:3 ~routine_name:(fun _ -> "f") trace
+  in
+  Alcotest.(check string)
+    "v3 golden"
+    ("ATRC\x03\x08" ^ le32 ^ stored ^ "\x00")
+    s
+
+(* --- compression smoke ------------------------------------------------ *)
+
+(* A strided sweep — the shape the delta + repeat stages exist for —
+   must compress hard; the CI gate enforces the real workload ratio, this
+   pins the mechanism itself. *)
+let compression_smoke () =
+  let tr = Vec.create () in
+  Vec.push tr (Event.Call { tid = 0; routine = 0 });
+  for i = 0 to 49_999 do
+    Vec.push tr (Event.Read { tid = 0; addr = 4096 + (8 * i) });
+    Vec.push tr (Event.Write { tid = 0; addr = 1_048_576 + (8 * i) })
+  done;
+  Vec.push tr (Event.Return { tid = 0 });
+  let v2 = String.length (Codec.to_string tr) in
+  let v3 = String.length (Codec.to_string ~format_version:3 tr) in
+  if v3 * 5 > v2 then
+    Alcotest.failf "strided sweep: v3 is %d bytes, v2 %d (want >= 5x)" v3 v2;
+  (* The decoded stream must still be exact. *)
+  let t3, _ = decode_exn (Codec.to_string ~format_version:3 tr) in
+  trace_equal "compressed sweep round-trips" t3 tr
+
+let suite =
+  [
+    gen_round_trip;
+    single_events_round_trip;
+    Alcotest.test_case "v3 = v2 = memory on every registered workload" `Slow
+      registry_differential;
+    Alcotest.test_case "v3 file paths on workload traces" `Slow registry_files;
+    Alcotest.test_case "v3 = v2 = memory on 50 random programs" `Slow
+      program_differential;
+    Alcotest.test_case "keep-filtered v3 session = plain filter" `Quick
+      keep_filter_session;
+    Alcotest.test_case "parallel replay of v3 files, -j {2,3,4}" `Slow
+      parallel_v3_files;
+    Alcotest.test_case "v3 byte stream is pinned" `Quick v3_golden_bytes;
+    Alcotest.test_case "strided sweep compresses >= 5x" `Quick
+      compression_smoke;
+  ]

@@ -6,6 +6,7 @@ let () =
       ("trace", Test_trace.suite);
       ("stream", Test_stream.suite);
       ("codec", Test_codec.suite);
+      ("codec-v3", Test_codec_v3.suite);
       ("fault-inject", Fault_inject.suite);
       ("batch", Test_batch.suite);
       ("paper-examples", Test_paper_examples.suite);
