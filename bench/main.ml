@@ -23,6 +23,7 @@ let experiments quick :
     ("replay", "batched vs per-event replay hot path", Exp_replay.run ~quick);
     ("parallel", "sharded parallel replay scaling", Exp_parallel.run ~quick);
     ("faults", "fault injection and salvage on a recorded trace", Exp_faults.run ~quick);
+    ("fit", "penalized cost-model selection battery", Exp_fit.run ~quick);
     ("comm", "communication characterization (future-work direction)", Exp_comm.run);
     ("ablation", "design-choice ablations", Exp_ablation.run);
     ("bechamel", "microbenchmarks", Micro.run);

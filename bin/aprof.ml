@@ -7,7 +7,12 @@
      tools <workload>          run every analysis tool, print summaries
      overhead <workload>       Table 1-style measurement on one workload
      trace <workload>          dump the raw event trace
-     fit <workload> <routine>  estimate the empirical cost function *)
+     fit [<workload>] [<routine>]
+                               estimate empirical cost functions
+                               (penalized selection; --store writes a
+                               model store for the regression watch)
+     diff <old> <new>          compare two model stores and flag
+                               cost-function regressions *)
 
 open Cmdliner
 
@@ -69,6 +74,15 @@ let profile_of result =
   Aprof_core.Drms_profiler.run p result.Aprof_vm.Interp.trace;
   Aprof_core.Drms_profiler.finish p
 
+let run_meta name threads scale seed scheduler =
+  {
+    Aprof_analysis.Run_meta.workload = name;
+    seed;
+    scale;
+    threads;
+    scheduler = Aprof_vm.Scheduler.policy_name scheduler;
+  }
+
 (* ----- list ----------------------------------------------------------- *)
 
 let list_cmd =
@@ -95,6 +109,7 @@ let run_cmd =
       Out_channel.with_open_text path (fun oc ->
           Aprof_core.Profile_io.save oc
             ~routine_name:(Aprof_trace.Routine_table.name tbl)
+            ~meta:(run_meta name threads scale seed scheduler)
             profile);
       Printf.printf "profile written to %s\n" path
     | None ->
@@ -183,41 +198,238 @@ let plot_cmd =
 (* ----- fit ------------------------------------------------------------ *)
 
 let fit_cmd =
-  let run name routine threads scale seed scheduler =
-    let result = execute name threads scale seed scheduler in
-    let profile = profile_of result in
-    let tbl = result.Aprof_vm.Interp.routines in
-    match Aprof_trace.Routine_table.find tbl routine with
-    | None ->
-      Printf.eprintf "routine %S not found\n" routine;
-      exit 2
-    | Some rid -> (
-      match List.assoc_opt rid (Aprof_core.Profile.merge_threads profile) with
-      | None ->
-        Printf.eprintf "no completed activations of %S\n" routine;
+  let module Select = Aprof_analysis.Fit_select in
+  let module Solve = Aprof_analysis.Fit_solve in
+  let module Basis = Aprof_analysis.Fit_basis in
+  let module Store = Aprof_analysis.Model_store in
+  (* Detailed view of one routine: the legacy r^2 table next to the
+     penalized ranking, so the two selectors can be compared by eye. *)
+  let print_routine ~bootstrap ~seed routine d =
+    let points = Aprof_core.Fit.points_of_profile ~metric:`Drms ~cost:`Max d in
+    Printf.printf "%s: %d performance points (drms, worst-case cost)\n" routine
+      (List.length points);
+    (match Select.select ~bootstrap ~seed points with
+    | None -> Printf.printf "  not enough distinct input sizes to fit\n"
+    | Some sel ->
+      Printf.printf "  penalized selection (AICc), bootstrap confidence %.2f:\n"
+        sel.Select.confidence;
+      List.iter
+        (fun ((f : Solve.fit), score) ->
+          Printf.printf "    %-14s AICc = %8.2f  R^2 = %.4f%s\n"
+            (Basis.name f.Solve.cls) score f.Solve.r2
+            (if f.Solve.cls = sel.Select.best.Solve.cls then "  <- best" else ""))
+        sel.Select.ranking;
+      match sel.Select.exponent with
+      | Some (k, lo, hi) ->
+        Printf.printf "  power-law exponent: %.2f (95%% CI %.2f..%.2f)\n" k lo hi
+      | None -> ());
+    Printf.printf "  legacy r^2 ranking (a + b * g(n)):\n";
+    List.iter
+      (fun r ->
+        Printf.printf "    %-12s R^2 = %.4f  (cost ~ %.3g + %.3g * g(n))\n"
+          (Aprof_core.Fit.model_name r.Aprof_core.Fit.model)
+          r.Aprof_core.Fit.r_squared r.Aprof_core.Fit.a r.Aprof_core.Fit.b)
+      (Aprof_core.Fit.fit_models points);
+    match Aprof_core.Fit.power_law points with
+    | Some (c, k, r2) ->
+      Printf.printf "    power law: cost ~ %.3g * n^%.2f (R^2 = %.4f)\n" c k r2
+    | None -> ()
+  in
+  let run name routine threads scale seed scheduler profile_path store_path
+      bootstrap =
+    let profile, routine_name, meta =
+      match (name, profile_path) with
+      | Some _, Some _ ->
+        Printf.eprintf "give either a WORKLOAD to run or --profile, not both\n";
         exit 2
-      | Some d ->
-        let points =
-          Aprof_core.Fit.points_of_profile ~metric:`Drms ~cost:`Max d
-        in
-        Printf.printf "%d performance points\n" (List.length points);
-        List.iter
-          (fun r ->
-            Printf.printf "  %-12s R^2 = %.4f  (cost ~ %.3g + %.3g * g(n))\n"
-              (Aprof_core.Fit.model_name r.Aprof_core.Fit.model)
-              r.Aprof_core.Fit.r_squared r.Aprof_core.Fit.a r.Aprof_core.Fit.b)
-          (Aprof_core.Fit.fit_models points);
-        (match Aprof_core.Fit.power_law points with
-        | Some (c, k, r2) ->
-          Printf.printf "  power law: cost ~ %.3g * n^%.2f (R^2 = %.4f)\n" c k r2
-        | None -> ()))
+      | None, None ->
+        Printf.eprintf "nothing to fit: give a WORKLOAD or --profile FILE\n";
+        exit 2
+      | None, Some path -> (
+        match In_channel.with_open_text path Aprof_core.Profile_io.load_meta with
+        | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" path e;
+          exit 2
+        | Ok (profile, names, meta) ->
+          let routine_name id =
+            match List.assoc_opt id names with
+            | Some n -> n
+            | None -> Printf.sprintf "routine_%d" id
+          in
+          (profile, routine_name, meta))
+      | Some name, None ->
+        let result = execute name threads scale seed scheduler in
+        let tbl = result.Aprof_vm.Interp.routines in
+        ( profile_of result,
+          Aprof_trace.Routine_table.name tbl,
+          Some (run_meta name threads scale seed scheduler) )
+    in
+    let entries = Aprof_core.Fit.analyze ~bootstrap ~seed ~routine_name profile in
+    (match routine with
+    | Some routine -> (
+      match
+        List.find_opt
+          (fun (rid, _) -> routine_name rid = routine)
+          (Aprof_core.Profile.merge_threads profile)
+      with
+      | None ->
+        Printf.eprintf "routine %S not found or has no activations\n" routine;
+        exit 2
+      | Some (_, d) -> print_routine ~bootstrap ~seed routine d)
+    | None ->
+      Printf.printf "%-28s %-5s %-14s %8s %6s %10s\n" "routine" "metric"
+        "class" "R^2" "conf" "exponent";
+      List.iter
+        (fun (e : Store.entry) ->
+          Printf.printf "%-28s %-5s %-14s %8.4f %6.2f %10s\n" e.Store.routine
+            (Store.metric_name e.Store.metric)
+            (Basis.name e.Store.cls) e.Store.r2 e.Store.confidence
+            (match e.Store.exponent with
+            | Some (k, _, _) -> Printf.sprintf "n^%.2f" k
+            | None -> "-"))
+        entries);
+    match store_path with
+    | None -> ()
+    | Some path ->
+      let store = Store.create ?meta entries in
+      Out_channel.with_open_text path (fun oc -> Store.save oc store);
+      Printf.printf "%d fitted models written to %s\n" (List.length entries)
+        path
+  in
+  let workload_opt_arg =
+    let doc =
+      "Workload to run and fit (see $(b,aprof list)).  Omit it when \
+       fitting a saved profile with $(b,--profile)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let routine_opt_arg =
+    let doc =
+      "Show the detailed fit of one routine instead of the summary table."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"ROUTINE" ~doc)
+  in
+  let profile_term =
+    let doc =
+      "Fit a profile CSV written by $(b,aprof run -o) instead of running a \
+       workload.  Run metadata saved in the profile is carried into \
+       $(b,--store)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let store_term =
+    let doc =
+      "Write the fitted models (with run metadata) to $(docv), for \
+       $(b,aprof diff)."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+  in
+  let bootstrap_term =
+    let doc =
+      "Bootstrap resamples behind the class-confidence and exponent \
+       intervals (0 disables the bootstrap)."
+    in
+    Arg.(value & opt int 120 & info [ "bootstrap" ] ~docv:"N" ~doc)
   in
   Cmd.v
     (Cmd.info "fit"
-       ~doc:"Estimate the empirical cost function of a routine from its drms points")
+       ~doc:
+         "Estimate empirical cost functions (penalized model selection over \
+          drms points)")
     Term.(
-      const run $ workload_arg $ routine_arg 1 $ threads_term $ scale_term
-      $ seed_term $ scheduler_term)
+      const run $ workload_opt_arg $ routine_opt_arg $ threads_term
+      $ scale_term $ seed_term $ scheduler_term $ profile_term $ store_term
+      $ bootstrap_term)
+
+(* ----- diff ------------------------------------------------------------ *)
+
+let diff_cmd =
+  let module Store = Aprof_analysis.Model_store in
+  let module Diff = Aprof_analysis.Cost_diff in
+  let load_store path =
+    match In_channel.with_open_text path Store.load with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      exit 2
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot load %s: %s\n" path msg;
+      exit 2
+  in
+  let run old_path new_path json fail_on_regression min_confidence slope_ratio
+      ignore_meta =
+    let old_store = load_store old_path in
+    let new_store = load_store new_path in
+    match
+      Diff.diff ~min_confidence ~slope_ratio ~require_meta:(not ignore_meta)
+        old_store new_store
+    with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+    | Ok report ->
+      print_string (Diff.render report);
+      (match json with
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Diff.to_json report))
+      | None -> ());
+      if fail_on_regression && Diff.has_regression report then exit 1
+  in
+  let old_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline model store ($(b,aprof fit --store)).")
+  in
+  let new_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate model store to compare.")
+  in
+  let json_term =
+    let doc = "Write a machine-readable diff summary to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let fail_term =
+    let doc =
+      "Exit 1 when any confirmed regression is found (class moved up the \
+       complexity ladder with confidence, leading coefficient blew past the \
+       slope gate, or an rms/drms divergence appeared)."
+    in
+    Arg.(value & flag & info [ "fail-on-regression" ] ~doc)
+  in
+  let min_confidence_term =
+    let doc =
+      "Bootstrap confidence both runs must reach before a class change is \
+       called a regression (below it, the change is reported as info)."
+    in
+    Arg.(value & opt float 0.7 & info [ "min-confidence" ] ~docv:"X" ~doc)
+  in
+  let slope_ratio_term =
+    let doc =
+      "Leading-coefficient ratio treated as a constant-factor regression \
+       (and its reciprocal as an improvement)."
+    in
+    Arg.(value & opt float 2.0 & info [ "slope-ratio" ] ~docv:"X" ~doc)
+  in
+  let ignore_meta_term =
+    let doc =
+      "Compare the stores even when run metadata is missing or differs \
+       (workload, scale, threads, scheduler).  Off by default: comparing \
+       different setups produces meaningless verdicts."
+    in
+    Arg.(value & flag & info [ "ignore-meta" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two fitted-model stores and flag cost-function regressions \
+          (exit 0 clean, 1 regression with $(b,--fail-on-regression), 2 \
+          incomparable)")
+    Term.(
+      const run $ old_arg $ new_arg $ json_term $ fail_term
+      $ min_confidence_term $ slope_ratio_term $ ignore_meta_term)
 
 (* ----- tools ----------------------------------------------------------- *)
 
@@ -744,5 +956,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; report_cmd; record_cmd; replay_cmd; merge_cmd;
-            plot_cmd; fit_cmd; tools_cmd; overhead_cmd; comm_cmd;
+            plot_cmd; fit_cmd; diff_cmd; tools_cmd; overhead_cmd; comm_cmd;
             contexts_cmd; trace_cmd ]))

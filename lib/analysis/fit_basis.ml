@@ -1,0 +1,94 @@
+type cls =
+  | Constant
+  | Plateau
+  | Logarithmic
+  | Linear
+  | Linearithmic
+  | Quadratic
+  | Quadratic_log
+  | Cubic
+
+let all =
+  [
+    Constant; Plateau; Logarithmic; Linear; Linearithmic; Quadratic;
+    Quadratic_log; Cubic;
+  ]
+
+let order = function
+  | Constant -> 0
+  | Plateau -> 1
+  | Logarithmic -> 2
+  | Linear -> 3
+  | Linearithmic -> 4
+  | Quadratic -> 5
+  | Quadratic_log -> 6
+  | Cubic -> 7
+
+let name = function
+  | Constant -> "O(1)"
+  | Plateau -> "plateau"
+  | Logarithmic -> "O(log n)"
+  | Linear -> "O(n)"
+  | Linearithmic -> "O(n log n)"
+  | Quadratic -> "O(n^2)"
+  | Quadratic_log -> "O(n^2 log n)"
+  | Cubic -> "O(n^3)"
+
+let token = function
+  | Constant -> "const"
+  | Plateau -> "plateau"
+  | Logarithmic -> "log"
+  | Linear -> "linear"
+  | Linearithmic -> "nlogn"
+  | Quadratic -> "quad"
+  | Quadratic_log -> "n2logn"
+  | Cubic -> "cubic"
+
+let of_token = function
+  | "const" -> Some Constant
+  | "plateau" -> Some Plateau
+  | "log" -> Some Logarithmic
+  | "linear" -> Some Linear
+  | "nlogn" -> Some Linearithmic
+  | "quad" -> Some Quadratic
+  | "n2logn" -> Some Quadratic_log
+  | "cubic" -> Some Cubic
+  | _ -> None
+
+(* log clamped at n = 1: input sizes of 0 are legal observations
+   (a routine that consumed nothing) and must not poison the design. *)
+let ln n = log (Float.max n 1.)
+
+let one _ = 1.
+let id n = n
+let nlogn n = n *. ln n
+let sq n = n *. n
+let sqlog n = n *. n *. ln n
+let cube n = n *. n *. n
+
+let columns = function
+  | Constant -> [ one ]
+  | Logarithmic -> [ one; ln ]
+  | Linear -> [ one; id ]
+  | Linearithmic -> [ one; id; nlogn ]
+  | Quadratic -> [ one; id; sq ]
+  | Quadratic_log -> [ one; id; sq; sqlog ]
+  | Cubic -> [ one; id; sq; cube ]
+  | Plateau -> invalid_arg "Fit_basis.columns: Plateau has no linear design"
+
+let param_count = function Plateau -> 3 | c -> List.length (columns c)
+
+let eval cls ~coefs n =
+  match cls with
+  | Plateau -> coefs.(0) +. (coefs.(1) *. Float.min n coefs.(2))
+  | _ ->
+    List.fold_left
+      (fun (acc, i) col -> (acc +. (coefs.(i) *. col n), i + 1))
+      (0., 0) (columns cls)
+    |> fst
+
+let leading_coef cls coefs =
+  match cls with
+  | Constant -> None
+  | Plateau -> Some coefs.(1)
+  | _ -> Some coefs.(Array.length coefs - 1)

@@ -1,0 +1,64 @@
+(** The model family of the cost-function estimator.
+
+    Each complexity class is fitted as a {e nested} least-squares design:
+    the design matrix of a class contains the columns of the classes
+    below it on its chain (e.g. O(n^3) fits [1, n, n^2, n^3]).  Nesting
+    makes the residual sum of squares — and hence r^2 — monotone along a
+    chain, which is exactly why ranking by raw r^2 degenerates into
+    "always pick the biggest model" and why {!Fit_select} ranks by a
+    complexity-penalized criterion instead.
+
+    Beyond the classic ladder the family carries two classes motivated by
+    the paper's drms plots: [Quadratic_log] (n^2 log n, e.g. repeated
+    sorting of growing prefixes) and [Plateau], a piecewise-linear curve
+    that grows and then saturates — the shape of a routine whose drms
+    stops growing once its working set is reached (the rms-vs-drms
+    divergence of Fig. 4).  [Plateau] is not a linear design; it is
+    fitted by a breakpoint scan in {!Fit_solve}. *)
+
+type cls =
+  | Constant
+  | Plateau  (** c0 + c1 * min(n, n0): linear growth saturating at n0 *)
+  | Logarithmic
+  | Linear
+  | Linearithmic
+  | Quadratic
+  | Quadratic_log  (** n^2 log n *)
+  | Cubic
+
+val all : cls list
+
+(** [order cls] ranks classes by asymptotic growth; a {!Cost_diff} class
+    change is a regression when the order increases.  [Plateau] sits
+    between constant and logarithmic: it is asymptotically constant but
+    non-trivial at finite n. *)
+val order : cls -> int
+
+(** [name cls] is the human-readable name, ["O(n log n)"] style. *)
+val name : cls -> string
+
+(** [token cls] / [of_token] — the stable identifiers used by
+    {!Model_store} files. *)
+val token : cls -> string
+
+val of_token : string -> cls option
+
+(** [columns cls] are the design-matrix columns (functions of the input
+    size), intercept first.
+    @raise Invalid_argument on [Plateau] (no linear design). *)
+val columns : cls -> (float -> float) list
+
+(** [param_count cls] — coefficients the class estimates ([Plateau]
+    counts its breakpoint as a third parameter). *)
+val param_count : cls -> int
+
+(** [eval cls ~coefs n] evaluates the fitted curve.  [coefs] are the
+    column coefficients in {!columns} order; for [Plateau],
+    [| c0; c1; n0 |]. *)
+val eval : cls -> coefs:float array -> float -> float
+
+(** [leading_coef cls coefs] is the coefficient of the class-defining
+    (highest-order) term — [None] for [Constant], whose only parameter
+    is the intercept.  A fitted class is only a plausible asymptotic
+    claim when this is positive. *)
+val leading_coef : cls -> float array -> float option

@@ -1,0 +1,222 @@
+let r_squared ~ys ~predicted =
+  let n = float_of_int (List.length ys) in
+  let mean = List.fold_left ( +. ) 0. ys /. n in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.)) 0. ys in
+  let ss_res =
+    List.fold_left2 (fun acc y p -> acc +. ((y -. p) ** 2.)) 0. ys predicted
+  in
+  if ss_tot < 1e-12 then if ss_res < 1e-12 then 1. else 0.
+  else Float.max 0. (1. -. (ss_res /. ss_tot))
+
+(* Gaussian elimination with partial pivoting on the normal equations.
+   [a] is k x k, [b] length k; both are clobbered.  Returns false on a
+   (near-)singular pivot. *)
+let solve_inplace a b =
+  let k = Array.length b in
+  let ok = ref true in
+  (try
+     for col = 0 to k - 1 do
+       let pivot = ref col in
+       for row = col + 1 to k - 1 do
+         if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then
+           pivot := row
+       done;
+       if Float.abs a.(!pivot).(col) < 1e-10 then raise Exit;
+       if !pivot <> col then begin
+         let tmp = a.(col) in
+         a.(col) <- a.(!pivot);
+         a.(!pivot) <- tmp;
+         let tb = b.(col) in
+         b.(col) <- b.(!pivot);
+         b.(!pivot) <- tb
+       end;
+       for row = col + 1 to k - 1 do
+         let f = a.(row).(col) /. a.(col).(col) in
+         for j = col to k - 1 do
+           a.(row).(j) <- a.(row).(j) -. (f *. a.(col).(j))
+         done;
+         b.(row) <- b.(row) -. (f *. b.(col))
+       done
+     done;
+     for col = k - 1 downto 0 do
+       let s = ref b.(col) in
+       for j = col + 1 to k - 1 do
+         s := !s -. (a.(col).(j) *. b.(j))
+       done;
+       b.(col) <- !s /. a.(col).(col)
+     done
+   with Exit -> ok := false);
+  !ok
+
+let fit_terms ?weights ~terms points =
+  let m = List.length points in
+  let k = List.length terms in
+  if m < k || k = 0 then None
+  else begin
+    let xs = Array.of_list (List.map fst points) in
+    let ys = Array.of_list (List.map snd points) in
+    let w =
+      match weights with
+      | Some w when Array.length w = m -> w
+      | Some _ -> invalid_arg "Fit_solve.fit_terms: weights/points mismatch"
+      | None -> Array.make m 1.
+    in
+    let design =
+      Array.map (fun x -> Array.of_list (List.map (fun t -> t x) terms)) xs
+    in
+    (* Column scaling: normalize each column of the *weighted* design
+       (sqrt w_i * term_j x_i) to unit infinity-norm.  This keeps the
+       normal equations solvable when 1 and n^3 share a design, and —
+       because the weights are folded in before scaling — keeps every
+       diagonal entry of the normal matrix at least 1 even when the
+       weights themselves span twenty orders of magnitude (as 1/y^2
+       weights do on a cubic curve). *)
+    let scale = Array.make k 0. in
+    Array.iteri
+      (fun i row ->
+        let sw = sqrt w.(i) in
+        for j = 0 to k - 1 do
+          scale.(j) <- Float.max scale.(j) (sw *. Float.abs row.(j))
+        done)
+      design;
+    if Array.exists (fun s -> s < 1e-300 || not (Float.is_finite s)) scale then
+      None
+    else begin
+      Array.iter
+        (fun row ->
+          for j = 0 to k - 1 do
+            row.(j) <- row.(j) /. scale.(j)
+          done)
+        design;
+      let a = Array.make_matrix k k 0. in
+      let b = Array.make k 0. in
+      for i = 0 to m - 1 do
+        let row = design.(i) in
+        for p = 0 to k - 1 do
+          for q = 0 to k - 1 do
+            a.(p).(q) <- a.(p).(q) +. (w.(i) *. row.(p) *. row.(q))
+          done;
+          b.(p) <- b.(p) +. (w.(i) *. row.(p) *. ys.(i))
+        done
+      done;
+      if not (solve_inplace a b) then None
+      else begin
+        let coefs = Array.mapi (fun j c -> c /. scale.(j)) b in
+        if Array.exists (fun c -> not (Float.is_finite c)) coefs then None
+        else begin
+          let predict x =
+            List.fold_left
+              (fun (acc, j) t -> (acc +. (coefs.(j) *. t x), j + 1))
+              (0., 0) terms
+            |> fst
+          in
+          (* RSS and r^2 under the same weighting as the fit itself; with
+             unit weights this reduces exactly to the unweighted
+             residuals of the legacy estimator. *)
+          let pred = Array.of_list (List.map (fun (x, _) -> predict x) points) in
+          let wsum = Array.fold_left ( +. ) 0. w in
+          let mean =
+            let s = ref 0. in
+            Array.iteri (fun i y -> s := !s +. (w.(i) *. y)) ys;
+            !s /. wsum
+          in
+          let ss_tot = ref 0. and rss = ref 0. in
+          Array.iteri
+            (fun i y ->
+              ss_tot := !ss_tot +. (w.(i) *. ((y -. mean) ** 2.));
+              rss := !rss +. (w.(i) *. ((y -. pred.(i)) ** 2.)))
+            ys;
+          let r2 =
+            if !ss_tot < 1e-12 then if !rss < 1e-12 then 1. else 0.
+            else Float.max 0. (1. -. (!rss /. !ss_tot))
+          in
+          Some (coefs, !rss, r2)
+        end
+      end
+    end
+  end
+
+let linreg points =
+  match fit_terms ~terms:[ (fun _ -> 1.); (fun x -> x) ] points with
+  | Some (coefs, _, _) -> Some (coefs.(0), coefs.(1))
+  | None -> None
+
+type fit = {
+  cls : Fit_basis.cls;
+  coefs : float array;
+  rss : float;
+  r2 : float;
+  params : int;
+}
+
+let predict fit n = Fit_basis.eval fit.cls ~coefs:fit.coefs n
+
+let distinct_inputs points =
+  List.sort_uniq compare (List.map fst points) |> List.length
+
+let float_points points =
+  List.map (fun (n, y) -> (float_of_int n, y)) points
+
+let fit_plateau ?weights points =
+  let fpoints = float_points points in
+  let inputs = List.sort_uniq compare (List.map fst fpoints) in
+  (* A breakpoint is only identified when at least two distinct inputs
+     lie on the growing side and at least one on the plateau. *)
+  let candidates =
+    match inputs with
+    | _ :: _ :: _ ->
+      List.filteri (fun i _ -> i >= 1 && i < List.length inputs - 1) inputs
+    | _ -> []
+  in
+  List.fold_left
+    (fun best n0 ->
+      match
+        fit_terms ?weights
+          ~terms:[ (fun _ -> 1.); (fun n -> Float.min n n0) ]
+          fpoints
+      with
+      | None -> best
+      | Some (coefs, rss, r2) -> (
+        let fit =
+          {
+            cls = Fit_basis.Plateau;
+            coefs = [| coefs.(0); coefs.(1); n0 |];
+            rss;
+            r2;
+            params = 3;
+          }
+        in
+        match best with
+        | Some b when b.rss <= rss -> best
+        | _ -> Some fit))
+    None candidates
+
+let fit_cls ?weights cls points =
+  if distinct_inputs points < 3 then None
+  else
+    match cls with
+    | Fit_basis.Plateau -> fit_plateau ?weights points
+    | _ -> (
+      let terms = Fit_basis.columns cls in
+      match fit_terms ?weights ~terms (float_points points) with
+      | None -> None
+      | Some (coefs, rss, r2) ->
+        Some { cls; coefs; rss; r2; params = List.length terms })
+
+let power_law points =
+  (* Zero or negative costs have no logarithm: drop them up front rather
+     than letting a single log 0 = -inf ride through the sums. *)
+  let usable =
+    List.filter (fun (n, y) -> n > 0 && Float.is_finite y && y > 0.) points
+  in
+  if distinct_inputs usable < 3 then None
+  else begin
+    let logs =
+      List.map (fun (n, y) -> (log (float_of_int n), log y)) usable
+    in
+    match linreg logs with
+    | None -> None
+    | Some (a, k) ->
+      let predicted = List.map (fun (x, _) -> a +. (k *. x)) logs in
+      Some (exp a, k, r_squared ~ys:(List.map snd logs) ~predicted)
+  end

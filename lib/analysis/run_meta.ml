@@ -1,0 +1,46 @@
+type t = {
+  workload : string;
+  seed : int;
+  scale : int;
+  threads : int;
+  scheduler : string;
+}
+
+let to_fields t =
+  [
+    t.workload;
+    string_of_int t.seed;
+    string_of_int t.scale;
+    string_of_int t.threads;
+    t.scheduler;
+  ]
+
+let of_fields = function
+  | workload :: seed :: scale :: threads :: rest when rest <> [] -> (
+    (* The scheduler name is last and may itself contain commas
+       (e.g. "random(8-96)" is safe today, but stay robust). *)
+    let scheduler = String.concat "," rest in
+    match
+      (int_of_string_opt seed, int_of_string_opt scale, int_of_string_opt threads)
+    with
+    | Some seed, Some scale, Some threads ->
+      Ok { workload; seed; scale; threads; scheduler }
+    | _ -> Error "bad run metadata: non-integer seed/scale/threads")
+  | _ -> Error "bad run metadata: expected workload,seed,scale,threads,scheduler"
+
+let compatible ~old_run ~new_run =
+  let mismatch what a b = Error (Printf.sprintf "%s differs (%s vs %s)" what a b) in
+  if old_run.workload <> new_run.workload then
+    mismatch "workload" old_run.workload new_run.workload
+  else if old_run.scale <> new_run.scale then
+    mismatch "scale" (string_of_int old_run.scale) (string_of_int new_run.scale)
+  else if old_run.threads <> new_run.threads then
+    mismatch "threads" (string_of_int old_run.threads)
+      (string_of_int new_run.threads)
+  else if old_run.scheduler <> new_run.scheduler then
+    mismatch "scheduler" old_run.scheduler new_run.scheduler
+  else Ok ()
+
+let to_string t =
+  Printf.sprintf "%s scale=%d threads=%d scheduler=%s seed=%d" t.workload
+    t.scale t.threads t.scheduler t.seed

@@ -1,0 +1,32 @@
+(** Identity of a profiling run, carried by saved profiles and fitted
+    model stores so that downstream comparisons ({!Cost_diff}) can refuse
+    to diff runs that were never comparable in the first place.
+
+    Two runs are comparable when they executed the same workload at the
+    same scale with the same thread count under the same scheduler; the
+    seed is deliberately free — comparing differently-seeded runs of one
+    configuration is exactly the regression-watch use case. *)
+
+type t = {
+  workload : string;
+  seed : int;
+  scale : int;
+  threads : int;
+  scheduler : string;  (** {!Aprof_vm.Scheduler.policy_name} rendering *)
+}
+
+(** [to_fields t] is the CSV field list [workload; seed; scale; threads;
+    scheduler], the wire form shared by {!Profile_io} ([meta,...] line)
+    and {!Model_store}. *)
+val to_fields : t -> string list
+
+(** [of_fields fields] parses {!to_fields} output. *)
+val of_fields : string list -> (t, string) result
+
+(** [compatible ~old_run ~new_run] is [Ok ()] when the two runs may be
+    diffed: equal workload, scale, threads and scheduler.  [Error]
+    carries a human-readable mismatch description. *)
+val compatible : old_run:t -> new_run:t -> (unit, string) result
+
+(** One-line rendering for reports. *)
+val to_string : t -> string

@@ -1,12 +1,29 @@
+(* Facade over the layered analysis stack (lib/analysis).
+
+   The original estimator lived here as a monolith: model family, least
+   squares, and "selection" (a raw r^2 sort) in one file.  Those layers
+   now live in {!Aprof_analysis.Fit_basis}, {!Aprof_analysis.Fit_solve}
+   and {!Aprof_analysis.Fit_select}; this module keeps the historical
+   interface — single growth-term fits ranked by r^2 — exactly as it
+   was, delegating the arithmetic, and adds [analyze], the bridge from a
+   profile to the penalized selection and the model store. *)
+
+module Basis = Aprof_analysis.Fit_basis
+module Solve = Aprof_analysis.Fit_solve
+module Select = Aprof_analysis.Fit_select
+module Store = Aprof_analysis.Model_store
+
 type model = Constant | Logarithmic | Linear | Linearithmic | Quadratic | Cubic
 
-let model_name = function
-  | Constant -> "O(1)"
-  | Logarithmic -> "O(log n)"
-  | Linear -> "O(n)"
-  | Linearithmic -> "O(n log n)"
-  | Quadratic -> "O(n^2)"
-  | Cubic -> "O(n^3)"
+let cls_of_model = function
+  | Constant -> Basis.Constant
+  | Logarithmic -> Basis.Logarithmic
+  | Linear -> Basis.Linear
+  | Linearithmic -> Basis.Linearithmic
+  | Quadratic -> Basis.Quadratic
+  | Cubic -> Basis.Cubic
+
+let model_name m = Basis.name (cls_of_model m)
 
 let growth model n =
   match model with
@@ -23,49 +40,27 @@ type fit_result = { model : model; a : float; b : float; r_squared : float }
 
 let all_models = [ Constant; Logarithmic; Linear; Linearithmic; Quadratic; Cubic ]
 
-(* Simple linear regression of y against x, returning (intercept, slope). *)
-let linreg xs ys =
-  let n = float_of_int (List.length xs) in
-  let sx = List.fold_left ( +. ) 0. xs in
-  let sy = List.fold_left ( +. ) 0. ys in
-  let sxx = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-  let sxy = List.fold_left2 (fun acc x y -> acc +. (x *. y)) 0. xs ys in
-  let denom = (n *. sxx) -. (sx *. sx) in
-  if Float.abs denom < 1e-12 then None
-  else begin
-    let b = ((n *. sxy) -. (sx *. sy)) /. denom in
-    let a = (sy -. (b *. sx)) /. n in
-    Some (a, b)
-  end
-
-let r_squared ys predicted =
-  let n = float_of_int (List.length ys) in
-  let mean = List.fold_left ( +. ) 0. ys /. n in
-  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.)) 0. ys in
-  let ss_res =
-    List.fold_left2 (fun acc y p -> acc +. ((y -. p) ** 2.)) 0. ys predicted
-  in
-  if ss_tot < 1e-12 then if ss_res < 1e-12 then 1. else 0.
-  else Float.max 0. (1. -. (ss_res /. ss_tot))
+(* The legacy single-growth-term design: intercept plus one column.
+   This is deliberately NOT the nested design of {!Fit_basis.columns} —
+   the historical interface promised [a + b * g(n)] fits. *)
+let fit_one model points =
+  let points = List.map (fun (n, y) -> (float_of_int n, y)) points in
+  match model with
+  | Constant -> (
+    match Solve.fit_terms ~terms:[ (fun _ -> 1.) ] points with
+    | None -> None
+    | Some (coefs, _, r2) ->
+      Some { model; a = coefs.(0); b = 0.; r_squared = r2 })
+  | _ -> (
+    match
+      Solve.fit_terms ~terms:[ (fun _ -> 1.); growth model ] points
+    with
+    | None -> None
+    | Some (coefs, _, r2) ->
+      Some { model; a = coefs.(0); b = coefs.(1); r_squared = r2 })
 
 let distinct_inputs points =
   List.sort_uniq compare (List.map fst points) |> List.length
-
-let fit_one model points =
-  let xs = List.map (fun (n, _) -> growth model (float_of_int n)) points in
-  let ys = List.map snd points in
-  match model with
-  | Constant ->
-    let n = float_of_int (List.length ys) in
-    let a = List.fold_left ( +. ) 0. ys /. n in
-    let predicted = List.map (fun _ -> a) ys in
-    Some { model; a; b = 0.; r_squared = r_squared ys predicted }
-  | Logarithmic | Linear | Linearithmic | Quadratic | Cubic -> (
-    match linreg xs ys with
-    | None -> None
-    | Some (a, b) ->
-      let predicted = List.map (fun x -> a +. (b *. x)) xs in
-      Some { model; a; b; r_squared = r_squared ys predicted })
 
 let fit_models points =
   if distinct_inputs points < 3 then []
@@ -76,18 +71,7 @@ let fit_models points =
 let best_fit points =
   match fit_models points with [] -> None | r :: _ -> Some r
 
-let power_law points =
-  let usable = List.filter (fun (n, y) -> n > 0 && y > 0.) points in
-  if distinct_inputs usable < 3 then None
-  else begin
-    let xs = List.map (fun (n, _) -> log (float_of_int n)) usable in
-    let ys = List.map (fun (_, y) -> log y) usable in
-    match linreg xs ys with
-    | None -> None
-    | Some (a, k) ->
-      let predicted = List.map (fun x -> a +. (k *. x)) xs in
-      Some (exp a, k, r_squared ys predicted)
-  end
+let power_law = Solve.power_law
 
 let points_of_profile ~metric ~cost (d : Profile.routine_data) =
   let points =
@@ -104,3 +88,25 @@ let points_of_profile ~metric ~cost (d : Profile.routine_data) =
       in
       (p.Profile.input, c))
     points
+
+let analyze ?cost:(cost_kind = `Max) ?bootstrap ?seed ~routine_name profile =
+  Profile.merge_threads profile
+  |> List.concat_map (fun (rid, data) ->
+         List.filter_map
+           (fun metric ->
+             let points = points_of_profile ~metric ~cost:cost_kind data in
+             match Select.select ?bootstrap ?seed points with
+             | None -> None
+             | Some sel ->
+               Some
+                 {
+                   Store.routine = routine_name rid;
+                   metric;
+                   cls = sel.Select.best.Solve.cls;
+                   coefs = sel.Select.best.Solve.coefs;
+                   n_points = sel.Select.n_points;
+                   r2 = sel.Select.best.Solve.r2;
+                   confidence = sel.Select.confidence;
+                   exponent = sel.Select.exponent;
+                 })
+           [ `Drms; `Rms ])

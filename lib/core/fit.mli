@@ -1,14 +1,20 @@
-(** Empirical cost function estimation.
+(** Empirical cost function estimation — facade over the layered
+    analysis stack.
 
     Given the performance points of a routine profile (input size vs.
     worst-case cost), fit the observations against standard complexity
     models by least squares and select the best-explaining model — the
     step that turns the paper's cost plots into an asymptotic guess.
 
-    Two estimators are provided: [fit_models] over a fixed model family
-    (constant, log n, n, n log n, n^2, n^3), and [power_law], a log-log
-    linear regression reporting an empirical exponent (the approach of
-    Goldsmith et al., which the paper cites as [8]). *)
+    The historical estimators are preserved: [fit_models] fits
+    [a + b * g(n)] for a fixed family of growth terms and ranks by raw
+    r^2, and [power_law] is the log-log regression of Goldsmith et al.
+    (the paper's [8]).  Both now delegate their arithmetic to
+    {!Aprof_analysis.Fit_solve}.  The modern path is [analyze]: the
+    penalized selection of {!Aprof_analysis.Fit_select} over the richer
+    {!Aprof_analysis.Fit_basis} family (plateau, n^2 log n), producing
+    {!Aprof_analysis.Model_store} entries for persistence and the
+    [aprof diff] regression watch. *)
 
 type model = Constant | Logarithmic | Linear | Linearithmic | Quadratic | Cubic
 
@@ -47,3 +53,19 @@ val points_of_profile :
   cost:[ `Max | `Mean ] ->
   Profile.routine_data ->
   (int * float) list
+
+(** [analyze ?cost ?bootstrap ?seed ~routine_name profile] runs the
+    penalized selection ({!Aprof_analysis.Fit_select.select}) on every
+    routine's drms and rms curves after folding the thread dimension
+    away ({!Profile.merge_threads}), and returns one model-store entry
+    per (routine, metric) whose curve supports a fit (at least 3
+    distinct input sizes).  [cost] defaults to [`Max], the paper's
+    worst-case plots; [bootstrap] and [seed] are passed through to the
+    selection. *)
+val analyze :
+  ?cost:[ `Max | `Mean ] ->
+  ?bootstrap:int ->
+  ?seed:int ->
+  routine_name:(int -> string) ->
+  Profile.t ->
+  Aprof_analysis.Model_store.entry list

@@ -6,12 +6,21 @@ let metric_name = function `Drms -> "drms" | `Rms -> "rms"
    2 — identical records, prefixed by an explicit [format,2] header so
        readers (and [aprof merge], which combines dumps from different
        runs) can reject formats they do not understand instead of
-       misparsing them. *)
-let format_version = 2
+       misparsing them.
+   3 — adds an optional [meta,<run metadata>] line (workload, seed,
+       scale, threads, scheduler — see {!Aprof_analysis.Run_meta}) so a
+       dump records the run that produced it and the regression watch
+       can refuse to compare apples to oranges. *)
+let format_version = 3
 
-let save_buf buf ?routine_name (t : Profile.t) =
+let save_buf buf ?routine_name ?meta (t : Profile.t) =
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   add "format,%d" format_version;
+  (match meta with
+  | None -> ()
+  | Some m ->
+    add "meta,%s"
+      (String.concat "," (Aprof_analysis.Run_meta.to_fields m)));
   let keys =
     Profile.keys t
     |> List.sort (fun a b ->
@@ -53,14 +62,15 @@ let save_buf buf ?routine_name (t : Profile.t) =
           [ (`Drms, d.Profile.drms_points); (`Rms, d.Profile.rms_points) ])
     keys
 
-let to_string ?routine_name t =
+let to_string ?routine_name ?meta t =
   let buf = Buffer.create 4096 in
-  save_buf buf ?routine_name t;
+  save_buf buf ?routine_name ?meta t;
   Buffer.contents buf
 
-let save oc ?routine_name t = output_string oc (to_string ?routine_name t)
+let save oc ?routine_name ?meta t =
+  output_string oc (to_string ?routine_name ?meta t)
 
-let parse_line lineno profile names line =
+let parse_line lineno profile names meta line =
   let fail fmt =
     Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
   in
@@ -75,6 +85,12 @@ let parse_line lineno profile names line =
       fail "unsupported profile format version %d (expected <= %d)" v
         format_version
     | None -> fail "bad format version %S" v)
+  | "meta" :: fields -> (
+    match Aprof_analysis.Run_meta.of_fields fields with
+    | Ok m ->
+      meta := Some m;
+      Ok ()
+    | Error e -> fail "%s" e)
   | "routine" :: id :: rest -> (
     match int_of_string_opt id with
     | Some id ->
@@ -140,20 +156,25 @@ let parse_line lineno profile names line =
   | kind :: _ -> fail "unknown record kind %S" kind
   | [] -> Ok ()
 
-let of_string s =
+let of_string_meta s =
   let profile = Profile.create () in
   let names = ref [] in
+  let meta = ref None in
   let lines = String.split_on_char '\n' s in
   let rec go lineno = function
-    | [] -> Ok (profile, List.rev !names)
+    | [] -> Ok (profile, List.rev !names, !meta)
     | line :: rest -> (
-      match parse_line lineno profile names line with
+      match parse_line lineno profile names meta line with
       | Ok () -> go (lineno + 1) rest
       | Error e -> Error e)
   in
   go 1 lines
 
+let of_string s =
+  Result.map (fun (profile, names, _) -> (profile, names)) (of_string_meta s)
+
 let load ic = of_string (In_channel.input_all ic)
+let load_meta ic = of_string_meta (In_channel.input_all ic)
 
 let render_report ~routine_name profile =
   Format.asprintf "%a@.dynamic input volume: %.3f@."

@@ -11,7 +11,11 @@
       — the first-read operation counters.
 
     A [routine,<id>,<name>] line per interned routine makes dumps
-    self-describing.  Loading rebuilds an equivalent {!Profile.t} (point
+    self-describing, and (since format 3) an optional
+    [meta,<workload>,<seed>,<scale>,<threads>,<scheduler>] line records
+    the run that produced the dump ({!Aprof_analysis.Run_meta}) — the
+    regression watch uses it to refuse comparisons across different
+    setups.  Loading rebuilds an equivalent {!Profile.t} (point
     aggregates are reconstructed exactly; per-activation history is not
     retained by profiles in the first place). *)
 
@@ -20,10 +24,15 @@
     rejected with an explicit error rather than misparsed. *)
 val format_version : int
 
-(** [save oc ?routine_name profile] writes the profile as CSV.
-    [routine_name] adds the name table when available. *)
+(** [save oc ?routine_name ?meta profile] writes the profile as CSV.
+    [routine_name] adds the name table and [meta] the run-metadata line
+    when available. *)
 val save :
-  out_channel -> ?routine_name:(int -> string) -> Profile.t -> unit
+  out_channel ->
+  ?routine_name:(int -> string) ->
+  ?meta:Aprof_analysis.Run_meta.t ->
+  Profile.t ->
+  unit
 
 (** [load ic] parses a dump; returns the profile and the routine name
     table found in it (empty list when the dump had none).
@@ -31,10 +40,29 @@ val save :
 val load :
   in_channel -> (Profile.t * (int * string) list, string) result
 
-(** [to_string] / [of_string] — same, via strings (for tests). *)
-val to_string : ?routine_name:(int -> string) -> Profile.t -> string
+(** [load_meta ic] is {!load} plus the run metadata, when the dump
+    carries a [meta] line. *)
+val load_meta :
+  in_channel ->
+  ( Profile.t * (int * string) list * Aprof_analysis.Run_meta.t option,
+    string )
+  result
+
+(** [to_string] / [of_string] / [of_string_meta] — same, via strings
+    (for tests). *)
+val to_string :
+  ?routine_name:(int -> string) ->
+  ?meta:Aprof_analysis.Run_meta.t ->
+  Profile.t ->
+  string
 
 val of_string : string -> (Profile.t * (int * string) list, string) result
+
+val of_string_meta :
+  string ->
+  ( Profile.t * (int * string) list * Aprof_analysis.Run_meta.t option,
+    string )
+  result
 
 (** [render_report ~routine_name profile] is the canonical textual
     rendering used by [aprof report]: the profile table followed by the

@@ -171,6 +171,46 @@ let test_power_law () =
     Alcotest.(check bool) "r2" true (r2 > 0.999)
   | None -> Alcotest.fail "no power law"
 
+(* A zero-cost activation used to put -inf into the log-log regression
+   and poison every coefficient with NaN; such points are now dropped
+   like non-positive inputs. *)
+let test_power_law_zero_cost () =
+  let points = List.map (fun n -> (n, 2. *. (float_of_int n ** 1.5))) sizes in
+  (match Fit.power_law ((5, 0.) :: (7, nan) :: points) with
+  | Some (c, k, r2) ->
+    Alcotest.(check bool) "coefficient finite" true (Float.is_finite c);
+    Alcotest.(check bool) "exponent finite" true (Float.is_finite k);
+    Alcotest.(check bool) "r2 finite" true (Float.is_finite r2);
+    Alcotest.(check (float 0.01)) "coefficient unchanged" 2. c;
+    Alcotest.(check (float 0.01)) "exponent unchanged" 1.5 k
+  | None -> Alcotest.fail "clean subset should still fit");
+  (* All points degenerate: no fit rather than NaN. *)
+  Alcotest.(check bool) "all-zero costs" true
+    (Fit.power_law (List.map (fun n -> (n, 0.)) sizes) = None)
+
+let test_points_of_profile_cost_kinds () =
+  let p = Profile.create () in
+  Profile.record_activation p ~tid:0 ~routine:1 ~rms:3 ~drms:10 ~cost:100;
+  Profile.record_activation p ~tid:0 ~routine:1 ~rms:3 ~drms:10 ~cost:50;
+  Profile.record_activation p ~tid:0 ~routine:1 ~rms:4 ~drms:20 ~cost:300;
+  let d = Option.get (Profile.data p { Profile.tid = 0; routine = 1 }) in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "drms worst-case"
+    [ (10, 100.); (20, 300.) ]
+    (Fit.points_of_profile ~metric:`Drms ~cost:`Max d);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "drms mean"
+    [ (10, 75.); (20, 300.) ]
+    (Fit.points_of_profile ~metric:`Drms ~cost:`Mean d);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "rms worst-case"
+    [ (3, 100.); (4, 300.) ]
+    (Fit.points_of_profile ~metric:`Rms ~cost:`Max d);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "rms mean"
+    [ (3, 75.); (4, 300.) ]
+    (Fit.points_of_profile ~metric:`Rms ~cost:`Mean d)
+
 let fit_prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"fit r_squared in [0,1]" ~count:100
@@ -197,5 +237,9 @@ let suite =
     Alcotest.test_case "fit constant" `Quick test_fit_constant;
     Alcotest.test_case "fit needs 3 points" `Quick test_fit_too_few_points;
     Alcotest.test_case "power law" `Quick test_power_law;
+    Alcotest.test_case "power law ignores zero-cost points" `Quick
+      test_power_law_zero_cost;
+    Alcotest.test_case "points_of_profile cost kinds" `Quick
+      test_points_of_profile_cost_kinds;
     fit_prop;
   ]

@@ -98,10 +98,71 @@ let helgrind_case ~workload ~threads ~scale () =
   check_golden (workload ^ ".helgrind.txt")
     (Aprof_tools.Helgrind_lite.render_report h)
 
+(* The `aprof diff` rendering is pinned from a hand-built store pair
+   exercising every finding kind: a confident class regression, a
+   below-gate (info) class change, a slope regression, a divergence
+   appearance, and routines present on only one side. *)
+let diff_case () =
+  let module Basis = Aprof_analysis.Fit_basis in
+  let module Store = Aprof_analysis.Model_store in
+  let module Diff = Aprof_analysis.Cost_diff in
+  let meta seed =
+    {
+      Aprof_analysis.Run_meta.workload = "mysqlslap";
+      seed;
+      scale = 40;
+      threads = 4;
+      scheduler = "round-robin(64)";
+    }
+  in
+  let entry routine metric cls coefs confidence =
+    {
+      Store.routine;
+      metric;
+      cls;
+      coefs;
+      n_points = 12;
+      r2 = 0.99;
+      confidence;
+      exponent = Some (1.0, 0.9, 1.1);
+    }
+  in
+  let old_store =
+    Store.create ~meta:(meta 1)
+      [
+        entry "query_exec" `Drms Basis.Linear [| 5.; 3. |] 0.95;
+        entry "query_exec" `Rms Basis.Linear [| 5.; 3. |] 0.95;
+        entry "row_scan" `Drms Basis.Quadratic [| 1.; 0.; 0.5 |] 0.6;
+        entry "cache_probe" `Drms Basis.Linear [| 2.; 8. |] 0.9;
+        entry "cache_probe" `Rms Basis.Linear [| 2.; 8. |] 0.9;
+        entry "hash_insert" `Drms Basis.Linear [| 2.; 3. |] 0.9;
+        entry "retired" `Drms Basis.Constant [| 7. |] 1.0;
+      ]
+  in
+  let new_store =
+    Store.create ~meta:(meta 2)
+      [
+        entry "query_exec" `Drms Basis.Quadratic [| 5.; 3.; 0.2 |] 0.92;
+        entry "query_exec" `Rms Basis.Linear [| 5.; 3. |] 0.95;
+        entry "row_scan" `Drms Basis.Cubic [| 1.; 0.; 0.; 0.1 |] 0.55;
+        entry "cache_probe" `Drms Basis.Plateau [| 2.; 8.; 600. |] 0.9;
+        entry "cache_probe" `Rms Basis.Linear [| 2.; 8. |] 0.9;
+        entry "hash_insert" `Drms Basis.Linear [| 2.; 9. |] 0.9;
+        entry "fresh" `Drms Basis.Logarithmic [| 1.; 4. |] 1.0;
+      ]
+  in
+  match Diff.diff old_store new_store with
+  | Error e -> Alcotest.failf "diff refused: %s" e
+  | Ok report ->
+    Alcotest.(check bool) "has regression" true (Diff.has_regression report);
+    check_golden "cost_diff.report.txt" (Diff.render report);
+    check_golden "cost_diff.report.json" (Diff.to_json report ^ "\n")
+
 let suite =
   [
     Alcotest.test_case "producer_consumer report" `Quick
       (run_case ~workload:"producer_consumer" ~threads:4 ~scale:60);
+    Alcotest.test_case "cost diff report" `Quick diff_case;
     Alcotest.test_case "mysqlslap report" `Quick
       (run_case ~workload:"mysqlslap" ~threads:4 ~scale:40);
     Alcotest.test_case "producer_consumer helgrind report" `Quick

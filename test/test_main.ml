@@ -26,6 +26,7 @@ let () =
       ("work-stealing", Test_par_ws.suite);
       ("parallel-differential", Test_parallel_differential.suite);
       ("profile-io", Test_profile_io.suite);
+      ("analysis", Test_analysis.suite);
       ("modes", Test_modes.suite);
       ("cct", Test_cct.suite);
       ("plot", Test_plot.suite);

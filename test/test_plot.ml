@@ -29,6 +29,28 @@ let test_degenerate_ranges () =
   Alcotest.(check bool) "single point ok" true
     (String.contains (Plot.render_string p) '#')
 
+let test_single_point () =
+  let p = Plot.create ~title:"one" ~x_label:"x" ~y_label:"y" () in
+  Plot.add_series p ~name:"s" ~marker:'@' [ (3., 9.) ];
+  Alcotest.(check bool) "single point drawn" true
+    (String.contains (Plot.render_string p) '@')
+
+let test_constant_series () =
+  (* Zero y-range: every point shares one value, so the y scale is
+     degenerate; the plot must still place the markers, not divide by
+     the empty range. *)
+  let p = Plot.create ~title:"const" ~x_label:"x" ~y_label:"y" () in
+  Plot.add_series p ~name:"s" ~marker:'+'
+    (List.init 6 (fun i -> (float_of_int (i + 1), 42.)));
+  let s = Plot.render_string p in
+  Alcotest.(check bool) "constant series drawn" true (String.contains s '+');
+  (* Also degenerate in x: a vertical stack of distinct ys. *)
+  let q = Plot.create ~title:"vert" ~x_label:"x" ~y_label:"y" () in
+  Plot.add_series q ~name:"s" ~marker:'o'
+    (List.init 4 (fun i -> (5., float_of_int (10 * (i + 1)))));
+  Alcotest.(check bool) "vertical series drawn" true
+    (String.contains (Plot.render_string q) 'o')
+
 let test_small_grid_rejected () =
   Alcotest.check_raises "too small"
     (Invalid_argument "Ascii_plot.create: grid too small") (fun () ->
@@ -51,6 +73,8 @@ let suite =
     Alcotest.test_case "render contains points" `Quick test_render_contains_points;
     Alcotest.test_case "render empty" `Quick test_render_empty;
     Alcotest.test_case "degenerate ranges" `Quick test_degenerate_ranges;
+    Alcotest.test_case "single point" `Quick test_single_point;
+    Alcotest.test_case "constant series" `Quick test_constant_series;
     Alcotest.test_case "small grid rejected" `Quick test_small_grid_rejected;
     Alcotest.test_case "csv" `Quick test_csv;
     Alcotest.test_case "histogram" `Quick test_histogram;

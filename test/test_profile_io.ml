@@ -79,6 +79,45 @@ let test_format_versions () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "future format version accepted"
 
+let test_meta_roundtrip () =
+  let result = run_workload (Aprof_workloads.Patterns.producer_consumer ~n:5) in
+  let profile = run_drms result.Aprof_vm.Interp.trace in
+  let meta =
+    {
+      Aprof_analysis.Run_meta.workload = "producer_consumer";
+      seed = 7;
+      scale = 5;
+      threads = 2;
+      scheduler = "round-robin(64)";
+    }
+  in
+  let dump = Profile_io.to_string ~meta profile in
+  (match Profile_io.of_string_meta dump with
+  | Ok (p, _, Some m) ->
+    check_profiles_equal "profile survives with meta" profile p;
+    Alcotest.(check string) "workload" "producer_consumer"
+      m.Aprof_analysis.Run_meta.workload;
+    Alcotest.(check int) "seed" 7 m.Aprof_analysis.Run_meta.seed;
+    Alcotest.(check int) "scale" 5 m.Aprof_analysis.Run_meta.scale;
+    Alcotest.(check int) "threads" 2 m.Aprof_analysis.Run_meta.threads;
+    Alcotest.(check string) "scheduler" "round-robin(64)"
+      m.Aprof_analysis.Run_meta.scheduler
+  | Ok (_, _, None) -> Alcotest.fail "meta line lost"
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  (* A dump without the meta line loads with [None], and the plain
+     loader ignores the meta line entirely. *)
+  (match Profile_io.of_string_meta (Profile_io.to_string profile) with
+  | Ok (_, _, None) -> ()
+  | Ok (_, _, Some _) -> Alcotest.fail "phantom meta"
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  (match Profile_io.of_string dump with
+  | Ok (p, _) -> check_profiles_equal "plain loader skips meta" profile p
+  | Error e -> Alcotest.failf "plain load failed: %s" e);
+  (* A malformed meta line is an error, not a silent None. *)
+  match Profile_io.of_string_meta "format,3\nmeta,w,notanint,1,1,s\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad meta accepted"
+
 let test_malformed () =
   List.iter
     (fun s ->
@@ -93,5 +132,6 @@ let suite =
     Alcotest.test_case "routine names" `Quick test_routine_names;
     Alcotest.test_case "metrics survive" `Quick test_metrics_survive;
     Alcotest.test_case "format versions" `Quick test_format_versions;
+    Alcotest.test_case "run metadata roundtrip" `Quick test_meta_roundtrip;
     Alcotest.test_case "malformed input rejected" `Quick test_malformed;
   ]
