@@ -65,6 +65,16 @@ let run ~quick ppf =
   let cores = Par.available_parallelism () in
   Format.fprintf ppf "trace: %d events, %d cores available@." (Vec.length trace)
     cores;
+  (* On one core a speedup column would only ever show noise around
+     1.0x and invite misreading as "parallelism is broken": warn loudly
+     and omit the column entirely (text and JSON) instead of printing a
+     number that cannot mean anything here. *)
+  let single_core = cores <= 1 in
+  if single_core then
+    Format.fprintf ppf
+      "  *** cores: 1 — single-core host: scaling cannot be measured; \
+       speedup_vs_j1 is omitted from all rows (run on a multi-core \
+       machine, e.g. the CI parallel gate, for real curves) ***@.";
   let path = Filename.temp_file "aprof_parallel" ".atrc" in
   Out_channel.with_open_bin path (fun oc ->
       let sink =
@@ -131,23 +141,30 @@ let run ~quick ppf =
       if jobs = 1 then base := seconds;
       let mev = float_of_int events /. seconds /. 1e6 in
       let speedup = !base /. seconds in
-      Format.fprintf ppf
-        "  %-13s jobs=%d  %8d events  %.3fs  %6.2fM ev/s  speedup %.2fx@."
-        label jobs events seconds mev speedup;
+      if single_core then
+        Format.fprintf ppf
+          "  %-13s jobs=%d  %8d events  %.3fs  %6.2fM ev/s@." label jobs
+          events seconds mev
+      else
+        Format.fprintf ppf
+          "  %-13s jobs=%d  %8d events  %.3fs  %6.2fM ev/s  speedup %.2fx@."
+          label jobs events seconds mev speedup;
       Exp_common.emit_row ~experiment:"parallel"
-        [
-          ("tool", Exp_common.String label);
-          ("jobs", Exp_common.Int jobs);
-          ("cores", Exp_common.Int cores);
-          ( "domains",
-            (* Domains the pool actually runs on: the 4.14 backend has
-               no Domain module and executes every task on the caller. *)
-            Exp_common.Int (if Par.parallel_backend then jobs else 1) );
-          ("events", Exp_common.Int events);
-          ("seconds", Exp_common.Float seconds);
-          ("mev_per_s", Exp_common.Float mev);
-          ("speedup_vs_j1", Exp_common.Float speedup);
-        ]
+        ([
+           ("tool", Exp_common.String label);
+           ("jobs", Exp_common.Int jobs);
+           ("cores", Exp_common.Int cores);
+           ( "domains",
+             (* Domains the pool actually runs on: the 4.14 backend has
+                no Domain module and executes every task on the caller. *)
+             Exp_common.Int (if Par.parallel_backend then jobs else 1) );
+           ("events", Exp_common.Int events);
+           ("seconds", Exp_common.Float seconds);
+           ("mev_per_s", Exp_common.Float mev);
+         ]
+        @
+        if single_core then []
+        else [ ("speedup_vs_j1", Exp_common.Float speedup) ])
     done
   in
   List.iter

@@ -22,6 +22,7 @@ let experiments quick :
     ("codec", "binary vs text trace pipeline", Exp_codec.run ~quick);
     ("replay", "batched vs per-event replay hot path", Exp_replay.run ~quick);
     ("parallel", "sharded parallel replay scaling", Exp_parallel.run ~quick);
+    ("serve", "concurrent ingest daemon throughput", Exp_serve.run ~quick);
     ("faults", "fault injection and salvage on a recorded trace", Exp_faults.run ~quick);
     ("fit", "penalized cost-model selection battery", Exp_fit.run ~quick);
     ("comm", "communication characterization (future-work direction)", Exp_comm.run);

@@ -12,7 +12,13 @@
                                (penalized selection; --store writes a
                                model store for the regression watch)
      diff <old> <new>          compare two model stores and flag
-                               cost-function regressions *)
+                               cost-function regressions
+     serve                     always-on ingest daemon: concurrent ATRC
+                               streams, live sharded aggregation
+     push <file>               stream a recorded trace to a daemon
+     ctl <command>             control a daemon (ping/stats/snapshot/stop)
+     fleet <profile>...        fleet cost-throughput CSV from saved
+                               profiles (offline --fleet-csv twin) *)
 
 open Cmdliner
 
@@ -866,40 +872,53 @@ let replay_cmd =
 (* ----- merge ----------------------------------------------------------- *)
 
 let merge_cmd =
+  (* Inputs stream through one at a time — each dump is loaded, folded
+     into the accumulator with [merge_into], and released, so memory
+     stays bounded by the largest single input, not the sum.  A file
+     that fails to load is reported and skipped; the merge of the rest
+     still comes out, and the failures make the exit status 2 at the
+     end (mirroring replay's per-file isolation). *)
   let run output inputs =
     let profile = Aprof_core.Profile.create () in
-    let names = ref [] in
-    (try
-       List.iter
-         (fun path ->
-           match In_channel.with_open_text path Aprof_core.Profile_io.load with
-           | Error e ->
-             Printf.eprintf "cannot load %s: %s\n" path e;
-             exit 2
-           | Ok (p, ns) ->
-             Aprof_core.Profile.merge_into ~into:profile p;
-             List.iter
-               (fun (id, n) ->
-                 if not (List.mem_assoc id !names) then
-                   names := (id, n) :: !names)
-               ns)
-         inputs
-     with Sys_error msg ->
-       Printf.eprintf "cannot merge: %s\n" msg;
-       exit 2);
+    let names = Hashtbl.create 64 in
+    let failures = ref [] in
+    let merged = ref 0 in
+    List.iter
+      (fun path ->
+        match In_channel.with_open_text path Aprof_core.Profile_io.load with
+        | Ok (p, ns) ->
+          Aprof_core.Profile.merge_into ~into:profile p;
+          List.iter
+            (fun (id, n) ->
+              if not (Hashtbl.mem names id) then Hashtbl.add names id n)
+            ns;
+          incr merged
+        | Error e -> failures := (path, e) :: !failures
+        | exception Sys_error msg -> failures := (path, msg) :: !failures)
+      inputs;
     let routine_name id =
-      match List.assoc_opt id !names with
+      match Hashtbl.find_opt names id with
       | Some n -> n
       | None -> Printf.sprintf "routine_%d" id
     in
-    match output with
+    (match output with
     | Some path ->
       Out_channel.with_open_text path (fun oc ->
           Aprof_core.Profile_io.save oc ~routine_name profile);
-      Printf.printf "merged %d profiles into %s\n" (List.length inputs) path
+      Printf.printf "merged %d of %d profiles into %s\n" !merged
+        (List.length inputs) path
     | None ->
       print_string
-        (Aprof_core.Profile_io.render_report ~routine_name profile)
+        (Aprof_core.Profile_io.render_report ~routine_name profile));
+    match List.rev !failures with
+    | [] -> ()
+    | fs ->
+      List.iter
+        (fun (path, e) -> Printf.eprintf "cannot load %s: %s\n" path e)
+        fs;
+      Printf.eprintf "%d of %d inputs failed to load\n" (List.length fs)
+        (List.length inputs);
+      exit 2
   in
   let inputs_arg =
     Arg.(
@@ -923,6 +942,392 @@ let merge_cmd =
          "Merge saved profiles (shards of one trace, or runs over several \
           traces) into one")
     Term.(const run $ output_term $ inputs_arg)
+
+(* ----- serve / push / ctl / fleet --------------------------------------- *)
+
+let default_socket = "/tmp/aprof.sock"
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+    | _ -> failwith ("cannot resolve " ^ host))
+
+(* ADDR is [unix:PATH] or [HOST:PORT]; shared by push and ctl. *)
+let parse_addr s =
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix.ADDR_UNIX (String.sub s 5 (String.length s - 5)))
+  else
+    match String.rindex_opt s ':' with
+    | None -> Ok (Unix.ADDR_UNIX s)  (* a bare path *)
+    | Some i -> (
+      let host = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | None -> Error (Printf.sprintf "bad port in %S" s)
+      | Some port -> (
+        try Ok (Unix.ADDR_INET (resolve_host host, port))
+        with Failure m -> Error m))
+
+let connect_term =
+  let doc =
+    "Daemon address: $(b,unix:PATH), a bare socket path, or $(b,HOST:PORT)."
+  in
+  Arg.(
+    value
+    & opt string ("unix:" ^ default_socket)
+    & info [ "c"; "connect" ] ~docv:"ADDR" ~doc)
+
+let connect_to addr_s =
+  match parse_addr addr_s with
+  | Error m ->
+    Printf.eprintf "%s\n" m;
+    exit 2
+  | Ok addr -> (
+    let fd =
+      Unix.socket
+        (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+        Unix.SOCK_STREAM 0
+    in
+    try
+      Unix.connect fd addr;
+      fd
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to %s: %s\n" addr_s
+        (Unix.error_message e);
+      exit 2)
+
+let serve_cmd =
+  let module Server = Aprof_serve.Server in
+  let run unix_path tcp profiler shards jobs snapshot_every out fleet_csv
+      idle_timeout salvage quiet =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let tcp =
+      match tcp with
+      | None -> None
+      | Some s -> (
+        match String.rindex_opt s ':' with
+        | Some i -> (
+          match
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some port -> Some (String.sub s 0 i, port)
+          | None ->
+            Printf.eprintf "bad --tcp %S (HOST:PORT)\n" s;
+            exit 2)
+        | None ->
+          Printf.eprintf "bad --tcp %S (HOST:PORT)\n" s;
+          exit 2)
+    in
+    (* Default to the conventional Unix socket when no listener is given. *)
+    let unix_path =
+      match (unix_path, tcp) with
+      | None, None -> Some default_socket
+      | u, _ -> u
+    in
+    let log = if quiet then ignore else fun m -> Printf.eprintf "[serve] %s\n%!" m in
+    let cfg =
+      {
+        Server.default_config with
+        unix_path;
+        tcp;
+        profiler;
+        shards;
+        jobs =
+          (if jobs = 0 then Server.default_config.Server.jobs else jobs);
+        snapshot_every;
+        snapshot_profile = out;
+        fleet_csv;
+        idle_timeout;
+        salvage;
+        log;
+      }
+    in
+    let srv =
+      try Server.start cfg
+      with Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "cannot listen: %s(%s): %s\n" fn arg
+          (Unix.error_message e);
+        exit 2
+    in
+    let stop _ = Server.request_stop srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (* SIGHUP = "write a snapshot now", the classic daemon convention. *)
+    Sys.set_signal Sys.sighup
+      (Sys.Signal_handle (fun _ -> Server.request_snapshot srv));
+    Server.wait srv;
+    let s = Server.stats srv in
+    log
+      (Printf.sprintf
+         "stopped: %d connections, %d traces, %d events, %d drops"
+         s.Server.s_conns s.Server.s_traces s.Server.s_events s.Server.s_drops)
+  in
+  let unix_term =
+    let doc = "Listen on a Unix-domain socket at $(docv) (the default \
+               listener, at " ^ default_socket ^ ", when no --tcp is given)." in
+    Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_term =
+    let doc = "Additionally (or instead) listen on $(docv) (HOST:PORT; \
+               port 0 picks one)." in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let profiler_term =
+    let doc = "Profiler run over each stream: $(b,drms), $(b,rms) or $(b,naive)." in
+    Arg.(
+      value
+      & opt (enum [ ("drms", `Drms); ("rms", `Rms); ("naive", `Naive) ]) `Drms
+      & info [ "profiler" ] ~docv:"P" ~doc)
+  in
+  let shards_term =
+    let doc = "Profile accumulator shards (more shards, less fold contention)." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let jobs_term =
+    let doc = "Ingest workers (0 = one per available core)." in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let every_term =
+    let doc = "Write snapshot artifacts every $(docv) seconds (0 = only on \
+               SIGHUP or a SNAPSHOT control command, plus the final one)." in
+    Arg.(value & opt float 0. & info [ "snapshot-every" ] ~docv:"SECS" ~doc)
+  in
+  let out_term =
+    let doc = "Write the aggregated profile CSV to $(docv) at each snapshot." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let fleet_term =
+    let doc = "Write the per-client/aggregate/top-routine fleet CSV to \
+               $(docv) at each snapshot." in
+    Arg.(value & opt (some string) None & info [ "fleet-csv" ] ~docv:"FILE" ~doc)
+  in
+  let idle_term =
+    let doc = "Kill a connection silent for $(docv) seconds (0 = never)." in
+    Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let salvage_term =
+    let doc =
+      "Salvage damaged streams: drop corrupt chunks (reported in the log) \
+       instead of failing the connection."
+    in
+    Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+  in
+  let quiet_term =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the serve log.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the always-on ingest daemon: accept concurrent ATRC streams, \
+          aggregate live, snapshot on demand")
+    Term.(
+      const run $ unix_term $ tcp_term $ profiler_term $ shards_term
+      $ jobs_term $ every_term $ out_term $ fleet_term $ idle_term
+      $ salvage_term $ quiet_term)
+
+let push_cmd =
+  let run connect path repeat flip_byte =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fd = connect_to connect in
+    let chunk = Bytes.create (64 * 1024) in
+    let sent = ref 0 in
+    let send_once () =
+      In_channel.with_open_bin path (fun ic ->
+          let rec loop off =
+            match In_channel.input ic chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              (* Deterministic fault injection for the isolation tests:
+                 flip one byte at a file offset, every repetition. *)
+              (match flip_byte with
+              | Some fo when fo >= off && fo < off + n ->
+                Bytes.set chunk (fo - off)
+                  (Char.chr (Char.code (Bytes.get chunk (fo - off)) lxor 0xff))
+              | _ -> ());
+              let rec write o =
+                if o < n then
+                  match Unix.write fd chunk o (n - o) with
+                  | 0 -> failwith "socket closed"
+                  | k -> write (o + k)
+              in
+              write 0;
+              sent := !sent + n;
+              loop (off + n)
+          in
+          loop 0)
+    in
+    (try
+       for _ = 1 to repeat do
+         send_once ()
+       done;
+       Unix.shutdown fd Unix.SHUTDOWN_SEND
+     with
+    | Sys_error msg | Failure msg ->
+      Printf.eprintf "push failed: %s\n" msg;
+      exit 2
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "push failed: %s\n" (Unix.error_message e);
+      exit 2);
+    (* Wait for the server to consume everything and close its end, so
+       "push; ctl snapshot" sequences observe their own bytes. *)
+    let b = Bytes.create 1 in
+    (try while Unix.read fd b 0 1 > 0 do () done with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Printf.eprintf "pushed %d bytes (%s x%d) to %s\n" !sent path repeat connect
+  in
+  let path_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Binary trace written by $(b,aprof record) to stream.")
+  in
+  let repeat_term =
+    let doc = "Stream the trace $(docv) times back-to-back on one connection." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let flip_term =
+    let doc =
+      "Corrupt the stream by flipping the byte at file offset $(docv) \
+       (fault-injection aid for testing isolation and salvage)."
+    in
+    Arg.(value & opt (some int) None & info [ "flip-byte" ] ~docv:"OFF" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "push"
+       ~doc:"Stream a recorded trace file to a running $(b,aprof serve) daemon")
+    Term.(const run $ connect_term $ path_arg $ repeat_term $ flip_term)
+
+let ctl_cmd =
+  let run connect command =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fd = connect_to connect in
+    let cmd = String.uppercase_ascii command ^ "\n" in
+    let b = Bytes.of_string cmd in
+    (try ignore (Unix.write fd b 0 (Bytes.length b))
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "ctl failed: %s\n" (Unix.error_message e);
+       exit 2);
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 1024 in
+    (try
+       let rec loop () =
+         match Unix.read fd chunk 0 (Bytes.length chunk) with
+         | 0 -> ()
+         | n ->
+           Buffer.add_subbytes buf chunk 0 n;
+           loop ()
+       in
+       loop ()
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    let reply = Buffer.contents buf in
+    print_string reply;
+    if String.length reply >= 3 && String.sub reply 0 3 = "ERR" then exit 1
+  in
+  let command_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"COMMAND"
+          ~doc:
+            "Control command: $(b,ping), $(b,stats), $(b,snapshot) (write \
+             the configured artifacts now) or $(b,stop).")
+  in
+  Cmd.v
+    (Cmd.info "ctl" ~doc:"Send a control command to a running daemon")
+    Term.(const run $ connect_term $ command_arg)
+
+let fleet_cmd =
+  (* Offline twin of --fleet-csv: the same document computed from saved
+     profile dumps, one client row per file.  Event counts are not
+     recorded in profile dumps, so activations stand in for events and
+     the throughput column is zero. *)
+  let run output top inputs =
+    let merged = Aprof_core.Profile.create () in
+    let names = Hashtbl.create 64 in
+    let failures = ref [] in
+    let clients =
+      List.map
+        (fun path ->
+          match In_channel.with_open_text path Aprof_core.Profile_io.load with
+          | Ok (p, ns) ->
+            Aprof_core.Profile.merge_into ~into:merged p;
+            List.iter
+              (fun (id, n) ->
+                if not (Hashtbl.mem names id) then Hashtbl.add names id n)
+              ns;
+            {
+              Aprof_serve.Fleet.name = path;
+              events = Aprof_core.Profile.total_activations p;
+              traces = 1;
+              drops = 0;
+              bytes = 0;
+              seconds = 0.;
+              error = None;
+            }
+          | Error e ->
+            failures := (path, e) :: !failures;
+            {
+              Aprof_serve.Fleet.name = path;
+              events = 0;
+              traces = 0;
+              drops = 0;
+              bytes = 0;
+              seconds = 0.;
+              error = Some e;
+            }
+          | exception Sys_error msg ->
+            failures := (path, msg) :: !failures;
+            {
+              Aprof_serve.Fleet.name = path;
+              events = 0;
+              traces = 0;
+              drops = 0;
+              bytes = 0;
+              seconds = 0.;
+              error = Some msg;
+            })
+        inputs
+    in
+    let name_of id =
+      match Hashtbl.find_opt names id with
+      | Some n -> n
+      | None -> Printf.sprintf "routine_%d" id
+    in
+    let doc =
+      Aprof_serve.Fleet.render ~top ~seconds:0. ~name_of ~profile:merged
+        clients
+    in
+    (match output with
+    | Some path -> Out_channel.with_open_text path (fun oc -> output_string oc doc)
+    | None -> print_string doc);
+    match !failures with
+    | [] -> ()
+    | fs ->
+      Printf.eprintf "%d of %d inputs failed to load\n" (List.length fs)
+        (List.length inputs);
+      exit 2
+  in
+  let inputs_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PROFILE"
+          ~doc:"Profile CSVs written by $(b,aprof run -o) or a serve snapshot.")
+  in
+  let output_term =
+    let doc = "Write the fleet CSV to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let top_term =
+    let doc = "Number of top cost-moving routines to include." in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Summarize saved profiles as a fleet cost-throughput CSV (offline \
+          twin of $(b,aprof serve --fleet-csv))")
+    Term.(const run $ output_term $ top_term $ inputs_arg)
 
 (* ----- trace ----------------------------------------------------------- *)
 
@@ -956,5 +1361,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; report_cmd; record_cmd; replay_cmd; merge_cmd;
+            serve_cmd; push_cmd; ctl_cmd; fleet_cmd;
             plot_cmd; fit_cmd; diff_cmd; tools_cmd; overhead_cmd; comm_cmd;
             contexts_cmd; trace_cmd ]))

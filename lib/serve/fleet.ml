@@ -1,0 +1,119 @@
+(* Fleet cost-throughput CSV: one flat table describing what a serve
+   run (or an offline set of profiles) ingested.  Three row kinds share
+   the column set:
+
+     kind=client     one per connection / input file: ingest volume and
+                     rate, plus its terminal status
+     kind=aggregate  one row: fleet-wide totals
+     kind=routine    top-K cost movers of the merged profile, ranked by
+                     total cost, with each routine's share of the fleet's
+                     cost
+
+   Pure string building — no IO, no locking — so it is trivially
+   testable and callable from the snapshot thread with data it already
+   copied out. *)
+
+module Profile = Aprof_core.Profile
+
+type client = {
+  name : string;
+  events : int;
+  traces : int;
+  drops : int;
+  bytes : int;
+  seconds : float;
+  error : string option;
+}
+
+let header =
+  "kind,name,events,traces,drops,bytes,seconds,mev_per_s,status,activations,total_cost,cost_share"
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    b
+    |> Buffer.contents
+  end
+
+let fnum x = Printf.sprintf "%.6f" x
+
+let mev_per_s ~events ~seconds =
+  if seconds > 0. then float_of_int events /. seconds /. 1e6 else 0.
+
+let client_row c =
+  let status = match c.error with None -> "ok" | Some e -> "error: " ^ e in
+  Printf.sprintf "client,%s,%d,%d,%d,%d,%s,%s,%s,,,"
+    (csv_field c.name) c.events c.traces c.drops c.bytes (fnum c.seconds)
+    (fnum (mev_per_s ~events:c.events ~seconds:c.seconds))
+    (csv_field status)
+
+let aggregate_row ~seconds clients =
+  let sum f = List.fold_left (fun a c -> a + f c) 0 clients in
+  let events = sum (fun c -> c.events) in
+  Printf.sprintf "aggregate,all,%d,%d,%d,%d,%s,%s,%s,,," events
+    (sum (fun c -> c.traces))
+    (sum (fun c -> c.drops))
+    (sum (fun c -> c.bytes))
+    (fnum seconds)
+    (fnum (mev_per_s ~events ~seconds))
+    (Printf.sprintf "%d clients" (List.length clients) |> csv_field)
+
+(* Top-K routines by total cost across the merged (thread-folded)
+   profile: the fleet's "cost movers". *)
+let routine_rows ?(top = 20) ~name_of profile =
+  let per_routine = Profile.merge_threads profile in
+  let total =
+    List.fold_left
+      (fun a (_, d) -> a +. d.Profile.total_cost)
+      0. per_routine
+  in
+  let ranked =
+    List.sort
+      (fun (_, a) (_, b) ->
+        compare b.Profile.total_cost a.Profile.total_cost)
+      per_routine
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  List.map
+    (fun (r, d) ->
+      let share = if total > 0. then d.Profile.total_cost /. total else 0. in
+      Printf.sprintf "routine,%s,,,,,,,,%d,%s,%s"
+        (csv_field (name_of r))
+        d.Profile.activations
+        (fnum d.Profile.total_cost)
+        (fnum share))
+    (take top ranked)
+
+(* The whole document.  [seconds] is the fleet wall-clock window the
+   aggregate throughput is computed over. *)
+let render ?top ~seconds ~name_of ~profile clients =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun c ->
+      Buffer.add_string b (client_row c);
+      Buffer.add_char b '\n')
+    clients;
+  Buffer.add_string b (aggregate_row ~seconds clients);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b row;
+      Buffer.add_char b '\n')
+    (routine_rows ?top ~name_of profile);
+  Buffer.contents b

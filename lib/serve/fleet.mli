@@ -1,0 +1,43 @@
+(** Fleet cost-throughput CSV.
+
+    One flat table summarizing a serve run (or an offline profile set):
+    per-client ingest volume and rate, a fleet aggregate, and the top-K
+    cost-moving routines of the merged profile.  Row kinds share the
+    column set — consumers filter on the [kind] column:
+
+    {v
+    kind,name,events,traces,drops,bytes,seconds,mev_per_s,status,activations,total_cost,cost_share
+    v}
+
+    Pure string building: no IO, no locking. *)
+
+module Profile = Aprof_core.Profile
+
+(** Per-connection (daemon) or per-input-file (offline) summary. *)
+type client = {
+  name : string;  (** peer address or file name *)
+  events : int;
+  traces : int;  (** completed traces folded *)
+  drops : int;  (** salvage drops *)
+  bytes : int;  (** wire/file bytes consumed *)
+  seconds : float;  (** active window of this client *)
+  error : string option;  (** terminal failure, if the stream died *)
+}
+
+(** The CSV header line (no trailing newline). *)
+val header : string
+
+(** RFC-4180-style quoting of one field. *)
+val csv_field : string -> string
+
+(** [render ~seconds ~name_of ~profile clients] is the full document:
+    header, one [client] row each, an [aggregate] row over the fleet
+    window [seconds], and up to [top] (default 20) [routine] rows ranked
+    by total cost with their cost share. *)
+val render :
+  ?top:int ->
+  seconds:float ->
+  name_of:(int -> string) ->
+  profile:Profile.t ->
+  client list ->
+  string

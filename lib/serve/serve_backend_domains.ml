@@ -1,0 +1,11 @@
+(* OCaml >= 5 worker backend: one domain per ingest worker, so decode
+   and profiling run in parallel with the reader systhreads (which only
+   block on sockets).  Selected by a dune copy rule; the 4.x twin runs
+   workers as systhreads — same semantics, no parallelism. *)
+
+type handle = unit Domain.t
+
+let spawn f = Domain.spawn f
+let join = Domain.join
+let parallel = true
+let cpu_count () = Domain.recommended_domain_count ()

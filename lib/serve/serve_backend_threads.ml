@@ -1,0 +1,11 @@
+(* OCaml 4.x worker backend: workers are systhreads under the one
+   runtime lock — every scheduling and backpressure property of the
+   server holds, ingest just does not scale across cores.  Selected by
+   a dune copy rule; the OCaml 5 twin spawns domains. *)
+
+type handle = Thread.t
+
+let spawn f = Thread.create f ()
+let join = Thread.join
+let parallel = false
+let cpu_count () = 1

@@ -1,0 +1,99 @@
+(** The aprof ingest daemon: always-on concurrent ATRC aggregation.
+
+    {!start} opens Unix-domain and/or TCP listeners and accepts any
+    number of concurrent connections.  A connection whose first four
+    bytes are ["ATRC"] is an ingest stream: the wire format is exactly
+    the trace file format (several traces may follow back-to-back), a
+    per-connection reader thread feeds a bounded inbox, and a pool of
+    ingest workers (domains on OCaml 5) decodes and profiles the bytes,
+    folding each completed trace's profile into key-hashed shard
+    accumulators.  Any other first bytes start a one-line text control
+    exchange: [PING], [STATS], [SNAPSHOT], [STOP].
+
+    Guarantees:
+
+    - {b Bounded memory}: per-connection buffering is capped by
+      [inbox_bytes] plus one decoder frame; when a worker falls behind,
+      the reader stops reading and the socket/peer absorb the pressure.
+    - {b Exact aggregation}: profiles are folded only at trace
+      boundaries, and snapshots are trace-atomic (the fold/snapshot
+      gate of {!Shard_acc}), so any snapshot equals the offline
+      [aprof merge] of the traces completed so far.
+    - {b Corruption isolation}: a malformed stream poisons only its own
+      connection; its partial trace is aborted, never folded.  With
+      [salvage] damaged chunks are dropped per the salvage trichotomy
+      and the stream continues. *)
+
+module Profile = Aprof_core.Profile
+
+type config = {
+  unix_path : string option;  (** Unix-domain listener path *)
+  tcp : (string * int) option;  (** TCP listener (host, port; 0 = any) *)
+  profiler : Aprof_tools.Replay_driver.profiler;
+  shards : int;  (** profile accumulator shards *)
+  jobs : int;  (** ingest workers (domains on OCaml 5) *)
+  snapshot_every : float;  (** seconds; 0 = snapshot only on request *)
+  snapshot_profile : string option;  (** profile CSV written per snapshot *)
+  fleet_csv : string option;  (** fleet CSV written per snapshot *)
+  max_frame_bytes : int;  (** largest acceptable chunk payload *)
+  inbox_bytes : int;  (** per-connection queued-byte bound *)
+  read_bytes : int;  (** read slice size *)
+  idle_timeout : float;  (** kill a silent connection after this; 0 = off *)
+  salvage : bool;  (** drop damaged chunks instead of failing the conn *)
+  log : string -> unit;
+}
+
+val default_config : config
+
+type t
+
+type stats = {
+  s_live : int;  (** ingest connections currently open *)
+  s_conns : int;  (** ingest connections ever accepted *)
+  s_traces : int;  (** completed traces folded *)
+  s_events : int;  (** events of completed traces *)
+  s_drops : int;  (** salvage chunk drops *)
+  s_folds : int;  (** shard-accumulator folds *)
+}
+
+(** [start cfg] opens the listeners and spawns the accept threads,
+    worker pool and snapshot thread.  Raises [Invalid_argument] when no
+    listener is configured, and [Unix.Unix_error] when binding fails. *)
+val start : config -> t
+
+(** The listener addresses, e.g. ["unix:/tmp/aprof.sock"],
+    ["tcp:127.0.0.1:4025"] — with the actual port when 0 was asked. *)
+val addresses : t -> string list
+
+(** The bound TCP port, if a TCP listener is up. *)
+val tcp_port : t -> int option
+
+(** Ask the server to shut down (non-blocking; {!wait} does the work). *)
+val request_stop : t -> unit
+
+(** [wait t] blocks until a stop is requested, then runs the shutdown
+    sequence: close listeners, drain live connections (bounded wait,
+    then forced), stop workers, join every thread, write a final
+    snapshot, unlink the Unix socket.  Returns when the server is fully
+    stopped; concurrent callers return together. *)
+val wait : t -> unit
+
+(** {!request_stop} + {!wait}. *)
+val stop : t -> unit
+
+(** Ask the snapshot thread to write the configured artifacts soon. *)
+val request_snapshot : t -> unit
+
+(** Write the configured snapshot artifacts now (atomically, via
+    tmp+rename); [Error] when neither output path is configured. *)
+val write_snapshot : t -> (unit, string) result
+
+(** A consistent in-memory snapshot: the merged profile and routine
+    names (trace-atomic — see {!Shard_acc}). *)
+val snapshot : t -> Profile.t * (int, string) Hashtbl.t
+
+val stats : t -> stats
+
+(** Per-connection fleet rows (live connections report their window so
+    far). *)
+val clients : t -> Fleet.client list

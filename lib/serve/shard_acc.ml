@@ -1,0 +1,131 @@
+(* Sharded profile accumulators: N independently-locked partial
+   profiles, keyed by routine hash, so concurrent connections folding
+   completed traces contend on different locks and merge never
+   serializes ingest.
+
+   Consistency: a fold is trace-atomic with respect to snapshots.  Every
+   fold splits one *completed* trace's profile across the shards while
+   holding the fold side of a gate; a snapshot takes the exclusive side,
+   so it can never observe half a trace (some shards folded, others
+   not).  Folds exclude only snapshots, never each other — the per-shard
+   mutexes are the only contention between connections. *)
+
+module Profile = Aprof_core.Profile
+
+type t = {
+  shards : (Mutex.t * Profile.t) array;
+  names : (int, string) Hashtbl.t;
+  names_m : Mutex.t;
+  (* The fold/snapshot gate: a readers-writer lock where folds are the
+     (concurrent) readers and snapshots the (exclusive) writer. *)
+  gate_m : Mutex.t;
+  gate_c : Condition.t;
+  mutable active_folds : int;
+  mutable snapshotting : bool;
+  mutable folds : int;  (* total folds, for stats *)
+}
+
+let create ?(shards = 8) () =
+  if shards < 1 then invalid_arg "Shard_acc.create";
+  {
+    shards = Array.init shards (fun _ -> (Mutex.create (), Profile.create ()));
+    names = Hashtbl.create 64;
+    names_m = Mutex.create ();
+    gate_m = Mutex.create ();
+    gate_c = Condition.create ();
+    active_folds = 0;
+    snapshotting = false;
+    folds = 0;
+  }
+
+let shard_count t = Array.length t.shards
+
+(* Routine-hashed: every cell of one routine (all threads) lands on one
+   shard, so per-routine aggregation after a snapshot never crosses
+   shard boundaries mid-history. *)
+let shard_of t routine = Hashtbl.hash routine mod Array.length t.shards
+
+let define t id name =
+  Mutex.lock t.names_m;
+  Hashtbl.replace t.names id name;
+  Mutex.unlock t.names_m
+
+let defines t pairs =
+  Mutex.lock t.names_m;
+  List.iter (fun (id, name) -> Hashtbl.replace t.names id name) pairs;
+  Mutex.unlock t.names_m
+
+let fold_enter t =
+  Mutex.lock t.gate_m;
+  while t.snapshotting do
+    Condition.wait t.gate_c t.gate_m
+  done;
+  t.active_folds <- t.active_folds + 1;
+  Mutex.unlock t.gate_m
+
+let fold_exit t =
+  Mutex.lock t.gate_m;
+  t.active_folds <- t.active_folds - 1;
+  t.folds <- t.folds + 1;
+  if t.active_folds = 0 then Condition.broadcast t.gate_c;
+  Mutex.unlock t.gate_m
+
+let fold t src =
+  fold_enter t;
+  Fun.protect
+    ~finally:(fun () -> fold_exit t)
+    (fun () ->
+      Array.iteri
+        (fun i (m, dst) ->
+          Mutex.lock m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock m)
+            (fun () ->
+              Profile.merge_into
+                ~keep:(fun k -> shard_of t k.Profile.routine = i)
+                ~into:dst src))
+        t.shards)
+
+let snap_enter t =
+  Mutex.lock t.gate_m;
+  while t.snapshotting do
+    Condition.wait t.gate_c t.gate_m
+  done;
+  t.snapshotting <- true;
+  while t.active_folds > 0 do
+    Condition.wait t.gate_c t.gate_m
+  done;
+  Mutex.unlock t.gate_m
+
+let snap_exit t =
+  Mutex.lock t.gate_m;
+  t.snapshotting <- false;
+  Condition.broadcast t.gate_c;
+  Mutex.unlock t.gate_m
+
+let snapshot t =
+  snap_enter t;
+  Fun.protect
+    ~finally:(fun () -> snap_exit t)
+    (fun () ->
+      let out = Profile.create () in
+      Array.iter (fun (_, p) -> Profile.merge_into ~into:out p) t.shards;
+      let names = Hashtbl.create 64 in
+      Mutex.lock t.names_m;
+      Hashtbl.iter (fun k v -> Hashtbl.replace names k v) t.names;
+      Mutex.unlock t.names_m;
+      (out, names))
+
+let folds t =
+  Mutex.lock t.gate_m;
+  let n = t.folds in
+  Mutex.unlock t.gate_m;
+  n
+
+(* Test hook: the keys currently on shard [i], proving the partition. *)
+let shard_keys t i =
+  let m, p = t.shards.(i) in
+  Mutex.lock m;
+  let keys = Profile.keys p in
+  Mutex.unlock m;
+  keys

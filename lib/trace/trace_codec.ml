@@ -845,6 +845,13 @@ let v3_chunk_decoder () =
   fun ~defs chunk n ~events_hint ->
     decode_whole_chunk_v3 ~dec ~scratch ~stage ~defs ~events_hint chunk n
 
+(* The whole-chunk decoders, exported for consumers that receive framed
+   chunks from somewhere other than a seekable file — the socket-fed
+   reader ({!Trace_net}) hands each CRC-verified payload to one of
+   these. *)
+let chunk_decoder ~version () =
+  if version >= 3 then v3_chunk_decoder () else v2_chunk_decoder ()
+
 (* Salvage over a usable index: every chunk's boundaries are known, so a
    corrupt chunk is skipped exactly and the next one re-synchronizes the
    stream.  The footer's own CRC (version >= 2) is authoritative; on

@@ -334,6 +334,30 @@ val to_string :
 val of_string :
   string -> (Event.t Aprof_util.Vec.t * (int * string) list, string) result
 
+(** {1 Whole-chunk decoding}
+
+    The building block behind salvage and the socket-fed reader
+    ({!Trace_net}): decode one complete framed chunk payload,
+    all-or-nothing, into a batch. *)
+
+(** [chunk_decoder ~version ()] is a reusable decoder for the chunk
+    payloads of a version-[version] trace ([2] plain records, [>= 3]
+    packed).  [decode ~defs chunk n ~events_hint] decodes the payload
+    [chunk[0..n)] (already CRC-verified by the caller) into a batch that
+    stays valid until the next call; routine-name definitions are
+    prepended to [defs] (newest first) only when the whole chunk decodes
+    cleanly.  [events_hint] presizes the batch ([-1] when unknown).
+    @raise Trace_stream.Decode_error on any malformation — the caller
+    decides whether that fails the stream or drops the chunk. *)
+val chunk_decoder :
+  version:int ->
+  unit ->
+  defs:(int * string) list ref ->
+  bytes ->
+  int ->
+  events_hint:int ->
+  Event.Batch.t
+
 (** {1 Format sniffing} *)
 
 (** [detect ic] peeks at the first bytes of a seekable channel and

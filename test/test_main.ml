@@ -31,4 +31,5 @@ let () =
       ("cct", Test_cct.suite);
       ("plot", Test_plot.suite);
       ("workload-suite", Test_workload_suite.suite);
+      ("serve", Test_serve.suite);
     ]
