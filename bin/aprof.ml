@@ -27,7 +27,13 @@ let scheduler_of_string = function
   | "serialized" -> Ok Aprof_vm.Scheduler.Serialized
   | "random" ->
     Ok (Aprof_vm.Scheduler.Random_preemptive { min_slice = 8; max_slice = 96 })
-  | s -> Error (Printf.sprintf "unknown scheduler %S (rr|serialized|random)" s)
+  | "ws" | "work-stealing" ->
+    Ok (Aprof_vm.Scheduler.Work_stealing { workers = 4; slice = 64 })
+  | "async" ->
+    Ok (Aprof_vm.Scheduler.Async_io { slice = 64; io_delay = 16 })
+  | s ->
+    Error
+      (Printf.sprintf "unknown scheduler %S (rr|serialized|random|ws|async)" s)
 
 (* ----- common options ------------------------------------------------ *)
 
@@ -52,7 +58,10 @@ let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
 let scheduler_term =
-  let doc = "Scheduler: $(b,rr), $(b,serialized) or $(b,random)." in
+  let doc =
+    "Scheduler: $(b,rr), $(b,serialized), $(b,random), $(b,ws) \
+     (work-stealing) or $(b,async) (event loop)."
+  in
   let parse s =
     match scheduler_of_string s with Ok v -> Ok v | Error m -> Error (`Msg m)
   in

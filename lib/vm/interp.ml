@@ -66,7 +66,6 @@ type state = {
   mutable allocated : int;
   mutable high_water : int;
   threads : thread Vec.t;
-  ready : int Vec.t; (* tids of runnable threads *)
   mutable live : int; (* threads not yet exited *)
   mutable sync_ids : int;
   sems : (int, semaphore) Hashtbl.t;
@@ -123,7 +122,7 @@ let new_thread st prog =
     }
   in
   Vec.push st.threads th;
-  Vec.push st.ready tid;
+  Scheduler.enqueue st.sched tid;
   st.live <- st.live + 1;
   emit_plain st Batch.tag_thread_start tid;
   th
@@ -131,7 +130,7 @@ let new_thread st prog =
 let make_runnable st tid k =
   let th = thread st tid in
   th.prog <- Some (k ());
-  Vec.push st.ready tid
+  Scheduler.enqueue st.sched tid
 
 let mem_read st addr =
   if addr < 0 then fail "read from negative address %d" addr;
@@ -347,6 +346,7 @@ let step st th =
         let got = Array.length data in
         Array.iteri (fun i v -> mem_write st (buf + i) v) data;
         if got > 0 then emit_range st Batch.tag_kernel_to_user tid ~addr:buf ~len:got;
+        Scheduler.note_io st.sched tid;
         continue_with (k got))
     | Sys_pread (fd, buf, len, pos, k) -> (
       if len < 0 || pos < 0 then fail "sys_pread: negative argument";
@@ -357,6 +357,7 @@ let step st th =
         let got = Array.length data in
         Array.iteri (fun i v -> mem_write st (buf + i) v) data;
         if got > 0 then emit_range st Batch.tag_kernel_to_user tid ~addr:buf ~len:got;
+        Scheduler.note_io st.sched tid;
         continue_with (k got))
     | Sys_write (fd, buf, len, k) -> (
       if len < 0 then fail "sys_write: negative length";
@@ -366,27 +367,17 @@ let step st th =
         let data = Array.init len (fun i -> mem_read st (buf + i)) in
         if len > 0 then emit_range st Batch.tag_user_to_kernel tid ~addr:buf ~len;
         let _accepted = Device.write dev data in
+        Scheduler.note_io st.sched tid;
         continue_with (k len))
     | Sys_close (fd, k) ->
       Hashtbl.remove st.fds fd;
       continue_with (k ())
     | Random_int (bound, k) -> continue_with (k (Rng.int st.rng bound)))
 
-(* Order-preserving removal: round-robin fairness depends on the ready
-   vector behaving as a FIFO queue.  Thread counts are small, so the
-   O(n) shift is irrelevant. *)
-let remove_ready st idx =
-  let v = Vec.get st.ready idx in
-  let last = Vec.length st.ready - 1 in
-  for i = idx to last - 1 do
-    Vec.set st.ready i (Vec.get st.ready (i + 1))
-  done;
-  Vec.truncate st.ready last;
-  v
-
 let run_loop st =
   while st.live > 0 do
-    if Vec.is_empty st.ready then begin
+    match Scheduler.next st.sched with
+    | None ->
       let blocked =
         Vec.fold_left
           (fun acc th -> if th.exited then acc else th.tid :: acc)
@@ -394,30 +385,26 @@ let run_loop st =
       in
       fail "deadlock: threads %s are blocked"
         (String.concat "," (List.map string_of_int (List.rev blocked)))
-    end;
-    let idx =
-      match st.cfg.scheduler with
-      | Scheduler.Round_robin _ | Scheduler.Serialized -> 0
-      | Scheduler.Random_preemptive _ -> Scheduler.pick st.sched (Vec.length st.ready)
-    in
-    let tid = remove_ready st idx in
-    let th = thread st tid in
-    match th.prog with
-    | None -> () (* woken and re-parked stale entry: skip *)
-    | Some _ ->
-      if st.current <> tid then begin
-        emit_plain st Batch.tag_switch_thread tid;
-        st.current <- tid
-      end;
-      let slice = Scheduler.slice st.sched in
-      let budget = ref slice in
-      let running = ref true in
-      while !running && !budget > 0 do
-        decr budget;
-        running := step st th
-      done;
-      (* Preempted mid-run: requeue at the tail (round-robin rotation). *)
-      if th.prog <> None && not th.exited then Vec.push st.ready tid
+    | Some tid -> (
+      let th = thread st tid in
+      match th.prog with
+      | None -> () (* woken and re-parked stale entry: skip *)
+      | Some _ ->
+        if st.current <> tid then begin
+          emit_plain st Batch.tag_switch_thread tid;
+          st.current <- tid
+        end;
+        let slice = Scheduler.slice st.sched in
+        let budget = ref slice in
+        let running = ref true in
+        (* [must_yield] ends the slice right after an async I/O submit:
+           the thread parks on the completion queue in [requeue]. *)
+        while !running && !budget > 0 && not (Scheduler.must_yield st.sched) do
+          decr budget;
+          running := step st th
+        done;
+        (* Preempted mid-run: back to the scheduler's queues. *)
+        if th.prog <> None && not th.exited then Scheduler.requeue st.sched tid)
   done
 
 let setup config flush =
@@ -435,7 +422,6 @@ let setup config flush =
     allocated = 0;
     high_water = 0;
     threads = Vec.create ();
-    ready = Vec.create ();
     live = 0;
     sync_ids = 1;
     sems = Hashtbl.create 16;

@@ -1,6 +1,7 @@
 let all =
   Patterns.specs @ Sorting.specs
-  @ [ Mysql_sim.spec; Vips_sim.spec; Dedup_sim.spec ]
+  @ [ Mysql_sim.spec; Vips_sim.spec; Dedup_sim.spec; Stm_sim.spec;
+      Server_sim.spec ]
   @ Parsec_sims.specs @ Omp_sims.specs @ Omp_sims2.specs
 
 let find name =

@@ -1,0 +1,161 @@
+(* Async-I/O-heavy server miniature: an accept/parse/handle/respond
+   pipeline with bursty connection arrivals.
+
+   One listener thread replays a build-time arrival schedule — bursts of
+   1..4 connections separated by idle gaps — and fans connection ids
+   into a bounded channel; a pool of workers pulls connections and runs
+   each request through parse (wire pread), handle (backing-store pread
+   + scan), respond (sys_write + shared stats bump).  The connection
+   fan-in and the worker-pool competition are thread-induced input; the
+   kernel transfers are external input.
+
+   Every request (offsets, lengths, handling cost, burst shape) is drawn
+   at build time from the workload seed and executed exactly once by
+   whichever worker wins it, so the total and per-routine external-op
+   counts are identical under every scheduler — the invariance the
+   sched-gate asserts.  Under the [Async_io] policy the preads/writes
+   park workers on the completion queue, exercising the event-loop
+   schedule; under [Work_stealing] the per-connection jobs migrate
+   between cores. *)
+
+open Aprof_vm.Program
+module Device = Aprof_vm.Device
+module Sync = Aprof_vm.Sync
+module Rng = Aprof_util.Rng
+
+type req = { off : int; len : int; cost : int }
+
+let header_cells = 4
+let buf_cells = 32 (* >= header_cells and >= any req.len *)
+
+let store_device ~cells ~seed =
+  let rng = Rng.create (seed lxor 0x5e12) in
+  Device.file (Array.init cells (fun _ -> Rng.int rng 0x10000))
+
+(* The request wire: an infinite stream, positioned reads only. *)
+let wire_device () = Device.stream (fun i -> (i * 131) land 0xff)
+
+let parse_request ~wire_fd ~buf ~conn ~r =
+  call "parse_request"
+    (let* got = sys_pread wire_fd buf header_cells ~pos:((conn * 64) + (r * header_cells)) in
+     let* _hdr = Blocks.read_sum buf (min got header_cells) in
+     compute 2)
+
+let handle_request ~store_fd ~buf req =
+  call "handle_request"
+    (let* got = sys_pread store_fd buf req.len ~pos:req.off in
+     let* _sum = Blocks.read_sum buf got in
+     let* () = compute req.cost in
+     return got)
+
+let send_response ~out_fd ~buf ~stats ~stats_lock got =
+  call "send_response"
+    (let* _n = sys_write out_fd buf got in
+     Sync.Mutex.with_lock stats_lock
+       (let* served = read stats in
+        let* () = write stats (served + 1) in
+        let* cells = read (stats + 1) in
+        write (stats + 1) (cells + got)))
+
+let handle_conn ~store_fd ~wire_fd ~out_fd ~buf ~stats ~stats_lock ~conn reqs =
+  call "handle_conn"
+    (iter_list
+       (fun (r, req) ->
+         let* () = parse_request ~wire_fd ~buf ~conn ~r in
+         let* got = handle_request ~store_fd ~buf req in
+         send_response ~out_fd ~buf ~stats ~stats_lock got)
+       (List.mapi (fun r req -> (r, req)) reqs))
+
+let worker ~conns ~jobs ~stats ~stats_lock =
+  call "worker_loop"
+    (let* buf = alloc buf_cells in
+     let* store_fd = sys_open "store" in
+     let* wire_fd = sys_open "wire" in
+     let* out_fd = sys_open "client" in
+     let rec serve () =
+       let* conn = Sync.Channel.recv jobs in
+       if conn < 0 then return ()
+       else
+         let* () =
+           handle_conn ~store_fd ~wire_fd ~out_fd ~buf ~stats ~stats_lock
+             ~conn conns.(conn)
+         in
+         serve ()
+     in
+     serve ())
+
+let accept_loop ~bursts ~jobs =
+  call "accept_loop"
+    (iter_list
+       (fun burst ->
+         let* () =
+           call "accept_burst"
+             (iter_list (fun conn -> Sync.Channel.send jobs conn) burst)
+         in
+         (* idle gap between bursts *)
+         let* () = compute 1 in
+         yield)
+       bursts)
+
+(* Build-time schedule: connections, their request lists, and the burst
+   partition are all functions of the seed. *)
+let gen_schedule ~n_conns ~store_cells ~seed =
+  let rng = Rng.create (seed lxor 0xac3e) in
+  let conns =
+    Array.init n_conns (fun _ ->
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            let len = header_cells + Rng.int rng (buf_cells - header_cells) in
+            let off = Rng.int rng (max 1 (store_cells - buf_cells)) in
+            { off; len; cost = 1 + Rng.int rng 5 }))
+  in
+  let rec burstify next acc =
+    if next >= n_conns then List.rev acc
+    else
+      let size = min (n_conns - next) (1 + Rng.int rng 4) in
+      burstify (next + size) (List.init size (fun i -> next + i) :: acc)
+  in
+  (conns, burstify 0 [])
+
+let workload ~workers ~n_conns ~store_cells ~seed =
+  let conns, bursts = gen_schedule ~n_conns ~store_cells ~seed in
+  let main =
+    call "server_main"
+      (let* stats = alloc 4 in
+       let* () = Blocks.write_fill stats 4 (fun _ -> 0) in
+       let* stats_lock = Sync.Mutex.create () in
+       let* jobs = Sync.Channel.create 4 in
+       let* tids =
+         Blocks.spawn_all
+           (List.init workers (fun _ -> worker ~conns ~jobs ~stats ~stats_lock))
+       in
+       let* () = accept_loop ~bursts ~jobs in
+       (* one shutdown sentinel per worker *)
+       let* () = for_ 1 workers (fun _ -> Sync.Channel.send jobs (-1)) in
+       Blocks.join_all tids)
+  in
+  {
+    Workload.programs = [ main ];
+    devices =
+      [
+        ("store", store_device ~cells:store_cells ~seed);
+        ("wire", wire_device ());
+        ("client", Device.sink ());
+      ];
+  }
+
+let spec =
+  {
+    Workload.name = "server";
+    suite = Workload.App;
+    description =
+      "async-I/O server: accept/parse/handle/respond pipeline with \
+       bursty connection arrivals into a worker pool";
+    make =
+      (fun ~threads ~scale ~seed ->
+        workload ~workers:(max 2 threads)
+          ~n_conns:(max 3 (scale / 8))
+          ~store_cells:(max 64 (scale * 2))
+          ~seed);
+  }

@@ -1,0 +1,13 @@
+(** Async-I/O server miniature: a listener replays a seeded bursty
+    arrival schedule into a bounded channel; a worker pool runs each
+    connection's requests through parse (wire pread), handle
+    (backing-store pread + scan), respond (sys_write + stats bump).
+    Every request is fixed at build time and executed exactly once, so
+    external-op counts are schedule-invariant by construction. *)
+
+type req = { off : int; len : int; cost : int }
+
+val workload :
+  workers:int -> n_conns:int -> store_cells:int -> seed:int -> Workload.t
+
+val spec : Workload.spec

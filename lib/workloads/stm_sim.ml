@@ -1,0 +1,177 @@
+(* STM-style workload, modeled on manticore's stm.pml: optimistic
+   read/validate/commit transactions over an array of versioned tvars.
+
+   Each tvar is a [version; value] cell pair guarded by its own mutex
+   (so the miniature stays race-free under happens-before, like a real
+   TL2-style STM whose metadata accesses are atomic).  A transaction
+   reads its read set optimistically (logging versions), thinks, then
+   revalidates: any version bumped by a concurrent commit aborts the
+   attempt and retries after a backoff — the abort-retry re-reads are
+   thread-induced input that fluctuates with the schedule, which is
+   exactly what the scheduler-sensitivity experiment wants to stress.
+   After [max_attempts] failed attempts a transaction falls back to a
+   global commit lock, so every transaction terminates under any
+   schedule.
+
+   All transaction scripts (read sets, write sets, think time) are drawn
+   at build time from the workload seed: the program structure — and in
+   particular the total external input, here zero — is identical under
+   every scheduler; only the interleaving-driven aborts differ. *)
+
+open Aprof_vm.Program
+module Sync = Aprof_vm.Sync
+module Rng = Aprof_util.Rng
+
+type txn = {
+  reads : int list; (* sorted distinct tvar indices *)
+  writes : int list; (* subset of [reads] *)
+  think : int;
+}
+
+let max_attempts = 6
+
+let rec fold_list f acc = function
+  | [] -> return acc
+  | x :: rest ->
+    let* acc = f acc x in
+    fold_list f acc rest
+
+(* tvar [i]: version at [base + 2i], value at [base + 2i + 1]. *)
+let ver_cell base i = base + (2 * i)
+let val_cell base i = base + (2 * i) + 1
+
+let with_tvar locks i body = Sync.Mutex.with_lock locks.(i) body
+
+(* Optimistic read phase: snapshot each tvar's version into the private
+   log and accumulate its value. *)
+let stm_read ~base ~locks ~log tx =
+  call "stm_read"
+    (fold_list
+       (fun (p, acc) i ->
+         let* v =
+           with_tvar locks i
+             (let* ver = read (ver_cell base i) in
+              let* v = read (val_cell base i) in
+              let* () = write (log + p) ver in
+              return v)
+         in
+         return (p + 1, acc + v))
+       (0, 0) tx.reads
+     |> map snd)
+
+(* Validation: every logged version must still be current. *)
+let stm_validate ~base ~locks ~log tx =
+  call "stm_validate"
+    (fold_list
+       (fun (p, ok) i ->
+         let* logged = read (log + p) in
+         let* ver = with_tvar locks i (read (ver_cell base i)) in
+         return (p + 1, ok && ver = logged))
+       (0, true) tx.reads
+     |> map snd)
+
+(* Commit: bump versions and publish derived values, tvar by tvar. *)
+let stm_commit ~base ~locks tx sum =
+  call "stm_commit"
+    (iter_list
+       (fun i ->
+         with_tvar locks i
+           (let* ver = read (ver_cell base i) in
+            let* () = write (ver_cell base i) (ver + 1) in
+            write (val_cell base i) ((sum + i) land 0xffff)))
+       tx.writes)
+
+let atomic ~base ~locks ~global ~log tx =
+  call "atomic"
+    (let try_txn () =
+       let* sum = stm_read ~base ~locks ~log tx in
+       let* () = compute tx.think in
+       let* valid = stm_validate ~base ~locks ~log tx in
+       if valid then
+         let* () = stm_commit ~base ~locks tx sum in
+         return true
+       else return false
+     in
+     let rec attempt n =
+       let* ok = try_txn () in
+       if ok then return ()
+       else
+         let* () =
+           call "stm_abort"
+             (let* () = compute (1 + n) in
+              yield)
+         in
+         if n + 1 >= max_attempts then
+           (* Pathological contention: give up on optimism and commit
+              under the global lock — guarantees progress. *)
+           call "stm_fallback"
+             (Sync.Mutex.with_lock global
+                (let* sum = stm_read ~base ~locks ~log tx in
+                 stm_commit ~base ~locks tx sum))
+         else attempt (n + 1)
+     in
+     attempt 0)
+
+let rec make_locks n acc =
+  if n = 0 then return (Array.of_list (List.rev acc))
+  else
+    let* m = Sync.Mutex.create () in
+    make_locks (n - 1) (m :: acc)
+
+(* Build-time script generation: all randomness is spent here, so the
+   transaction mix is a function of the seed alone. *)
+let gen_scripts ~workers ~txns ~n_tvars ~seed =
+  let rng = Rng.create (seed lxor 0x57a7) in
+  Array.init workers (fun _ ->
+      List.init txns (fun _ ->
+          let n_reads = min n_tvars (2 + Rng.int rng 4) in
+          let rec draw acc k =
+            if k = 0 then acc
+            else
+              let i = Rng.int rng n_tvars in
+              if List.mem i acc then draw acc k else draw (i :: acc) (k - 1)
+          in
+          let reads = List.sort compare (draw [] n_reads) in
+          let n_writes = 1 + Rng.int rng (min 2 (List.length reads)) in
+          let writes =
+            List.filteri (fun p _ -> p < n_writes) reads
+          in
+          { reads; writes; think = List.length reads + Rng.int rng 3 }))
+
+let workload ~workers ~txns ~n_tvars ~seed =
+  let scripts = gen_scripts ~workers ~txns ~n_tvars ~seed in
+  let max_reads =
+    Array.fold_left
+      (fun m txs ->
+        List.fold_left (fun m t -> max m (List.length t.reads)) m txs)
+      1 scripts
+  in
+  let main =
+    call "stm_main"
+      (let* base = alloc (2 * n_tvars) in
+       let* () = Blocks.write_fill base (2 * n_tvars) (fun _ -> 0) in
+       let* locks = make_locks n_tvars [] in
+       let* global = Sync.Mutex.create () in
+       Blocks.run_workers workers (fun w ->
+           call "txn_worker"
+             (let* log = alloc max_reads in
+              iter_list
+                (fun tx -> atomic ~base ~locks ~global ~log tx)
+                scripts.(w))))
+  in
+  { Workload.programs = [ main ]; devices = [] }
+
+let spec =
+  {
+    Workload.name = "stm";
+    suite = Workload.App;
+    description =
+      "optimistic STM: read/validate/commit transactions with seeded \
+       abort-retry loops over versioned tvars";
+    make =
+      (fun ~threads ~scale ~seed ->
+        workload ~workers:(max 2 threads)
+          ~txns:(max 2 (scale / 20))
+          ~n_tvars:(max 4 (min 48 (scale / 8)))
+          ~seed);
+  }

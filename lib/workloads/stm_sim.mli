@@ -1,0 +1,15 @@
+(** STM miniature: optimistic read/validate/commit transactions with
+    seeded abort-retry loops, modeled on manticore's [stm.pml].  Abort
+    re-reads are thread-induced input that fluctuates with the schedule;
+    the workload performs no device I/O, so its external input is zero
+    under every scheduler. *)
+
+type txn = { reads : int list; writes : int list; think : int }
+
+(** Attempts before a transaction falls back to the global commit lock. *)
+val max_attempts : int
+
+val workload :
+  workers:int -> txns:int -> n_tvars:int -> seed:int -> Workload.t
+
+val spec : Workload.spec

@@ -153,7 +153,8 @@ let registry_files () =
 let program_differential () =
   for seed = 0 to 49 do
     let w =
-      { Workload.programs = Test_vm_differential.gen_program seed; devices = [] }
+      { Workload.programs = Test_vm_differential.gen_program seed;
+        devices = Test_vm_differential.gen_devices () }
     in
     let result =
       Workload.run ~scheduler:(Aprof_vm.Scheduler.Round_robin { slice = 8 }) w
@@ -164,7 +165,8 @@ let program_differential () =
   (* A few of them through the chunked file path too. *)
   for seed = 0 to 9 do
     let w =
-      { Workload.programs = Test_vm_differential.gen_program seed; devices = [] }
+      { Workload.programs = Test_vm_differential.gen_program seed;
+        devices = Test_vm_differential.gen_devices () }
     in
     let result =
       Workload.run ~scheduler:(Aprof_vm.Scheduler.Round_robin { slice = 8 }) w

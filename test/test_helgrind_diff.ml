@@ -53,7 +53,8 @@ let check_trace label trace =
 
 let check_program ~sched_name ~scheduler seed =
   let w =
-    { Workload.programs = Test_vm_differential.gen_program seed; devices = [] }
+    { Workload.programs = Test_vm_differential.gen_program seed;
+        devices = Test_vm_differential.gen_devices () }
   in
   let result = Workload.run ~scheduler w ~seed in
   check_trace

@@ -61,7 +61,8 @@ let check_shards ~label ~trace_events shards =
 
 let check_program ~sched_name ~scheduler seed =
   let w =
-    { Workload.programs = Test_vm_differential.gen_program seed; devices = [] }
+    { Workload.programs = Test_vm_differential.gen_program seed;
+        devices = Test_vm_differential.gen_devices () }
   in
   let result = Workload.run ~scheduler w ~seed in
   let trace = result.Interp.trace in

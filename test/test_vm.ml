@@ -42,6 +42,15 @@ let test_determinism () =
   Alcotest.(check bool) "different seed, different trace" true
     (lines r1 <> lines r3)
 
+let all_policies =
+  [
+    Scheduler.Round_robin { slice = 8 };
+    Scheduler.Serialized;
+    Scheduler.Random_preemptive { min_slice = 1; max_slice = 16 };
+    Scheduler.Work_stealing { workers = 3; slice = 8 };
+    Scheduler.Async_io { slice = 8; io_delay = 5 };
+  ]
+
 let test_schedulers_well_formed () =
   List.iter
     (fun sched ->
@@ -54,11 +63,59 @@ let test_schedulers_well_formed () =
         (Scheduler.policy_name sched ^ " well-formed")
         []
         (Aprof_trace.Trace.well_formed r.Interp.trace))
+    ([
+       Scheduler.Round_robin { slice = 1 };
+       Scheduler.Round_robin { slice = 1000 };
+       Scheduler.Random_preemptive { min_slice = 1; max_slice = 4 };
+       Scheduler.Work_stealing { workers = 2; slice = 1 };
+       Scheduler.Async_io { slice = 1; io_delay = 1 };
+     ]
+    @ all_policies)
+
+(* Same seed must replay a byte-identical trace under every policy — the
+   property the golden traces and committed BENCH files rest on. *)
+let test_policies_deterministic () =
+  List.iter
+    (fun sched ->
+      let go () =
+        Aprof_workloads.Workload.run
+          (Aprof_workloads.Patterns.producer_consumer ~n:25)
+          ~scheduler:sched ~seed:11
+      in
+      Alcotest.(check (list string))
+        (Scheduler.policy_name sched ^ " deterministic")
+        (lines (go ())) (lines (go ())))
+    all_policies
+
+(* Regression for the Serialized slice sentinel: it used to be [max_int],
+   so any interpreter arithmetic of the shape [events + slice] wrapped to
+   a negative budget.  The clamp guarantees headroom. *)
+let test_serialized_slice_clamped () =
+  let t = Scheduler.create Scheduler.Serialized (Aprof_util.Rng.create 1) in
+  Alcotest.(check int) "serialized slice is the sentinel" Scheduler.max_slice
+    (Scheduler.slice t);
+  Alcotest.(check bool) "sentinel leaves additive headroom" true
+    (Scheduler.max_slice < max_int / 2);
+  Alcotest.(check bool) "sentinel + event budget cannot wrap" true
+    (Scheduler.max_slice + 1_000_000_000 > 0)
+
+let test_create_validation () =
+  let invalid p =
+    try
+      ignore (Scheduler.create p (Aprof_util.Rng.create 1));
+      false
+    with Invalid_argument _ -> true
+  in
+  List.iter
+    (fun (label, p) -> Alcotest.(check bool) label true (invalid p))
     [
-      Scheduler.Round_robin { slice = 1 };
-      Scheduler.Round_robin { slice = 1000 };
-      Scheduler.Serialized;
-      Scheduler.Random_preemptive { min_slice = 1; max_slice = 4 };
+      ("zero rr slice", Scheduler.Round_robin { slice = 0 });
+      ( "oversized rr slice",
+        Scheduler.Round_robin { slice = Scheduler.max_slice + 1 } );
+      ( "inverted random range",
+        Scheduler.Random_preemptive { min_slice = 5; max_slice = 4 } );
+      ("single ws worker", Scheduler.Work_stealing { workers = 1; slice = 8 });
+      ("zero async delay", Scheduler.Async_io { slice = 8; io_delay = 0 })
     ]
 
 let test_memory_and_alloc () =
@@ -273,9 +330,139 @@ let test_random_int_deterministic () =
   in
   Alcotest.(check (list int)) "vm rng deterministic" (draws 4) (draws 4)
 
+(* --- qcheck: scheduler queue discipline vs a multiset oracle ---------
+   Random op programs drive a scheduler directly through its stateful
+   API, mirrored against a bag of queued tids.  Whatever the policy:
+   [next] may only return a queued tid, returns each enqueue exactly
+   once, is [None] iff nothing is queued; [pending] tracks the bag size;
+   [slice] stays within the declared bounds; and the whole run is a
+   deterministic function of the creation seed. *)
+
+type sched_op =
+  | Spawn of int  (** enqueue this tid *)
+  | Turn of { io : bool; back : bool }
+      (** run one slice: [next]; optionally [note_io]; requeue the
+          thread ([back]) or let it block/exit (not [back]) *)
+
+let gen_sched_program =
+  let open QCheck2.Gen in
+  let policy =
+    oneof
+      [
+        map (fun s -> Scheduler.Round_robin { slice = s }) (int_range 1 20);
+        return Scheduler.Serialized;
+        map2
+          (fun a b ->
+            Scheduler.Random_preemptive
+              { min_slice = min a b; max_slice = max a b })
+          (int_range 1 20) (int_range 1 20);
+        map2
+          (fun w s -> Scheduler.Work_stealing { workers = w; slice = s })
+          (int_range 2 5) (int_range 1 20);
+        map2
+          (fun s d -> Scheduler.Async_io { slice = s; io_delay = d })
+          (int_range 1 20) (int_range 1 6);
+      ]
+  in
+  let op =
+    frequency
+      [
+        (2, map (fun tid -> Spawn tid) (int_range 0 9));
+        ( 5,
+          map2 (fun io back -> Turn { io; back }) (int_range 0 1 >|= ( = ) 1)
+            (int_range 0 3 >|= fun b -> b > 0) );
+      ]
+  in
+  triple policy (int_range 0 1000) (list_size (int_range 1 80) op)
+
+let print_sched_program (policy, seed, ops) =
+  Printf.sprintf "%s seed=%d [%s]"
+    (Scheduler.policy_name policy)
+    seed
+    (String.concat ";"
+       (List.map
+          (function
+            | Spawn tid -> Printf.sprintf "spawn %d" tid
+            | Turn { io; back } ->
+              Printf.sprintf "turn io=%b back=%b" io back)
+          ops))
+
+(* Interpret [ops], checking the oracle at every step; returns the
+   sequence of [next] results for the determinism check. *)
+let run_sched_program (policy, seed, ops) =
+  let t = Scheduler.create policy (Aprof_util.Rng.create seed) in
+  let bag = Hashtbl.create 16 in
+  let bag_size = ref 0 in
+  let bag_add tid =
+    Hashtbl.replace bag tid (1 + Option.value ~default:0 (Hashtbl.find_opt bag tid));
+    incr bag_size
+  in
+  let bag_remove tid =
+    match Hashtbl.find_opt bag tid with
+    | Some n when n > 0 ->
+      if n = 1 then Hashtbl.remove bag tid else Hashtbl.replace bag tid (n - 1);
+      decr bag_size;
+      true
+    | _ -> false
+  in
+  let min_slice, max_slice =
+    match policy with
+    | Scheduler.Round_robin { slice } -> (slice, slice)
+    | Scheduler.Serialized -> (Scheduler.max_slice, Scheduler.max_slice)
+    | Scheduler.Random_preemptive { min_slice; max_slice } ->
+      (min_slice, max_slice)
+    | Scheduler.Work_stealing { slice; _ } -> (slice, slice)
+    | Scheduler.Async_io { slice; _ } -> (slice, slice)
+  in
+  let picks = ref [] in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  List.iter
+    (fun op ->
+      (match op with
+      | Spawn tid ->
+        Scheduler.enqueue t tid;
+        bag_add tid
+      | Turn { io; back } -> (
+        let s = Scheduler.slice t in
+        check (s >= min_slice && s <= max_slice);
+        match Scheduler.next t with
+        | None ->
+          picks := (-1) :: !picks;
+          check (!bag_size = 0)
+        | Some tid ->
+          picks := tid :: !picks;
+          (* only a queued tid may run, and each enqueue runs once *)
+          check (bag_remove tid);
+          if io then Scheduler.note_io t tid;
+          if back then (
+            Scheduler.requeue t tid;
+            bag_add tid)));
+      check (Scheduler.pending t = !bag_size))
+    ops;
+  (!ok, List.rev !picks)
+
+let sched_oracle_agrees program = fst (run_sched_program program)
+
+let sched_deterministic program =
+  let ok1, picks1 = run_sched_program program in
+  let ok2, picks2 = run_sched_program program in
+  ok1 && ok2 && picks1 = picks2
+
 let suite =
   [
     Alcotest.test_case "determinism per seed" `Quick test_determinism;
+    Alcotest.test_case "policies deterministic" `Quick
+      test_policies_deterministic;
+    Alcotest.test_case "serialized slice clamped" `Quick
+      test_serialized_slice_clamped;
+    Alcotest.test_case "policy validation" `Quick test_create_validation;
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500 ~name:"scheduler = multiset oracle"
+         ~print:print_sched_program gen_sched_program sched_oracle_agrees);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"scheduler same-seed determinism"
+         ~print:print_sched_program gen_sched_program sched_deterministic);
     Alcotest.test_case "schedulers well-formed" `Quick test_schedulers_well_formed;
     Alcotest.test_case "memory and alloc" `Quick test_memory_and_alloc;
     Alcotest.test_case "spawn and join" `Quick test_join_and_spawn;

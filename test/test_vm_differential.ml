@@ -20,6 +20,7 @@ type op =
   | Compute of int
   | Yield
   | AllocTouch of int
+  | Pread of int
   | Call of string * op list
   | Spawn of op list
 
@@ -43,7 +44,10 @@ let rec gen_ops st ~len ~depth ~spawns =
         Write (Random.State.int st n_addrs, Random.State.int st 100)
       | c when c < 55 -> Compute (1 + Random.State.int st 4)
       | c when c < 62 -> Yield
-      | c when c < 70 -> AllocTouch (1 + Random.State.int st 4)
+      | c when c < 67 -> AllocTouch (1 + Random.State.int st 4)
+      (* Device reads give Async_io's completion queue something to park:
+         without I/O the event loop degenerates to round-robin. *)
+      | c when c < 70 -> Pread (Random.State.int st 32)
       | c when c < 90 && depth > 0 ->
         Call
           ( routines.(Random.State.int st (Array.length routines)),
@@ -78,6 +82,13 @@ let rec build (ops : op list) : unit Program.t =
     let* _ = read base in
     let* () = dealloc base n in
     build rest
+  | Pread pos :: rest ->
+    let* fd = sys_open "dev" in
+    let* buf = alloc 2 in
+    let* _ = sys_pread fd buf 2 ~pos in
+    let* _ = read buf in
+    let* () = dealloc buf 2 in
+    build rest
   | Call (name, body) :: rest ->
     let* () = call name (build body) in
     build rest
@@ -97,12 +108,20 @@ let gen_program seed =
            ~len:(6 + Random.State.int st 14)
            ~depth:3 ~spawns:(ref 2)))
 
+(* Every harness replaying [gen_program] output must supply this device
+   set: the generated programs open "dev" for positional reads. *)
+let gen_devices () =
+  [ ("dev", Aprof_vm.Device.file (Array.init 64 (fun i -> (i * 3) land 0xff))) ]
+
 let schedulers =
   [
     ("round-robin", Aprof_vm.Scheduler.Round_robin { slice = 8 });
     ("serialized", Aprof_vm.Scheduler.Serialized);
     ( "seeded-preemptive",
       Aprof_vm.Scheduler.Random_preemptive { min_slice = 2; max_slice = 24 } );
+    ( "work-stealing",
+      Aprof_vm.Scheduler.Work_stealing { workers = 3; slice = 8 } );
+    ("async-io", Aprof_vm.Scheduler.Async_io { slice = 8; io_delay = 4 });
   ]
 
 let n_programs = 50
@@ -111,7 +130,7 @@ let tool_state t =
   (t.Tool.space_words (), t.Tool.summary ())
 
 let check_program ~sched_name ~scheduler seed =
-  let w = { Workload.programs = gen_program seed; devices = [] } in
+  let w = { Workload.programs = gen_program seed; devices = gen_devices () } in
   let result = Workload.run ~scheduler w ~seed in
   let trace = result.Interp.trace in
   (match Sys.getenv_opt "APROF_DEBUG_SIZES" with
